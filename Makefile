@@ -1,0 +1,33 @@
+# Convenience targets; everything is plain cargo underneath.
+
+.PHONY: build test bench quick full clippy fmt doc clean
+
+build:
+	cargo build --workspace --release
+
+test:
+	cargo test --workspace --release
+
+bench:
+	cargo bench --workspace
+
+clippy:
+	cargo clippy --workspace --all-targets -- -D warnings
+
+fmt:
+	cargo fmt --all
+
+doc:
+	cargo doc --workspace --no-deps
+
+# Smoke-reproduce every experiment (~1 minute).
+quick: build
+	cargo run -p rayfade-bench --release --bin all -- --quick --out results
+
+# Full reproduction of the paper's evaluation (minutes).
+full: build
+	cargo run -p rayfade-bench --release --bin all -- --out results
+
+clean:
+	cargo clean
+	rm -rf results

@@ -1,0 +1,73 @@
+//! Criterion bench: capacity-maximization algorithms at increasing
+//! instance sizes (greedy, local search, power control, flexible rates,
+//! and the exact solver at its feasibility limit).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rayfade_bench::figure1_instance;
+use rayfade_geometry::PaperTopology;
+use rayfade_sched::{
+    CapacityAlgorithm, CapacityInstance, ExactCapacity, FlexibleCapacity, GreedyCapacity,
+    LocalSearchCapacity, PowerControlCapacity,
+};
+use rayfade_sinr::{ShannonUtility, SinrParams};
+use std::hint::black_box;
+
+fn bench_capacity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("capacity");
+    group.sample_size(20);
+    for &n in &[50usize, 100, 200] {
+        let (gm, params) = figure1_instance(0, n);
+        group.bench_with_input(BenchmarkId::new("greedy", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(
+                    GreedyCapacity::new()
+                        .select(&CapacityInstance::unweighted(black_box(&gm), &params)),
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("local_search_x3", n), &n, |b, _| {
+            let alg = LocalSearchCapacity {
+                restarts: 3,
+                seed: 1,
+                max_sweeps: 15,
+            };
+            b.iter(|| black_box(alg.select(&CapacityInstance::unweighted(black_box(&gm), &params))))
+        });
+        group.bench_with_input(BenchmarkId::new("flexible_shannon", n), &n, |b, _| {
+            let u = ShannonUtility::capped(16.0);
+            b.iter(|| {
+                black_box(FlexibleCapacity::default().select_with_utility(
+                    black_box(&gm),
+                    &params,
+                    &u,
+                ))
+            })
+        });
+        let net = PaperTopology {
+            links: n,
+            ..PaperTopology::figure1()
+        }
+        .generate(0xf161);
+        group.bench_with_input(BenchmarkId::new("power_control", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(
+                    PowerControlCapacity::default().select(black_box(&net), &SinrParams::figure1()),
+                )
+            })
+        });
+    }
+    // Exact solver at a size it can handle.
+    let (gm, params) = figure1_instance(0, 20);
+    group.bench_function("exact_bnb/20", |b| {
+        b.iter(|| {
+            black_box(
+                ExactCapacity::default()
+                    .select(&CapacityInstance::unweighted(black_box(&gm), &params)),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_capacity);
+criterion_main!(benches);

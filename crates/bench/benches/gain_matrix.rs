@@ -1,0 +1,52 @@
+//! Criterion bench: gain-matrix construction and non-fading SINR
+//! evaluation — the `O(n²)` substrate under every experiment.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rayfade_geometry::PaperTopology;
+use rayfade_sinr::{count_successes, GainMatrix, PowerAssignment, SinrParams};
+use std::hint::black_box;
+
+fn bench_gain_matrix(c: &mut Criterion) {
+    let params = SinrParams::figure1();
+    let mut group = c.benchmark_group("gain_matrix");
+    for &n in &[50usize, 100, 200, 400] {
+        let net = PaperTopology {
+            links: n,
+            ..PaperTopology::figure1()
+        }
+        .generate(1);
+        group.bench_with_input(BenchmarkId::new("build_uniform", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(GainMatrix::from_geometry(
+                    black_box(&net),
+                    &PowerAssignment::figure1_uniform(),
+                    params.alpha,
+                ))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("build_sqrt", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(GainMatrix::from_geometry(
+                    black_box(&net),
+                    &PowerAssignment::figure1_square_root(),
+                    params.alpha,
+                ))
+            })
+        });
+        let gm = GainMatrix::from_geometry(&net, &PowerAssignment::figure1_uniform(), params.alpha);
+        let mask = vec![true; n];
+        group.bench_with_input(BenchmarkId::new("count_successes", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(count_successes(
+                    black_box(&gm),
+                    black_box(&params),
+                    black_box(&mask),
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gain_matrix);
+criterion_main!(benches);

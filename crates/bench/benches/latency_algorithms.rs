@@ -1,0 +1,53 @@
+//! Criterion bench: latency-minimization algorithms — recursive
+//! maximization, first-fit partitioning, round-robin, and ALOHA runs in
+//! both models.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rayfade_bench::figure1_instance;
+use rayfade_core::RayleighModel;
+use rayfade_sched::{
+    first_fit_schedule, recursive_schedule, round_robin_schedule, run_aloha, AlohaConfig,
+    GreedyCapacity,
+};
+use rayfade_sinr::NonFadingModel;
+use std::hint::black_box;
+
+fn bench_latency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("latency");
+    group.sample_size(20);
+    for &n in &[50usize, 100, 200] {
+        let (gm, params) = figure1_instance(0, n);
+        group.bench_with_input(BenchmarkId::new("recursive", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(recursive_schedule(
+                    black_box(&gm),
+                    &params,
+                    &GreedyCapacity::new(),
+                ))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("first_fit", n), &n, |b, _| {
+            b.iter(|| black_box(first_fit_schedule(black_box(&gm), &params, 1.0)))
+        });
+        group.bench_with_input(BenchmarkId::new("round_robin", n), &n, |b, _| {
+            b.iter(|| black_box(round_robin_schedule(black_box(&gm), &params)))
+        });
+        group.bench_with_input(BenchmarkId::new("aloha_nonfading", n), &n, |b, _| {
+            b.iter(|| {
+                let mut model = NonFadingModel::new(gm.clone(), params);
+                black_box(run_aloha(&mut model, &AlohaConfig::default(), None))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("aloha_rayleigh_4x", n), &n, |b, _| {
+            let cfg = rayfade_core::rayleigh_aloha_config(&AlohaConfig::default());
+            b.iter(|| {
+                let mut model = RayleighModel::new(gm.clone(), params, 3);
+                black_box(run_aloha(&mut model, &cfg, None))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_latency);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion bench: regret-learning throughput — single RWM updates and
+//! full game rounds in both models.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rayfade_bench::figure2_instance;
+use rayfade_core::RayleighModel;
+use rayfade_learning::{run_game_with_beta, GameConfig, NoRegretLearner, Rwm};
+use rayfade_sinr::NonFadingModel;
+use std::hint::black_box;
+
+fn bench_learning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("learning");
+    group.bench_function("rwm_update", |b| {
+        let mut rwm = Rwm::binary();
+        b.iter(|| {
+            rwm.update(black_box(&[0.5, 0.3]));
+            black_box(rwm.strategy())
+        })
+    });
+    group.sample_size(20);
+    for &n in &[50usize, 100, 200] {
+        let (gm, params) = figure2_instance(0, n);
+        let cfg = GameConfig {
+            rounds: 20,
+            seed: 9,
+        };
+        group.bench_with_input(BenchmarkId::new("game_20_rounds_nf", n), &n, |b, _| {
+            b.iter(|| {
+                let mut model = NonFadingModel::new(gm.clone(), params);
+                black_box(run_game_with_beta(&mut model, params.beta, &cfg))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("game_20_rounds_ray", n), &n, |b, _| {
+            b.iter(|| {
+                let mut model = RayleighModel::new(gm.clone(), params, 1);
+                black_box(run_game_with_beta(&mut model, params.beta, &cfg))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_learning);
+criterion_main!(benches);

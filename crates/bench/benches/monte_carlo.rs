@@ -1,0 +1,56 @@
+//! Criterion bench: end-to-end Monte Carlo throughput — success-curve
+//! points (the Figure 1 inner kernel) and the Theorem 2 simulation plan
+//! execution.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rayfade_bench::figure1_instance;
+use rayfade_core::{execute_plan, SimulationPlan};
+use rayfade_sim::{nonfading_success_curve_point, rayleigh_success_curve_point};
+use std::hint::black_box;
+
+fn bench_monte_carlo(c: &mut Criterion) {
+    let mut group = c.benchmark_group("monte_carlo");
+    group.sample_size(20);
+    for &n in &[50usize, 100] {
+        let (gm, params) = figure1_instance(0, n);
+        group.bench_with_input(
+            BenchmarkId::new("fig1_point_nonfading_25tx", n),
+            &n,
+            |b, _| {
+                b.iter(|| {
+                    black_box(nonfading_success_curve_point(
+                        black_box(&gm),
+                        &params,
+                        0.5,
+                        25,
+                        7,
+                    ))
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("fig1_point_rayleigh_25tx_10fade", n),
+            &n,
+            |b, _| {
+                b.iter(|| {
+                    black_box(rayleigh_success_curve_point(
+                        black_box(&gm),
+                        &params,
+                        0.5,
+                        25,
+                        10,
+                        7,
+                    ))
+                })
+            },
+        );
+        let plan = SimulationPlan::build(&vec![0.8; n]);
+        group.bench_with_input(BenchmarkId::new("theorem2_plan_execute", n), &n, |b, _| {
+            b.iter(|| black_box(execute_plan(black_box(&gm), &params, black_box(&plan), 3)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_monte_carlo);
+criterion_main!(benches);

@@ -1,0 +1,110 @@
+//! Criterion bench: the reduction-layer tools — schedule replay under
+//! fading, spectral-radius feasibility, exact utility quadrature, and the
+//! exhaustive Rayleigh optimum.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rayfade_bench::figure1_instance;
+use rayfade_core::{
+    expected_utility_exact, rayleigh_optimum_exhaustive, replay_until_delivered, sinr_ccdf,
+    QuadratureConfig, RayleighModel,
+};
+use rayfade_sched::{recursive_schedule, GreedyCapacity};
+use rayfade_sinr::{max_feasible_threshold, ShannonUtility};
+use std::hint::black_box;
+
+fn bench_reduction_tools(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reduction_tools");
+    group.sample_size(20);
+
+    for &n in &[50usize, 100] {
+        let (gm, params) = figure1_instance(0, n);
+        let sol = recursive_schedule(&gm, &params, &GreedyCapacity::new());
+        group.bench_with_input(BenchmarkId::new("replay_schedule", n), &n, |b, _| {
+            b.iter(|| {
+                let mut model = RayleighModel::new(gm.clone(), params, 1);
+                black_box(replay_until_delivered(
+                    &mut model,
+                    black_box(&sol.schedule),
+                    100_000,
+                ))
+            })
+        });
+
+        let set: Vec<usize> = (0..n).collect();
+        group.bench_with_input(BenchmarkId::new("spectral_radius", n), &n, |b, _| {
+            b.iter(|| black_box(max_feasible_threshold(black_box(&gm), black_box(&set))))
+        });
+        group.bench_with_input(BenchmarkId::new("sinr_ccdf", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(sinr_ccdf(
+                    black_box(&gm),
+                    params.noise,
+                    black_box(&set),
+                    n / 2,
+                    2.5,
+                ))
+            })
+        });
+        let u = ShannonUtility::capped(16.0);
+        let quad = QuadratureConfig {
+            points: 1000,
+            ..QuadratureConfig::default()
+        };
+        group.bench_with_input(BenchmarkId::new("utility_quadrature", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(expected_utility_exact(
+                    black_box(&gm),
+                    params.noise,
+                    &set,
+                    n / 2,
+                    &u,
+                    &quad,
+                ))
+            })
+        });
+    }
+
+    {
+        let n = 100usize;
+        let (gm, params) = figure1_instance(0, n);
+        group.bench_with_input(
+            BenchmarkId::new("multichannel_capacity_c4", n),
+            &n,
+            |b, _| {
+                let alg = rayfade_sched::GreedyCapacity::new();
+                b.iter(|| {
+                    black_box(rayfade_sched::multichannel_capacity(
+                        black_box(&gm),
+                        &params,
+                        4,
+                        &alg,
+                    ))
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("optimize_uniform_access", n),
+            &n,
+            |b, _| {
+                b.iter(|| {
+                    black_box(rayfade_core::optimize_uniform_access(
+                        black_box(&gm),
+                        &params,
+                        20,
+                        1e-3,
+                    ))
+                })
+            },
+        );
+    }
+
+    // Exhaustive Rayleigh optimum at its practical limit.
+    let (gm, params) = figure1_instance(0, 12);
+    group.bench_function("rayleigh_optimum_exhaustive/12", |b| {
+        b.iter(|| black_box(rayleigh_optimum_exhaustive(black_box(&gm), &params, 16)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_reduction_tools);
+criterion_main!(benches);

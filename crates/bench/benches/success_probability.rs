@@ -1,0 +1,41 @@
+//! Criterion bench: Theorem 1 closed-form success-probability evaluation.
+//!
+//! The closed form is the analytic hot path of the library — capacity
+//! pipelines and the Figure 1 cross-checks evaluate it per link per
+//! candidate set, an `O(n)` product each.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rayfade_bench::figure1_instance;
+use rayfade_core::{expected_successes, success_probability};
+use std::hint::black_box;
+
+fn bench_success_probability(c: &mut Criterion) {
+    let mut group = c.benchmark_group("theorem1");
+    for &n in &[50usize, 100, 200, 400] {
+        let (gm, params) = figure1_instance(0, n);
+        let probs = vec![0.7; n];
+        group.bench_with_input(BenchmarkId::new("single_link", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(success_probability(
+                    black_box(&gm),
+                    black_box(&params),
+                    black_box(&probs),
+                    n / 2,
+                ))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("expected_successes", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(expected_successes(
+                    black_box(&gm),
+                    black_box(&params),
+                    black_box(&probs),
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_success_probability);
+criterion_main!(benches);

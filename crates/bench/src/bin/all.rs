@@ -1,0 +1,85 @@
+//! Master reproduction runner: executes every experiment of the index
+//! (F1, F2, S1, A1–A11) in sequence by invoking the sibling binaries,
+//! forwarding `--quick`/`--out`. One command reproduces the whole
+//! evaluation:
+//!
+//! ```console
+//! cargo run -p rayfade-bench --release --bin all            # full (minutes)
+//! cargo run -p rayfade-bench --release --bin all -- --quick # smoke (~1 min)
+//! ```
+
+use rayfade_bench::Cli;
+use std::process::Command;
+use std::time::Instant;
+
+/// The experiment binaries, in index order.
+const EXPERIMENTS: &[&str] = &[
+    "fig1",
+    "fig2",
+    "opt_stat",
+    "bounds_ablation",
+    "transfer_ablation",
+    "logstar_ablation",
+    "latency_exp",
+    "regret_convergence",
+    "shannon_exp",
+    "theorem2_ratio",
+    "bandit_game",
+    "chain_power",
+    "nakagami_exp",
+    "threshold_sweep",
+    "channels_exp",
+];
+
+fn main() {
+    let cli = Cli::parse();
+    // Binaries live next to this one in the target directory.
+    let me = std::env::current_exe().expect("own path");
+    let dir = me.parent().expect("target dir").to_path_buf();
+    let mut failures = Vec::new();
+    let overall = Instant::now();
+    for (k, name) in EXPERIMENTS.iter().enumerate() {
+        let bin = dir.join(name);
+        if !bin.exists() {
+            eprintln!(
+                "[{}/{}] {name}: binary not built — run `cargo build -p rayfade-bench \
+                 --release --bins` first",
+                k + 1,
+                EXPERIMENTS.len()
+            );
+            failures.push(*name);
+            continue;
+        }
+        eprintln!("[{}/{}] {name} ...", k + 1, EXPERIMENTS.len());
+        let started = Instant::now();
+        let mut cmd = Command::new(&bin);
+        if cli.quick {
+            cmd.arg("--quick");
+        }
+        cmd.arg("--out").arg(&cli.out);
+        match cmd.status() {
+            Ok(status) if status.success() => {
+                eprintln!("    done in {:.1}s", started.elapsed().as_secs_f64());
+            }
+            Ok(status) => {
+                eprintln!("    FAILED with {status}");
+                failures.push(*name);
+            }
+            Err(e) => {
+                eprintln!("    FAILED to launch: {e}");
+                failures.push(*name);
+            }
+        }
+    }
+    eprintln!(
+        "\nall experiments finished in {:.1}s; CSVs in {}",
+        overall.elapsed().as_secs_f64(),
+        cli.out.display()
+    );
+    if failures.is_empty() {
+        eprintln!("status: OK");
+    } else {
+        eprintln!("status: FAILURES: {failures:?}");
+        std::process::exit(1);
+    }
+}

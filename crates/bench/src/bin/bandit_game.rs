@@ -1,0 +1,77 @@
+//! A8 — the price of bandit feedback, and equilibrium quality: compares
+//! full-information RWM learning, bandit Exp3 learning, and best-response
+//! pure Nash equilibria on Figure-2 networks, in both models.
+//!
+//! The paper's Theorem 3 concerns the full-information no-regret setting;
+//! this ablation charts how much throughput fully distributed (bandit)
+//! links give up, and where the equilibria land.
+//!
+//! Usage: `cargo run -p rayfade-bench --release --bin bandit_game [--quick] [--out dir]`
+
+use rayfade_bench::{figure2_instance, Cli};
+use rayfade_core::RayleighModel;
+use rayfade_learning::{
+    best_response_dynamics, run_game_bandit, run_game_with_beta, GameConfig, RewardModel,
+};
+use rayfade_sim::{fmt_f, RunningStats, Table};
+use rayfade_sinr::NonFadingModel;
+
+fn main() {
+    let cli = Cli::parse();
+    let (networks, links, rounds) = if cli.quick {
+        (2u64, 40usize, 150usize)
+    } else {
+        (6u64, 120usize, 600usize)
+    };
+    eprintln!("bandit game: {networks} networks x {links} links, {rounds} rounds ...");
+
+    let mut table = Table::new([
+        "model",
+        "rwm_full_info",
+        "exp3_bandit",
+        "nash_best_response",
+    ]);
+    for rayleigh in [false, true] {
+        let mut rwm = RunningStats::new();
+        let mut exp3 = RunningStats::new();
+        let mut nash = RunningStats::new();
+        for k in 0..networks {
+            let (gm, params) = figure2_instance(k, links);
+            let cfg = GameConfig {
+                rounds,
+                seed: 17 * k + 3,
+            };
+            let window = rounds / 5;
+            if rayleigh {
+                let mut m = RayleighModel::new(gm.clone(), params, 900 + k);
+                rwm.push(run_game_with_beta(&mut m, params.beta, &cfg).converged_successes(window));
+                let mut m = RayleighModel::new(gm.clone(), params, 1900 + k);
+                exp3.push(run_game_bandit(&mut m, params.beta, &cfg).converged_successes(window));
+                nash.push(
+                    best_response_dynamics(&gm, &params, RewardModel::Rayleigh, 300)
+                        .expected_successes,
+                );
+            } else {
+                let mut m = NonFadingModel::new(gm.clone(), params);
+                rwm.push(run_game_with_beta(&mut m, params.beta, &cfg).converged_successes(window));
+                let mut m = NonFadingModel::new(gm.clone(), params);
+                exp3.push(run_game_bandit(&mut m, params.beta, &cfg).converged_successes(window));
+                nash.push(
+                    best_response_dynamics(&gm, &params, RewardModel::NonFading, 300)
+                        .expected_successes,
+                );
+            }
+        }
+        table.push_row([
+            if rayleigh { "rayleigh" } else { "non-fading" }.to_string(),
+            fmt_f(rwm.mean(), 1),
+            fmt_f(exp3.mean(), 1),
+            fmt_f(nash.mean(), 1),
+        ]);
+    }
+    print!("{}", table.to_console());
+    println!("\ncolumns: converged successes/round (learning) or expected successes (Nash)");
+    let path = cli.csv_path("bandit_game.csv");
+    table.write_csv(&path).expect("write CSV");
+    eprintln!("wrote {}", path.display());
+}

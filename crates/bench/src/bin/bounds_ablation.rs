@@ -1,0 +1,70 @@
+//! A1 — Lemma 1 bound tightness: how close the closed-form success
+//! probability (Theorem 1) sits to its lower/upper exponential bounds
+//! across interference regimes.
+//!
+//! For Figure-1 networks we sweep the transmission probability and report,
+//! averaged over links and networks, the exact `Q_i`, both bounds, and
+//! their worst-case multiplicative gaps. This quantifies how much of the
+//! `1/e` transfer constant is slack on realistic instances.
+//!
+//! Usage: `cargo run -p rayfade-bench --release --bin bounds_ablation [--quick] [--out dir]`
+
+use rayfade_bench::{figure1_instance, Cli};
+use rayfade_core::{success_lower_bound, success_probability, success_upper_bound};
+use rayfade_sim::{fmt_f, RunningStats, Table};
+
+fn main() {
+    let cli = Cli::parse();
+    let (networks, links) = if cli.quick { (3, 30) } else { (20, 100) };
+    let qs = [0.05, 0.1, 0.2, 0.4, 0.6, 0.8, 1.0];
+    eprintln!("bounds ablation: {networks} networks x {links} links ...");
+
+    let mut table = Table::new([
+        "q",
+        "mean_exact",
+        "mean_lower",
+        "mean_upper",
+        "worst_lower_ratio",
+        "worst_upper_ratio",
+    ]);
+    for &q in &qs {
+        let mut exact_s = RunningStats::new();
+        let mut lower_s = RunningStats::new();
+        let mut upper_s = RunningStats::new();
+        let mut worst_lower: f64 = 1.0; // min over links of lower/exact
+        let mut worst_upper: f64 = 1.0; // min over links of exact/upper
+        for k in 0..networks {
+            let (gm, params) = figure1_instance(k, links);
+            let probs = vec![q; links];
+            for i in 0..links {
+                let exact = success_probability(&gm, &params, &probs, i);
+                let lo = success_lower_bound(&gm, &params, &probs, i);
+                let hi = success_upper_bound(&gm, &params, &probs, i);
+                assert!(lo <= exact + 1e-12 && exact <= hi + 1e-12);
+                exact_s.push(exact);
+                lower_s.push(lo);
+                upper_s.push(hi);
+                if exact > 0.0 {
+                    worst_lower = worst_lower.min(lo / exact);
+                    worst_upper = worst_upper.min(exact / hi);
+                }
+            }
+        }
+        table.push_row([
+            fmt_f(q, 2),
+            fmt_f(exact_s.mean(), 4),
+            fmt_f(lower_s.mean(), 4),
+            fmt_f(upper_s.mean(), 4),
+            fmt_f(worst_lower, 4),
+            fmt_f(worst_upper, 4),
+        ]);
+    }
+    print!("{}", table.to_console());
+    println!(
+        "\nsanity: lower <= exact <= upper held for every link (asserted); \
+         ratios of 1.0 mean the bound is tight"
+    );
+    let path = cli.csv_path("bounds_ablation.csv");
+    table.write_csv(&path).expect("write CSV");
+    eprintln!("wrote {}", path.display());
+}

@@ -1,0 +1,73 @@
+//! A9 — power-assignment families on the classical worst case: the
+//! exponential chain (length diversity `Δ = 2^(n−1)`), where uniform
+//! powers provably admit only `O(log Δ)`-fraction solutions while power
+//! control achieves constants (paper references \[3\], \[4\], \[6\]).
+//!
+//! For each chain size we report the feasible-set sizes found by greedy
+//! under uniform, square-root and linear power, and by joint power
+//! control — plus their exact expected Rayleigh successes after the
+//! Lemma 2 transfer. The separation (power control ≫ uniform) is the
+//! "who wins" shape of the referenced lower bounds.
+//!
+//! Usage: `cargo run -p rayfade-bench --release --bin chain_power [--quick] [--out dir]`
+
+use rayfade_bench::Cli;
+use rayfade_core::transfer_set;
+use rayfade_geometry::ExponentialChain;
+use rayfade_sched::{CapacityAlgorithm, CapacityInstance, GreedyCapacity, PowerControlCapacity};
+use rayfade_sim::{fmt_f, Table};
+use rayfade_sinr::{GainMatrix, PowerAssignment, SinrParams};
+
+fn main() {
+    let cli = Cli::parse();
+    let sizes: Vec<usize> = if cli.quick {
+        vec![8, 12]
+    } else {
+        vec![8, 12, 16, 20, 24]
+    };
+    let params = SinrParams::new(3.0, 1.5, 1e-9);
+    eprintln!("exponential chains, sizes {sizes:?}, alpha=3, beta=1.5 ...");
+
+    let mut table = Table::new([
+        "links",
+        "delta",
+        "uniform",
+        "sqrt",
+        "linear",
+        "power_control",
+        "pc_E_rayleigh",
+    ]);
+    for &n in &sizes {
+        let net = ExponentialChain {
+            links: n,
+            base: 1.0,
+            growth: 2.0,
+        }
+        .generate();
+        let mut row: Vec<String> = vec![n.to_string(), format!("2^{}", n - 1)];
+        for power in [
+            PowerAssignment::Uniform(1.0),
+            PowerAssignment::SquareRoot { scale: 1.0 },
+            PowerAssignment::Linear { scale: 1.0 },
+        ] {
+            let gm = GainMatrix::from_geometry(&net, &power, params.alpha);
+            let set = GreedyCapacity::new().select(&CapacityInstance::unweighted(&gm, &params));
+            row.push(set.len().to_string());
+        }
+        let (pc, ok) = PowerControlCapacity::default().select_verified(&net, &params);
+        assert!(ok);
+        let gm = GainMatrix::from_geometry(&net, &pc.powers, params.alpha);
+        let report = transfer_set(&gm, &params, &pc.set);
+        row.push(pc.set.len().to_string());
+        row.push(fmt_f(report.rayleigh_expected_successes, 2));
+        table.push_row(row);
+    }
+    print!("{}", table.to_console());
+    println!(
+        "\nexpected shape: uniform stalls at a small constant while power control \
+         grows with n (constant-factor approximation, [6])"
+    );
+    let path = cli.csv_path("chain_power.csv");
+    table.write_csv(&path).expect("write CSV");
+    eprintln!("wrote {}", path.display());
+}

@@ -1,0 +1,83 @@
+//! F2 — regenerates **Figure 2** of the paper: number of successful
+//! transmissions per round under no-regret (RWM) learning, Rayleigh vs.
+//! non-fading, with the non-fading reference optimum.
+//!
+//! Paper setup: 200 links, link lengths in (0, 100], β = 0.5, α = 2.1,
+//! ν = 0, uniform power 2, RWM losses (send-fail 1, idle 0.5, success 0),
+//! η schedule √0.5 halving at powers of 2.
+//!
+//! Usage: `cargo run -p rayfade-bench --release --bin fig2 [--quick] [--out dir]`
+
+use rayfade_bench::Cli;
+use rayfade_sim::{fmt_f, run_figure2, sparkline, write_gnuplot_script, Figure2Config, Table};
+
+fn main() {
+    let cli = Cli::parse();
+    let config = if cli.quick {
+        Figure2Config::smoke()
+    } else {
+        Figure2Config::default()
+    };
+    eprintln!(
+        "figure 2: {} networks x {} links, {} rounds ...",
+        config.networks, config.topology.links, config.rounds
+    );
+    let result = run_figure2(&config);
+
+    let mut table = Table::new(["round", "nonfading", "rayleigh", "optimum"]);
+    let opt = result.optimum.unwrap_or(f64::NAN);
+    for t in 0..config.rounds {
+        table.push_row([
+            t.to_string(),
+            fmt_f(result.nonfading[t], 3),
+            fmt_f(result.rayleigh[t], 3),
+            fmt_f(opt, 3),
+        ]);
+    }
+    let path = cli.csv_path("fig2.csv");
+    table.write_csv(&path).expect("write CSV");
+    write_gnuplot_script(
+        cli.csv_path("fig2.gp"),
+        "fig2.csv",
+        "fig2.png",
+        "Figure 2: no-regret learning, successes per round",
+        "round",
+        "successful transmissions",
+        1,
+        &[
+            (2, "non-fading"),
+            (3, "rayleigh"),
+            (4, "non-fading optimum"),
+        ],
+    )
+    .expect("write gnuplot script");
+
+    // Console: a condensed view every few rounds.
+    let mut view = Table::new(["round", "nonfading", "rayleigh"]);
+    let step = (config.rounds / 20).max(1);
+    for t in (0..config.rounds).step_by(step) {
+        view.push_row([
+            t.to_string(),
+            fmt_f(result.nonfading[t], 1),
+            fmt_f(result.rayleigh[t], 1),
+        ]);
+    }
+    print!("{}", view.to_console());
+    println!("\nnon-fading {}", sparkline(&result.nonfading));
+    println!("rayleigh   {}", sparkline(&result.rayleigh));
+    println!("\nnon-fading reference optimum : {}", fmt_f(opt, 2));
+    let tail = config.rounds / 5;
+    let tail_mean = |s: &[f64]| -> f64 { s[s.len() - tail..].iter().sum::<f64>() / tail as f64 };
+    println!(
+        "converged (last {} rounds)   : non-fading {}, rayleigh {}",
+        tail,
+        fmt_f(tail_mean(&result.nonfading), 2),
+        fmt_f(tail_mean(&result.rayleigh), 2)
+    );
+    println!(
+        "max avg regret               : non-fading {}, rayleigh {}",
+        fmt_f(result.mean_max_regret_nonfading, 4),
+        fmt_f(result.mean_max_regret_rayleigh, 4)
+    );
+    eprintln!("\nwrote {}", path.display());
+}

@@ -1,0 +1,84 @@
+//! A4 — latency minimization transfer: schedule lengths of the recursive
+//! scheduler and the ALOHA protocol across models and network sizes,
+//! including the 4× repetition transform (Sec. 4).
+//!
+//! Reported per size: recursive makespan (non-fading, deterministic),
+//! recursive replay length under Rayleigh (repeat slots until all links
+//! delivered), ALOHA slots non-fading, ALOHA slots Rayleigh with 4×
+//! repetition. The paper's claim: each Rayleigh column is within a
+//! constant factor of its non-fading sibling.
+//!
+//! Usage: `cargo run -p rayfade-bench --release --bin latency_exp [--quick] [--out dir]`
+
+use rayfade_bench::{figure1_instance, Cli};
+use rayfade_core::{rayleigh_aloha_config, replay_until_delivered, RayleighModel};
+use rayfade_sched::{recursive_schedule, run_aloha, AlohaConfig, GreedyCapacity};
+use rayfade_sim::{fmt_f, RunningStats, Table};
+use rayfade_sinr::NonFadingModel;
+
+fn main() {
+    let cli = Cli::parse();
+    let networks = if cli.quick { 2 } else { 10 };
+    let sizes: Vec<usize> = if cli.quick {
+        vec![25, 50]
+    } else {
+        vec![25, 50, 100, 200]
+    };
+    eprintln!("latency experiment: {networks} networks per size {sizes:?} ...");
+
+    let mut table = Table::new([
+        "links",
+        "recursive_nf",
+        "recursive_ray_replay",
+        "aloha_nf",
+        "aloha_ray_4x",
+        "aloha_ratio",
+    ]);
+    for &links in &sizes {
+        let mut rec_nf = RunningStats::new();
+        let mut rec_ray = RunningStats::new();
+        let mut aloha_nf = RunningStats::new();
+        let mut aloha_ray = RunningStats::new();
+        for k in 0..networks {
+            let (gm, params) = figure1_instance(k, links);
+
+            // Recursive scheduler (deterministic in the non-fading model).
+            let sol = recursive_schedule(&gm, &params, &GreedyCapacity::new());
+            rec_nf.push(sol.makespan() as f64);
+
+            // Replay the schedule cyclically under Rayleigh until done.
+            let mut ray = RayleighModel::new(gm.clone(), params, 1000 + k);
+            let replay = replay_until_delivered(&mut ray, &sol.schedule, 100_000);
+            assert!(replay.all_delivered());
+            rec_ray.push(replay.slots_used as f64);
+
+            // ALOHA in both models.
+            let base = AlohaConfig {
+                seed: 77 + k,
+                ..AlohaConfig::default()
+            };
+            let mut nf_model = NonFadingModel::new(gm.clone(), params);
+            let nf_out = run_aloha(&mut nf_model, &base, None);
+            assert_eq!(nf_out.finished(), links, "non-fading ALOHA must finish");
+            aloha_nf.push(nf_out.slots_used as f64);
+
+            let mut ray_model = RayleighModel::new(gm, params, 2000 + k);
+            let ray_out = run_aloha(&mut ray_model, &rayleigh_aloha_config(&base), None);
+            assert_eq!(ray_out.finished(), links, "Rayleigh ALOHA must finish");
+            aloha_ray.push(ray_out.slots_used as f64);
+        }
+        table.push_row([
+            links.to_string(),
+            fmt_f(rec_nf.mean(), 1),
+            fmt_f(rec_ray.mean(), 1),
+            fmt_f(aloha_nf.mean(), 1),
+            fmt_f(aloha_ray.mean(), 1),
+            fmt_f(aloha_ray.mean() / aloha_nf.mean(), 2),
+        ]);
+    }
+    print!("{}", table.to_console());
+    println!("\nthe aloha_ratio column stays bounded by a small constant (paper Sec. 4)");
+    let path = cli.csv_path("latency_exp.csv");
+    table.write_csv(&path).expect("write CSV");
+    eprintln!("wrote {}", path.display());
+}

@@ -1,0 +1,72 @@
+//! A5 — regret convergence (supports Lemma 4 / Theorem 3): the maximum
+//! per-link average external regret as a function of the horizon `T`, in
+//! both models, on Figure-2 networks.
+//!
+//! The no-regret property predicts the columns shrink toward 0 as `T`
+//! grows; Lemma 4 predicts the Rayleigh column tracks the non-fading one
+//! up to `O(√(T ln T))/T` noise.
+//!
+//! Usage: `cargo run -p rayfade-bench --release --bin regret_convergence [--quick] [--out dir]`
+
+use rayfade_bench::{figure2_instance, Cli};
+use rayfade_core::RayleighModel;
+use rayfade_learning::{run_game_with_beta, GameConfig};
+use rayfade_sim::{fmt_f, RunningStats, Table};
+use rayfade_sinr::NonFadingModel;
+
+fn main() {
+    let cli = Cli::parse();
+    let (networks, links, horizons) = if cli.quick {
+        (2u64, 40usize, vec![32usize, 128])
+    } else {
+        (5u64, 100usize, vec![32usize, 128, 512, 2048])
+    };
+    eprintln!("regret convergence: {networks} networks x {links} links, T in {horizons:?} ...");
+
+    let mut table = Table::new([
+        "T",
+        "max_avg_regret_nf",
+        "max_avg_regret_ray",
+        "mean_avg_regret_nf",
+        "mean_avg_regret_ray",
+    ]);
+    for &t in &horizons {
+        let mut nf_max = RunningStats::new();
+        let mut ray_max = RunningStats::new();
+        let mut nf_mean = RunningStats::new();
+        let mut ray_mean = RunningStats::new();
+        for k in 0..networks {
+            let (gm, params) = figure2_instance(k, links);
+            let cfg = GameConfig {
+                rounds: t,
+                seed: 31 * k + t as u64,
+            };
+            let nf = run_game_with_beta(
+                &mut NonFadingModel::new(gm.clone(), params),
+                params.beta,
+                &cfg,
+            );
+            nf_max.push(nf.regret.max_average_regret(t));
+            nf_mean.push(nf.regret.mean_average_regret(t));
+            let ray = run_game_with_beta(
+                &mut RayleighModel::new(gm, params, 5000 + k),
+                params.beta,
+                &cfg,
+            );
+            ray_max.push(ray.regret.max_average_regret(t));
+            ray_mean.push(ray.regret.mean_average_regret(t));
+        }
+        table.push_row([
+            t.to_string(),
+            fmt_f(nf_max.mean(), 4),
+            fmt_f(ray_max.mean(), 4),
+            fmt_f(nf_mean.mean(), 4),
+            fmt_f(ray_mean.mean(), 4),
+        ]);
+    }
+    print!("{}", table.to_console());
+    println!("\nall columns should shrink with T (no-regret property)");
+    let path = cli.csv_path("regret_convergence.csv");
+    table.write_csv(&path).expect("write CSV");
+    eprintln!("wrote {}", path.display());
+}

@@ -1,0 +1,79 @@
+//! A11 — threshold sweep: success probability as a function of the SINR
+//! threshold β, comparing the models.
+//!
+//! The paper observes that the Rayleigh success curve is a *smoothed*
+//! version of the non-fading one. Sweeping β (instead of q) makes this
+//! literal: for a fixed transmitting set, the non-fading model gives a
+//! hard step per link (`1{γ^nf ≥ β}`) while Rayleigh gives the smooth
+//! CCDF of Theorem 1. We report the fraction of links above each β in
+//! both models plus the exact mean Rayleigh probability, and the exact
+//! peak access probability from the Theorem 1 optimizer.
+//!
+//! Usage: `cargo run -p rayfade-bench --release --bin threshold_sweep [--quick] [--out dir]`
+
+use rayfade_bench::{figure1_instance, Cli};
+use rayfade_core::{optimize_uniform_access, sinr_ccdf};
+use rayfade_sim::{fmt_f, RunningStats, Table};
+use rayfade_sinr::{mask_from_set, sinr};
+
+fn main() {
+    let cli = Cli::parse();
+    let (networks, links) = if cli.quick {
+        (2u64, 30usize)
+    } else {
+        (10u64, 100usize)
+    };
+    eprintln!("threshold sweep: {networks} networks x {links} links, all transmitting ...");
+
+    let betas = [0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0];
+    let mut table = Table::new(["beta", "nonfading_fraction", "rayleigh_mean_ccdf", "gap"]);
+    for &beta in &betas {
+        let mut nf_frac = RunningStats::new();
+        let mut ray_mean = RunningStats::new();
+        for k in 0..networks {
+            let (gm, params) = figure1_instance(k, links);
+            let set: Vec<usize> = (0..links).collect();
+            let mask = mask_from_set(links, &set);
+            let above = (0..links)
+                .filter(|&i| sinr(&gm, &params, &mask, i) >= beta)
+                .count();
+            nf_frac.push(above as f64 / links as f64);
+            let mean_ccdf: f64 = (0..links)
+                .map(|i| sinr_ccdf(&gm, params.noise, &set, i, beta))
+                .sum::<f64>()
+                / links as f64;
+            ray_mean.push(mean_ccdf);
+        }
+        table.push_row([
+            fmt_f(beta, 2),
+            fmt_f(nf_frac.mean(), 3),
+            fmt_f(ray_mean.mean(), 3),
+            fmt_f(ray_mean.mean() - nf_frac.mean(), 3),
+        ]);
+    }
+    print!("{}", table.to_console());
+    println!(
+        "\nthe gap flips sign: Rayleigh keeps probability mass above large beta\n\
+         (smoothing) while conceding certainty at small beta"
+    );
+
+    // Exact optimal access probability per network (Theorem 1 objective).
+    let mut q_stats = RunningStats::new();
+    let mut e_stats = RunningStats::new();
+    for k in 0..networks {
+        let (gm, params) = figure1_instance(k, links);
+        let opt = optimize_uniform_access(&gm, &params, 20, 1e-4);
+        q_stats.push(opt.q);
+        e_stats.push(opt.expected_successes);
+    }
+    println!(
+        "\nexact Rayleigh peak across networks: q* = {} +/- {}, E = {} +/- {}",
+        fmt_f(q_stats.mean(), 3),
+        fmt_f(q_stats.std_err(), 3),
+        fmt_f(e_stats.mean(), 2),
+        fmt_f(e_stats.std_err(), 2)
+    );
+    let path = cli.csv_path("threshold_sweep.csv");
+    table.write_csv(&path).expect("write CSV");
+    eprintln!("wrote {}", path.display());
+}

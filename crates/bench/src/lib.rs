@@ -1,0 +1,93 @@
+//! Shared helpers for the rayfade experiment harness.
+//!
+//! Every binary in `src/bin/` regenerates one figure/statistic of the
+//! paper (or one of our ablations) — see DESIGN.md's experiment index.
+//! All binaries accept `--quick` for a reduced smoke configuration and
+//! `--out <dir>` to choose where CSV files land (default `results/`).
+
+use rayfade_geometry::PaperTopology;
+use rayfade_sinr::{GainMatrix, PowerAssignment, SinrParams};
+use std::path::PathBuf;
+
+/// Parsed common command-line options.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cli {
+    /// Reduced configuration for smoke runs.
+    pub quick: bool,
+    /// Output directory for CSV artifacts.
+    pub out: PathBuf,
+}
+
+impl Cli {
+    /// Parses `--quick` and `--out <dir>` from `std::env::args`.
+    pub fn parse() -> Self {
+        let mut quick = false;
+        let mut out = PathBuf::from("results");
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--quick" => quick = true,
+                "--out" => {
+                    out = PathBuf::from(args.next().expect("--out requires a directory argument"))
+                }
+                other => panic!("unknown argument: {other} (expected --quick / --out <dir>)"),
+            }
+        }
+        Cli { quick, out }
+    }
+
+    /// Path for a CSV artifact inside the output directory.
+    pub fn csv_path(&self, name: &str) -> PathBuf {
+        self.out.join(name)
+    }
+}
+
+/// Builds the `k`-th Figure 1 network with its uniform-power gain matrix.
+pub fn figure1_instance(k: u64, links: usize) -> (GainMatrix, SinrParams) {
+    let params = SinrParams::figure1();
+    let net = PaperTopology {
+        links,
+        ..PaperTopology::figure1()
+    }
+    .generate(0xf161u64.wrapping_add(k));
+    let gm = GainMatrix::from_geometry(&net, &PowerAssignment::figure1_uniform(), params.alpha);
+    (gm, params)
+}
+
+/// Builds the `k`-th Figure 2 network with its uniform-power gain matrix.
+pub fn figure2_instance(k: u64, links: usize) -> (GainMatrix, SinrParams) {
+    let params = SinrParams::figure2();
+    let net = PaperTopology {
+        links,
+        ..PaperTopology::figure2()
+    }
+    .generate(0xf162u64.wrapping_add(k));
+    let gm = GainMatrix::from_geometry(&net, &PowerAssignment::Uniform(2.0), params.alpha);
+    (gm, params)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instances_are_deterministic() {
+        let (a, _) = figure1_instance(0, 10);
+        let (b, _) = figure1_instance(0, 10);
+        assert_eq!(a, b);
+        let (c, _) = figure1_instance(1, 10);
+        assert_ne!(a, c);
+        let (d, p2) = figure2_instance(0, 10);
+        assert_eq!(d.len(), 10);
+        assert_eq!(p2.noise, 0.0);
+    }
+
+    #[test]
+    fn csv_path_joins() {
+        let cli = Cli {
+            quick: true,
+            out: PathBuf::from("x"),
+        };
+        assert_eq!(cli.csv_path("a.csv"), PathBuf::from("x/a.csv"));
+    }
+}

@@ -1,0 +1,198 @@
+//! Optimal uniform spectrum-access probability.
+//!
+//! Figure 1 of the paper sweeps a *uniform* transmission probability `q`
+//! and eyeballs the peak. Thanks to Theorem 1 the Rayleigh objective
+//! `E(q) = Σ_i Q_i(q·1, β)` is smooth and cheap to evaluate (`O(n²)` per
+//! point), so the peak can be located numerically rather than by grid
+//! inspection. This module does exactly that with golden-section search,
+//! after bracketing the (empirically unimodal) maximum on a coarse grid —
+//! and falls back to the best grid point if the function turns out not to
+//! be unimodal on the instance.
+
+use crate::success::expected_successes;
+use rayfade_sinr::{GainMatrix, SinrParams};
+use serde::{Deserialize, Serialize};
+
+/// Result of the access-probability optimization.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AccessOptimum {
+    /// The maximizing uniform probability `q*`.
+    pub q: f64,
+    /// The achieved expected number of successes `E(q*)` (exact).
+    pub expected_successes: f64,
+    /// Objective evaluations spent.
+    pub evaluations: usize,
+}
+
+/// Maximizes `E(q) = Σ_i Q_i(q·1, β)` over `q ∈ [0, 1]`.
+///
+/// Strategy: evaluate a coarse grid (`grid` points) to bracket the best
+/// region, then refine with golden-section search to absolute tolerance
+/// `tol` on `q`. The objective is exact (Theorem 1), so the result is
+/// deterministic.
+pub fn optimize_uniform_access(
+    gain: &GainMatrix,
+    params: &SinrParams,
+    grid: usize,
+    tol: f64,
+) -> AccessOptimum {
+    assert!(grid >= 3, "need at least three grid points");
+    assert!(tol > 0.0 && tol < 1.0, "tolerance must lie in (0, 1)");
+    let n = gain.len();
+    let mut evals = 0usize;
+    let mut probs = vec![0.0; n];
+    let mut value = |q: f64, evals: &mut usize| -> f64 {
+        *evals += 1;
+        probs.iter_mut().for_each(|p| *p = q);
+        expected_successes(gain, params, &probs)
+    };
+    // Coarse bracket.
+    let mut best_k = 0usize;
+    let mut best_v = f64::NEG_INFINITY;
+    let grid_q: Vec<f64> = (0..=grid).map(|k| k as f64 / grid as f64).collect();
+    let grid_v: Vec<f64> = grid_q.iter().map(|&q| value(q, &mut evals)).collect();
+    for (k, &v) in grid_v.iter().enumerate() {
+        if v > best_v {
+            best_v = v;
+            best_k = k;
+        }
+    }
+    let mut lo = grid_q[best_k.saturating_sub(1)];
+    let mut hi = grid_q[(best_k + 1).min(grid)];
+    // Golden-section refinement inside [lo, hi].
+    const INV_PHI: f64 = 0.618_033_988_749_894_8;
+    let mut c = hi - INV_PHI * (hi - lo);
+    let mut d = lo + INV_PHI * (hi - lo);
+    let mut fc = value(c, &mut evals);
+    let mut fd = value(d, &mut evals);
+    while hi - lo > tol {
+        if fc >= fd {
+            hi = d;
+            d = c;
+            fd = fc;
+            c = hi - INV_PHI * (hi - lo);
+            fc = value(c, &mut evals);
+        } else {
+            lo = c;
+            c = d;
+            fc = fd;
+            d = lo + INV_PHI * (hi - lo);
+            fd = value(d, &mut evals);
+        }
+    }
+    let q_star = 0.5 * (lo + hi);
+    let v_star = value(q_star, &mut evals);
+    // Defensive: never return worse than the best grid point (covers
+    // non-unimodal instances where the bracket missed the true peak).
+    if v_star >= best_v {
+        AccessOptimum {
+            q: q_star,
+            expected_successes: v_star,
+            evaluations: evals,
+        }
+    } else {
+        AccessOptimum {
+            q: grid_q[best_k],
+            expected_successes: best_v,
+            evaluations: evals,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rayfade_geometry::PaperTopology;
+    use rayfade_sinr::PowerAssignment;
+
+    fn paper_gain(seed: u64, n: usize) -> (GainMatrix, SinrParams) {
+        let net = PaperTopology {
+            links: n,
+            ..PaperTopology::figure1()
+        }
+        .generate(seed);
+        let params = SinrParams::figure1();
+        let gm = GainMatrix::from_geometry(&net, &PowerAssignment::figure1_uniform(), params.alpha);
+        (gm, params)
+    }
+
+    #[test]
+    fn beats_every_grid_point() {
+        let (gm, params) = paper_gain(1, 60);
+        let opt = optimize_uniform_access(&gm, &params, 20, 1e-4);
+        assert!((0.0..=1.0).contains(&opt.q));
+        for k in 0..=40 {
+            let q = k as f64 / 40.0;
+            let v = expected_successes(&gm, &params, &vec![q; 60]);
+            assert!(
+                opt.expected_successes >= v - 1e-6,
+                "grid point q={q} ({v}) beats optimizer ({} at {})",
+                opt.expected_successes,
+                opt.q
+            );
+        }
+    }
+
+    #[test]
+    fn sparse_network_wants_full_access() {
+        // Far-apart links: E(q) is increasing, q* = 1.
+        let net = PaperTopology {
+            links: 5,
+            side: 100_000.0,
+            ..PaperTopology::figure1()
+        }
+        .generate(2);
+        let params = SinrParams::figure1();
+        let gm = GainMatrix::from_geometry(&net, &PowerAssignment::figure1_uniform(), params.alpha);
+        let opt = optimize_uniform_access(&gm, &params, 10, 1e-4);
+        assert!(opt.q > 0.99, "q* = {}", opt.q);
+        assert!(opt.expected_successes > 4.5);
+    }
+
+    #[test]
+    fn dense_network_throttles_access() {
+        // Everyone on top of everyone: the optimum backs off sharply.
+        let (gm, params) = paper_gain(3, 100);
+        // Shrink the plane to jam the links together.
+        let net = PaperTopology {
+            links: 100,
+            side: 150.0,
+            ..PaperTopology::figure1()
+        }
+        .generate(3);
+        let dense =
+            GainMatrix::from_geometry(&net, &PowerAssignment::figure1_uniform(), params.alpha);
+        let dense_opt = optimize_uniform_access(&dense, &params, 20, 1e-4);
+        let sparse_opt = optimize_uniform_access(&gm, &params, 20, 1e-4);
+        assert!(
+            dense_opt.q < sparse_opt.q,
+            "denser instance must throttle more: {} vs {}",
+            dense_opt.q,
+            sparse_opt.q
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let (gm, params) = paper_gain(4, 30);
+        let a = optimize_uniform_access(&gm, &params, 12, 1e-5);
+        let b = optimize_uniform_access(&gm, &params, 12, 1e-5);
+        assert_eq!(a, b);
+        assert!(a.evaluations > 12);
+    }
+
+    #[test]
+    fn empty_instance() {
+        let gm = GainMatrix::from_raw(0, vec![]);
+        let params = SinrParams::new(2.0, 1.0, 0.0);
+        let opt = optimize_uniform_access(&gm, &params, 5, 1e-3);
+        assert_eq!(opt.expected_successes, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least three grid points")]
+    fn tiny_grid_rejected() {
+        let (gm, params) = paper_gain(0, 5);
+        let _ = optimize_uniform_access(&gm, &params, 2, 1e-3);
+    }
+}

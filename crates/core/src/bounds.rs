@@ -1,0 +1,223 @@
+//! Upper and lower bounds on the success probability (Lemma 1 and
+//! Observation 1).
+//!
+//! The closed form of Theorem 1 is exact but hard to compare against the
+//! non-fading model directly; the paper sandwiches it between two
+//! exponential bounds:
+//!
+//! ```text
+//! q_i · exp(−β/S̄ii · (ν + Σ_{j≠i} S̄ji·q_j))                    ≤ Q_i
+//! Q_i ≤ q_i · exp(−βν/S̄ii − Σ_{j≠i} min{1/2, β·S̄ji/(2·S̄ii)}·q_j)
+//! ```
+//!
+//! The lower bound is what powers the `1/e` transfer (Lemma 2); the upper
+//! bound drives the `O(log* n)` simulation (Theorem 2).
+
+use rayfade_sinr::{GainMatrix, SinrParams};
+
+/// Observation 1, first inequality: `exp(−x·q) ≤ 1 − q/(1/x + 1)` for
+/// `x > 0`, `q ∈ [0, 1]`.
+///
+/// (The paper states "for all x ∈ ℝ", but its proof divides by `1/x + 1`
+/// assuming positivity, and the lemma only ever instantiates
+/// `x = β·S̄ji/S̄ii ≥ 0`.) Exposed for tests and didactic use; the bounds
+/// below inline the math.
+pub fn observation1_lhs(x: f64, q: f64) -> (f64, f64) {
+    ((-x * q).exp(), 1.0 - q / (1.0 / x + 1.0))
+}
+
+/// Observation 1, second inequality: `1 − q/(1/x + 1) ≤ exp(−x·q/2)` for
+/// `x ∈ (0, 1]`, `q ∈ [0, 1]`.
+pub fn observation1_rhs(x: f64, q: f64) -> (f64, f64) {
+    (1.0 - q / (1.0 / x + 1.0), (-0.5 * x * q).exp())
+}
+
+/// Lemma 1 lower bound on `Q_i`.
+pub fn success_lower_bound(gain: &GainMatrix, params: &SinrParams, probs: &[f64], i: usize) -> f64 {
+    let n = gain.len();
+    assert_eq!(probs.len(), n, "one probability per link");
+    let s_ii = gain.signal(i);
+    if s_ii == 0.0 {
+        return 0.0;
+    }
+    let row = gain.at_receiver(i);
+    let mut weighted_interference = params.noise;
+    for (j, (&s_ji, &q_j)) in row.iter().zip(probs).enumerate() {
+        if j != i {
+            weighted_interference += s_ji * q_j;
+        }
+    }
+    probs[i] * (-params.beta / s_ii * weighted_interference).exp()
+}
+
+/// Lemma 1 upper bound on `Q_i`.
+pub fn success_upper_bound(gain: &GainMatrix, params: &SinrParams, probs: &[f64], i: usize) -> f64 {
+    let n = gain.len();
+    assert_eq!(probs.len(), n, "one probability per link");
+    let s_ii = gain.signal(i);
+    if s_ii == 0.0 {
+        return 0.0;
+    }
+    let row = gain.at_receiver(i);
+    let mut exponent = -params.beta * params.noise / s_ii;
+    for (j, (&s_ji, &q_j)) in row.iter().zip(probs).enumerate() {
+        if j != i {
+            exponent -= (0.5f64).min(params.beta * s_ji / (2.0 * s_ii)) * q_j;
+        }
+    }
+    probs[i] * exponent.exp()
+}
+
+/// The interference mass `A_i = Σ_{j≠i} min{1, β·S̄ji/S̄ii}·q_j` from the
+/// proof of Theorem 2 (Lemma 3). Determines which simulation round covers
+/// link `i`.
+pub fn interference_mass(gain: &GainMatrix, params: &SinrParams, probs: &[f64], i: usize) -> f64 {
+    let n = gain.len();
+    assert_eq!(probs.len(), n, "one probability per link");
+    let s_ii = gain.signal(i);
+    if s_ii == 0.0 {
+        return n as f64; // maximal mass: the link is unservable anyway
+    }
+    let row = gain.at_receiver(i);
+    let mut a = 0.0;
+    for (j, (&s_ji, &q_j)) in row.iter().zip(probs).enumerate() {
+        if j != i {
+            a += (1.0f64).min(params.beta * s_ji / s_ii) * q_j;
+        }
+    }
+    a
+}
+
+/// The `1/e` constant of Lemma 2: for a set feasible in the non-fading
+/// model (each member's SINR ≥ its evaluation threshold), the lower bound
+/// evaluates to at least `exp(−1) ≈ 0.3679` of the member's transmission
+/// probability.
+pub const TRANSFER_CONSTANT: f64 = std::f64::consts::E;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::success::success_probability;
+    use rayfade_geometry::PaperTopology;
+    use rayfade_sinr::PowerAssignment;
+
+    fn paper_gain(seed: u64, n: usize) -> (GainMatrix, SinrParams) {
+        let net = PaperTopology {
+            links: n,
+            side: 500.0,
+            min_length: 20.0,
+            max_length: 40.0,
+        }
+        .generate(seed);
+        let params = SinrParams::figure1();
+        let gm = GainMatrix::from_geometry(&net, &PowerAssignment::figure1_uniform(), params.alpha);
+        (gm, params)
+    }
+
+    #[test]
+    fn observation1_first_inequality_holds() {
+        for &x in &[0.01, 0.1, 0.5, 1.0, 3.0, 10.0, 100.0] {
+            for &q in &[0.0, 0.1, 0.5, 0.9, 1.0] {
+                let (lhs, rhs) = observation1_lhs(x, q);
+                assert!(lhs <= rhs + 1e-12, "x={x}, q={q}: {lhs} > {rhs}");
+            }
+        }
+    }
+
+    #[test]
+    fn observation1_second_inequality_holds() {
+        for &x in &[0.01, 0.1, 0.5, 0.9, 1.0] {
+            for &q in &[0.0, 0.1, 0.5, 0.9, 1.0] {
+                let (lhs, rhs) = observation1_rhs(x, q);
+                assert!(lhs <= rhs + 1e-12, "x={x}, q={q}: {lhs} > {rhs}");
+            }
+        }
+    }
+
+    #[test]
+    fn bounds_sandwich_exact_probability_on_paper_instances() {
+        for seed in 0..5 {
+            let (gm, params) = paper_gain(seed, 30);
+            for &p in &[0.1, 0.3, 0.7, 1.0] {
+                let probs = vec![p; 30];
+                for i in 0..30 {
+                    let exact = success_probability(&gm, &params, &probs, i);
+                    let lo = success_lower_bound(&gm, &params, &probs, i);
+                    let hi = success_upper_bound(&gm, &params, &probs, i);
+                    assert!(
+                        lo <= exact + 1e-12,
+                        "seed {seed} p {p} link {i}: lower {lo} > exact {exact}"
+                    );
+                    assert!(
+                        exact <= hi + 1e-12,
+                        "seed {seed} p {p} link {i}: exact {exact} > upper {hi}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bounds_tight_for_lone_link() {
+        // With no interferers all three expressions coincide.
+        let gm = GainMatrix::from_raw(1, vec![4.0]);
+        let params = SinrParams::new(2.0, 2.0, 1.0);
+        let probs = [0.9];
+        let exact = success_probability(&gm, &params, &probs, 0);
+        let lo = success_lower_bound(&gm, &params, &probs, 0);
+        let hi = success_upper_bound(&gm, &params, &probs, 0);
+        assert!((exact - lo).abs() < 1e-12);
+        assert!((exact - hi).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lower_bound_at_nonfading_feasibility_is_one_over_e() {
+        // Lemma 2's punchline: if the set reaches SINR exactly gamma in the
+        // non-fading model (interference + noise = S_ii / gamma), then
+        // evaluating the lower bound at beta = gamma gives q_i / e.
+        let gm = GainMatrix::from_raw(2, vec![10.0, 4.0, 4.0, 10.0]);
+        let nu = 1.0;
+        // gamma^nf for link 0 with both transmitting: 10 / (4 + 1) = 2.
+        let gamma = 2.0;
+        let params = SinrParams::new(2.0, gamma, nu);
+        let lo = success_lower_bound(&gm, &params, &[1.0, 1.0], 0);
+        assert!(
+            (lo - (-1.0f64).exp()).abs() < 1e-12,
+            "expected exactly 1/e, got {lo}"
+        );
+    }
+
+    #[test]
+    fn interference_mass_properties() {
+        let (gm, params) = paper_gain(1, 20);
+        let probs = vec![1.0; 20];
+        for i in 0..20 {
+            let a = interference_mass(&gm, &params, &probs, i);
+            assert!((0.0..=20.0).contains(&a), "A_{i} = {a}");
+        }
+        // Scaling all probabilities scales the mass linearly.
+        let half: Vec<f64> = probs.iter().map(|q| q / 2.0).collect();
+        for i in 0..20 {
+            let a1 = interference_mass(&gm, &params, &probs, i);
+            let a2 = interference_mass(&gm, &params, &half, i);
+            assert!((a2 - a1 / 2.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn upper_bound_dominates_mass_form() {
+        // The proof of Lemma 3 uses Q_i <= q_i * exp(-beta*nu/S - A_i/2);
+        // check that our upper bound implies that form.
+        let (gm, params) = paper_gain(2, 15);
+        let probs = vec![0.8; 15];
+        for i in 0..15 {
+            let hi = success_upper_bound(&gm, &params, &probs, i);
+            let a = interference_mass(&gm, &params, &probs, i);
+            let mass_form = probs[i] * (-params.beta * params.noise / gm.signal(i) - a / 2.0).exp();
+            assert!(
+                (hi - mass_form).abs() < 1e-12,
+                "upper bound should equal the A_i/2 form, {hi} vs {mass_form}"
+            );
+        }
+    }
+}

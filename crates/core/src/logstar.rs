@@ -1,0 +1,118 @@
+//! The iterated logarithm and the simulation's `b_k` sequence.
+//!
+//! Theorem 2 "simulates" one Rayleigh slot with `O(log* n)` non-fading
+//! slots, driven by the iterated-exponential sequence
+//! `b_0 = 1/4`, `b_{k+1} = exp(b_k / 2)`. Because the sequence towers up,
+//! only `O(log* n)` rounds are needed before `b_k ≥ n` — about 9 rounds
+//! even for astronomically large `n`, which is the paper's point that the
+//! loss factor is "almost constant".
+
+/// Iterated logarithm `log* x` (natural-log variant): the number of times
+/// `ln` must be applied before the value drops to at most 1.
+///
+/// `log*(x) = 0` for `x ≤ 1`.
+pub fn log_star(mut x: f64) -> u32 {
+    assert!(!x.is_nan(), "log* of NaN");
+    let mut k = 0;
+    while x > 1.0 {
+        x = x.ln();
+        k += 1;
+        // ln never cycles above 1 forever: values above 1 strictly shrink
+        // once below e, and the loop terminates in < 10 steps for any f64.
+        debug_assert!(k < 64);
+    }
+    k
+}
+
+/// The simulation sequence `b_0 = 1/4`, `b_{k+1} = exp(b_k / 2)`,
+/// truncated to entries `b_k < n` — exactly the rounds Algorithm 1
+/// executes ("for each k ≥ 0 with b_k < n").
+///
+/// Returns an empty vector when `n ≤ 1/4` (no rounds needed).
+pub fn simulation_sequence(n: f64) -> Vec<f64> {
+    assert!(n.is_finite() && n >= 0.0, "n must be finite and >= 0");
+    let mut seq = Vec::new();
+    let mut b = 0.25;
+    while b < n {
+        seq.push(b);
+        b = (b / 2.0).exp();
+        // Guard against pathological float behaviour; the sequence is
+        // strictly increasing after b_1 so this cannot loop forever.
+        if seq.len() > 64 {
+            unreachable!("b_k sequence failed to reach n = {n}");
+        }
+    }
+    seq
+}
+
+/// Number of simulation rounds for an `n`-link instance
+/// (`|{k : b_k < n}|`), which Theorem 2 shows is `O(log* n)`.
+pub fn simulation_rounds(n: usize) -> usize {
+    simulation_sequence(n as f64).len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_star_values() {
+        assert_eq!(log_star(0.5), 0);
+        assert_eq!(log_star(1.0), 0);
+        assert_eq!(log_star(2.0), 1);
+        assert_eq!(log_star(std::f64::consts::E), 1);
+        assert_eq!(log_star(std::f64::consts::E + 1e-9), 2);
+        assert_eq!(log_star(15.0), 2); // ln 15 = 2.7, ln 2.7 = 0.996
+        assert_eq!(log_star(1e10), 4);
+        // ln chain from f64::MAX: 709.8 -> 6.57 -> 1.88 -> 0.63.
+        assert_eq!(log_star(f64::MAX), 4);
+    }
+
+    #[test]
+    fn sequence_starts_at_quarter_and_grows() {
+        let seq = simulation_sequence(1e6);
+        assert!((seq[0] - 0.25).abs() < 1e-12);
+        assert!((seq[1] - (0.125f64).exp()).abs() < 1e-12);
+        for w in seq.windows(2) {
+            assert!(w[1] > w[0], "sequence must increase: {seq:?}");
+        }
+        assert!(*seq.last().unwrap() < 1e6);
+    }
+
+    #[test]
+    fn round_counts_are_tiny() {
+        // The "almost constant" claim: single-digit rounds at any scale.
+        assert_eq!(simulation_rounds(0), 0);
+        assert!(simulation_rounds(10) <= 7);
+        assert!(simulation_rounds(100) <= 8);
+        assert!(simulation_rounds(1_000_000) <= 8);
+        assert!(simulation_rounds(usize::MAX) <= 9);
+    }
+
+    #[test]
+    fn rounds_monotone_in_n() {
+        let mut prev = 0;
+        for n in [1usize, 2, 4, 16, 256, 65_536, 1 << 40] {
+            let r = simulation_rounds(n);
+            assert!(r >= prev, "rounds must not decrease with n");
+            prev = r;
+        }
+    }
+
+    #[test]
+    fn rounds_track_log_star_asymptotically() {
+        // The round count should stay within a small additive band of
+        // log*(n) — both are iterated-log growth.
+        for n in [4usize, 64, 4096, 1 << 30] {
+            let r = simulation_rounds(n) as i64;
+            let l = log_star(n as f64) as i64;
+            assert!((r - l).abs() <= 5, "n={n}: rounds {r} vs log* {l}");
+        }
+    }
+
+    #[test]
+    fn tiny_n_needs_no_rounds() {
+        assert!(simulation_sequence(0.25).is_empty());
+        assert_eq!(simulation_sequence(0.26).len(), 1);
+    }
+}

@@ -1,0 +1,152 @@
+//! The 4× repetition transform for ALOHA-style protocols (Sec. 4).
+//!
+//! ALOHA latency algorithms assign each link a transmission probability
+//! `p ≤ 1/2` per step. Under Rayleigh fading a step's success probability
+//! drops by at most a factor `1/e` (Lemma 1); executing every randomized
+//! step **4 times** independently restores it: if `p` is the non-fading
+//! success probability, the probability that at least one of 4 Rayleigh
+//! repeats succeeds is `1 − (1 − p/e)⁴ ≥ p` for all `p ≤ 1/2`. Hence the
+//! transformed protocol's latency grows by only the constant factor 4.
+
+use rayfade_sched::AlohaConfig;
+
+/// The paper's repetition count: 4.
+pub const PAPER_REPEATS: usize = 4;
+
+/// Probability that at least one of `repeats` independent Rayleigh
+/// attempts succeeds, when each succeeds with probability `p_over_e`
+/// (already including the `1/e` fading loss): `1 − (1 − p_over_e)^r`.
+pub fn boosted_probability(p_over_e: f64, repeats: usize) -> f64 {
+    assert!((0.0..=1.0).contains(&p_over_e), "probability out of range");
+    1.0 - (1.0 - p_over_e).powi(repeats as i32)
+}
+
+/// Verifies the transform inequality `1 − (1 − p/e)^r ≥ p` for a given
+/// step-success probability `p` and repetition count `r`.
+///
+/// The paper proves this for `r = 4` and `p ≤ 1/2`; exposed so ablations
+/// can chart where smaller repeat counts break.
+pub fn repetition_recovers(p: f64, repeats: usize) -> bool {
+    assert!((0.0..=1.0).contains(&p), "probability out of range");
+    boosted_probability(p / std::f64::consts::E, repeats) + 1e-15 >= p
+}
+
+/// Smallest repetition count that recovers the non-fading success
+/// probability for all step probabilities up to `p_max`, probing on a
+/// fine grid. The paper's `p_max = 1/2` yields 4.
+pub fn min_sufficient_repeats(p_max: f64, grid: usize) -> usize {
+    assert!((0.0..=1.0).contains(&p_max) && grid >= 2);
+    'outer: for r in 1..=64 {
+        for k in 0..=grid {
+            let p = p_max * k as f64 / grid as f64;
+            if !repetition_recovers(p, r) {
+                continue 'outer;
+            }
+        }
+        return r;
+    }
+    unreachable!("64 repeats always suffice for p_max <= 1")
+}
+
+/// Converts a non-fading ALOHA configuration into its Rayleigh-ready
+/// counterpart: the identical policy, with every logical step executed
+/// [`PAPER_REPEATS`] times (Sec. 4's transformation).
+pub fn rayleigh_aloha_config(base: &AlohaConfig) -> AlohaConfig {
+    AlohaConfig {
+        repeats: base.repeats * PAPER_REPEATS,
+        ..base.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::RayleighModel;
+    use rayfade_geometry::PaperTopology;
+    use rayfade_sched::{run_aloha, AlohaPolicy};
+    use rayfade_sinr::{GainMatrix, NonFadingModel, PowerAssignment, SinrParams};
+
+    #[test]
+    fn four_repeats_recover_up_to_half() {
+        for k in 0..=100 {
+            let p = 0.5 * k as f64 / 100.0;
+            assert!(repetition_recovers(p, 4), "p = {p}");
+        }
+    }
+
+    #[test]
+    fn paper_constant_is_minimal() {
+        // 3 repeats are NOT enough near p = 1/2, 4 are: the paper's
+        // constant is tight on this grid.
+        assert_eq!(min_sufficient_repeats(0.5, 200), 4);
+        assert!(!repetition_recovers(0.5, 3));
+    }
+
+    #[test]
+    fn one_repeat_suffices_for_tiny_probabilities() {
+        // For p -> 0, 1 - (1 - p/e) = p/e < p: one repeat never suffices
+        // (the e-loss is real), but two do for small p.
+        assert!(!repetition_recovers(0.01, 1));
+        assert!(repetition_recovers(0.01, 3));
+    }
+
+    #[test]
+    fn boosted_probability_monotone_in_repeats() {
+        let mut prev = 0.0;
+        for r in 1..10 {
+            let b = boosted_probability(0.1, r);
+            assert!(b > prev);
+            prev = b;
+        }
+    }
+
+    #[test]
+    fn config_transform_multiplies_repeats() {
+        let base = AlohaConfig::default();
+        let ray = rayleigh_aloha_config(&base);
+        assert_eq!(ray.repeats, 4);
+        assert_eq!(ray.policy, base.policy);
+        let twice = rayleigh_aloha_config(&ray);
+        assert_eq!(twice.repeats, 16);
+    }
+
+    /// End-to-end: ALOHA under Rayleigh with 4x repetition completes all
+    /// links, and its *logical-step* count is comparable to the non-fading
+    /// run (within a generous constant).
+    #[test]
+    fn transformed_aloha_completes_under_fading() {
+        let net = PaperTopology {
+            links: 25,
+            side: 600.0,
+            min_length: 20.0,
+            max_length: 40.0,
+        }
+        .generate(8);
+        let params = SinrParams::figure1();
+        let gm = GainMatrix::from_geometry(&net, &PowerAssignment::figure1_uniform(), params.alpha);
+
+        let base = AlohaConfig {
+            policy: AlohaPolicy::default_inverse(),
+            repeats: 1,
+            max_steps: 20_000,
+            seed: 77,
+        };
+        let mut nf = NonFadingModel::new(gm.clone(), params);
+        let nf_out = run_aloha(&mut nf, &base, None);
+        assert_eq!(nf_out.finished(), 25);
+
+        let ray_cfg = rayleigh_aloha_config(&base);
+        let mut ray = RayleighModel::new(gm, params, 123);
+        let ray_out = run_aloha(&mut ray, &ray_cfg, None);
+        assert_eq!(ray_out.finished(), 25, "fading run must also finish");
+
+        // Physical-slot comparison: the transformed run uses 4 slots per
+        // step, so allow a factor-4 blowup plus stochastic slack.
+        let nf_slots = nf_out.slots_used as f64;
+        let ray_slots = ray_out.slots_used as f64;
+        assert!(
+            ray_slots <= 16.0 * nf_slots + 64.0,
+            "fading latency {ray_slots} vs non-fading {nf_slots}"
+        );
+    }
+}

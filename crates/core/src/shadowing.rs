@@ -1,0 +1,166 @@
+//! Log-normal shadowing — slow fading of the *expected* gains.
+//!
+//! Rayleigh fading models fast, per-slot fluctuations; real channels also
+//! exhibit *shadowing*: a per-path attenuation from obstacles that is
+//! constant over the timescale of a schedule. The standard model is
+//! log-normal: each `S̄_{j,i}` is multiplied by `10^(X/10)` with
+//! `X ~ N(0, σ_dB²)`, normalized to preserve the mean.
+//!
+//! Because the paper's reduction works for **arbitrary** gain matrices
+//! (Sec. 2 makes no geometric assumption), a shadowed matrix is just
+//! another valid instance: all algorithms, transfer lemmas and the
+//! Theorem 1 closed form apply unchanged. This module provides the
+//! transform so experiments can quantify how shadowing moves the results.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rayfade_sinr::GainMatrix;
+
+/// Samples a standard normal via Box–Muller.
+#[inline]
+fn sample_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.gen();
+        if u1 <= f64::MIN_POSITIVE {
+            continue;
+        }
+        let u2: f64 = rng.gen();
+        return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+    }
+}
+
+/// Applies independent log-normal shadowing with standard deviation
+/// `sigma_db` (in dB) to every entry of the gain matrix, **normalized to
+/// preserve expected gains**: the multiplicative factor is
+/// `10^(X/10) / E[10^(X/10)]` with `X ~ N(0, σ_dB²)`.
+///
+/// Deterministic given the seed. `sigma_db = 0` returns the matrix
+/// unchanged.
+///
+/// # Panics
+/// If `sigma_db` is negative or non-finite.
+pub fn apply_lognormal_shadowing(gain: &GainMatrix, sigma_db: f64, seed: u64) -> GainMatrix {
+    assert!(
+        sigma_db.is_finite() && sigma_db >= 0.0,
+        "sigma_db must be finite and non-negative"
+    );
+    let n = gain.len();
+    if sigma_db == 0.0 || n == 0 {
+        return gain.clone();
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    // ln(10^(X/10)) = X * ln(10)/10 ~ N(0, (sigma_db*ln10/10)^2);
+    // E[exp(N(0, s^2))] = exp(s^2 / 2).
+    let s = sigma_db * std::f64::consts::LN_10 / 10.0;
+    let mean_factor = (s * s / 2.0).exp();
+    let mut raw = Vec::with_capacity(n * n);
+    for i in 0..n {
+        for j in 0..n {
+            let _ = j;
+            let x = sample_normal(&mut rng);
+            let factor = (s * x).exp() / mean_factor;
+            raw.push(gain.gain(j, i) * factor);
+        }
+    }
+    GainMatrix::from_raw(n, raw)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> GainMatrix {
+        GainMatrix::from_raw(2, vec![10.0, 2.0, 2.0, 10.0])
+    }
+
+    #[test]
+    fn zero_sigma_is_identity() {
+        let g = base();
+        assert_eq!(apply_lognormal_shadowing(&g, 0.0, 1), g);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = base();
+        let a = apply_lognormal_shadowing(&g, 6.0, 42);
+        let b = apply_lognormal_shadowing(&g, 6.0, 42);
+        assert_eq!(a, b);
+        let c = apply_lognormal_shadowing(&g, 6.0, 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn preserves_mean_gain() {
+        // Average the shadowed value of one entry over many seeds: the
+        // normalization keeps it at the original mean.
+        let g = GainMatrix::from_raw(1, vec![5.0]);
+        // Moderate sigma: at large sigma the lognormal's skew makes the
+        // empirical mean converge very slowly.
+        let k = 20_000;
+        let mut sum = 0.0;
+        for seed in 0..k {
+            sum += apply_lognormal_shadowing(&g, 4.0, seed).signal(0);
+        }
+        let mean = sum / k as f64;
+        assert!((mean - 5.0).abs() < 0.2, "mean {mean}");
+    }
+
+    #[test]
+    fn entries_stay_positive_and_finite() {
+        let g = base();
+        let shadowed = apply_lognormal_shadowing(&g, 12.0, 7);
+        for i in 0..2 {
+            for j in 0..2 {
+                let v = shadowed.gain(j, i);
+                assert!(v.is_finite() && v > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn larger_sigma_spreads_more() {
+        // Empirical spread of the diagonal across seeds grows with sigma.
+        let g = GainMatrix::from_raw(1, vec![1.0]);
+        let spread = |sigma: f64| -> f64 {
+            let mut lo = f64::INFINITY;
+            let mut hi = 0.0f64;
+            for seed in 0..500 {
+                let v = apply_lognormal_shadowing(&g, sigma, seed).signal(0);
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+            hi / lo
+        };
+        assert!(spread(12.0) > spread(3.0) * 2.0);
+    }
+
+    #[test]
+    fn reduction_still_applies_to_shadowed_instances() {
+        // A shadowed matrix is just another instance: the transfer
+        // guarantee must hold for its feasible sets.
+        use rayfade_sched::{CapacityAlgorithm, CapacityInstance, GreedyCapacity};
+        use rayfade_sinr::SinrParams;
+        let net = rayfade_geometry::PaperTopology {
+            links: 30,
+            ..rayfade_geometry::PaperTopology::figure1()
+        }
+        .generate(5);
+        let params = SinrParams::figure1();
+        let g = GainMatrix::from_geometry(
+            &net,
+            &rayfade_sinr::PowerAssignment::figure1_uniform(),
+            params.alpha,
+        );
+        let shadowed = apply_lognormal_shadowing(&g, 6.0, 11);
+        let set = GreedyCapacity::new().select(&CapacityInstance::unweighted(&shadowed, &params));
+        assert!(!set.is_empty());
+        let report = crate::transfer::transfer_set(&shadowed, &params, &set);
+        assert!(report.meets_guarantee());
+    }
+
+    #[test]
+    #[should_panic(expected = "sigma_db must be finite")]
+    fn negative_sigma_rejected() {
+        let _ = apply_lognormal_shadowing(&base(), -1.0, 0);
+    }
+}

@@ -1,0 +1,336 @@
+//! The `O(log* n)` simulation of the Rayleigh optimum
+//! (Theorem 2 / Algorithm 1).
+//!
+//! Theorem 2 is the half of the reduction that bounds how much better the
+//! Rayleigh optimum can be: **at most `O(log* n)`**. Its proof simulates a
+//! single Rayleigh slot with transmission probabilities `q` by a short
+//! series of *non-fading* slots: for every `k ≥ 0` with `b_k < n`
+//! (`b_0 = 1/4`, `b_{k+1} = exp(b_k/2)`), transmit 19 times independently
+//! with probabilities `q_i / (4·b_k)`. Lemma 3 then shows every link's
+//! probability of reaching threshold `β ≤ S̄ii/(2ν)` in *some* simulation
+//! attempt is at least its Rayleigh success probability `Q_i`.
+//!
+//! This module materializes the simulation plan, executes it in the
+//! non-fading model, and estimates the coverage probabilities so the
+//! analytic claim can be validated empirically (ablation A3).
+
+use crate::logstar::simulation_sequence;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rayfade_sinr::{sinr, GainMatrix, SinrParams};
+use serde::{Deserialize, Serialize};
+
+/// The paper's per-round repetition count: 19.
+pub const PAPER_ATTEMPTS_PER_ROUND: usize = 19;
+
+/// One round of Algorithm 1: `repeats` independent attempts with the
+/// given per-link transmission probabilities.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimulationStep {
+    /// Round index `k`.
+    pub round: usize,
+    /// The damping value `b_k`.
+    pub b_k: f64,
+    /// Per-link transmission probabilities `q_i / (4·b_k)`, clamped to 1.
+    pub probs: Vec<f64>,
+    /// Independent attempts in this round (19 in the paper).
+    pub repeats: usize,
+}
+
+/// The full simulation plan for one Rayleigh slot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimulationPlan {
+    /// The rounds, in execution order.
+    pub steps: Vec<SimulationStep>,
+}
+
+impl SimulationPlan {
+    /// Builds Algorithm 1's plan for Rayleigh transmission probabilities
+    /// `q` (one entry per link).
+    ///
+    /// # Panics
+    /// If any probability lies outside `[0, 1]`.
+    pub fn build(q: &[f64]) -> Self {
+        Self::build_with_repeats(q, PAPER_ATTEMPTS_PER_ROUND)
+    }
+
+    /// Plan with a custom per-round repetition count (for ablations).
+    pub fn build_with_repeats(q: &[f64], repeats: usize) -> Self {
+        assert!(
+            q.iter().all(|p| (0.0..=1.0).contains(p)),
+            "probabilities must lie in [0, 1]"
+        );
+        assert!(repeats >= 1, "need at least one attempt per round");
+        let n = q.len();
+        let steps = simulation_sequence(n as f64)
+            .into_iter()
+            .enumerate()
+            .map(|(round, b_k)| SimulationStep {
+                round,
+                b_k,
+                probs: q.iter().map(|&p| (p / (4.0 * b_k)).min(1.0)).collect(),
+                repeats,
+            })
+            .collect();
+        SimulationPlan { steps }
+    }
+
+    /// Total number of transmission attempts (`Σ repeats`), the paper's
+    /// `O(log* n)` quantity.
+    pub fn total_attempts(&self) -> usize {
+        self.steps.iter().map(|s| s.repeats).sum()
+    }
+
+    /// Number of rounds (`|{k : b_k < n}|`).
+    pub fn rounds(&self) -> usize {
+        self.steps.len()
+    }
+}
+
+/// Result of executing a plan once in the non-fading model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimulationRun {
+    /// Best non-fading SINR each link achieved over all attempts in which
+    /// it transmitted (`max_t γ_i^{nf,t}`); `-∞` if it never transmitted.
+    pub best_sinr: Vec<f64>,
+    /// Attempts actually executed.
+    pub attempts: usize,
+}
+
+impl SimulationRun {
+    /// Whether link `i` reached threshold `beta` in some attempt.
+    pub fn reached(&self, i: usize, beta: f64) -> bool {
+        self.best_sinr[i] >= beta
+    }
+
+    /// Number of links that reached `beta`.
+    pub fn count_reached(&self, beta: f64) -> usize {
+        self.best_sinr.iter().filter(|&&s| s >= beta).count()
+    }
+}
+
+/// Executes the plan once in the non-fading model: every attempt draws an
+/// independent transmit set from the step's probabilities and records the
+/// achieved SINRs of the transmitting links.
+pub fn execute_plan(
+    gain: &GainMatrix,
+    params: &SinrParams,
+    plan: &SimulationPlan,
+    seed: u64,
+) -> SimulationRun {
+    let n = gain.len();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut best = vec![f64::NEG_INFINITY; n];
+    let mut active = vec![false; n];
+    let mut attempts = 0;
+    for step in &plan.steps {
+        debug_assert_eq!(step.probs.len(), n);
+        for _ in 0..step.repeats {
+            for (slot, &p) in active.iter_mut().zip(&step.probs) {
+                *slot = p > 0.0 && rng.gen_bool(p);
+            }
+            for i in 0..n {
+                if active[i] {
+                    let g = sinr(gain, params, &active, i);
+                    if g > best[i] {
+                        best[i] = g;
+                    }
+                }
+            }
+            attempts += 1;
+        }
+    }
+    SimulationRun {
+        best_sinr: best,
+        attempts,
+    }
+}
+
+/// Monte Carlo estimate of the per-link coverage probability
+/// `Pr[max_t γ_i^{nf,t} ≥ β]` over `trials` executions of the plan.
+///
+/// Lemma 3 asserts these are at least the Rayleigh probabilities
+/// `Q_i(q, β)` whenever `β ≤ S̄ii/(2ν)`.
+pub fn coverage_probability(
+    gain: &GainMatrix,
+    params: &SinrParams,
+    plan: &SimulationPlan,
+    trials: usize,
+    seed: u64,
+) -> Vec<f64> {
+    assert!(trials > 0, "need at least one trial");
+    let n = gain.len();
+    let mut hits = vec![0usize; n];
+    for t in 0..trials {
+        let run = execute_plan(gain, params, plan, seed.wrapping_add(t as u64));
+        for (i, h) in hits.iter_mut().enumerate() {
+            if run.reached(i, params.beta) {
+                *h += 1;
+            }
+        }
+    }
+    hits.iter().map(|&h| h as f64 / trials as f64).collect()
+}
+
+/// Expected number of non-fading successes of a *single* simulation step,
+/// estimated by Monte Carlo — used to pick "the best one of these steps"
+/// as in the proof of Theorem 2.
+pub fn step_expected_successes(
+    gain: &GainMatrix,
+    params: &SinrParams,
+    step: &SimulationStep,
+    trials: usize,
+    seed: u64,
+) -> f64 {
+    assert!(trials > 0, "need at least one trial");
+    let n = gain.len();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut total = 0usize;
+    let mut active = vec![false; n];
+    for _ in 0..trials {
+        for (slot, &p) in active.iter_mut().zip(&step.probs) {
+            *slot = p > 0.0 && rng.gen_bool(p);
+        }
+        total += rayfade_sinr::count_successes(gain, params, &active);
+    }
+    total as f64 / trials as f64
+}
+
+/// Picks the simulation step with the highest estimated expected
+/// non-fading success count; returns `(step index, estimate)`.
+///
+/// This is the constructive content of Theorem 2: the returned step is a
+/// *non-fading* probability assignment whose expected capacity is within
+/// a constant of the Rayleigh assignment's — establishing that the
+/// Rayleigh optimum exceeds the non-fading optimum by at most the number
+/// of steps, `O(log* n)`.
+pub fn best_step(
+    gain: &GainMatrix,
+    params: &SinrParams,
+    plan: &SimulationPlan,
+    trials: usize,
+    seed: u64,
+) -> Option<(usize, f64)> {
+    plan.steps
+        .iter()
+        .enumerate()
+        .map(|(k, s)| {
+            (
+                k,
+                step_expected_successes(gain, params, s, trials, seed.wrapping_add(k as u64)),
+            )
+        })
+        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("estimates are finite"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::success::success_probabilities;
+    use rayfade_geometry::PaperTopology;
+    use rayfade_sinr::PowerAssignment;
+
+    fn paper_gain(seed: u64, n: usize) -> (GainMatrix, SinrParams) {
+        let net = PaperTopology {
+            links: n,
+            side: 400.0,
+            min_length: 20.0,
+            max_length: 40.0,
+        }
+        .generate(seed);
+        let params = SinrParams::figure1();
+        let gm = GainMatrix::from_geometry(&net, &PowerAssignment::figure1_uniform(), params.alpha);
+        (gm, params)
+    }
+
+    #[test]
+    fn plan_structure_follows_algorithm1() {
+        let q = vec![0.8; 100];
+        let plan = SimulationPlan::build(&q);
+        assert!(
+            plan.rounds() >= 6 && plan.rounds() <= 9,
+            "{}",
+            plan.rounds()
+        );
+        assert_eq!(plan.total_attempts(), plan.rounds() * 19);
+        // First round: b_0 = 1/4 -> probs = q / 1 = q... q/(4*0.25) = q.
+        assert!((plan.steps[0].probs[0] - 0.8).abs() < 1e-12);
+        // Probabilities shrink with k.
+        for w in plan.steps.windows(2) {
+            assert!(w[1].probs[0] < w[0].probs[0]);
+        }
+    }
+
+    #[test]
+    fn attempts_grow_like_log_star() {
+        let small = SimulationPlan::build(&[1.0; 4]).total_attempts();
+        let big = SimulationPlan::build(&[1.0; 4096]).total_attempts();
+        assert!(small <= big);
+        // Even at n = 4096 the plan stays tiny — the "almost constant".
+        assert!(big <= 9 * 19);
+    }
+
+    #[test]
+    fn execute_plan_is_deterministic_per_seed() {
+        let (gm, params) = paper_gain(1, 12);
+        let plan = SimulationPlan::build(&[0.6; 12]);
+        let a = execute_plan(&gm, &params, &plan, 5);
+        let b = execute_plan(&gm, &params, &plan, 5);
+        assert_eq!(a, b);
+        assert_eq!(a.attempts, plan.total_attempts());
+    }
+
+    #[test]
+    fn lemma3_coverage_dominates_rayleigh_probability() {
+        // Empirical check of Lemma 3 on a paper-style instance: the
+        // simulation's coverage probability must be at least Q_i (up to
+        // Monte Carlo error). Noise is tiny, so beta <= S/(2 nu) holds.
+        let (gm, params) = paper_gain(2, 8);
+        let q = vec![0.7; 8];
+        let plan = SimulationPlan::build(&q);
+        let trials = 1500;
+        let coverage = coverage_probability(&gm, &params, &plan, trials, 99);
+        let rayleigh = success_probabilities(&gm, &params, &q);
+        for i in 0..8 {
+            assert!(
+                coverage[i] + 0.03 >= rayleigh[i],
+                "link {i}: coverage {} vs Q_i {}",
+                coverage[i],
+                rayleigh[i]
+            );
+        }
+    }
+
+    #[test]
+    fn best_step_exists_and_is_positive_on_paper_instances() {
+        let (gm, params) = paper_gain(3, 10);
+        let plan = SimulationPlan::build(&[0.9; 10]);
+        let (k, v) = best_step(&gm, &params, &plan, 400, 7).expect("non-empty plan");
+        assert!(k < plan.rounds());
+        assert!(v > 0.0);
+    }
+
+    #[test]
+    fn empty_instance_has_empty_plan() {
+        let plan = SimulationPlan::build(&[]);
+        assert_eq!(plan.rounds(), 0);
+        assert_eq!(plan.total_attempts(), 0);
+        let gm = GainMatrix::from_raw(0, vec![]);
+        let params = SinrParams::new(2.0, 1.0, 0.0);
+        assert!(best_step(&gm, &params, &plan, 10, 0).is_none());
+        let run = execute_plan(&gm, &params, &plan, 0);
+        assert_eq!(run.attempts, 0);
+    }
+
+    #[test]
+    fn custom_repeats() {
+        let plan = SimulationPlan::build_with_repeats(&[0.5; 16], 3);
+        assert_eq!(plan.total_attempts(), plan.rounds() * 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "probabilities must lie in [0, 1]")]
+    fn invalid_probabilities_rejected() {
+        let _ = SimulationPlan::build(&[1.5]);
+    }
+}

@@ -1,0 +1,226 @@
+//! Closed-form success probabilities (Theorem 1).
+//!
+//! With every sender `j` transmitting independently with probability `q_j`
+//! and Rayleigh fading on all coefficients, the probability that link `i`
+//! transmits *and* reaches SINR `β` is (paper Theorem 1, after Liu &
+//! Haenggi \[18\]):
+//!
+//! ```text
+//! Q_i(q, β) = q_i · exp(−β·ν / S̄_{i,i}) · Π_{j≠i} (1 − β·q_j / (β + S̄_{i,i}/S̄_{j,i}))
+//! ```
+//!
+//! This is an *exact* probability — a luxury the non-fading model does not
+//! offer — and the analytic backbone of the whole reduction.
+
+use rayfade_sinr::{GainMatrix, SinrParams};
+
+/// Exact success probability `Q_i(q₁,…,qₙ, β)` of link `i` (Theorem 1).
+///
+/// `probs[j]` is sender `j`'s independent transmission probability. A link
+/// with zero expected own-signal never succeeds. Entries `S̄_{j,i} = 0`
+/// contribute no interference (their factor is 1).
+///
+/// # Panics
+/// If `probs` has the wrong length or contains values outside `[0, 1]`.
+pub fn success_probability(gain: &GainMatrix, params: &SinrParams, probs: &[f64], i: usize) -> f64 {
+    let n = gain.len();
+    assert_eq!(probs.len(), n, "one probability per link");
+    debug_assert!(
+        probs.iter().all(|q| (0.0..=1.0).contains(q)),
+        "probabilities must lie in [0, 1]"
+    );
+    let s_ii = gain.signal(i);
+    if s_ii == 0.0 {
+        return 0.0;
+    }
+    let beta = params.beta;
+    // Noise factor exp(-beta*nu/S_ii); equals 1 when nu = 0.
+    let mut p = probs[i] * (-beta * params.noise / s_ii).exp();
+    let row = gain.at_receiver(i);
+    for (j, (&s_ji, &q_j)) in row.iter().zip(probs).enumerate() {
+        if j == i || q_j == 0.0 || s_ji == 0.0 {
+            continue;
+        }
+        // 1 - beta*q_j / (beta + S_ii/S_ji), written to avoid the
+        // intermediate S_ii/S_ji overflowing for tiny S_ji.
+        let factor = 1.0 - beta * q_j / (beta + s_ii / s_ji);
+        p *= factor;
+    }
+    p
+}
+
+/// Success probabilities of all links under transmission probabilities
+/// `probs` (Theorem 1, vectorized).
+pub fn success_probabilities(gain: &GainMatrix, params: &SinrParams, probs: &[f64]) -> Vec<f64> {
+    (0..gain.len())
+        .map(|i| success_probability(gain, params, probs, i))
+        .collect()
+}
+
+/// Expected number of successful transmissions under `probs` — the
+/// Rayleigh capacity objective `E[Σ 1{γᵢᴿ ≥ β}] = Σ Q_i`, exact.
+pub fn expected_successes(gain: &GainMatrix, params: &SinrParams, probs: &[f64]) -> f64 {
+    success_probabilities(gain, params, probs).iter().sum()
+}
+
+/// Success probability of link `i` when a *fixed set* transmits
+/// deterministically (the `q ∈ {0,1}ⁿ` special case of Theorem 1,
+/// conditioned on `i ∈ set`):
+/// `exp(−βν/S̄ii) · Π_{j∈set, j≠i} β⁻¹-form factor`.
+///
+/// Returns 0 when `i` is not in the set.
+pub fn success_probability_of_set(
+    gain: &GainMatrix,
+    params: &SinrParams,
+    set: &[usize],
+    i: usize,
+) -> f64 {
+    let mut probs = vec![0.0; gain.len()];
+    for &j in set {
+        probs[j] = 1.0;
+    }
+    success_probability(gain, params, &probs, i)
+}
+
+/// Expected successes when a fixed set transmits: `Σ_{i∈set} Q_i`.
+pub fn expected_successes_of_set(gain: &GainMatrix, params: &SinrParams, set: &[usize]) -> f64 {
+    let mut probs = vec![0.0; gain.len()];
+    for &j in set {
+        probs[j] = 1.0;
+    }
+    set.iter()
+        .map(|&i| success_probability(gain, params, &probs, i))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::RayleighModel;
+    use rayfade_sinr::SuccessModel;
+
+    fn gain2() -> GainMatrix {
+        GainMatrix::from_raw(2, vec![10.0, 2.0, 2.0, 10.0])
+    }
+
+    #[test]
+    fn lone_link_formula() {
+        // Q = q * exp(-beta*nu/S) with no interferers.
+        let gm = GainMatrix::from_raw(1, vec![10.0]);
+        let params = SinrParams::new(2.0, 2.0, 1.0);
+        let q = success_probability(&gm, &params, &[0.7], 0);
+        let expected = 0.7 * (-0.2f64).exp();
+        assert!((q - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interference_factor() {
+        // Two links, q = (1, 1), nu = 0:
+        // Q_0 = 1 * (1 - beta/(beta + S00/S10)).
+        let gm = gain2();
+        let params = SinrParams::new(2.0, 2.0, 0.0);
+        let q0 = success_probability(&gm, &params, &[1.0, 1.0], 0);
+        let expected = 1.0 - 2.0 / (2.0 + 10.0 / 2.0);
+        assert!((q0 - expected).abs() < 1e-12, "{q0} vs {expected}");
+        // Symmetric instance: same for link 1.
+        let q1 = success_probability(&gm, &params, &[1.0, 1.0], 1);
+        assert!((q0 - q1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_probability_sender_contributes_nothing() {
+        let gm = gain2();
+        let params = SinrParams::new(2.0, 2.0, 0.0);
+        let with_silent = success_probability(&gm, &params, &[1.0, 0.0], 0);
+        assert!(
+            (with_silent - 1.0).abs() < 1e-12,
+            "no noise, no interference"
+        );
+    }
+
+    #[test]
+    fn own_probability_scales_linearly() {
+        let gm = gain2();
+        let params = SinrParams::new(2.0, 2.0, 0.1);
+        let full = success_probability(&gm, &params, &[1.0, 0.5], 0);
+        let half = success_probability(&gm, &params, &[0.5, 0.5], 0);
+        assert!((half - 0.5 * full).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matches_monte_carlo() {
+        // Validate Theorem 1 against the sampled channel.
+        let gm = gain2();
+        let params = SinrParams::new(2.0, 1.5, 0.3);
+        let probs = [0.8, 0.6];
+        let analytic = success_probability(&gm, &params, &probs, 0);
+        let mut model = RayleighModel::new(gm.clone(), params, 99);
+        use rand::{Rng, SeedableRng};
+        let mut rng_tx = rand::rngs::StdRng::seed_from_u64(5);
+        let trials = 200_000;
+        let mut hits = 0usize;
+        for _ in 0..trials {
+            let active = [rng_tx.gen_bool(probs[0]), rng_tx.gen_bool(probs[1])];
+            if model.resolve_slot(&active).contains(&0) {
+                hits += 1;
+            }
+        }
+        let emp = hits as f64 / trials as f64;
+        assert!(
+            (emp - analytic).abs() < 0.005,
+            "Monte Carlo {emp} vs Theorem 1 {analytic}"
+        );
+    }
+
+    #[test]
+    fn expected_successes_sums_q() {
+        let gm = gain2();
+        let params = SinrParams::new(2.0, 2.0, 0.0);
+        let probs = [1.0, 1.0];
+        let total = expected_successes(&gm, &params, &probs);
+        let per_link: f64 = (0..2)
+            .map(|i| success_probability(&gm, &params, &probs, i))
+            .sum();
+        assert!((total - per_link).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fixed_set_variants() {
+        let gm = gain2();
+        let params = SinrParams::new(2.0, 2.0, 0.1);
+        // i not in set -> 0.
+        assert_eq!(success_probability_of_set(&gm, &params, &[1], 0), 0.0);
+        let q0 = success_probability_of_set(&gm, &params, &[0, 1], 0);
+        let direct = success_probability(&gm, &params, &[1.0, 1.0], 0);
+        assert!((q0 - direct).abs() < 1e-12);
+        let total = expected_successes_of_set(&gm, &params, &[0, 1]);
+        assert!((total - 2.0 * direct).abs() < 1e-12, "symmetric instance");
+    }
+
+    #[test]
+    fn hopeless_nonfading_link_has_positive_rayleigh_probability() {
+        // The paper's motivating observation (Sec. 2): large noise kills
+        // the non-fading model but not the Rayleigh one.
+        let gm = GainMatrix::from_raw(1, vec![0.5]);
+        let params = SinrParams::new(2.0, 1.0, 1.0); // S < beta*nu
+        assert!(!gm.feasible_alone(0, &params));
+        let q = success_probability(&gm, &params, &[1.0], 0);
+        assert!((q - (-2.0f64).exp()).abs() < 1e-12);
+        assert!(q > 0.0);
+    }
+
+    #[test]
+    fn zero_signal_means_zero_probability() {
+        let gm = GainMatrix::from_raw(1, vec![0.0]);
+        let params = SinrParams::new(2.0, 1.0, 0.0);
+        assert_eq!(success_probability(&gm, &params, &[1.0], 0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one probability per link")]
+    fn wrong_prob_length_rejected() {
+        let gm = gain2();
+        let params = SinrParams::new(2.0, 2.0, 0.0);
+        let _ = success_probability(&gm, &params, &[1.0], 0);
+    }
+}

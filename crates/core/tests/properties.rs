@@ -1,0 +1,144 @@
+//! Property-based tests for the Rayleigh-fading reduction.
+
+use proptest::prelude::*;
+use rayfade_core::{
+    expected_successes, simulation_rounds, success_lower_bound, success_probabilities,
+    success_probability, success_upper_bound, transfer_set, SimulationPlan,
+};
+use rayfade_geometry::PaperTopology;
+use rayfade_sched::{CapacityAlgorithm, CapacityInstance, GreedyCapacity};
+use rayfade_sinr::{GainMatrix, PowerAssignment, SinrParams};
+
+fn paper_gain(seed: u64, n: usize) -> (GainMatrix, SinrParams) {
+    let net = PaperTopology {
+        links: n,
+        side: 500.0,
+        min_length: 20.0,
+        max_length: 40.0,
+    }
+    .generate(seed);
+    let params = SinrParams::figure1();
+    let gm = GainMatrix::from_geometry(&net, &PowerAssignment::figure1_uniform(), params.alpha);
+    (gm, params)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Theorem 1's output is a probability, and the Lemma 1 bounds always
+    /// sandwich it.
+    #[test]
+    fn closed_form_is_sandwiched(seed in any::<u64>(), p in 0.0f64..=1.0) {
+        let (gm, params) = paper_gain(seed, 16);
+        let probs = vec![p; 16];
+        for i in 0..16 {
+            let exact = success_probability(&gm, &params, &probs, i);
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&exact));
+            let lo = success_lower_bound(&gm, &params, &probs, i);
+            let hi = success_upper_bound(&gm, &params, &probs, i);
+            prop_assert!(lo <= exact + 1e-12);
+            prop_assert!(exact <= hi + 1e-12);
+        }
+    }
+
+    /// Success probability is monotone: raising any other link's
+    /// transmission probability can only hurt link i.
+    #[test]
+    fn q_monotone_in_interferer_probability(
+        seed in any::<u64>(),
+        j in 1usize..10,
+        lo in 0.0f64..=1.0,
+        bump in 0.0f64..=1.0,
+    ) {
+        let (gm, params) = paper_gain(seed, 10);
+        let mut probs = vec![0.5; 10];
+        probs[j] = lo.min(1.0 - bump.min(1.0 - lo));
+        let a = success_probability(&gm, &params, &probs, 0);
+        probs[j] = (probs[j] + bump).min(1.0);
+        let b = success_probability(&gm, &params, &probs, 0);
+        prop_assert!(b <= a + 1e-12);
+    }
+
+    /// Own transmission probability scales Q_i exactly linearly.
+    #[test]
+    fn q_linear_in_own_probability(seed in any::<u64>(), q in 0.0f64..=1.0) {
+        let (gm, params) = paper_gain(seed, 8);
+        let mut probs = vec![0.4; 8];
+        probs[0] = 1.0;
+        let full = success_probability(&gm, &params, &probs, 0);
+        probs[0] = q;
+        let scaled = success_probability(&gm, &params, &probs, 0);
+        prop_assert!((scaled - q * full).abs() < 1e-12);
+    }
+
+    /// The Lemma 2 transfer guarantee holds for every greedy output on
+    /// random paper instances (it is a theorem for feasible sets).
+    #[test]
+    fn transfer_guarantee_universal(seed in any::<u64>()) {
+        let (gm, params) = paper_gain(seed, 30);
+        let set = GreedyCapacity::new().select(&CapacityInstance::unweighted(&gm, &params));
+        let report = transfer_set(&gm, &params, &set);
+        prop_assert!(report.meets_guarantee(),
+            "ratio {} below 1/e on seed {seed}", report.ratio());
+        // Per-link: feasible members keep >= 1/e success probability.
+        for &p in &report.per_link_probability {
+            prop_assert!(p >= 1.0 / std::f64::consts::E - 1e-9);
+        }
+    }
+
+    /// Expected successes respect basic bounds: between 0 and the number
+    /// of transmitting links.
+    #[test]
+    fn expected_successes_bounds(seed in any::<u64>(), p in 0.0f64..=1.0) {
+        let (gm, params) = paper_gain(seed, 12);
+        let probs = vec![p; 12];
+        let e = expected_successes(&gm, &params, &probs);
+        prop_assert!(e >= -1e-12);
+        prop_assert!(e <= 12.0 * p + 1e-9);
+    }
+
+    /// Simulation plans: probabilities never exceed the originals, rounds
+    /// match the b_k sequence, first round divides by exactly 1.
+    #[test]
+    fn plan_probabilities_damped(seed in any::<u64>(), p in 0.0f64..=1.0) {
+        let _ = seed;
+        let q = vec![p; 64];
+        let plan = SimulationPlan::build(&q);
+        prop_assert_eq!(plan.rounds(), simulation_rounds(64));
+        for step in &plan.steps {
+            for (orig, damped) in q.iter().zip(&step.probs) {
+                prop_assert!(*damped <= *orig + 1e-12);
+            }
+        }
+        if let Some(first) = plan.steps.first() {
+            prop_assert!((first.probs[0] - p).abs() < 1e-12, "b_0 = 1/4 -> q/(4 b_0) = q");
+        }
+    }
+
+    /// Weighted (link-weighted) utilities transfer too: the MC-estimated
+    /// Rayleigh utility of a feasible set stays above 1/e of the
+    /// non-fading utility (the paper's second utility example).
+    #[test]
+    fn weighted_utility_transfer(seed in any::<u64>()) {
+        use rayfade_sinr::WeightedUtility;
+        let (gm, params) = paper_gain(seed, 25);
+        let set = GreedyCapacity::new().select(&CapacityInstance::unweighted(&gm, &params));
+        let weights: Vec<f64> = (0..25).map(|i| 1.0 + (i % 5) as f64).collect();
+        let u = WeightedUtility::new(params.beta, weights);
+        let (nf, ray) = rayfade_core::transfer_utility_mc(&gm, &params, &set, &u, 1200, seed);
+        prop_assert!(nf > 0.0);
+        prop_assert!(ray >= nf / std::f64::consts::E * 0.8,
+            "weighted transfer broke: nf {nf}, ray {ray}");
+    }
+
+    /// Vectorized probabilities agree with per-link evaluation.
+    #[test]
+    fn vectorized_consistency(seed in any::<u64>(), p in 0.0f64..=1.0) {
+        let (gm, params) = paper_gain(seed, 10);
+        let probs = vec![p; 10];
+        let all = success_probabilities(&gm, &params, &probs);
+        for (i, &v) in all.iter().enumerate() {
+            prop_assert!((v - success_probability(&gm, &params, &probs, i)).abs() < 1e-15);
+        }
+    }
+}

@@ -1,0 +1,515 @@
+//! Random network generators.
+//!
+//! [`PaperTopology`] reproduces the generator of Sec. 7 of the paper:
+//! receivers placed uniformly at random on an `L × L` plane, each sender at
+//! a uniform-random angle and uniform-random distance (from a configurable
+//! interval) from its receiver. Additional generators (clustered, grid,
+//! line) provide harder and more structured instances for tests, examples
+//! and ablations.
+//!
+//! All generators are deterministic given their seed: the same
+//! configuration and seed always yield the same [`Network`].
+
+use crate::link::{Link, Network};
+use crate::point::{BoundingBox, Point};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::f64::consts::TAU;
+
+/// Configuration for the paper's random topology (Sec. 7).
+///
+/// Defaults match Figure 1: 100 links on a 1000×1000 plane with
+/// sender–receiver distances uniform in `[20, 40]`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PaperTopology {
+    /// Number of links `n`.
+    pub links: usize,
+    /// Side length of the square deployment region.
+    pub side: f64,
+    /// Minimum sender–receiver distance.
+    pub min_length: f64,
+    /// Maximum sender–receiver distance.
+    pub max_length: f64,
+}
+
+impl Default for PaperTopology {
+    fn default() -> Self {
+        PaperTopology {
+            links: 100,
+            side: 1000.0,
+            min_length: 20.0,
+            max_length: 40.0,
+        }
+    }
+}
+
+impl PaperTopology {
+    /// The Figure 1 configuration (100 links, lengths in `[20, 40]`).
+    pub fn figure1() -> Self {
+        Self::default()
+    }
+
+    /// The Figure 2 configuration: 200 links with lengths drawn from
+    /// `(0, 100]` ("distances between 0 and 100").
+    ///
+    /// A tiny positive lower bound keeps link gains finite; a literal
+    /// zero-length link would have infinite received power under the
+    /// path-loss law.
+    pub fn figure2() -> Self {
+        PaperTopology {
+            links: 200,
+            side: 1000.0,
+            min_length: 1e-3,
+            max_length: 100.0,
+        }
+    }
+
+    /// Generates a network from the given seed.
+    ///
+    /// Receivers are uniform on the square; each sender sits at a uniform
+    /// angle and uniform `[min_length, max_length]` distance from its
+    /// receiver (senders may fall outside the square, as in the paper,
+    /// which only constrains receiver placement).
+    ///
+    /// # Panics
+    /// If the length interval is empty, negative, or non-finite.
+    pub fn generate(&self, seed: u64) -> Network {
+        assert!(
+            self.min_length >= 0.0
+                && self.max_length >= self.min_length
+                && self.max_length.is_finite(),
+            "invalid length interval [{}, {}]",
+            self.min_length,
+            self.max_length
+        );
+        assert!(self.side > 0.0 && self.side.is_finite(), "invalid side");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut links = Vec::with_capacity(self.links);
+        for _ in 0..self.links {
+            let receiver = Point::new(
+                rng.gen_range(0.0..=self.side),
+                rng.gen_range(0.0..=self.side),
+            );
+            let r = if self.max_length > self.min_length {
+                rng.gen_range(self.min_length..=self.max_length)
+            } else {
+                self.min_length
+            };
+            let theta = rng.gen_range(0.0..TAU);
+            let sender = receiver.offset_polar(r, theta);
+            links.push(Link::new(sender, receiver));
+        }
+        Network::new(links)
+    }
+}
+
+/// Clustered topology: receivers gathered around `clusters` random cluster
+/// centres — a high-contention stress instance where capacity maximization
+/// must leave most links of a cluster unscheduled.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClusteredTopology {
+    /// Number of links `n`.
+    pub links: usize,
+    /// Number of cluster centres.
+    pub clusters: usize,
+    /// Side length of the deployment square.
+    pub side: f64,
+    /// Standard deviation of the (isotropic, approximately normal) scatter
+    /// of receivers around their cluster centre.
+    pub spread: f64,
+    /// Minimum sender–receiver distance.
+    pub min_length: f64,
+    /// Maximum sender–receiver distance.
+    pub max_length: f64,
+}
+
+impl Default for ClusteredTopology {
+    fn default() -> Self {
+        ClusteredTopology {
+            links: 100,
+            clusters: 5,
+            side: 1000.0,
+            spread: 30.0,
+            min_length: 20.0,
+            max_length: 40.0,
+        }
+    }
+}
+
+impl ClusteredTopology {
+    /// Generates a clustered network from the given seed.
+    ///
+    /// Receiver scatter uses a sum of three uniforms (Irwin–Hall), which is
+    /// close enough to normal for topology purposes and keeps the generator
+    /// dependency-free.
+    pub fn generate(&self, seed: u64) -> Network {
+        assert!(self.clusters > 0, "need at least one cluster");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let centres: Vec<Point> = (0..self.clusters)
+            .map(|_| {
+                Point::new(
+                    rng.gen_range(0.0..=self.side),
+                    rng.gen_range(0.0..=self.side),
+                )
+            })
+            .collect();
+        let approx_gauss = |rng: &mut StdRng| -> f64 {
+            // Irwin–Hall(3), centred and scaled to unit variance: var of one
+            // U(−0.5,0.5) is 1/12, of the sum 1/4, so scale by 2.
+            let s: f64 = (0..3).map(|_| rng.gen_range(-0.5..0.5)).sum();
+            s * 2.0
+        };
+        let mut links = Vec::with_capacity(self.links);
+        for i in 0..self.links {
+            let c = centres[i % self.clusters];
+            let receiver = Point::new(
+                c.x + approx_gauss(&mut rng) * self.spread,
+                c.y + approx_gauss(&mut rng) * self.spread,
+            );
+            let r = if self.max_length > self.min_length {
+                rng.gen_range(self.min_length..=self.max_length)
+            } else {
+                self.min_length
+            };
+            let theta = rng.gen_range(0.0..TAU);
+            links.push(Link::new(receiver.offset_polar(r, theta), receiver));
+        }
+        Network::new(links)
+    }
+}
+
+/// Gupta–Kumar-style random pairs: both senders and receivers placed
+/// independently and uniformly on the square (paper's reference \[12\]
+/// setting), so link lengths follow the full uniform-in-square distance
+/// distribution rather than a fixed interval.
+///
+/// Lengths can then span the whole diagonal, which makes the length
+/// diversity `Δ` large — a harder regime for uniform power assignments
+/// than [`PaperTopology`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RandomPairs {
+    /// Number of links.
+    pub links: usize,
+    /// Side length of the deployment square.
+    pub side: f64,
+    /// Reject (and redraw) pairs closer than this, keeping gains finite.
+    pub min_length: f64,
+}
+
+impl Default for RandomPairs {
+    fn default() -> Self {
+        RandomPairs {
+            links: 100,
+            side: 1000.0,
+            min_length: 1.0,
+        }
+    }
+}
+
+impl RandomPairs {
+    /// Generates a network from the given seed.
+    pub fn generate(&self, seed: u64) -> Network {
+        assert!(self.side > 0.0 && self.side.is_finite(), "invalid side");
+        assert!(
+            self.min_length >= 0.0 && self.min_length < self.side,
+            "min_length must be small relative to the square"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let uniform_point = |rng: &mut StdRng| {
+            Point::new(
+                rng.gen_range(0.0..=self.side),
+                rng.gen_range(0.0..=self.side),
+            )
+        };
+        let mut links = Vec::with_capacity(self.links);
+        for _ in 0..self.links {
+            loop {
+                let sender = uniform_point(&mut rng);
+                let receiver = uniform_point(&mut rng);
+                if sender.distance(&receiver) >= self.min_length {
+                    links.push(Link::new(sender, receiver));
+                    break;
+                }
+            }
+        }
+        Network::new(links)
+    }
+}
+
+/// Deterministic grid topology: receivers on a `rows × cols` lattice with
+/// spacing `spacing`; every sender at distance `length` due east.
+///
+/// Regular instances like this are the classical setting of Liu & Haenggi
+/// (paper's ref. \[18\]) whose closed-form success probability the Rayleigh
+/// model builds on; they make analytic spot-checks easy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GridTopology {
+    /// Number of lattice rows.
+    pub rows: usize,
+    /// Number of lattice columns.
+    pub cols: usize,
+    /// Lattice spacing.
+    pub spacing: f64,
+    /// Sender–receiver distance for every link.
+    pub length: f64,
+}
+
+impl GridTopology {
+    /// Generates the deterministic grid network.
+    pub fn generate(&self) -> Network {
+        assert!(self.spacing > 0.0 && self.length > 0.0, "invalid grid");
+        let mut links = Vec::with_capacity(self.rows * self.cols);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                let receiver = Point::new(c as f64 * self.spacing, r as f64 * self.spacing);
+                let sender = Point::new(receiver.x + self.length, receiver.y);
+                links.push(Link::new(sender, receiver));
+            }
+        }
+        Network::new(links)
+    }
+}
+
+/// Exponential line ("chain") topology: link `i` has length `base · g^i`
+/// and consecutive links are separated so that nearest-neighbour
+/// interference dominates.
+///
+/// This is the classical worst-case family for uniform power assignments
+/// (length diversity `Δ = g^(n−1)`), exercising the `O(log Δ)` regime.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExponentialChain {
+    /// Number of links.
+    pub links: usize,
+    /// Length of the shortest link.
+    pub base: f64,
+    /// Geometric growth factor `g > 1`.
+    pub growth: f64,
+}
+
+impl Default for ExponentialChain {
+    fn default() -> Self {
+        ExponentialChain {
+            links: 16,
+            base: 1.0,
+            growth: 2.0,
+        }
+    }
+}
+
+impl ExponentialChain {
+    /// Generates the deterministic chain network.
+    ///
+    /// Link `i` spans `[x_i, x_i + base·g^i]` on the x-axis with the
+    /// receiver on the left; links are laid out left to right with a gap
+    /// equal to the next link's length, so interference decays along the
+    /// chain but never vanishes.
+    pub fn generate(&self) -> Network {
+        assert!(self.base > 0.0 && self.growth >= 1.0, "invalid chain");
+        let mut links = Vec::with_capacity(self.links);
+        let mut x = 0.0;
+        for i in 0..self.links {
+            let len = self.base * self.growth.powi(i as i32);
+            let receiver = Point::new(x, 0.0);
+            let sender = Point::new(x + len, 0.0);
+            links.push(Link::new(sender, receiver));
+            x += 2.0 * len;
+        }
+        Network::new(links)
+    }
+}
+
+/// Summary statistics of a generated topology, used by tests and reports.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TopologyStats {
+    /// Number of links.
+    pub links: usize,
+    /// Minimum link length.
+    pub min_length: f64,
+    /// Maximum link length.
+    pub max_length: f64,
+    /// Mean link length.
+    pub mean_length: f64,
+    /// Bounding box of all nodes.
+    pub bounding_box: Option<BoundingBox>,
+}
+
+/// Computes [`TopologyStats`] for a network.
+pub fn topology_stats(net: &Network) -> TopologyStats {
+    let mut min_length = f64::INFINITY;
+    let mut max_length: f64 = 0.0;
+    let mut sum = 0.0;
+    for l in net.links() {
+        let len = l.length();
+        min_length = min_length.min(len);
+        max_length = max_length.max(len);
+        sum += len;
+    }
+    TopologyStats {
+        links: net.len(),
+        min_length: if net.is_empty() { 0.0 } else { min_length },
+        max_length,
+        mean_length: if net.is_empty() {
+            0.0
+        } else {
+            sum / net.len() as f64
+        },
+        bounding_box: net.bounding_box(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::LinkGeometry;
+
+    #[test]
+    fn paper_topology_is_deterministic() {
+        let cfg = PaperTopology::figure1();
+        let a = cfg.generate(42);
+        let b = cfg.generate(42);
+        assert_eq!(a, b);
+        let c = cfg.generate(43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn paper_topology_respects_bounds() {
+        let cfg = PaperTopology::figure1();
+        let net = cfg.generate(7);
+        assert_eq!(net.len(), 100);
+        let region = BoundingBox::square(cfg.side);
+        for l in net.links() {
+            assert!(region.contains(&l.receiver), "receiver inside region");
+            let len = l.length();
+            assert!(
+                len >= cfg.min_length - 1e-9 && len <= cfg.max_length + 1e-9,
+                "length {len} outside [{}, {}]",
+                cfg.min_length,
+                cfg.max_length
+            );
+        }
+    }
+
+    #[test]
+    fn figure2_config_matches_paper() {
+        let cfg = PaperTopology::figure2();
+        assert_eq!(cfg.links, 200);
+        assert!(cfg.max_length == 100.0);
+        let net = cfg.generate(1);
+        assert_eq!(net.len(), 200);
+        for l in net.links() {
+            assert!(l.length() <= 100.0 + 1e-9 && l.length() > 0.0);
+        }
+    }
+
+    #[test]
+    fn degenerate_length_interval_is_allowed() {
+        let cfg = PaperTopology {
+            links: 10,
+            side: 100.0,
+            min_length: 5.0,
+            max_length: 5.0,
+        };
+        let net = cfg.generate(0);
+        for l in net.links() {
+            assert!((l.length() - 5.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid length interval")]
+    fn inverted_interval_rejected() {
+        let cfg = PaperTopology {
+            min_length: 10.0,
+            max_length: 5.0,
+            ..PaperTopology::default()
+        };
+        let _ = cfg.generate(0);
+    }
+
+    #[test]
+    fn clustered_topology_generates_requested_links() {
+        let cfg = ClusteredTopology::default();
+        let net = cfg.generate(3);
+        assert_eq!(net.len(), cfg.links);
+        assert_eq!(net, cfg.generate(3));
+        for l in net.links() {
+            let len = l.length();
+            assert!(len >= cfg.min_length - 1e-9 && len <= cfg.max_length + 1e-9);
+        }
+    }
+
+    #[test]
+    fn random_pairs_respects_bounds() {
+        let cfg = RandomPairs {
+            links: 50,
+            side: 500.0,
+            min_length: 5.0,
+        };
+        let net = cfg.generate(4);
+        assert_eq!(net.len(), 50);
+        assert_eq!(net, cfg.generate(4));
+        let region = BoundingBox::square(cfg.side);
+        for l in net.links() {
+            assert!(region.contains(&l.sender));
+            assert!(region.contains(&l.receiver));
+            assert!(l.length() >= cfg.min_length);
+        }
+        // Lengths should vary widely (that's the point of this family).
+        let stats = topology_stats(&net);
+        assert!(stats.max_length / stats.min_length > 5.0);
+    }
+
+    #[test]
+    fn grid_topology_shape() {
+        let net = GridTopology {
+            rows: 3,
+            cols: 4,
+            spacing: 10.0,
+            length: 2.0,
+        }
+        .generate();
+        assert_eq!(net.len(), 12);
+        for l in net.links() {
+            assert!((l.length() - 2.0).abs() < 1e-12);
+        }
+        // Receivers form the lattice.
+        assert_eq!(net.link(0).receiver, Point::new(0.0, 0.0));
+        assert_eq!(net.link(11).receiver, Point::new(30.0, 20.0));
+    }
+
+    #[test]
+    fn exponential_chain_lengths_grow_geometrically() {
+        let net = ExponentialChain {
+            links: 5,
+            base: 1.0,
+            growth: 2.0,
+        }
+        .generate();
+        for (i, l) in net.iter() {
+            assert!((l.length() - 2f64.powi(i as i32)).abs() < 1e-9);
+        }
+        assert_eq!(net.length_diversity(), Some(16.0));
+    }
+
+    #[test]
+    fn stats_summarize_network() {
+        let net = GridTopology {
+            rows: 2,
+            cols: 2,
+            spacing: 5.0,
+            length: 1.0,
+        }
+        .generate();
+        let s = topology_stats(&net);
+        assert_eq!(s.links, 4);
+        assert!((s.min_length - 1.0).abs() < 1e-12);
+        assert!((s.max_length - 1.0).abs() < 1e-12);
+        assert!((s.mean_length - 1.0).abs() < 1e-12);
+        assert!(s.bounding_box.is_some());
+        let empty = topology_stats(&Network::default());
+        assert_eq!(empty.links, 0);
+        assert_eq!(empty.mean_length, 0.0);
+    }
+}

@@ -1,0 +1,31 @@
+//! # rayfade-geometry
+//!
+//! Geometric substrate for the `rayfade` workspace — the reproduction of
+//! *"Scheduling in Wireless Networks with Rayleigh-Fading Interference"*
+//! (Dams, Hoefer, Kesselheim; SPAA 2012).
+//!
+//! This crate knows nothing about SINR or fading; it provides
+//!
+//! * [`point`] — planar points and bounding boxes,
+//! * [`metric`] — abstract finite metrics ([`metric::Metric`]) with a planar
+//!   and an explicit-matrix implementation,
+//! * [`link`] — communication links, networks, and the [`link::LinkGeometry`]
+//!   cross-distance abstraction the SINR layer is built on,
+//! * [`generator`] — random/deterministic topology generators, including the
+//!   paper's Sec. 7 generator ([`generator::PaperTopology`]).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod generator;
+pub mod link;
+pub mod metric;
+pub mod point;
+
+pub use generator::{
+    topology_stats, ClusteredTopology, ExponentialChain, GridTopology, PaperTopology, RandomPairs,
+    TopologyStats,
+};
+pub use link::{ExplicitLinkGeometry, Link, LinkGeometry, Network};
+pub use metric::{EuclideanPlane, ExplicitMetric, Metric, MetricViolation};
+pub use point::{BoundingBox, Point};

@@ -1,0 +1,443 @@
+//! Communication links and networks.
+//!
+//! A *link* is a sender–receiver pair `(s_i, r_i)`; a *network* is the
+//! indexed collection of `n` links the scheduling problems operate on
+//! (Sec. 2 of the paper). Interference couples link `j`'s sender to link
+//! `i`'s receiver, so the quantity every model consumes is the cross
+//! distance `d(s_j, r_i)`. The [`LinkGeometry`] trait exposes exactly that,
+//! letting gain-matrix construction work for planar networks and for
+//! explicitly measured cross-distance tables alike.
+
+use crate::point::{BoundingBox, Point};
+use serde::{Deserialize, Serialize};
+
+/// A single communication request: one sender and one receiver in the plane,
+/// with an optional non-negative weight for weighted capacity maximization.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Link {
+    /// Sender position `s_i`.
+    pub sender: Point,
+    /// Receiver position `r_i`.
+    pub receiver: Point,
+    /// Weight `w_i ≥ 0` used by weighted utilities; `1.0` for unweighted.
+    pub weight: f64,
+}
+
+impl Link {
+    /// Creates an unweighted link.
+    pub fn new(sender: Point, receiver: Point) -> Self {
+        Link {
+            sender,
+            receiver,
+            weight: 1.0,
+        }
+    }
+
+    /// Creates a weighted link.
+    ///
+    /// # Panics
+    /// If `weight` is negative or non-finite.
+    pub fn weighted(sender: Point, receiver: Point, weight: f64) -> Self {
+        assert!(
+            weight.is_finite() && weight >= 0.0,
+            "weight must be finite and non-negative"
+        );
+        Link {
+            sender,
+            receiver,
+            weight,
+        }
+    }
+
+    /// Sender–receiver distance `d(s_i, r_i)` — the link's *length*.
+    #[inline]
+    pub fn length(&self) -> f64 {
+        self.sender.distance(&self.receiver)
+    }
+}
+
+/// Cross-distance geometry of a set of links.
+///
+/// `cross_dist(j, i)` is the distance from link `j`'s **sender** to link
+/// `i`'s **receiver** — the distance a signal from `s_j` travels before
+/// arriving (as interference, unless `j == i`) at `r_i`. Note the argument
+/// order matches the paper's `S̄_{j,i}` subscripts.
+pub trait LinkGeometry {
+    /// Number of links.
+    fn len(&self) -> usize;
+
+    /// Distance from sender `j` to receiver `i`.
+    fn cross_dist(&self, j: usize, i: usize) -> f64;
+
+    /// Length of link `i` (`cross_dist(i, i)`).
+    fn length(&self, i: usize) -> f64 {
+        self.cross_dist(i, i)
+    }
+
+    /// Weight of link `i`; defaults to `1.0` (unweighted).
+    fn weight(&self, _i: usize) -> f64 {
+        1.0
+    }
+
+    /// Whether the network has no links.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Ratio `Δ` of the longest to the shortest link length.
+    ///
+    /// Appears in the approximation factors for uniform power (`O(log Δ)`,
+    /// \[5\]). Returns `None` for empty networks or zero-length links.
+    fn length_diversity(&self) -> Option<f64> {
+        let n = self.len();
+        if n == 0 {
+            return None;
+        }
+        let mut lo = f64::INFINITY;
+        let mut hi: f64 = 0.0;
+        for i in 0..n {
+            let l = self.length(i);
+            lo = lo.min(l);
+            hi = hi.max(l);
+        }
+        if lo <= 0.0 {
+            None
+        } else {
+            Some(hi / lo)
+        }
+    }
+}
+
+/// A planar wireless network: an indexed list of [`Link`]s.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Network {
+    links: Vec<Link>,
+}
+
+impl Network {
+    /// Wraps a list of links.
+    pub fn new(links: Vec<Link>) -> Self {
+        Network { links }
+    }
+
+    /// The links, in index order.
+    pub fn links(&self) -> &[Link] {
+        &self.links
+    }
+
+    /// Link `i`.
+    #[inline]
+    pub fn link(&self, i: usize) -> &Link {
+        &self.links[i]
+    }
+
+    /// Appends a link, returning its index.
+    pub fn push(&mut self, link: Link) -> usize {
+        self.links.push(link);
+        self.links.len() - 1
+    }
+
+    /// Number of links.
+    pub fn len(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Whether the network has no links.
+    pub fn is_empty(&self) -> bool {
+        self.links.is_empty()
+    }
+
+    /// Iterates over links with their indices.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &Link)> {
+        self.links.iter().enumerate()
+    }
+
+    /// Smallest bounding box containing every sender and receiver.
+    pub fn bounding_box(&self) -> Option<BoundingBox> {
+        BoundingBox::of_points(self.links.iter().flat_map(|l| [l.sender, l.receiver]))
+    }
+
+    /// Indices sorted by non-decreasing link length.
+    ///
+    /// Ties broken by index so the order is deterministic — several
+    /// scheduling algorithms process links shortest-first.
+    pub fn indices_by_length(&self) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..self.links.len()).collect();
+        idx.sort_by(|&a, &b| {
+            self.links[a]
+                .length()
+                .partial_cmp(&self.links[b].length())
+                .expect("link lengths must not be NaN")
+                .then(a.cmp(&b))
+        });
+        idx
+    }
+
+    /// Restriction of the network to a subset of link indices.
+    ///
+    /// Returns the sub-network and the mapping from new to original indices.
+    pub fn subnetwork(&self, indices: &[usize]) -> (Network, Vec<usize>) {
+        let links = indices.iter().map(|&i| self.links[i]).collect();
+        (Network::new(links), indices.to_vec())
+    }
+}
+
+impl LinkGeometry for Network {
+    #[inline]
+    fn len(&self) -> usize {
+        self.links.len()
+    }
+
+    #[inline]
+    fn cross_dist(&self, j: usize, i: usize) -> f64 {
+        self.links[j].sender.distance(&self.links[i].receiver)
+    }
+
+    #[inline]
+    fn length(&self, i: usize) -> f64 {
+        self.links[i].length()
+    }
+
+    #[inline]
+    fn weight(&self, i: usize) -> f64 {
+        self.links[i].weight
+    }
+}
+
+/// Link geometry given by an explicit cross-distance matrix.
+///
+/// Entry `(j, i)` (row-major) is `d(s_j, r_i)`; the diagonal holds link
+/// lengths. Unlike a point metric this matrix need not be symmetric — the
+/// distance from `s_j` to `r_i` generally differs from `s_i` to `r_j`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExplicitLinkGeometry {
+    n: usize,
+    d: Vec<f64>,
+    weights: Vec<f64>,
+}
+
+impl ExplicitLinkGeometry {
+    /// Builds link geometry from a node [`crate::metric::Metric`] and a
+    /// list of `(sender, receiver)` node-index pairs — the bridge from
+    /// abstract metric spaces (which the paper's algorithms are stated
+    /// over) to the cross-distance form the SINR layer consumes.
+    ///
+    /// # Panics
+    /// If any node index is out of range.
+    pub fn from_metric<M: crate::metric::Metric>(metric: &M, pairs: &[(usize, usize)]) -> Self {
+        let nodes = metric.len();
+        for &(s, r) in pairs {
+            assert!(s < nodes && r < nodes, "node index out of range");
+        }
+        let n = pairs.len();
+        let mut d = vec![0.0; n * n];
+        for (j, &(s_j, _)) in pairs.iter().enumerate() {
+            for (i, &(_, r_i)) in pairs.iter().enumerate() {
+                d[j * n + i] = metric.dist(s_j, r_i);
+            }
+        }
+        ExplicitLinkGeometry {
+            n,
+            d,
+            weights: vec![1.0; n],
+        }
+    }
+
+    /// Builds from a row-major `n×n` cross-distance matrix, unweighted.
+    ///
+    /// # Panics
+    /// If dimensions mismatch or any entry is negative/non-finite.
+    pub fn from_matrix(n: usize, d: Vec<f64>) -> Self {
+        Self::from_matrix_weighted(n, d, vec![1.0; n])
+    }
+
+    /// Builds from a cross-distance matrix with per-link weights.
+    pub fn from_matrix_weighted(n: usize, d: Vec<f64>, weights: Vec<f64>) -> Self {
+        assert_eq!(d.len(), n * n, "matrix must be n*n");
+        assert_eq!(weights.len(), n, "need one weight per link");
+        assert!(
+            d.iter().all(|v| v.is_finite() && *v >= 0.0),
+            "entries must be finite and >= 0"
+        );
+        assert!(
+            weights.iter().all(|v| v.is_finite() && *v >= 0.0),
+            "weights must be finite and >= 0"
+        );
+        ExplicitLinkGeometry { n, d, weights }
+    }
+
+    /// Snapshot of any other link geometry into an explicit matrix.
+    pub fn from_geometry<G: LinkGeometry>(g: &G) -> Self {
+        let n = g.len();
+        let mut d = vec![0.0; n * n];
+        for j in 0..n {
+            for i in 0..n {
+                d[j * n + i] = g.cross_dist(j, i);
+            }
+        }
+        let weights = (0..n).map(|i| g.weight(i)).collect();
+        ExplicitLinkGeometry { n, d, weights }
+    }
+}
+
+impl LinkGeometry for ExplicitLinkGeometry {
+    #[inline]
+    fn len(&self) -> usize {
+        self.n
+    }
+
+    #[inline]
+    fn cross_dist(&self, j: usize, i: usize) -> f64 {
+        self.d[j * self.n + i]
+    }
+
+    #[inline]
+    fn weight(&self, i: usize) -> f64 {
+        self.weights[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_link_net() -> Network {
+        // Link 0: (0,0)->(1,0), link 1: (10,0)->(10,2).
+        Network::new(vec![
+            Link::new(Point::new(0.0, 0.0), Point::new(1.0, 0.0)),
+            Link::new(Point::new(10.0, 0.0), Point::new(10.0, 2.0)),
+        ])
+    }
+
+    #[test]
+    fn link_length() {
+        let l = Link::new(Point::new(0.0, 0.0), Point::new(3.0, 4.0));
+        assert_eq!(l.length(), 5.0);
+        assert_eq!(l.weight, 1.0);
+    }
+
+    #[test]
+    fn weighted_link() {
+        let l = Link::weighted(Point::ORIGIN, Point::new(1.0, 0.0), 2.5);
+        assert_eq!(l.weight, 2.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_weight_rejected() {
+        let _ = Link::weighted(Point::ORIGIN, Point::ORIGIN, -1.0);
+    }
+
+    #[test]
+    fn cross_distance_order_matters() {
+        let net = two_link_net();
+        // Sender 0 at (0,0) to receiver 1 at (10,2).
+        assert!((net.cross_dist(0, 1) - (104.0f64).sqrt()).abs() < 1e-12);
+        // Sender 1 at (10,0) to receiver 0 at (1,0).
+        assert_eq!(net.cross_dist(1, 0), 9.0);
+        assert_eq!(net.length(0), 1.0);
+        assert_eq!(net.length(1), 2.0);
+    }
+
+    #[test]
+    fn indices_by_length_sorts_with_stable_ties() {
+        let mut net = two_link_net();
+        net.push(Link::new(Point::new(0.0, 5.0), Point::new(1.0, 5.0))); // length 1 again
+        let order = net.indices_by_length();
+        assert_eq!(order, vec![0, 2, 1]);
+    }
+
+    #[test]
+    fn length_diversity() {
+        let net = two_link_net();
+        assert_eq!(net.length_diversity(), Some(2.0));
+        assert_eq!(Network::default().length_diversity(), None);
+        // Zero-length link makes diversity undefined.
+        let degenerate = Network::new(vec![Link::new(Point::ORIGIN, Point::ORIGIN)]);
+        assert_eq!(degenerate.length_diversity(), None);
+    }
+
+    #[test]
+    fn bounding_box_covers_all_nodes() {
+        let net = two_link_net();
+        let bb = net.bounding_box().unwrap();
+        assert!(bb.contains(&Point::new(0.0, 0.0)));
+        assert!(bb.contains(&Point::new(10.0, 2.0)));
+        assert!(Network::default().bounding_box().is_none());
+    }
+
+    #[test]
+    fn subnetwork_preserves_links() {
+        let net = two_link_net();
+        let (sub, map) = net.subnetwork(&[1]);
+        assert_eq!(sub.len(), 1);
+        assert_eq!(map, vec![1]);
+        assert_eq!(sub.link(0).length(), 2.0);
+    }
+
+    #[test]
+    fn explicit_geometry_round_trip() {
+        let net = two_link_net();
+        let e = ExplicitLinkGeometry::from_geometry(&net);
+        for j in 0..2 {
+            for i in 0..2 {
+                assert!((e.cross_dist(j, i) - net.cross_dist(j, i)).abs() < 1e-12);
+            }
+        }
+        assert_eq!(e.weight(0), 1.0);
+    }
+
+    #[test]
+    fn metric_bridge_matches_planar_distances() {
+        use crate::metric::{EuclideanPlane, Metric};
+        use crate::point::Point;
+        // Four nodes; two links: node0 -> node1, node2 -> node3.
+        let plane = EuclideanPlane::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(3.0, 0.0),
+            Point::new(0.0, 4.0),
+            Point::new(3.0, 4.0),
+        ]);
+        let geom = ExplicitLinkGeometry::from_metric(&plane, &[(0, 1), (2, 3)]);
+        assert_eq!(geom.len(), 2);
+        assert_eq!(geom.length(0), 3.0);
+        assert_eq!(geom.length(1), 3.0);
+        // Cross: sender 0 (node 0) to receiver 1 (node 3): distance 5.
+        assert_eq!(geom.cross_dist(0, 1), 5.0);
+        assert_eq!(geom.cross_dist(1, 0), plane.dist(2, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "node index out of range")]
+    fn metric_bridge_checks_indices() {
+        use crate::metric::EuclideanPlane;
+        use crate::point::Point;
+        let plane = EuclideanPlane::new(vec![Point::new(0.0, 0.0)]);
+        let _ = ExplicitLinkGeometry::from_metric(&plane, &[(0, 1)]);
+    }
+
+    #[test]
+    fn explicit_geometry_can_be_asymmetric() {
+        let e = ExplicitLinkGeometry::from_matrix(2, vec![1.0, 5.0, 3.0, 2.0]);
+        assert_eq!(e.cross_dist(0, 1), 5.0);
+        assert_eq!(e.cross_dist(1, 0), 3.0);
+        assert_eq!(e.length(0), 1.0);
+        assert_eq!(e.length(1), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "n*n")]
+    fn explicit_geometry_rejects_bad_shape() {
+        let _ = ExplicitLinkGeometry::from_matrix(2, vec![0.0; 3]);
+    }
+
+    #[test]
+    fn network_iter_and_push() {
+        let mut net = Network::default();
+        assert!(net.is_empty());
+        let id = net.push(Link::new(Point::ORIGIN, Point::new(1.0, 0.0)));
+        assert_eq!(id, 0);
+        let collected: Vec<usize> = net.iter().map(|(i, _)| i).collect();
+        assert_eq!(collected, vec![0]);
+    }
+}

@@ -1,0 +1,296 @@
+//! Abstract metric spaces over node identifiers.
+//!
+//! The paper's reduction (Sec. 2) is stated for *arbitrary* expected signal
+//! strengths; only the transferred algorithms require distances to come from
+//! a metric space. We therefore separate the metric abstraction from the
+//! planar case: algorithms take any [`Metric`], and the plane is just one
+//! implementation. An [`ExplicitMetric`] backed by a distance matrix lets
+//! users model arbitrary (even non-geometric) propagation environments.
+
+use crate::point::Point;
+use serde::{Deserialize, Serialize};
+
+/// A finite (pseudo-)metric on node indices `0..len()`.
+///
+/// Implementations must be symmetric with zero self-distance. The triangle
+/// inequality is expected by the scheduling algorithms' guarantees but is
+/// not enforced at runtime (checking is `O(n³)`); use
+/// [`Metric::check_triangle_inequality`] in tests.
+pub trait Metric {
+    /// Number of indexed nodes.
+    fn len(&self) -> usize;
+
+    /// Distance between nodes `a` and `b`.
+    fn dist(&self, a: usize, b: usize) -> f64;
+
+    /// Whether the space contains no nodes.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Exhaustively verifies symmetry, zero self-distance, non-negativity
+    /// and the triangle inequality, up to additive slack `eps`.
+    ///
+    /// Runs in `O(n³)`; intended for tests and debug assertions only.
+    fn check_triangle_inequality(&self, eps: f64) -> Result<(), MetricViolation> {
+        let n = self.len();
+        for a in 0..n {
+            if self.dist(a, a).abs() > eps {
+                return Err(MetricViolation::NonZeroSelfDistance { node: a });
+            }
+            for b in 0..n {
+                let dab = self.dist(a, b);
+                if dab < -eps {
+                    return Err(MetricViolation::Negative { a, b });
+                }
+                if (dab - self.dist(b, a)).abs() > eps {
+                    return Err(MetricViolation::Asymmetric { a, b });
+                }
+            }
+        }
+        for a in 0..n {
+            for b in 0..n {
+                for c in 0..n {
+                    if self.dist(a, c) > self.dist(a, b) + self.dist(b, c) + eps {
+                        return Err(MetricViolation::Triangle { a, b, c });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A violation detected by [`Metric::check_triangle_inequality`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricViolation {
+    /// `d(a, a) != 0`.
+    NonZeroSelfDistance {
+        /// Offending node.
+        node: usize,
+    },
+    /// `d(a, b) < 0`.
+    Negative {
+        /// First node.
+        a: usize,
+        /// Second node.
+        b: usize,
+    },
+    /// `d(a, b) != d(b, a)`.
+    Asymmetric {
+        /// First node.
+        a: usize,
+        /// Second node.
+        b: usize,
+    },
+    /// `d(a, c) > d(a, b) + d(b, c)`.
+    Triangle {
+        /// Endpoint.
+        a: usize,
+        /// Midpoint.
+        b: usize,
+        /// Endpoint.
+        c: usize,
+    },
+}
+
+impl std::fmt::Display for MetricViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MetricViolation::NonZeroSelfDistance { node } => {
+                write!(f, "d({node},{node}) != 0")
+            }
+            MetricViolation::Negative { a, b } => write!(f, "d({a},{b}) < 0"),
+            MetricViolation::Asymmetric { a, b } => write!(f, "d({a},{b}) != d({b},{a})"),
+            MetricViolation::Triangle { a, b, c } => {
+                write!(f, "triangle inequality violated on ({a},{b},{c})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MetricViolation {}
+
+/// The Euclidean plane restricted to a finite list of node positions.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct EuclideanPlane {
+    positions: Vec<Point>,
+}
+
+impl EuclideanPlane {
+    /// Wraps a list of positions.
+    pub fn new(positions: Vec<Point>) -> Self {
+        assert!(
+            positions.iter().all(Point::is_finite),
+            "positions must be finite"
+        );
+        EuclideanPlane { positions }
+    }
+
+    /// Position of node `i`.
+    #[inline]
+    pub fn position(&self, i: usize) -> Point {
+        self.positions[i]
+    }
+
+    /// All positions, in index order.
+    pub fn positions(&self) -> &[Point] {
+        &self.positions
+    }
+
+    /// Appends a node, returning its index.
+    pub fn push(&mut self, p: Point) -> usize {
+        assert!(p.is_finite(), "positions must be finite");
+        self.positions.push(p);
+        self.positions.len() - 1
+    }
+}
+
+impl Metric for EuclideanPlane {
+    #[inline]
+    fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    #[inline]
+    fn dist(&self, a: usize, b: usize) -> f64 {
+        self.positions[a].distance(&self.positions[b])
+    }
+}
+
+/// A metric given by an explicit (dense, row-major) distance matrix.
+///
+/// Useful for measured propagation environments, unit-disk-like synthetic
+/// topologies, and adversarial test instances. Symmetry and zero diagonal
+/// are enforced at construction; the triangle inequality is the caller's
+/// responsibility (checkable via [`Metric::check_triangle_inequality`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExplicitMetric {
+    n: usize,
+    // Row-major n×n matrix.
+    d: Vec<f64>,
+}
+
+impl ExplicitMetric {
+    /// Builds a metric from a row-major `n×n` matrix.
+    ///
+    /// # Panics
+    /// If the matrix is not `n×n`, not symmetric, has a non-zero diagonal,
+    /// or contains negative/non-finite entries.
+    pub fn from_matrix(n: usize, d: Vec<f64>) -> Self {
+        assert_eq!(d.len(), n * n, "matrix must be n*n");
+        for i in 0..n {
+            assert_eq!(d[i * n + i], 0.0, "diagonal must be zero at {i}");
+            for j in 0..n {
+                let v = d[i * n + j];
+                assert!(v.is_finite() && v >= 0.0, "entries must be finite and >= 0");
+                assert_eq!(v, d[j * n + i], "matrix must be symmetric at ({i},{j})");
+            }
+        }
+        ExplicitMetric { n, d }
+    }
+
+    /// Derives an explicit matrix from any other metric (a snapshot).
+    pub fn from_metric<M: Metric>(m: &M) -> Self {
+        let n = m.len();
+        let mut d = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                d[i * n + j] = m.dist(i, j);
+            }
+        }
+        ExplicitMetric { n, d }
+    }
+}
+
+impl Metric for ExplicitMetric {
+    #[inline]
+    fn len(&self) -> usize {
+        self.n
+    }
+
+    #[inline]
+    fn dist(&self, a: usize, b: usize) -> f64 {
+        self.d[a * self.n + b]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_plane() -> EuclideanPlane {
+        EuclideanPlane::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(3.0, 0.0),
+            Point::new(3.0, 4.0),
+            Point::new(-1.0, -1.0),
+        ])
+    }
+
+    #[test]
+    fn plane_distances() {
+        let m = small_plane();
+        assert_eq!(m.len(), 4);
+        assert_eq!(m.dist(0, 1), 3.0);
+        assert_eq!(m.dist(1, 2), 4.0);
+        assert_eq!(m.dist(0, 2), 5.0);
+    }
+
+    #[test]
+    fn plane_is_a_metric() {
+        small_plane().check_triangle_inequality(1e-9).unwrap();
+    }
+
+    #[test]
+    fn plane_push_returns_index() {
+        let mut m = EuclideanPlane::default();
+        assert!(m.is_empty());
+        assert_eq!(m.push(Point::new(1.0, 1.0)), 0);
+        assert_eq!(m.push(Point::new(2.0, 2.0)), 1);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.position(1), Point::new(2.0, 2.0));
+    }
+
+    #[test]
+    fn explicit_metric_round_trips_plane() {
+        let m = small_plane();
+        let e = ExplicitMetric::from_metric(&m);
+        for a in 0..m.len() {
+            for b in 0..m.len() {
+                assert!((m.dist(a, b) - e.dist(a, b)).abs() < 1e-12);
+            }
+        }
+        e.check_triangle_inequality(1e-9).unwrap();
+    }
+
+    #[test]
+    fn triangle_check_catches_violation() {
+        // d(0,2)=10 but d(0,1)+d(1,2)=2: not a metric.
+        let e = ExplicitMetric::from_matrix(3, vec![0.0, 1.0, 10.0, 1.0, 0.0, 1.0, 10.0, 1.0, 0.0]);
+        assert!(matches!(
+            e.check_triangle_inequality(1e-9),
+            Err(MetricViolation::Triangle { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "symmetric")]
+    fn explicit_metric_rejects_asymmetry() {
+        let _ = ExplicitMetric::from_matrix(2, vec![0.0, 1.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "diagonal")]
+    fn explicit_metric_rejects_nonzero_diagonal() {
+        let _ = ExplicitMetric::from_matrix(2, vec![0.5, 1.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn violation_display() {
+        let v = MetricViolation::Triangle { a: 0, b: 1, c: 2 };
+        assert!(v.to_string().contains("triangle"));
+        let v = MetricViolation::Asymmetric { a: 0, b: 1 };
+        assert!(v.to_string().contains("d(0,1)"));
+    }
+}

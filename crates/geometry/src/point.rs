@@ -1,0 +1,278 @@
+//! Points in the Euclidean plane.
+//!
+//! The paper's simulations (Sec. 7) place nodes on a 1000×1000 plane, so the
+//! planar case is the workhorse. All higher-level code is written against
+//! the [`crate::metric::Metric`] trait, which this module's [`Point`] feeds
+//! through [`crate::metric::EuclideanPlane`].
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, Mul, Sub};
+
+/// A point in the two-dimensional Euclidean plane.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Point {
+    /// Horizontal coordinate.
+    pub x: f64,
+    /// Vertical coordinate.
+    pub y: f64,
+}
+
+impl Point {
+    /// The origin `(0, 0)`.
+    pub const ORIGIN: Point = Point { x: 0.0, y: 0.0 };
+
+    /// Creates a point from its coordinates.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Euclidean distance to `other`.
+    #[inline]
+    pub fn distance(&self, other: &Point) -> f64 {
+        self.distance_squared(other).sqrt()
+    }
+
+    /// Squared Euclidean distance to `other`.
+    ///
+    /// Cheaper than [`Point::distance`]; prefer it for comparisons.
+    #[inline]
+    pub fn distance_squared(&self, other: &Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// The point at distance `r` and angle `theta` (radians, measured from
+    /// the positive x-axis) from `self`.
+    ///
+    /// This is exactly how the paper places each sender relative to its
+    /// receiver: "choosing the angle and the distance to the receiver
+    /// uniformly at random from a fixed interval".
+    #[inline]
+    pub fn offset_polar(&self, r: f64, theta: f64) -> Point {
+        Point::new(self.x + r * theta.cos(), self.y + r * theta.sin())
+    }
+
+    /// Euclidean norm of the point interpreted as a vector.
+    #[inline]
+    pub fn norm(&self) -> f64 {
+        (self.x * self.x + self.y * self.y).sqrt()
+    }
+
+    /// Componentwise minimum.
+    #[inline]
+    pub fn min(&self, other: &Point) -> Point {
+        Point::new(self.x.min(other.x), self.y.min(other.y))
+    }
+
+    /// Componentwise maximum.
+    #[inline]
+    pub fn max(&self, other: &Point) -> Point {
+        Point::new(self.x.max(other.x), self.y.max(other.y))
+    }
+
+    /// Whether both coordinates are finite (not NaN/∞).
+    #[inline]
+    pub fn is_finite(&self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+}
+
+impl Add for Point {
+    type Output = Point;
+    #[inline]
+    fn add(self, rhs: Point) -> Point {
+        Point::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl Sub for Point {
+    type Output = Point;
+    #[inline]
+    fn sub(self, rhs: Point) -> Point {
+        Point::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl Mul<f64> for Point {
+    type Output = Point;
+    #[inline]
+    fn mul(self, rhs: f64) -> Point {
+        Point::new(self.x * rhs, self.y * rhs)
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.3}, {:.3})", self.x, self.y)
+    }
+}
+
+/// An axis-aligned bounding box, used to describe deployment regions.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BoundingBox {
+    /// Lower-left corner.
+    pub lo: Point,
+    /// Upper-right corner.
+    pub hi: Point,
+}
+
+impl BoundingBox {
+    /// Creates a box from two opposite corners (in any order).
+    pub fn new(a: Point, b: Point) -> Self {
+        BoundingBox {
+            lo: a.min(&b),
+            hi: a.max(&b),
+        }
+    }
+
+    /// The square `[0, side] × [0, side]` — the paper uses `side = 1000`.
+    pub fn square(side: f64) -> Self {
+        assert!(
+            side >= 0.0 && side.is_finite(),
+            "side must be finite and non-negative"
+        );
+        BoundingBox::new(Point::ORIGIN, Point::new(side, side))
+    }
+
+    /// Width of the box.
+    #[inline]
+    pub fn width(&self) -> f64 {
+        self.hi.x - self.lo.x
+    }
+
+    /// Height of the box.
+    #[inline]
+    pub fn height(&self) -> f64 {
+        self.hi.y - self.lo.y
+    }
+
+    /// Length of the box diagonal — an upper bound on any pairwise distance.
+    #[inline]
+    pub fn diameter(&self) -> f64 {
+        self.lo.distance(&self.hi)
+    }
+
+    /// Whether `p` lies inside the box (boundary inclusive).
+    #[inline]
+    pub fn contains(&self, p: &Point) -> bool {
+        p.x >= self.lo.x && p.x <= self.hi.x && p.y >= self.lo.y && p.y <= self.hi.y
+    }
+
+    /// The smallest box containing `self` and `p`.
+    pub fn expand_to(&self, p: &Point) -> BoundingBox {
+        BoundingBox {
+            lo: self.lo.min(p),
+            hi: self.hi.max(p),
+        }
+    }
+
+    /// Smallest bounding box of a non-empty point set.
+    ///
+    /// Returns `None` for an empty iterator.
+    pub fn of_points<I: IntoIterator<Item = Point>>(points: I) -> Option<BoundingBox> {
+        let mut it = points.into_iter();
+        let first = it.next()?;
+        let mut bb = BoundingBox::new(first, first);
+        for p in it {
+            bb = bb.expand_to(&p);
+        }
+        Some(bb)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_is_symmetric_and_zero_on_self() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(4.0, 6.0);
+        assert_eq!(a.distance(&b), b.distance(&a));
+        assert_eq!(a.distance(&a), 0.0);
+        assert_eq!(a.distance(&b), 5.0);
+    }
+
+    #[test]
+    fn distance_squared_matches_distance() {
+        let a = Point::new(-3.0, 0.5);
+        let b = Point::new(2.0, -7.0);
+        let d = a.distance(&b);
+        assert!((a.distance_squared(&b) - d * d).abs() < 1e-12);
+    }
+
+    #[test]
+    fn polar_offset_has_requested_distance() {
+        let c = Point::new(10.0, -3.0);
+        for k in 0..16 {
+            let theta = k as f64 * std::f64::consts::PI / 8.0;
+            let p = c.offset_polar(7.5, theta);
+            assert!((c.distance(&p) - 7.5).abs() < 1e-9, "angle {theta}");
+        }
+    }
+
+    #[test]
+    fn polar_offset_zero_radius_is_identity() {
+        let c = Point::new(1.0, 1.0);
+        let p = c.offset_polar(0.0, 1.234);
+        assert!((p.x - c.x).abs() < 1e-12 && (p.y - c.y).abs() < 1e-12);
+    }
+
+    #[test]
+    fn vector_ops() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(3.0, 5.0);
+        assert_eq!(a + b, Point::new(4.0, 7.0));
+        assert_eq!(b - a, Point::new(2.0, 3.0));
+        assert_eq!(a * 2.0, Point::new(2.0, 4.0));
+        assert!((Point::new(3.0, 4.0).norm() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bounding_box_orders_corners() {
+        let bb = BoundingBox::new(Point::new(5.0, -1.0), Point::new(-2.0, 3.0));
+        assert_eq!(bb.lo, Point::new(-2.0, -1.0));
+        assert_eq!(bb.hi, Point::new(5.0, 3.0));
+        assert_eq!(bb.width(), 7.0);
+        assert_eq!(bb.height(), 4.0);
+    }
+
+    #[test]
+    fn bounding_box_contains_and_expand() {
+        let bb = BoundingBox::square(10.0);
+        assert!(bb.contains(&Point::new(0.0, 0.0)));
+        assert!(bb.contains(&Point::new(10.0, 10.0)));
+        assert!(!bb.contains(&Point::new(10.0, 10.1)));
+        let bigger = bb.expand_to(&Point::new(-5.0, 3.0));
+        assert!(bigger.contains(&Point::new(-5.0, 3.0)));
+        assert!(bigger.contains(&Point::new(10.0, 10.0)));
+    }
+
+    #[test]
+    fn bounding_box_of_points() {
+        assert!(BoundingBox::of_points(std::iter::empty()).is_none());
+        let pts = vec![
+            Point::new(1.0, 1.0),
+            Point::new(-2.0, 5.0),
+            Point::new(3.0, 0.0),
+        ];
+        let bb = BoundingBox::of_points(pts).unwrap();
+        assert_eq!(bb.lo, Point::new(-2.0, 0.0));
+        assert_eq!(bb.hi, Point::new(3.0, 5.0));
+    }
+
+    #[test]
+    fn diameter_bounds_pairwise_distances() {
+        let bb = BoundingBox::square(1000.0);
+        assert!((bb.diameter() - 1000.0 * 2f64.sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "side must be finite")]
+    fn square_rejects_negative_side() {
+        let _ = BoundingBox::square(-1.0);
+    }
+}

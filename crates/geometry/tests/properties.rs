@@ -1,0 +1,99 @@
+//! Property-based tests for the geometric substrate.
+
+use proptest::prelude::*;
+use rayfade_geometry::{
+    EuclideanPlane, ExplicitLinkGeometry, ExplicitMetric, LinkGeometry, Metric, PaperTopology,
+    Point,
+};
+
+fn finite_coord() -> impl Strategy<Value = f64> {
+    -1.0e4..1.0e4
+}
+
+fn point() -> impl Strategy<Value = Point> {
+    (finite_coord(), finite_coord()).prop_map(|(x, y)| Point::new(x, y))
+}
+
+proptest! {
+    #[test]
+    fn distance_symmetry(a in point(), b in point()) {
+        prop_assert!((a.distance(&b) - b.distance(&a)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn distance_triangle(a in point(), b in point(), c in point()) {
+        prop_assert!(a.distance(&c) <= a.distance(&b) + b.distance(&c) + 1e-6);
+    }
+
+    #[test]
+    fn distance_nonnegative_and_identity(a in point()) {
+        prop_assert!(a.distance(&a) == 0.0);
+    }
+
+    #[test]
+    fn polar_offset_distance(a in point(), r in 0.0..1.0e3f64, theta in 0.0..std::f64::consts::TAU) {
+        let p = a.offset_polar(r, theta);
+        prop_assert!((a.distance(&p) - r).abs() < 1e-6);
+    }
+
+    #[test]
+    fn plane_metric_passes_checker(pts in prop::collection::vec(point(), 0..8)) {
+        let m = EuclideanPlane::new(pts);
+        prop_assert!(m.check_triangle_inequality(1e-6).is_ok());
+    }
+
+    #[test]
+    fn explicit_metric_snapshot_agrees(pts in prop::collection::vec(point(), 1..8)) {
+        let m = EuclideanPlane::new(pts);
+        let e = ExplicitMetric::from_metric(&m);
+        for a in 0..m.len() {
+            for b in 0..m.len() {
+                prop_assert!((m.dist(a, b) - e.dist(a, b)).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn generator_lengths_in_interval(
+        seed in any::<u64>(),
+        n in 1usize..40,
+        lo in 1.0..50.0f64,
+        extra in 0.0..50.0f64,
+    ) {
+        let cfg = PaperTopology { links: n, side: 500.0, min_length: lo, max_length: lo + extra };
+        let net = cfg.generate(seed);
+        prop_assert_eq!(net.len(), n);
+        for l in net.links() {
+            let len = l.length();
+            prop_assert!(len >= lo - 1e-6 && len <= lo + extra + 1e-6);
+        }
+    }
+
+    #[test]
+    fn generator_deterministic(seed in any::<u64>()) {
+        let cfg = PaperTopology { links: 10, side: 100.0, min_length: 1.0, max_length: 2.0 };
+        prop_assert_eq!(cfg.generate(seed), cfg.generate(seed));
+    }
+
+    #[test]
+    fn link_geometry_snapshot(seed in any::<u64>()) {
+        let net = PaperTopology { links: 12, side: 200.0, min_length: 5.0, max_length: 10.0 }
+            .generate(seed);
+        let snap = ExplicitLinkGeometry::from_geometry(&net);
+        for j in 0..net.len() {
+            for i in 0..net.len() {
+                prop_assert!((snap.cross_dist(j, i) - net.cross_dist(j, i)).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn indices_by_length_is_sorted(seed in any::<u64>()) {
+        let net = PaperTopology { links: 20, side: 300.0, min_length: 1.0, max_length: 100.0 }
+            .generate(seed);
+        let order = net.indices_by_length();
+        for w in order.windows(2) {
+            prop_assert!(net.link(w[0]).length() <= net.link(w[1]).length() + 1e-12);
+        }
+    }
+}

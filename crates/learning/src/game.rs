@@ -1,0 +1,380 @@
+//! The distributed capacity-maximization game (Sec. 6–7).
+//!
+//! Every link runs its own no-regret learner over {idle, send}. Each round
+//! the chosen actions form a transmission set, the physical model resolves
+//! which transmissions succeed, and every learner receives the losses of
+//! *both* its actions:
+//!
+//! * the realized loss of the action it took;
+//! * the counterfactual loss of the other action, evaluated against the
+//!   same round's interference (deterministically in the non-fading model,
+//!   via the same slot's fading draw in the Rayleigh model).
+//!
+//! Because the game runs against the [`SuccessModel`] abstraction, the
+//! identical dynamics execute in both models — which is precisely the
+//! comparison Figure 2 of the paper draws.
+
+use crate::regret::RegretTracker;
+use crate::reward::{loss, Action};
+use crate::rwm::{NoRegretLearner, Rwm};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rayfade_sinr::SuccessModel;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a game run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GameConfig {
+    /// Number of rounds `T`.
+    pub rounds: usize,
+    /// Seed for all action draws.
+    pub seed: u64,
+}
+
+impl Default for GameConfig {
+    fn default() -> Self {
+        GameConfig {
+            rounds: 100,
+            seed: 0x9a3e,
+        }
+    }
+}
+
+/// Per-round and aggregate results of a game run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GameOutcome {
+    /// Number of successful transmissions in each round — the series
+    /// Figure 2 plots.
+    pub successes_per_round: Vec<usize>,
+    /// Number of transmitting links in each round.
+    pub transmitters_per_round: Vec<usize>,
+    /// Per-link regret statistics.
+    pub regret: RegretTracker,
+    /// Final mixed strategies (probability of sending) per link.
+    pub final_send_probability: Vec<f64>,
+}
+
+impl GameOutcome {
+    /// Mean successes per round over the last `window` rounds (the
+    /// converged throughput Figure 2 eyeballs).
+    pub fn converged_successes(&self, window: usize) -> f64 {
+        let k = window.min(self.successes_per_round.len()).max(1);
+        let tail = &self.successes_per_round[self.successes_per_round.len() - k..];
+        tail.iter().sum::<usize>() as f64 / k as f64
+    }
+
+    /// Mean successes per round over the entire run.
+    pub fn mean_successes(&self) -> f64 {
+        if self.successes_per_round.is_empty() {
+            return 0.0;
+        }
+        self.successes_per_round.iter().sum::<usize>() as f64
+            / self.successes_per_round.len() as f64
+    }
+}
+
+/// Runs the capacity game with one RWM learner per link; the SINR
+/// threshold is taken from the model itself (see [`HasBeta`]).
+pub fn run_game<M: SuccessModel + HasBeta>(model: &mut M, config: &GameConfig) -> GameOutcome {
+    let beta = model.beta();
+    run_game_with_beta(model, beta, config)
+}
+
+/// Threshold accessor used by the game; both provided models carry their
+/// parameters.
+pub trait HasBeta {
+    /// The SINR success threshold β.
+    fn beta(&self) -> f64;
+}
+
+impl HasBeta for rayfade_sinr::NonFadingModel {
+    fn beta(&self) -> f64 {
+        self.params().beta
+    }
+}
+
+impl HasBeta for rayfade_core::RayleighModel {
+    fn beta(&self) -> f64 {
+        self.params().beta
+    }
+}
+
+impl HasBeta for rayfade_core::NakagamiModel {
+    fn beta(&self) -> f64 {
+        self.params().beta
+    }
+}
+
+/// Runs the game with an explicit SINR threshold (the general entry
+/// point; [`run_game`] delegates here for models implementing
+/// [`HasBeta`]).
+///
+/// Each round: every learner samples an action; one call to
+/// [`SuccessModel::resolve_sinrs`] yields, for transmitting links, their
+/// realized SINR and, for idle links, the exact counterfactual "had I
+/// transmitted" SINR (a link's own signal does not interfere with others,
+/// so the interference term is identical either way).
+pub fn run_game_with_beta<M: SuccessModel>(
+    model: &mut M,
+    beta: f64,
+    config: &GameConfig,
+) -> GameOutcome {
+    let n = model.len();
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut learners: Vec<Rwm> = (0..n).map(|_| Rwm::binary()).collect();
+    let mut regret = RegretTracker::new(n);
+    let mut successes_per_round = Vec::with_capacity(config.rounds);
+    let mut transmitters_per_round = Vec::with_capacity(config.rounds);
+    let mut active = vec![false; n];
+    for _round in 0..config.rounds {
+        for (i, learner) in learners.iter_mut().enumerate() {
+            active[i] = learner.choose(&mut rng) == Action::Send.index();
+        }
+        let sinrs = model.resolve_sinrs(&active);
+        let mut succ_count = 0usize;
+        let mut tx_count = 0usize;
+        for i in 0..n {
+            let would_succeed = sinrs[i] >= beta;
+            if active[i] {
+                tx_count += 1;
+                if would_succeed {
+                    succ_count += 1;
+                }
+            }
+            let losses = [
+                loss(Action::Idle, would_succeed),
+                loss(Action::Send, would_succeed),
+            ];
+            let taken = if active[i] {
+                Action::Send
+            } else {
+                Action::Idle
+            };
+            regret.record(i, taken.index(), &losses);
+            learners[i].update(&losses);
+        }
+        successes_per_round.push(succ_count);
+        transmitters_per_round.push(tx_count);
+    }
+    GameOutcome {
+        successes_per_round,
+        transmitters_per_round,
+        regret,
+        final_send_probability: learners
+            .iter()
+            .map(|l| l.strategy()[Action::Send.index()])
+            .collect(),
+    }
+}
+
+/// Bandit-feedback variant of the capacity game: every link runs Exp3 and
+/// observes **only the loss of the action it took** — no counterfactuals.
+/// This is the fully distributed information model; ablation A8 compares
+/// it with the full-information dynamics.
+pub fn run_game_bandit<M: SuccessModel>(
+    model: &mut M,
+    beta: f64,
+    config: &GameConfig,
+) -> GameOutcome {
+    use crate::exp3::{BanditLearner, Exp3};
+    let n = model.len();
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut learners: Vec<Exp3> = (0..n).map(|_| Exp3::binary()).collect();
+    let mut regret = RegretTracker::new(n);
+    let mut successes_per_round = Vec::with_capacity(config.rounds);
+    let mut transmitters_per_round = Vec::with_capacity(config.rounds);
+    let mut active = vec![false; n];
+    let mut actions = vec![0usize; n];
+    for _round in 0..config.rounds {
+        for (i, learner) in learners.iter_mut().enumerate() {
+            actions[i] = learner.choose(&mut rng);
+            active[i] = actions[i] == Action::Send.index();
+        }
+        let sinrs = model.resolve_sinrs(&active);
+        let mut succ_count = 0usize;
+        let mut tx_count = 0usize;
+        for i in 0..n {
+            let would_succeed = sinrs[i] >= beta;
+            if active[i] {
+                tx_count += 1;
+                if would_succeed {
+                    succ_count += 1;
+                }
+            }
+            // The regret tracker still records both losses (it is an
+            // *observer*, not part of the protocol); the learner only sees
+            // its own.
+            let losses = [
+                loss(Action::Idle, would_succeed),
+                loss(Action::Send, would_succeed),
+            ];
+            regret.record(i, actions[i], &losses);
+            learners[i].update(actions[i], losses[actions[i]]);
+        }
+        successes_per_round.push(succ_count);
+        transmitters_per_round.push(tx_count);
+    }
+    GameOutcome {
+        successes_per_round,
+        transmitters_per_round,
+        regret,
+        final_send_probability: learners
+            .iter()
+            .map(|l| l.strategy()[Action::Send.index()])
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rayfade_core::RayleighModel;
+    use rayfade_geometry::PaperTopology;
+    use rayfade_sinr::{GainMatrix, NonFadingModel, PowerAssignment, SinrParams};
+
+    fn figure2_model(seed: u64, n: usize) -> (GainMatrix, SinrParams) {
+        let net = PaperTopology {
+            links: n,
+            side: 1000.0,
+            min_length: 1.0,
+            max_length: 100.0,
+        }
+        .generate(seed);
+        let params = SinrParams::figure2();
+        let gm = GainMatrix::from_geometry(&net, &PowerAssignment::Uniform(2.0), params.alpha);
+        (gm, params)
+    }
+
+    #[test]
+    fn game_runs_and_produces_successes_nonfading() {
+        let (gm, params) = figure2_model(1, 40);
+        let mut model = NonFadingModel::new(gm, params);
+        let out = run_game_with_beta(&mut model, params.beta, &GameConfig::default());
+        assert_eq!(out.successes_per_round.len(), 100);
+        assert!(out.mean_successes() > 0.0);
+        // Convergence: the tail should outperform the opening rounds.
+        let head: f64 = out.successes_per_round[..10].iter().sum::<usize>() as f64 / 10.0;
+        let tail = out.converged_successes(10);
+        assert!(
+            tail >= head * 0.8,
+            "throughput degraded: head {head}, tail {tail}"
+        );
+    }
+
+    #[test]
+    fn game_runs_under_rayleigh() {
+        let (gm, params) = figure2_model(2, 40);
+        let mut model = RayleighModel::new(gm, params, 7);
+        let out = run_game_with_beta(&mut model, params.beta, &GameConfig::default());
+        assert_eq!(out.successes_per_round.len(), 100);
+        assert!(out.mean_successes() > 0.0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (gm, params) = figure2_model(3, 20);
+        let cfg = GameConfig {
+            rounds: 30,
+            seed: 11,
+        };
+        let a = run_game_with_beta(
+            &mut NonFadingModel::new(gm.clone(), params),
+            params.beta,
+            &cfg,
+        );
+        let b = run_game_with_beta(&mut NonFadingModel::new(gm, params), params.beta, &cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn regret_per_round_shrinks_with_horizon() {
+        let (gm, params) = figure2_model(4, 25);
+        let short = run_game_with_beta(
+            &mut NonFadingModel::new(gm.clone(), params),
+            params.beta,
+            &GameConfig {
+                rounds: 16,
+                seed: 5,
+            },
+        );
+        let long = run_game_with_beta(
+            &mut NonFadingModel::new(gm, params),
+            params.beta,
+            &GameConfig {
+                rounds: 512,
+                seed: 5,
+            },
+        );
+        let short_avg = short.regret.max_average_regret(16);
+        let long_avg = long.regret.max_average_regret(512);
+        assert!(
+            long_avg <= short_avg + 0.05,
+            "average regret should shrink: {short_avg} -> {long_avg}"
+        );
+        // The no-regret property: vanishing average regret.
+        assert!(long_avg < 0.25, "long-run average regret {long_avg}");
+    }
+
+    #[test]
+    fn isolated_links_learn_to_send() {
+        // Two links with negligible mutual interference: sending always
+        // succeeds, so both learners should converge to "send".
+        let gm = GainMatrix::from_raw(2, vec![100.0, 1e-9, 1e-9, 100.0]);
+        let params = SinrParams::new(2.0, 1.0, 1e-6);
+        let mut model = NonFadingModel::new(gm, params);
+        let out = run_game_with_beta(
+            &mut model,
+            params.beta,
+            &GameConfig {
+                rounds: 200,
+                seed: 2,
+            },
+        );
+        for (i, &p) in out.final_send_probability.iter().enumerate() {
+            assert!(p > 0.9, "link {i} send probability {p}");
+        }
+        assert!(out.converged_successes(20) > 1.8);
+    }
+
+    #[test]
+    fn bandit_game_runs_and_converges_roughly() {
+        let (gm, params) = figure2_model(5, 30);
+        let mut model = NonFadingModel::new(gm, params);
+        let out = run_game_bandit(
+            &mut model,
+            params.beta,
+            &GameConfig {
+                rounds: 400,
+                seed: 9,
+            },
+        );
+        assert_eq!(out.successes_per_round.len(), 400);
+        assert!(out.mean_successes() > 0.0);
+        // Bandit feedback is slower but the tail should beat the head.
+        let head: f64 = out.successes_per_round[..50].iter().sum::<usize>() as f64 / 50.0;
+        let tail = out.converged_successes(50);
+        assert!(tail >= head * 0.8, "head {head} tail {tail}");
+    }
+
+    #[test]
+    fn hopeless_links_learn_to_stay_idle() {
+        // A link that can never succeed (huge noise) should learn idle:
+        // sending always loses 1, idling loses 0.5.
+        let gm = GainMatrix::from_raw(1, vec![0.1]);
+        let params = SinrParams::new(2.0, 10.0, 10.0);
+        let mut model = NonFadingModel::new(gm, params);
+        let out = run_game_with_beta(
+            &mut model,
+            params.beta,
+            &GameConfig {
+                rounds: 300,
+                seed: 3,
+            },
+        );
+        assert!(
+            out.final_send_probability[0] < 0.1,
+            "send probability {}",
+            out.final_send_probability[0]
+        );
+    }
+}

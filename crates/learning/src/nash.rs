@@ -1,0 +1,242 @@
+//! Best-response dynamics and pure Nash equilibria of the capacity game.
+//!
+//! The paper notes (Sec. 1) that no-regret sequences *generalize Nash
+//! equilibria*, transferring the game-theoretic capacity studies of
+//! Andrews & Dinitz \[5\] to the Rayleigh model. This module provides the
+//! equilibrium side: synchronous-round best-response dynamics over pure
+//! send/idle profiles, with the expected Section 6 reward
+//! `h̄_i = 2·Q_i − 1` (Rayleigh, exact via Theorem 1) or the deterministic
+//! non-fading reward.
+//!
+//! Best-response dynamics need not converge in general games; we cap the
+//! round count and report convergence. On paper-style instances they
+//! settle within a handful of rounds.
+
+use crate::reward::expected_send_reward;
+use rayfade_sinr::{mask_from_set, sinr, GainMatrix, SinrParams};
+use serde::{Deserialize, Serialize};
+
+/// Which reward model drives the dynamics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RewardModel {
+    /// Deterministic non-fading rewards: sending pays +1 if the SINR
+    /// threshold would be met against the current profile, −1 otherwise.
+    NonFading,
+    /// Expected Rayleigh rewards `2·Q_i − 1` (Theorem 1).
+    Rayleigh,
+}
+
+/// Result of a best-response run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NashOutcome {
+    /// Final pure profile: `true` = send.
+    pub profile: Vec<bool>,
+    /// Whether a full round passed with no player switching (pure Nash).
+    pub converged: bool,
+    /// Rounds executed.
+    pub rounds: usize,
+    /// Expected number of successes of the final profile under the chosen
+    /// reward model (deterministic count for [`RewardModel::NonFading`]).
+    pub expected_successes: f64,
+}
+
+/// Runs synchronous-sweep best-response dynamics from the all-idle
+/// profile (players updated in index order within a round).
+pub fn best_response_dynamics(
+    gain: &GainMatrix,
+    params: &SinrParams,
+    model: RewardModel,
+    max_rounds: usize,
+) -> NashOutcome {
+    let n = gain.len();
+    let mut profile = vec![false; n];
+    let mut converged = false;
+    let mut rounds = 0;
+    while rounds < max_rounds {
+        rounds += 1;
+        let mut changed = false;
+        for i in 0..n {
+            let send_reward = match model {
+                RewardModel::NonFading => {
+                    // SINR i would get if it sent alongside current senders.
+                    let s = sinr(gain, params, &profile, i);
+                    if s >= params.beta {
+                        1.0
+                    } else {
+                        -1.0
+                    }
+                }
+                RewardModel::Rayleigh => {
+                    let probs: Vec<f64> =
+                        profile.iter().map(|&b| if b { 1.0 } else { 0.0 }).collect();
+                    expected_send_reward(gain, params, &probs, i)
+                }
+            };
+            let want_send = send_reward > 0.0;
+            if profile[i] != want_send {
+                profile[i] = want_send;
+                changed = true;
+            }
+        }
+        if !changed {
+            converged = true;
+            break;
+        }
+    }
+    let senders: Vec<usize> = profile
+        .iter()
+        .enumerate()
+        .filter_map(|(i, &b)| b.then_some(i))
+        .collect();
+    let expected_successes = match model {
+        RewardModel::NonFading => {
+            let mask = mask_from_set(n, &senders);
+            senders
+                .iter()
+                .filter(|&&i| sinr(gain, params, &mask, i) >= params.beta)
+                .count() as f64
+        }
+        RewardModel::Rayleigh => rayfade_core::expected_successes_of_set(gain, params, &senders),
+    };
+    NashOutcome {
+        profile,
+        converged,
+        rounds,
+        expected_successes,
+    }
+}
+
+/// Checks whether a pure profile is a Nash equilibrium under the given
+/// reward model: no player can strictly improve by switching.
+pub fn is_pure_nash(
+    gain: &GainMatrix,
+    params: &SinrParams,
+    model: RewardModel,
+    profile: &[bool],
+) -> bool {
+    let n = gain.len();
+    assert_eq!(profile.len(), n);
+    for i in 0..n {
+        let send_reward = match model {
+            RewardModel::NonFading => {
+                let s = sinr(gain, params, profile, i);
+                if s >= params.beta {
+                    1.0
+                } else {
+                    -1.0
+                }
+            }
+            RewardModel::Rayleigh => {
+                let probs: Vec<f64> = profile.iter().map(|&b| if b { 1.0 } else { 0.0 }).collect();
+                expected_send_reward(gain, params, &probs, i)
+            }
+        };
+        let current = if profile[i] { send_reward } else { 0.0 };
+        let alternative = if profile[i] { 0.0 } else { send_reward };
+        if alternative > current + 1e-12 {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rayfade_geometry::PaperTopology;
+    use rayfade_sinr::PowerAssignment;
+
+    fn paper_gain(seed: u64, n: usize) -> (GainMatrix, SinrParams) {
+        let net = PaperTopology {
+            links: n,
+            side: 600.0,
+            min_length: 20.0,
+            max_length: 40.0,
+        }
+        .generate(seed);
+        let params = SinrParams::figure1();
+        let gm = GainMatrix::from_geometry(&net, &PowerAssignment::figure1_uniform(), params.alpha);
+        (gm, params)
+    }
+
+    #[test]
+    fn nonfading_dynamics_converge_to_pure_nash() {
+        for seed in 0..4 {
+            let (gm, params) = paper_gain(seed, 40);
+            let out = best_response_dynamics(&gm, &params, RewardModel::NonFading, 200);
+            assert!(out.converged, "seed {seed} did not converge");
+            assert!(is_pure_nash(
+                &gm,
+                &params,
+                RewardModel::NonFading,
+                &out.profile
+            ));
+            assert!(out.expected_successes > 0.0);
+        }
+    }
+
+    #[test]
+    fn rayleigh_dynamics_converge_on_paper_instances() {
+        let (gm, params) = paper_gain(1, 30);
+        let out = best_response_dynamics(&gm, &params, RewardModel::Rayleigh, 200);
+        assert!(out.converged);
+        assert!(is_pure_nash(
+            &gm,
+            &params,
+            RewardModel::Rayleigh,
+            &out.profile
+        ));
+        assert!(out.expected_successes > 0.0);
+    }
+
+    #[test]
+    fn isolated_links_all_send_at_equilibrium() {
+        let gm = GainMatrix::from_raw(2, vec![100.0, 1e-9, 1e-9, 100.0]);
+        let params = SinrParams::new(2.0, 1.0, 1e-6);
+        for model in [RewardModel::NonFading, RewardModel::Rayleigh] {
+            let out = best_response_dynamics(&gm, &params, model, 50);
+            assert!(out.converged);
+            assert_eq!(out.profile, vec![true, true], "{model:?}");
+        }
+    }
+
+    #[test]
+    fn hopeless_link_idles_at_equilibrium() {
+        let gm = GainMatrix::from_raw(1, vec![0.1]);
+        let params = SinrParams::new(2.0, 10.0, 10.0);
+        let nf = best_response_dynamics(&gm, &params, RewardModel::NonFading, 50);
+        assert!(nf.converged);
+        assert_eq!(nf.profile, vec![false]);
+        // Rayleigh: success probability exp(-1000) -> expected reward < 0.
+        let ray = best_response_dynamics(&gm, &params, RewardModel::Rayleigh, 50);
+        assert_eq!(ray.profile, vec![false]);
+    }
+
+    #[test]
+    fn all_idle_is_not_nash_when_someone_can_win() {
+        let (gm, params) = paper_gain(2, 10);
+        assert!(!is_pure_nash(
+            &gm,
+            &params,
+            RewardModel::NonFading,
+            &[false; 10]
+        ));
+    }
+
+    #[test]
+    fn equilibrium_quality_is_constant_fraction_of_greedy() {
+        // A PoA-style sanity check: the equilibrium's expected successes
+        // are within a moderate factor of the greedy solution.
+        use rayfade_sched::{CapacityAlgorithm, CapacityInstance, GreedyCapacity};
+        let (gm, params) = paper_gain(3, 40);
+        let greedy = GreedyCapacity::new()
+            .select(&CapacityInstance::unweighted(&gm, &params))
+            .len() as f64;
+        let nash = best_response_dynamics(&gm, &params, RewardModel::NonFading, 200);
+        assert!(
+            nash.expected_successes >= greedy * 0.25,
+            "nash {} vs greedy {greedy}",
+            nash.expected_successes
+        );
+    }
+}

@@ -1,0 +1,238 @@
+//! External-regret accounting (Definition 2).
+//!
+//! The external regret of user `i` after `T` rounds is the gap between the
+//! best *fixed* action in hindsight and the algorithm's realized choices:
+//!
+//! ```text
+//! R_i = max_{a'} Σ_t h_i(a', a_{-i}^{(t)}) − Σ_t h_i(a^{(t)})
+//! ```
+//!
+//! We track it in loss form (regret = incurred loss − best fixed action's
+//! loss; identical up to the affine reward↔loss map). Lemma 4 of the paper
+//! relates regret against realized (stochastic) rewards to regret against
+//! expected rewards; ablation A5 charts both.
+
+use serde::{Deserialize, Serialize};
+
+/// Accumulates per-link losses for regret computation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegretTracker {
+    /// `cum_action_loss[i][a]` — cumulative loss link `i` *would* have
+    /// incurred always playing action `a`.
+    cum_action_loss: Vec<[f64; 2]>,
+    /// Cumulative loss each link actually incurred.
+    cum_incurred: Vec<f64>,
+    /// `cond[i][a][b]` — cumulative loss of action `b` over the rounds in
+    /// which link `i` actually played `a` (for swap regret).
+    cond: Vec<[[f64; 2]; 2]>,
+    /// Rounds recorded.
+    rounds: usize,
+}
+
+impl RegretTracker {
+    /// Creates a tracker for `n` links with two actions each.
+    pub fn new(n: usize) -> Self {
+        RegretTracker {
+            cum_action_loss: vec![[0.0; 2]; n],
+            cum_incurred: vec![0.0; n],
+            cond: vec![[[0.0; 2]; 2]; n],
+            rounds: 0,
+        }
+    }
+
+    /// Records one round for link `i`: the action it took and the loss
+    /// vector of both actions. Call exactly once per link per round;
+    /// the round counter advances every `n` records.
+    pub fn record(&mut self, i: usize, taken: usize, losses: &[f64; 2]) {
+        self.cum_action_loss[i][0] += losses[0];
+        self.cum_action_loss[i][1] += losses[1];
+        self.cum_incurred[i] += losses[taken];
+        self.cond[i][taken][0] += losses[0];
+        self.cond[i][taken][1] += losses[1];
+        if i + 1 == self.cum_action_loss.len() {
+            self.rounds += 1;
+        }
+    }
+
+    /// Number of links tracked.
+    pub fn len(&self) -> usize {
+        self.cum_action_loss.len()
+    }
+
+    /// Whether the tracker is empty.
+    pub fn is_empty(&self) -> bool {
+        self.cum_action_loss.is_empty()
+    }
+
+    /// Rounds recorded so far.
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+
+    /// External regret of link `i` (non-negative by definition of the
+    /// max over fixed actions... may be negative if the algorithm beat
+    /// every fixed action, which randomized play occasionally does; we
+    /// clamp at zero to match the standard definition).
+    pub fn regret(&self, i: usize) -> f64 {
+        let best_fixed = self.cum_action_loss[i][0].min(self.cum_action_loss[i][1]);
+        (self.cum_incurred[i] - best_fixed).max(0.0)
+    }
+
+    /// Maximum per-round average regret over all links: `max_i R_i / T`.
+    /// The no-regret property says this tends to 0.
+    pub fn max_average_regret(&self, rounds: usize) -> f64 {
+        assert!(rounds > 0, "need at least one round");
+        (0..self.len())
+            .map(|i| self.regret(i) / rounds as f64)
+            .fold(0.0, f64::max)
+    }
+
+    /// *Swap* (internal) regret of link `i`: the gain of the best
+    /// action-swap function `φ: {0,1} → {0,1}` in hindsight,
+    /// `Σ_a [cond(a, a) − min_b cond(a, b)]`. Vanishing swap regret for
+    /// all players drives the empirical play distribution to the set of
+    /// correlated equilibria — a strictly stronger guarantee than the
+    /// external regret of Definition 2.
+    pub fn swap_regret(&self, i: usize) -> f64 {
+        let c = &self.cond[i];
+        let mut r = 0.0;
+        for (a, row) in c.iter().enumerate() {
+            let played = row[a];
+            let best = row[0].min(row[1]);
+            r += (played - best).max(0.0);
+        }
+        r
+    }
+
+    /// Maximum per-round average swap regret over all links.
+    pub fn max_average_swap_regret(&self, rounds: usize) -> f64 {
+        assert!(rounds > 0, "need at least one round");
+        (0..self.len())
+            .map(|i| self.swap_regret(i) / rounds as f64)
+            .fold(0.0, f64::max)
+    }
+
+    /// Mean per-round regret across links.
+    pub fn mean_average_regret(&self, rounds: usize) -> f64 {
+        assert!(rounds > 0, "need at least one round");
+        if self.is_empty() {
+            return 0.0;
+        }
+        let total: f64 = (0..self.len()).map(|i| self.regret(i)).sum();
+        total / (self.len() as f64 * rounds as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_regret_when_playing_best_action() {
+        let mut t = RegretTracker::new(1);
+        for _ in 0..10 {
+            t.record(0, 1, &[1.0, 0.0]); // always takes the lossless action
+        }
+        assert_eq!(t.regret(0), 0.0);
+        assert_eq!(t.rounds(), 10);
+        assert_eq!(t.max_average_regret(10), 0.0);
+    }
+
+    #[test]
+    fn full_regret_when_playing_worst_action() {
+        let mut t = RegretTracker::new(1);
+        for _ in 0..10 {
+            t.record(0, 0, &[1.0, 0.0]);
+        }
+        assert_eq!(t.regret(0), 10.0);
+        assert_eq!(t.max_average_regret(10), 1.0);
+    }
+
+    #[test]
+    fn mixed_play_partial_regret() {
+        let mut t = RegretTracker::new(1);
+        t.record(0, 0, &[1.0, 0.0]);
+        t.record(0, 1, &[1.0, 0.0]);
+        // incurred = 1.0; best fixed = min(2.0, 0.0) = 0.
+        assert_eq!(t.regret(0), 1.0);
+    }
+
+    #[test]
+    fn negative_gap_clamped_to_zero() {
+        // Algorithm alternates and both fixed actions are bad in
+        // alternation; the algorithm happens to dodge every loss.
+        let mut t = RegretTracker::new(1);
+        t.record(0, 0, &[0.0, 1.0]);
+        t.record(0, 1, &[1.0, 0.0]);
+        // incurred 0; best fixed 1.
+        assert_eq!(t.regret(0), 0.0);
+    }
+
+    #[test]
+    fn multi_link_round_counting() {
+        let mut t = RegretTracker::new(3);
+        for round in 0..4 {
+            for i in 0..3 {
+                t.record(i, round % 2, &[0.5, 0.5]);
+            }
+        }
+        assert_eq!(t.rounds(), 4);
+        assert_eq!(t.len(), 3);
+        assert!(!t.is_empty());
+        assert_eq!(t.mean_average_regret(4), 0.0);
+    }
+
+    #[test]
+    fn swap_regret_zero_for_consistent_best_play() {
+        let mut t = RegretTracker::new(1);
+        for _ in 0..10 {
+            t.record(0, 1, &[1.0, 0.0]);
+        }
+        assert_eq!(t.swap_regret(0), 0.0);
+        assert_eq!(t.max_average_swap_regret(10), 0.0);
+    }
+
+    #[test]
+    fn swap_regret_catches_conditional_mistakes() {
+        // External regret can be zero while swap regret is positive:
+        // alternate actions against alternating losses that always punish
+        // the chosen action.
+        let mut t = RegretTracker::new(1);
+        for round in 0..10 {
+            let taken = round % 2;
+            // The taken action always loses 1, the other 0.
+            let losses = if taken == 0 { [1.0, 0.0] } else { [0.0, 1.0] };
+            t.record(0, taken, &losses);
+        }
+        // Each fixed action accumulates loss 5 = incurred 10 - ... external
+        // regret = 10 - 5 = 5; swap regret swaps each action to the other:
+        // full 10.
+        assert_eq!(t.regret(0), 5.0);
+        assert_eq!(t.swap_regret(0), 10.0);
+        assert!(t.swap_regret(0) >= t.regret(0));
+    }
+
+    #[test]
+    fn swap_regret_dominates_external_regret() {
+        // For two actions, swap regret >= external regret always.
+        let mut t = RegretTracker::new(1);
+        let script = [
+            (0usize, [0.3, 0.7]),
+            (1, [0.9, 0.1]),
+            (0, [0.5, 0.5]),
+            (1, [0.2, 0.8]),
+            (0, [1.0, 0.0]),
+        ];
+        for (a, l) in script {
+            t.record(0, a, &l);
+        }
+        assert!(t.swap_regret(0) + 1e-12 >= t.regret(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one round")]
+    fn zero_rounds_rejected() {
+        let t = RegretTracker::new(1);
+        let _ = t.max_average_regret(0);
+    }
+}

@@ -1,0 +1,124 @@
+//! Rewards and losses of the capacity-maximization game.
+//!
+//! Section 6 of the paper defines the reward of link `i` in a round as
+//!
+//! * `+1` — transmitted and succeeded (SINR ≥ β),
+//! * `−1` — transmitted and failed,
+//! * `0` — stayed idle,
+//!
+//! with expected reward `h̄_i = 2·Q_i − 1` for a transmitting link. The
+//! Figure 2 simulation expresses the same preferences as RWM *losses*
+//! (send-and-fail: 1, idle: 0.5, send-and-succeed: 0) — exactly the affine
+//! map `loss = (1 − reward)/2`, as the paper notes ("These losses
+//! correspond to the utility function used in Section 6").
+
+use rayfade_sinr::{GainMatrix, SinrParams};
+use serde::{Deserialize, Serialize};
+
+/// Game actions of a link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Action {
+    /// Stay idle (`q_i = 0`).
+    Idle,
+    /// Transmit (`q_i = 1`).
+    Send,
+}
+
+impl Action {
+    /// Action index used by the binary learner (idle = 0, send = 1).
+    pub fn index(self) -> usize {
+        match self {
+            Action::Idle => 0,
+            Action::Send => 1,
+        }
+    }
+
+    /// Inverse of [`Action::index`].
+    pub fn from_index(i: usize) -> Self {
+        match i {
+            0 => Action::Idle,
+            1 => Action::Send,
+            other => panic!("invalid action index {other}"),
+        }
+    }
+}
+
+/// Section 6 reward of a round outcome.
+pub fn reward(action: Action, success: bool) -> f64 {
+    match (action, success) {
+        (Action::Idle, _) => 0.0,
+        (Action::Send, true) => 1.0,
+        (Action::Send, false) => -1.0,
+    }
+}
+
+/// Figure 2 RWM loss of a round outcome (the affine image of [`reward`]).
+pub fn loss(action: Action, success: bool) -> f64 {
+    (1.0 - reward(action, success)) / 2.0
+}
+
+/// Expected Section 6 reward `h̄_i` of transmitting, given the exact
+/// Rayleigh success probability of Theorem 1 (paper: `2·Q_i − 1`).
+///
+/// `probs` are the other links' transmission probabilities; the link's own
+/// entry is overridden to 1 (it conditions on transmitting).
+pub fn expected_send_reward(
+    gain: &GainMatrix,
+    params: &SinrParams,
+    probs: &[f64],
+    i: usize,
+) -> f64 {
+    let mut q = probs.to_vec();
+    q[i] = 1.0;
+    2.0 * rayfade_core::success_probability(gain, params, &q, i) - 1.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn action_round_trip() {
+        assert_eq!(Action::from_index(Action::Idle.index()), Action::Idle);
+        assert_eq!(Action::from_index(Action::Send.index()), Action::Send);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid action index")]
+    fn bad_index_rejected() {
+        let _ = Action::from_index(2);
+    }
+
+    #[test]
+    fn rewards_match_section6() {
+        assert_eq!(reward(Action::Send, true), 1.0);
+        assert_eq!(reward(Action::Send, false), -1.0);
+        assert_eq!(reward(Action::Idle, true), 0.0);
+        assert_eq!(reward(Action::Idle, false), 0.0);
+    }
+
+    #[test]
+    fn losses_match_figure2() {
+        assert_eq!(loss(Action::Send, true), 0.0);
+        assert_eq!(loss(Action::Send, false), 1.0);
+        assert_eq!(loss(Action::Idle, false), 0.5);
+        assert_eq!(loss(Action::Idle, true), 0.5);
+    }
+
+    #[test]
+    fn expected_reward_is_2q_minus_1() {
+        let gm = GainMatrix::from_raw(2, vec![10.0, 2.0, 2.0, 10.0]);
+        let params = SinrParams::new(2.0, 2.0, 0.0);
+        let probs = vec![0.0, 1.0];
+        let h = expected_send_reward(&gm, &params, &probs, 0);
+        let q = rayfade_core::success_probability(&gm, &params, &[1.0, 1.0], 0);
+        assert!((h - (2.0 * q - 1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lone_link_with_zero_noise_has_reward_one() {
+        let gm = GainMatrix::from_raw(1, vec![5.0]);
+        let params = SinrParams::new(2.0, 1.0, 0.0);
+        assert!((expected_send_reward(&gm, &params, &[0.0], 0) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,127 @@
+//! Property-based tests for the learning crate.
+
+use proptest::prelude::*;
+use rayfade_learning::{
+    run_game_multichannel, run_game_with_beta, BanditLearner, Exp3, GameConfig,
+    MultichannelGameConfig, NoRegretLearner, RegretTracker, Rwm,
+};
+use rayfade_sinr::{GainMatrix, NonFadingModel, SinrParams};
+
+fn loss_vec() -> impl Strategy<Value = [f64; 2]> {
+    (0.0f64..=1.0, 0.0f64..=1.0).prop_map(|(a, b)| [a, b])
+}
+
+proptest! {
+    /// RWM strategies are always valid distributions, whatever the losses.
+    #[test]
+    fn rwm_strategy_is_distribution(losses in prop::collection::vec(loss_vec(), 1..200)) {
+        let mut rwm = Rwm::binary();
+        for l in &losses {
+            rwm.update(l);
+            let s = rwm.strategy();
+            prop_assert!((s.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            prop_assert!(s.iter().all(|p| (0.0..=1.0 + 1e-12).contains(p)));
+        }
+    }
+
+    /// Exp3 strategies keep the exploration floor gamma/K on every arm.
+    #[test]
+    fn exp3_keeps_exploration_floor(
+        seed in any::<u64>(),
+        steps in 1usize..300,
+    ) {
+        use rand::SeedableRng;
+        let gamma = 0.1;
+        let mut e = Exp3::new(2, gamma);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        for k in 0..steps {
+            let a = e.choose(&mut rng);
+            e.update(a, if k % 2 == 0 { 1.0 } else { 0.0 });
+            let s = e.strategy();
+            prop_assert!((s.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            for p in s {
+                prop_assert!(p >= gamma / 2.0 - 1e-9);
+            }
+        }
+    }
+
+    /// Regret is never negative and never exceeds the horizon (losses in
+    /// [0, 1] with two actions).
+    #[test]
+    fn regret_bounds(rounds in prop::collection::vec((loss_vec(), 0usize..2), 1..100)) {
+        let mut t = RegretTracker::new(1);
+        for (l, taken) in &rounds {
+            t.record(0, *taken, l);
+        }
+        let r = t.regret(0);
+        prop_assert!(r >= 0.0);
+        prop_assert!(r <= rounds.len() as f64 + 1e-9);
+    }
+
+    /// Swap regret always dominates external regret on two actions.
+    #[test]
+    fn swap_dominates_external(
+        rounds in prop::collection::vec(
+            ((0.0f64..=1.0, 0.0f64..=1.0), 0usize..2), 1..80)
+    ) {
+        let mut t = RegretTracker::new(1);
+        for ((l0, l1), taken) in &rounds {
+            t.record(0, *taken, &[*l0, *l1]);
+        }
+        prop_assert!(t.swap_regret(0) + 1e-9 >= t.regret(0));
+    }
+
+    /// The multichannel game is deterministic per seed and respects
+    /// per-round bounds (successes <= n).
+    #[test]
+    fn multichannel_game_bounds(seed in any::<u64>(), channels in 1usize..4) {
+        let n = 6;
+        let mut g = vec![0.2; n * n];
+        for i in 0..n {
+            g[i * n + i] = 10.0;
+        }
+        let gm = GainMatrix::from_raw(n, g);
+        let params = SinrParams::new(2.0, 1.0, 0.1);
+        let cfg = MultichannelGameConfig { rounds: 20, seed };
+        let run = || {
+            let mut models: Vec<NonFadingModel> = (0..channels)
+                .map(|_| NonFadingModel::new(gm.clone(), params))
+                .collect();
+            run_game_multichannel(&mut models, params.beta, &cfg)
+        };
+        let a = run();
+        let b = run();
+        prop_assert_eq!(&a, &b);
+        for &s in &a.successes_per_round {
+            prop_assert!(s <= n);
+        }
+        for &p in &a.final_send_probability {
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&p));
+        }
+        prop_assert!(a.mean_imbalance >= 0.0);
+    }
+
+    /// The capacity game is deterministic given (instance, seed) and
+    /// bounded: successes <= transmitters <= n each round.
+    #[test]
+    fn game_bounds_and_determinism(seed in any::<u64>(), n in 2usize..12) {
+        // Symmetric unit-diagonal instance with mild coupling.
+        let mut g = vec![0.1; n * n];
+        for i in 0..n {
+            g[i * n + i] = 10.0;
+        }
+        let gm = GainMatrix::from_raw(n, g);
+        let params = SinrParams::new(2.0, 1.0, 0.1);
+        let cfg = GameConfig { rounds: 25, seed };
+        let a = run_game_with_beta(&mut NonFadingModel::new(gm.clone(), params), params.beta, &cfg);
+        let b = run_game_with_beta(&mut NonFadingModel::new(gm, params), params.beta, &cfg);
+        prop_assert_eq!(&a, &b);
+        for t in 0..25 {
+            prop_assert!(a.successes_per_round[t] <= a.transmitters_per_round[t]);
+            prop_assert!(a.transmitters_per_round[t] <= n);
+        }
+        for &p in &a.final_send_probability {
+            prop_assert!((0.0..=1.0).contains(&p));
+        }
+    }
+}

@@ -1,0 +1,257 @@
+//! Multi-hop request scheduling.
+//!
+//! The paper notes (Sec. 4) that its single-hop transformations extend to
+//! multi-hop scheduling \[6\], \[9\]: a multi-hop schedule is a concatenation
+//! of single-hop schedules, each transformable on its own. This module
+//! provides that substrate: requests are paths of links with precedence
+//! (hop `h+1` may only be scheduled after hop `h` has been delivered), and
+//! the scheduler repeatedly runs a capacity algorithm on the set of
+//! *ready* hops.
+
+use crate::capacity::{CapacityAlgorithm, CapacityInstance};
+use crate::schedule::Schedule;
+use rayfade_sinr::{Affectance, GainMatrix, SinrParams};
+use serde::{Deserialize, Serialize};
+
+/// A multi-hop communication request: an ordered path of link indices.
+/// Data travels hop by hop; hop `h+1` cannot be scheduled before hop `h`
+/// succeeded.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Request {
+    /// The hops, as indices into the shared link set.
+    pub hops: Vec<usize>,
+}
+
+impl Request {
+    /// Creates a request from its hop sequence.
+    ///
+    /// # Panics
+    /// If the path is empty.
+    pub fn new(hops: Vec<usize>) -> Self {
+        assert!(!hops.is_empty(), "a request needs at least one hop");
+        Request { hops }
+    }
+}
+
+/// Outcome of multi-hop scheduling.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultihopSolution {
+    /// The slotted schedule over link indices.
+    pub schedule: Schedule,
+    /// Per request: the slot in which its final hop was delivered, or
+    /// `None` if the request could not be completed (some hop is
+    /// infeasible even alone).
+    pub completion: Vec<Option<usize>>,
+}
+
+impl MultihopSolution {
+    /// Number of completed requests.
+    pub fn completed(&self) -> usize {
+        self.completion.iter().filter(|c| c.is_some()).count()
+    }
+
+    /// Overall makespan (slots until the last completed request finished).
+    pub fn makespan(&self) -> usize {
+        self.schedule.len()
+    }
+}
+
+/// Schedules multi-hop requests by layered single-hop capacity rounds.
+///
+/// Each round gathers the next pending hop of every request ("ready"
+/// links), runs `alg` on that sub-instance, commits the selected feasible
+/// set as one slot, and advances the corresponding requests. Because every
+/// committed slot is feasible in the non-fading model, all scheduled
+/// transmissions succeed deterministically.
+///
+/// Hops that are infeasible even alone make their request impossible; such
+/// requests are reported with `completion = None` and abandoned at the
+/// blocking hop.
+///
+/// # Panics
+/// If two requests share a link, or a hop index is out of range.
+pub fn multihop_schedule<A: CapacityAlgorithm>(
+    gain: &GainMatrix,
+    params: &SinrParams,
+    requests: &[Request],
+    alg: &A,
+) -> MultihopSolution {
+    let n = gain.len();
+    let mut owner = vec![usize::MAX; n];
+    for (r, req) in requests.iter().enumerate() {
+        for &h in &req.hops {
+            assert!(h < n, "hop {h} out of range");
+            assert!(
+                owner[h] == usize::MAX,
+                "link {h} appears in more than one request"
+            );
+            owner[h] = r;
+        }
+    }
+    let aff = Affectance::new(gain, params);
+    // Per-request pointer to the next undelivered hop; usize::MAX marks
+    // abandoned requests.
+    let mut next_hop = vec![0usize; requests.len()];
+    let mut completion: Vec<Option<usize>> = vec![None; requests.len()];
+    let mut schedule = Schedule::new();
+    loop {
+        // Collect ready links; abandon requests whose next hop is hopeless.
+        let mut ready: Vec<usize> = Vec::new();
+        for (r, req) in requests.iter().enumerate() {
+            let h = next_hop[r];
+            if h == usize::MAX || h >= req.hops.len() {
+                continue;
+            }
+            let link = req.hops[h];
+            if aff.feasible_alone(link) {
+                ready.push(link);
+            } else {
+                next_hop[r] = usize::MAX; // impossible hop: abandon
+            }
+        }
+        if ready.is_empty() {
+            break;
+        }
+        let sub = gain.submatrix(&ready);
+        let picked_local = alg.select(&CapacityInstance::unweighted(&sub, params));
+        let slot: Vec<usize> = if picked_local.is_empty() {
+            vec![ready[0]] // defensive: a lone feasible link is always valid
+        } else {
+            picked_local.iter().map(|&l| ready[l]).collect()
+        };
+        let t = schedule.len();
+        for &link in &slot {
+            let r = owner[link];
+            next_hop[r] += 1;
+            if next_hop[r] == requests[r].hops.len() {
+                completion[r] = Some(t);
+            }
+        }
+        schedule.push_slot(slot);
+    }
+    MultihopSolution {
+        schedule,
+        completion,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::capacity::greedy::GreedyCapacity;
+    use rayfade_geometry::{Link, Network, PaperTopology, Point};
+    use rayfade_sinr::PowerAssignment;
+
+    fn line_network(hops: usize, spacing: f64) -> Network {
+        // A relay chain along the x-axis: link h goes from x=h*spacing to
+        // x=(h+1)*spacing. Each relay's transmit antenna sits a small
+        // offset from its receive antenna so cross distances stay positive.
+        let links = (0..hops)
+            .map(|h| {
+                Link::new(
+                    Point::new(h as f64 * spacing, 0.3),
+                    Point::new((h + 1) as f64 * spacing, 0.0),
+                )
+            })
+            .collect();
+        Network::new(links)
+    }
+
+    #[test]
+    fn single_chain_is_scheduled_in_order() {
+        let net = line_network(4, 10.0);
+        let params = SinrParams::new(2.5, 2.0, 1e-9);
+        let gm = GainMatrix::from_geometry(&net, &PowerAssignment::Uniform(1.0), params.alpha);
+        let req = vec![Request::new(vec![0, 1, 2, 3])];
+        let sol = multihop_schedule(&gm, &params, &req, &GreedyCapacity::new());
+        assert_eq!(sol.completed(), 1);
+        // Precedence: hop h must be scheduled strictly before hop h+1.
+        let slots: Vec<usize> = (0..4)
+            .map(|h| sol.schedule.first_slot_of(h).expect("scheduled"))
+            .collect();
+        for w in slots.windows(2) {
+            assert!(w[0] < w[1], "precedence violated: {slots:?}");
+        }
+        assert_eq!(sol.completion[0], Some(slots[3]));
+        assert_eq!(sol.schedule.validate(&gm, &params), Ok(()));
+    }
+
+    #[test]
+    fn parallel_requests_share_slots() {
+        // Two distant 2-hop chains can run concurrently.
+        let mut links = line_network(2, 10.0).links().to_vec();
+        for l in line_network(2, 10.0).links() {
+            links.push(Link::new(
+                Point::new(l.sender.x + 10_000.0, l.sender.y),
+                Point::new(l.receiver.x + 10_000.0, l.receiver.y),
+            ));
+        }
+        let net = Network::new(links);
+        let params = SinrParams::new(2.5, 2.0, 1e-9);
+        let gm = GainMatrix::from_geometry(&net, &PowerAssignment::Uniform(1.0), params.alpha);
+        let reqs = vec![Request::new(vec![0, 1]), Request::new(vec![2, 3])];
+        let sol = multihop_schedule(&gm, &params, &reqs, &GreedyCapacity::new());
+        assert_eq!(sol.completed(), 2);
+        // Far-apart chains should overlap: makespan 2, not 4.
+        assert_eq!(sol.makespan(), 2, "{:?}", sol.schedule);
+    }
+
+    #[test]
+    fn impossible_hop_abandons_request_but_not_others() {
+        // Request 0's second hop cannot beat the noise; request 1 is fine.
+        let gm = GainMatrix::from_raw(
+            3,
+            vec![
+                10.0, 0.0, 0.0, //
+                0.0, 0.1, 0.0, //
+                0.0, 0.0, 10.0,
+            ],
+        );
+        let params = SinrParams::new(2.0, 1.0, 1.0);
+        let reqs = vec![Request::new(vec![0, 1]), Request::new(vec![2])];
+        let sol = multihop_schedule(&gm, &params, &reqs, &GreedyCapacity::new());
+        assert_eq!(sol.completion[0], None);
+        assert!(sol.completion[1].is_some());
+        assert_eq!(sol.completed(), 1);
+        // Hop 0 of the abandoned request still ran (it was feasible).
+        assert!(sol.schedule.first_slot_of(0).is_some());
+        assert!(sol.schedule.first_slot_of(1).is_none());
+    }
+
+    #[test]
+    fn random_paths_over_paper_topology() {
+        let net = PaperTopology {
+            links: 30,
+            side: 800.0,
+            min_length: 20.0,
+            max_length: 40.0,
+        }
+        .generate(5);
+        let params = SinrParams::figure1();
+        let gm = GainMatrix::from_geometry(&net, &PowerAssignment::figure1_uniform(), params.alpha);
+        // Ten 3-hop requests over disjoint links.
+        let reqs: Vec<Request> = (0..10)
+            .map(|r| Request::new(vec![3 * r, 3 * r + 1, 3 * r + 2]))
+            .collect();
+        let sol = multihop_schedule(&gm, &params, &reqs, &GreedyCapacity::new());
+        assert_eq!(sol.completed(), 10);
+        assert_eq!(sol.schedule.validate(&gm, &params), Ok(()));
+        // Lower bound: at least 3 slots (path length); upper: 30.
+        assert!(sol.makespan() >= 3 && sol.makespan() <= 30);
+    }
+
+    #[test]
+    #[should_panic(expected = "more than one request")]
+    fn shared_link_rejected() {
+        let gm = GainMatrix::from_raw(1, vec![1.0]);
+        let params = SinrParams::new(2.0, 1.0, 0.0);
+        let reqs = vec![Request::new(vec![0]), Request::new(vec![0])];
+        let _ = multihop_schedule(&gm, &params, &reqs, &GreedyCapacity::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one hop")]
+    fn empty_request_rejected() {
+        let _ = Request::new(vec![]);
+    }
+}

@@ -1,0 +1,218 @@
+//! Transmission schedules.
+//!
+//! A schedule assigns each slot a set of simultaneously transmitting links.
+//! Latency minimization (Sec. 1.1 of the paper) asks for a short schedule
+//! in which every request succeeds at least once; capacity maximization is
+//! the one-slot special case.
+
+use rayfade_sinr::{is_feasible, GainMatrix, SinrParams};
+use serde::{Deserialize, Serialize};
+
+/// A slotted transmission schedule: `slots[t]` lists the links that
+/// transmit in slot `t`.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Schedule {
+    slots: Vec<Vec<usize>>,
+}
+
+/// Validation failure of a [`Schedule`] against an instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScheduleError {
+    /// Slot `slot` is not simultaneously feasible in the non-fading model.
+    InfeasibleSlot {
+        /// Index of the offending slot.
+        slot: usize,
+    },
+    /// Slot `slot` contains link index `link ≥ n`.
+    LinkOutOfRange {
+        /// Index of the offending slot.
+        slot: usize,
+        /// Offending link index.
+        link: usize,
+    },
+}
+
+impl std::fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScheduleError::InfeasibleSlot { slot } => write!(f, "slot {slot} is infeasible"),
+            ScheduleError::LinkOutOfRange { slot, link } => {
+                write!(f, "slot {slot} references link {link} out of range")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+impl Schedule {
+    /// Creates an empty schedule.
+    pub fn new() -> Self {
+        Schedule::default()
+    }
+
+    /// Creates a schedule from explicit slots.
+    pub fn from_slots(slots: Vec<Vec<usize>>) -> Self {
+        Schedule { slots }
+    }
+
+    /// Appends a slot (a set of links transmitting together).
+    pub fn push_slot(&mut self, links: Vec<usize>) {
+        self.slots.push(links);
+    }
+
+    /// Number of slots — the schedule *length* (latency objective).
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the schedule has no slots.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// The slots.
+    pub fn slots(&self) -> &[Vec<usize>] {
+        &self.slots
+    }
+
+    /// First slot in which `link` transmits, if any.
+    pub fn first_slot_of(&self, link: usize) -> Option<usize> {
+        self.slots.iter().position(|s| s.contains(&link))
+    }
+
+    /// Whether every link of `0..n` appears in some slot.
+    pub fn covers_all(&self, n: usize) -> bool {
+        let mut seen = vec![false; n];
+        for slot in &self.slots {
+            for &l in slot {
+                if l < n {
+                    seen[l] = true;
+                }
+            }
+        }
+        seen.into_iter().all(|s| s)
+    }
+
+    /// Links of `0..n` that never appear in any slot.
+    pub fn uncovered(&self, n: usize) -> Vec<usize> {
+        let mut seen = vec![false; n];
+        for slot in &self.slots {
+            for &l in slot {
+                if l < n {
+                    seen[l] = true;
+                }
+            }
+        }
+        seen.iter()
+            .enumerate()
+            .filter_map(|(i, &s)| (!s).then_some(i))
+            .collect()
+    }
+
+    /// Validates every slot against the non-fading model: indices in range
+    /// and each slot simultaneously feasible.
+    pub fn validate(&self, gain: &GainMatrix, params: &SinrParams) -> Result<(), ScheduleError> {
+        let n = gain.len();
+        for (t, slot) in self.slots.iter().enumerate() {
+            if let Some(&bad) = slot.iter().find(|&&l| l >= n) {
+                return Err(ScheduleError::LinkOutOfRange { slot: t, link: bad });
+            }
+            if !is_feasible(gain, params, slot) {
+                return Err(ScheduleError::InfeasibleSlot { slot: t });
+            }
+        }
+        Ok(())
+    }
+
+    /// Average number of transmissions per slot (throughput of the
+    /// schedule); zero for an empty schedule.
+    pub fn mean_slot_size(&self) -> f64 {
+        if self.slots.is_empty() {
+            return 0.0;
+        }
+        let total: usize = self.slots.iter().map(Vec::len).sum();
+        total as f64 / self.slots.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gain() -> GainMatrix {
+        // Links 0,1 conflict heavily; link 2 is independent.
+        GainMatrix::from_raw(
+            3,
+            vec![
+                10.0, 9.0, 0.01, //
+                9.0, 10.0, 0.01, //
+                0.01, 0.01, 10.0,
+            ],
+        )
+    }
+
+    fn params() -> SinrParams {
+        SinrParams::new(2.0, 2.0, 0.0)
+    }
+
+    #[test]
+    fn push_and_query() {
+        let mut s = Schedule::new();
+        assert!(s.is_empty());
+        s.push_slot(vec![0, 2]);
+        s.push_slot(vec![1]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.first_slot_of(1), Some(1));
+        assert_eq!(s.first_slot_of(2), Some(0));
+        assert_eq!(s.first_slot_of(7), None);
+        assert!(s.covers_all(3));
+        assert!(s.uncovered(3).is_empty());
+        assert_eq!(s.uncovered(4), vec![3]);
+        assert!((s.mean_slot_size() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validate_accepts_feasible_schedule() {
+        let s = Schedule::from_slots(vec![vec![0, 2], vec![1, 2]]);
+        assert_eq!(s.validate(&gain(), &params()), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_infeasible_slot() {
+        // 0 and 1 together: SINR = 10/9 < 2.
+        let s = Schedule::from_slots(vec![vec![0, 1]]);
+        assert_eq!(
+            s.validate(&gain(), &params()),
+            Err(ScheduleError::InfeasibleSlot { slot: 0 })
+        );
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range() {
+        let s = Schedule::from_slots(vec![vec![5]]);
+        assert_eq!(
+            s.validate(&gain(), &params()),
+            Err(ScheduleError::LinkOutOfRange { slot: 0, link: 5 })
+        );
+    }
+
+    #[test]
+    fn empty_schedule_trivially_validates() {
+        let s = Schedule::new();
+        assert_eq!(s.validate(&gain(), &params()), Ok(()));
+        assert_eq!(s.mean_slot_size(), 0.0);
+        assert!(s.covers_all(0));
+        assert!(!s.covers_all(1));
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(ScheduleError::InfeasibleSlot { slot: 3 }
+            .to_string()
+            .contains("slot 3"));
+        assert!(ScheduleError::LinkOutOfRange { slot: 1, link: 9 }
+            .to_string()
+            .contains("link 9"));
+    }
+}

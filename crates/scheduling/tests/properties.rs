@@ -1,0 +1,170 @@
+//! Property-based tests for the scheduling algorithms.
+//!
+//! The central invariant: every capacity algorithm returns a set feasible
+//! in the non-fading model, and every latency schedule has only feasible
+//! slots — this is exactly what the Rayleigh transfer (rayfade-core)
+//! relies on.
+
+use proptest::prelude::*;
+use rayfade_geometry::{LinkGeometry, PaperTopology};
+use rayfade_sched::{
+    multihop_schedule, recursive_schedule, CapacityAlgorithm, CapacityInstance, ExactCapacity,
+    FlexibleCapacity, GreedyCapacity, LocalSearchCapacity, PowerControlCapacity, Request,
+};
+use rayfade_sinr::{is_feasible, GainMatrix, PowerAssignment, ShannonUtility, SinrParams};
+
+fn paper_net(seed: u64, n: usize) -> rayfade_geometry::Network {
+    PaperTopology {
+        links: n,
+        side: 600.0,
+        min_length: 20.0,
+        max_length: 40.0,
+    }
+    .generate(seed)
+}
+
+fn uniform_gain(net: &rayfade_geometry::Network, params: &SinrParams) -> GainMatrix {
+    GainMatrix::from_geometry(net, &PowerAssignment::figure1_uniform(), params.alpha)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Greedy output is always feasible and never empty on nontrivial
+    /// paper instances.
+    #[test]
+    fn greedy_feasible(seed in any::<u64>()) {
+        let params = SinrParams::figure1();
+        let net = paper_net(seed, 40);
+        let gm = uniform_gain(&net, &params);
+        let set = GreedyCapacity::new().select(&CapacityInstance::unweighted(&gm, &params));
+        prop_assert!(is_feasible(&gm, &params, &set));
+        prop_assert!(!set.is_empty());
+    }
+
+    /// Greedy under square-root power is feasible too (the oblivious
+    /// power family of Figure 1).
+    #[test]
+    fn greedy_sqrt_power_feasible(seed in any::<u64>()) {
+        let params = SinrParams::figure1();
+        let net = paper_net(seed, 40);
+        let gm = GainMatrix::from_geometry(
+            &net, &PowerAssignment::figure1_square_root(), params.alpha);
+        let set = GreedyCapacity::new().select(&CapacityInstance::unweighted(&gm, &params));
+        prop_assert!(is_feasible(&gm, &params, &set));
+    }
+
+    /// Local search dominates greedy in cardinality and stays feasible.
+    #[test]
+    fn local_search_dominates_greedy(seed in any::<u64>()) {
+        let params = SinrParams::figure1();
+        let net = paper_net(seed, 30);
+        let gm = uniform_gain(&net, &params);
+        let inst = CapacityInstance::unweighted(&gm, &params);
+        let greedy = GreedyCapacity::new().select(&inst);
+        let ls = LocalSearchCapacity { restarts: 3, seed: seed ^ 1, max_sweeps: 20 }
+            .select(&inst);
+        prop_assert!(is_feasible(&gm, &params, &ls));
+        prop_assert!(ls.len() >= greedy.len());
+    }
+
+    /// Exact optimum dominates every heuristic on small instances.
+    #[test]
+    fn exact_dominates(seed in any::<u64>()) {
+        let params = SinrParams::figure1();
+        let net = paper_net(seed, 12);
+        let gm = uniform_gain(&net, &params);
+        let inst = CapacityInstance::unweighted(&gm, &params);
+        let exact = ExactCapacity::default().select(&inst);
+        prop_assert!(is_feasible(&gm, &params, &exact));
+        let greedy: &dyn CapacityAlgorithm = &GreedyCapacity::new();
+        prop_assert!(exact.len() >= greedy.select(&inst).len());
+    }
+
+    /// Recursive latency schedules cover everything with feasible slots,
+    /// and each link appears exactly once.
+    #[test]
+    fn recursive_latency_valid(seed in any::<u64>()) {
+        let params = SinrParams::figure1();
+        let net = paper_net(seed, 35);
+        let gm = uniform_gain(&net, &params);
+        let sol = recursive_schedule(&gm, &params, &GreedyCapacity::new());
+        prop_assert!(sol.schedule.covers_all(35));
+        prop_assert_eq!(sol.schedule.validate(&gm, &params), Ok(()));
+        let total: usize = sol.schedule.slots().iter().map(Vec::len).sum();
+        prop_assert_eq!(total, 35);
+    }
+
+    /// Power control always produces a set feasible under its own powers.
+    #[test]
+    fn power_control_feasible(seed in any::<u64>()) {
+        let params = SinrParams::figure1();
+        let net = paper_net(seed, 25);
+        let (sol, ok) = PowerControlCapacity::default().select_verified(&net, &params);
+        prop_assert!(ok);
+        // Power control with freedom of powers should do at least as well
+        // as... at minimum, it admits one link.
+        prop_assert!(!sol.set.is_empty());
+    }
+
+    /// Flexible-rate solutions are feasible at their certified threshold.
+    #[test]
+    fn flexible_feasible_at_threshold(seed in any::<u64>()) {
+        let params = SinrParams::figure1();
+        let net = paper_net(seed, 25);
+        let gm = uniform_gain(&net, &params);
+        let sol = FlexibleCapacity::default()
+            .select_with_utility(&gm, &params, &ShannonUtility::uncapped());
+        let class = params.with_beta(sol.threshold);
+        prop_assert!(is_feasible(&gm, &class, &sol.set));
+        prop_assert!(sol.achieved_utility + 1e-9 >= sol.guaranteed_utility);
+    }
+
+    /// Multi-hop scheduling respects precedence on random disjoint paths.
+    #[test]
+    fn multihop_precedence(seed in any::<u64>()) {
+        let params = SinrParams::figure1();
+        let net = paper_net(seed, 24);
+        let gm = uniform_gain(&net, &params);
+        let reqs: Vec<Request> = (0..8)
+            .map(|r| Request::new(vec![3 * r, 3 * r + 1, 3 * r + 2]))
+            .collect();
+        let sol = multihop_schedule(&gm, &params, &reqs, &GreedyCapacity::new());
+        prop_assert_eq!(sol.completed(), 8);
+        for req in &reqs {
+            let mut prev = None;
+            for &h in &req.hops {
+                let t = sol.schedule.first_slot_of(h).expect("scheduled");
+                if let Some(p) = prev {
+                    prop_assert!(t > p, "precedence violated");
+                }
+                prev = Some(t);
+            }
+        }
+    }
+
+    /// Greedy capacity is monotone-ish under link removal: removing links
+    /// never makes the instance infeasible (sanity of submatrix plumbing).
+    #[test]
+    fn submatrix_selection_feasible(seed in any::<u64>(), keep in 5usize..20) {
+        let params = SinrParams::figure1();
+        let net = paper_net(seed, 30);
+        let gm = uniform_gain(&net, &params);
+        let subset: Vec<usize> = (0..keep.min(30)).collect();
+        let sub = gm.submatrix(&subset);
+        let set = GreedyCapacity::new().select(&CapacityInstance::unweighted(&sub, &params));
+        prop_assert!(is_feasible(&sub, &params, &set));
+        // Map back to original indices and re-check.
+        let mapped: Vec<usize> = set.iter().map(|&l| subset[l]).collect();
+        prop_assert!(is_feasible(&gm, &params, &mapped));
+    }
+
+    /// The length-diversity of paper topologies stays within the generator
+    /// interval (supports the O(log Δ) discussion).
+    #[test]
+    fn diversity_bounded(seed in any::<u64>()) {
+        let net = paper_net(seed, 20);
+        let delta = net.length_diversity().unwrap();
+        prop_assert!((1.0..=2.0 + 1e-9).contains(&delta));
+    }
+}

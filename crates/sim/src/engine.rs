@@ -1,0 +1,535 @@
+//! Experiment engines regenerating the paper's figures.
+//!
+//! The engines are deterministic given their configuration (all seeds are
+//! derived from the config) and parallelized over networks with rayon —
+//! the sweeps are embarrassingly parallel, exactly the pattern the
+//! hpc-parallel guides prescribe.
+
+use crate::slots::{nonfading_success_curve_point, rayleigh_success_curve_point};
+use crate::stats::RunningStats;
+use rayfade_core::RayleighModel;
+use rayfade_geometry::PaperTopology;
+use rayfade_learning::{run_game_with_beta, GameConfig};
+use rayfade_sched::{CapacityAlgorithm, CapacityInstance, LocalSearchCapacity};
+use rayfade_sinr::{GainMatrix, NonFadingModel, PowerAssignment, SinrParams};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Which power assignments Figure 1 compares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PowerFamily {
+    /// Uniform power `p = 2`.
+    Uniform,
+    /// Square-root power `p = 2·√(d^α)`.
+    SquareRoot,
+}
+
+impl PowerFamily {
+    /// The concrete assignment of this family (Figure 1 constants).
+    pub fn assignment(self) -> PowerAssignment {
+        match self {
+            PowerFamily::Uniform => PowerAssignment::figure1_uniform(),
+            PowerFamily::SquareRoot => PowerAssignment::figure1_square_root(),
+        }
+    }
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            PowerFamily::Uniform => "uniform",
+            PowerFamily::SquareRoot => "square-root",
+        }
+    }
+}
+
+/// Configuration of the Figure 1 experiment. Defaults reproduce the
+/// paper exactly: 40 networks × 100 links, β=2.5, α=2.2, ν=4e−7,
+/// lengths ∈ [20, 40], 25 transmit seeds, 10 fading seeds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Figure1Config {
+    /// Number of random networks to average over.
+    pub networks: u64,
+    /// Topology generator settings.
+    pub topology: PaperTopology,
+    /// SINR parameters.
+    pub params: SinrParams,
+    /// Transmission probabilities to sweep.
+    pub q_grid: Vec<f64>,
+    /// Random activations per (network, q) pair.
+    pub tx_seeds: u64,
+    /// Fading realizations per activation (Rayleigh curves only).
+    pub fading_seeds: u64,
+    /// Base seed from which all network seeds derive.
+    pub seed: u64,
+}
+
+impl Default for Figure1Config {
+    fn default() -> Self {
+        Figure1Config {
+            networks: 40,
+            topology: PaperTopology::figure1(),
+            params: SinrParams::figure1(),
+            q_grid: (1..=20).map(|k| k as f64 / 20.0).collect(),
+            tx_seeds: 25,
+            fading_seeds: 10,
+            seed: 0xf161,
+        }
+    }
+}
+
+impl Figure1Config {
+    /// A reduced configuration for tests and smoke runs.
+    pub fn smoke() -> Self {
+        Figure1Config {
+            networks: 3,
+            topology: PaperTopology {
+                links: 20,
+                ..PaperTopology::figure1()
+            },
+            q_grid: vec![0.25, 0.5, 1.0],
+            tx_seeds: 5,
+            fading_seeds: 3,
+            ..Figure1Config::default()
+        }
+    }
+}
+
+/// One point of a Figure 1 curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CurvePoint {
+    /// Transmission probability.
+    pub q: f64,
+    /// Mean successful transmissions (over networks and seeds).
+    pub mean: f64,
+    /// Standard error of the per-network means.
+    pub std_err: f64,
+}
+
+/// One of the four Figure 1 curves.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Curve {
+    /// Power family of this curve.
+    pub power: PowerFamily,
+    /// Whether this is the Rayleigh (true) or non-fading (false) curve.
+    pub rayleigh: bool,
+    /// The sweep, ordered by `q`.
+    pub points: Vec<CurvePoint>,
+}
+
+impl Curve {
+    /// Display label, e.g. `"uniform/rayleigh"`.
+    pub fn label(&self) -> String {
+        format!(
+            "{}/{}",
+            self.power.label(),
+            if self.rayleigh {
+                "rayleigh"
+            } else {
+                "non-fading"
+            }
+        )
+    }
+
+    /// The q maximizing the mean curve (the curves of Figure 1 are
+    /// unimodal: too few transmitters waste slots, too many jam).
+    pub fn argmax(&self) -> Option<CurvePoint> {
+        self.points
+            .iter()
+            .copied()
+            .max_by(|a, b| a.mean.partial_cmp(&b.mean).expect("finite"))
+    }
+}
+
+/// The full Figure 1 result: four curves over the same networks.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Figure1Result {
+    /// Configuration that produced the result.
+    pub config: Figure1Config,
+    /// The four curves: (uniform, sqrt) × (non-fading, Rayleigh).
+    pub curves: Vec<Curve>,
+}
+
+/// Runs the Figure 1 experiment (parallel over networks).
+pub fn run_figure1(config: &Figure1Config) -> Figure1Result {
+    run_figure1_with_progress(config, |_| {})
+}
+
+/// [`run_figure1`] with a per-network completion callback (e.g. a
+/// [`crate::progress::ProgressHandle`] tick). The callback runs on rayon
+/// worker threads and must be cheap.
+pub fn run_figure1_with_progress<F>(config: &Figure1Config, on_network_done: F) -> Figure1Result
+where
+    F: Fn(u64) + Sync,
+{
+    assert!(config.networks > 0, "need at least one network");
+    let families = [PowerFamily::Uniform, PowerFamily::SquareRoot];
+    // per_network[net] -> per (family, rayleigh?, q) mean successes.
+    let per_network: Vec<Vec<f64>> = (0..config.networks)
+        .into_par_iter()
+        .map(|net_idx| {
+            let net = config.topology.generate(config.seed.wrapping_add(net_idx));
+            let mut row = Vec::with_capacity(families.len() * 2 * config.q_grid.len());
+            for family in families {
+                let gain =
+                    GainMatrix::from_geometry(&net, &family.assignment(), config.params.alpha);
+                for rayleigh in [false, true] {
+                    for (qi, &q) in config.q_grid.iter().enumerate() {
+                        let seed_base = config
+                            .seed
+                            .wrapping_mul(31)
+                            .wrapping_add(net_idx * 10_007 + qi as u64);
+                        let v = if rayleigh {
+                            rayleigh_success_curve_point(
+                                &gain,
+                                &config.params,
+                                q,
+                                config.tx_seeds,
+                                config.fading_seeds,
+                                seed_base,
+                            )
+                        } else {
+                            nonfading_success_curve_point(
+                                &gain,
+                                &config.params,
+                                q,
+                                config.tx_seeds,
+                                seed_base,
+                            )
+                        };
+                        row.push(v);
+                    }
+                }
+            }
+            on_network_done(net_idx);
+            row
+        })
+        .collect();
+
+    let mut curves = Vec::new();
+    let mut col = 0usize;
+    for family in families {
+        for rayleigh in [false, true] {
+            let mut points = Vec::with_capacity(config.q_grid.len());
+            for (qi, &q) in config.q_grid.iter().enumerate() {
+                let stats: RunningStats = per_network.iter().map(|row| row[col + qi]).collect();
+                points.push(CurvePoint {
+                    q,
+                    mean: stats.mean(),
+                    std_err: stats.std_err(),
+                });
+            }
+            curves.push(Curve {
+                power: family,
+                rayleigh,
+                points,
+            });
+            col += config.q_grid.len();
+        }
+    }
+    Figure1Result {
+        config: config.clone(),
+        curves,
+    }
+}
+
+/// Analytic (Theorem 1) counterpart of the Rayleigh curves of Figure 1:
+/// the exact expected successes at each q, averaged over the same
+/// networks — no Monte Carlo. Cross-validates the sampled pipeline.
+pub fn run_figure1_analytic(config: &Figure1Config, family: PowerFamily) -> Curve {
+    assert!(config.networks > 0, "need at least one network");
+    let per_network: Vec<Vec<f64>> = (0..config.networks)
+        .into_par_iter()
+        .map(|net_idx| {
+            let net = config.topology.generate(config.seed.wrapping_add(net_idx));
+            let gain = GainMatrix::from_geometry(&net, &family.assignment(), config.params.alpha);
+            config
+                .q_grid
+                .iter()
+                .map(|&q| crate::slots::rayleigh_expected_successes(&gain, &config.params, q))
+                .collect()
+        })
+        .collect();
+    let points = config
+        .q_grid
+        .iter()
+        .enumerate()
+        .map(|(qi, &q)| {
+            let stats: RunningStats = per_network.iter().map(|row| row[qi]).collect();
+            CurvePoint {
+                q,
+                mean: stats.mean(),
+                std_err: stats.std_err(),
+            }
+        })
+        .collect();
+    Curve {
+        power: family,
+        rayleigh: true,
+        points,
+    }
+}
+
+/// Configuration of the Figure 2 experiment (no-regret learning).
+/// Defaults: 200 links, lengths ∈ (0, 100], β=0.5, α=2.1, ν=0, p=2,
+/// 100 rounds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Figure2Config {
+    /// Number of networks to average over.
+    pub networks: u64,
+    /// Topology generator settings.
+    pub topology: PaperTopology,
+    /// SINR parameters.
+    pub params: SinrParams,
+    /// Uniform transmission power.
+    pub power: f64,
+    /// Learning rounds per run.
+    pub rounds: usize,
+    /// Base seed.
+    pub seed: u64,
+    /// Local-search restarts for the reference optimum line (0 disables
+    /// the optimum computation).
+    pub optimum_restarts: usize,
+}
+
+impl Default for Figure2Config {
+    fn default() -> Self {
+        Figure2Config {
+            networks: 10,
+            topology: PaperTopology::figure2(),
+            params: SinrParams::figure2(),
+            power: 2.0,
+            rounds: 100,
+            seed: 0xf162,
+            optimum_restarts: 4,
+        }
+    }
+}
+
+impl Figure2Config {
+    /// Reduced configuration for tests.
+    pub fn smoke() -> Self {
+        Figure2Config {
+            networks: 2,
+            topology: PaperTopology {
+                links: 30,
+                ..PaperTopology::figure2()
+            },
+            rounds: 40,
+            optimum_restarts: 1,
+            ..Figure2Config::default()
+        }
+    }
+}
+
+/// The Figure 2 result: per-round mean successes in both models plus the
+/// non-fading reference optimum.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Figure2Result {
+    /// Configuration that produced the result.
+    pub config: Figure2Config,
+    /// Mean successes per round, non-fading model.
+    pub nonfading: Vec<f64>,
+    /// Mean successes per round, Rayleigh model.
+    pub rayleigh: Vec<f64>,
+    /// Mean size of the non-fading reference optimum (local search), or
+    /// `None` when disabled.
+    pub optimum: Option<f64>,
+    /// Mean of the maximum per-link average regret, non-fading runs.
+    pub mean_max_regret_nonfading: f64,
+    /// Mean of the maximum per-link average regret, Rayleigh runs.
+    pub mean_max_regret_rayleigh: f64,
+}
+
+/// Runs the Figure 2 experiment (parallel over networks).
+pub fn run_figure2(config: &Figure2Config) -> Figure2Result {
+    run_figure2_with_progress(config, |_| {})
+}
+
+/// [`run_figure2`] with a per-network completion callback.
+pub fn run_figure2_with_progress<F>(config: &Figure2Config, on_network_done: F) -> Figure2Result
+where
+    F: Fn(u64) + Sync,
+{
+    assert!(config.networks > 0 && config.rounds > 0);
+    struct PerNet {
+        nonfading: Vec<usize>,
+        rayleigh: Vec<usize>,
+        optimum: Option<usize>,
+        regret_nf: f64,
+        regret_ray: f64,
+    }
+    let runs: Vec<PerNet> = (0..config.networks)
+        .into_par_iter()
+        .map(|net_idx| {
+            let net = config.topology.generate(config.seed.wrapping_add(net_idx));
+            let gain = GainMatrix::from_geometry(
+                &net,
+                &PowerAssignment::Uniform(config.power),
+                config.params.alpha,
+            );
+            let game_cfg = GameConfig {
+                rounds: config.rounds,
+                seed: config.seed.wrapping_mul(97).wrapping_add(net_idx),
+            };
+            let mut nf_model = NonFadingModel::new(gain.clone(), config.params);
+            let nf = run_game_with_beta(&mut nf_model, config.params.beta, &game_cfg);
+            let mut ray_model = RayleighModel::new(
+                gain.clone(),
+                config.params,
+                config.seed.wrapping_mul(193).wrapping_add(net_idx),
+            );
+            let ray = run_game_with_beta(&mut ray_model, config.params.beta, &game_cfg);
+            let optimum = (config.optimum_restarts > 0).then(|| {
+                LocalSearchCapacity {
+                    restarts: config.optimum_restarts,
+                    seed: config.seed.wrapping_add(net_idx),
+                    max_sweeps: 30,
+                }
+                .select(&CapacityInstance::unweighted(&gain, &config.params))
+                .len()
+            });
+            on_network_done(net_idx);
+            PerNet {
+                nonfading: nf.successes_per_round.clone(),
+                rayleigh: ray.successes_per_round.clone(),
+                optimum,
+                regret_nf: nf.regret.max_average_regret(config.rounds),
+                regret_ray: ray.regret.max_average_regret(config.rounds),
+            }
+        })
+        .collect();
+
+    let rounds = config.rounds;
+    let average_series = |select: &dyn Fn(&PerNet) -> &Vec<usize>| -> Vec<f64> {
+        (0..rounds)
+            .map(|t| runs.iter().map(|r| select(r)[t] as f64).sum::<f64>() / runs.len() as f64)
+            .collect()
+    };
+    let nonfading = average_series(&|r: &PerNet| &r.nonfading);
+    let rayleigh = average_series(&|r: &PerNet| &r.rayleigh);
+    let optimum = if config.optimum_restarts > 0 {
+        Some(
+            runs.iter()
+                .map(|r| r.optimum.unwrap_or(0) as f64)
+                .sum::<f64>()
+                / runs.len() as f64,
+        )
+    } else {
+        None
+    };
+    Figure2Result {
+        config: config.clone(),
+        nonfading,
+        rayleigh,
+        optimum,
+        mean_max_regret_nonfading: runs.iter().map(|r| r.regret_nf).sum::<f64>()
+            / runs.len() as f64,
+        mean_max_regret_rayleigh: runs.iter().map(|r| r.regret_ray).sum::<f64>()
+            / runs.len() as f64,
+    }
+}
+
+/// Computes the paper's Sec. 7 scalar: the mean size of the (reference)
+/// optimal feasible set under uniform powers on Figure 1 networks
+/// ("we reach on average 49.75 successful transmissions").
+pub fn optimum_statistic(config: &Figure1Config, restarts: usize) -> RunningStats {
+    (0..config.networks)
+        .into_par_iter()
+        .map(|net_idx| {
+            let net = config.topology.generate(config.seed.wrapping_add(net_idx));
+            let gain = GainMatrix::from_geometry(
+                &net,
+                &PowerAssignment::figure1_uniform(),
+                config.params.alpha,
+            );
+            LocalSearchCapacity {
+                restarts,
+                seed: config.seed.wrapping_add(net_idx),
+                max_sweeps: 50,
+            }
+            .select(&CapacityInstance::unweighted(&gain, &config.params))
+            .len() as f64
+        })
+        .fold(RunningStats::new, |mut acc, x| {
+            acc.push(x);
+            acc
+        })
+        .reduce(RunningStats::new, |mut a, b| {
+            a.merge(&b);
+            a
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure1_smoke_has_four_curves() {
+        let res = run_figure1(&Figure1Config::smoke());
+        assert_eq!(res.curves.len(), 4);
+        for c in &res.curves {
+            assert_eq!(c.points.len(), 3);
+            for p in &c.points {
+                assert!(p.mean >= 0.0 && p.mean <= 20.0, "{}: {p:?}", c.label());
+            }
+            assert!(c.argmax().is_some());
+        }
+        let labels: Vec<String> = res.curves.iter().map(Curve::label).collect();
+        assert!(labels.contains(&"uniform/rayleigh".to_string()));
+        assert!(labels.contains(&"square-root/non-fading".to_string()));
+    }
+
+    #[test]
+    fn figure1_deterministic() {
+        let cfg = Figure1Config::smoke();
+        assert_eq!(run_figure1(&cfg), run_figure1(&cfg));
+    }
+
+    #[test]
+    fn figure2_smoke_series_lengths() {
+        let res = run_figure2(&Figure2Config::smoke());
+        assert_eq!(res.nonfading.len(), 40);
+        assert_eq!(res.rayleigh.len(), 40);
+        assert!(res.optimum.unwrap() > 0.0);
+        assert!(res.mean_max_regret_nonfading >= 0.0);
+        // Learning should reach nontrivial throughput by the end.
+        let tail_nf: f64 = res.nonfading[30..].iter().sum::<f64>() / 10.0;
+        assert!(tail_nf > 0.0);
+    }
+
+    #[test]
+    fn analytic_curve_matches_monte_carlo() {
+        // The Theorem 1 curve must agree with the sampled Rayleigh curve
+        // within Monte Carlo error.
+        let mut cfg = Figure1Config::smoke();
+        cfg.tx_seeds = 40;
+        cfg.fading_seeds = 15;
+        let mc = run_figure1(&cfg);
+        let analytic = run_figure1_analytic(&cfg, PowerFamily::Uniform);
+        let mc_uniform_ray = mc
+            .curves
+            .iter()
+            .find(|c| c.power == PowerFamily::Uniform && c.rayleigh)
+            .expect("curve exists");
+        for (a, b) in analytic.points.iter().zip(&mc_uniform_ray.points) {
+            assert_eq!(a.q, b.q);
+            assert!(
+                (a.mean - b.mean).abs() < 0.5,
+                "q={}: analytic {} vs MC {}",
+                a.q,
+                a.mean,
+                b.mean
+            );
+        }
+    }
+
+    #[test]
+    fn optimum_statistic_positive() {
+        let mut cfg = Figure1Config::smoke();
+        cfg.networks = 2;
+        let stats = optimum_statistic(&cfg, 2);
+        assert_eq!(stats.count(), 2);
+        assert!(stats.mean() > 0.0);
+    }
+}

@@ -1,0 +1,201 @@
+//! Streaming progress reporting for long-running sweeps.
+//!
+//! The full Figure 1 run evaluates 40 networks × 4 curves × 20 grid points
+//! × 250 seeded slots; on slower machines that's minutes of silence
+//! without feedback. [`ProgressSink`] decouples the hot rayon workers from
+//! terminal I/O: workers send lightweight ticks over a crossbeam channel,
+//! a dedicated thread renders them (rate-limited) to any `Write` sink
+//! guarded by a `parking_lot` mutex.
+//!
+//! Shutdown is by explicit sentinel, **not** by channel closure: handles
+//! are freely cloneable and may outlive the sink, so `finish()` must not
+//! wait for every clone to drop.
+
+use crossbeam::channel::{bounded, Sender};
+use parking_lot::Mutex;
+use std::io::Write;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+enum Msg {
+    Tick(u64),
+    Done,
+}
+
+/// A handle workers use to report completed units. Cloneable; may outlive
+/// the sink (late ticks are silently dropped).
+#[derive(Debug, Clone)]
+pub struct ProgressHandle {
+    tx: Sender<Msg>,
+}
+
+impl ProgressHandle {
+    /// Reports `units` newly completed work items. Never blocks the
+    /// caller: if the channel is full or closed the tick is dropped
+    /// (progress is advisory).
+    pub fn tick(&self, units: u64) {
+        let _ = self.tx.try_send(Msg::Tick(units));
+    }
+}
+
+/// Aggregates ticks and renders progress lines to a sink.
+pub struct ProgressSink {
+    tx: Sender<Msg>,
+    worker: Option<JoinHandle<u64>>,
+}
+
+impl ProgressSink {
+    /// Creates a sink expecting `total` units, labelled `label`, writing
+    /// to `out`. A line is emitted at most every `report_every` units.
+    pub fn new<W: Write + Send + 'static>(
+        total: u64,
+        label: &str,
+        report_every: u64,
+        out: W,
+    ) -> Self {
+        assert!(report_every > 0, "report_every must be positive");
+        let (tx, rx) = bounded::<Msg>(1024);
+        let label = label.to_string();
+        let sink = Arc::new(Mutex::new(out));
+        let worker = std::thread::spawn(move || {
+            let mut done = 0u64;
+            let mut last_reported = 0u64;
+            for msg in rx {
+                match msg {
+                    Msg::Tick(units) => {
+                        done += units;
+                        if done - last_reported >= report_every || done >= total {
+                            last_reported = done;
+                            let mut w = sink.lock();
+                            let _ = writeln!(w, "{label}: {done}/{total}");
+                        }
+                    }
+                    Msg::Done => break,
+                }
+            }
+            done
+        });
+        ProgressSink {
+            tx,
+            worker: Some(worker),
+        }
+    }
+
+    /// A sink writing to stderr.
+    pub fn stderr(total: u64, label: &str, report_every: u64) -> Self {
+        Self::new(total, label, report_every, std::io::stderr())
+    }
+
+    /// The cloneable handle to hand to workers.
+    pub fn handle(&self) -> ProgressHandle {
+        ProgressHandle {
+            tx: self.tx.clone(),
+        }
+    }
+
+    /// Shuts the renderer down (outstanding queued ticks are processed
+    /// first) and returns the total units observed.
+    pub fn finish(mut self) -> u64 {
+        self.shutdown()
+    }
+
+    fn shutdown(&mut self) -> u64 {
+        let Some(worker) = self.worker.take() else {
+            return 0;
+        };
+        // `send` (blocking) guarantees the sentinel is enqueued behind all
+        // ticks already in the channel; the worker drains them in order.
+        let _ = self.tx.send(Msg::Done);
+        worker.join().expect("progress thread panicked")
+    }
+}
+
+impl Drop for ProgressSink {
+    fn drop(&mut self) {
+        let _ = self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A Write implementation collecting into a shared buffer.
+    #[derive(Clone, Default)]
+    struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn counts_all_ticks_even_with_live_handles() {
+        let buf = SharedBuf::default();
+        let sink = ProgressSink::new(10, "work", 1, buf.clone());
+        let h = sink.handle();
+        for _ in 0..10 {
+            h.tick(1);
+        }
+        // `h` is still alive here — finish must not deadlock.
+        let seen = sink.finish();
+        assert_eq!(seen, 10);
+        let text = String::from_utf8(buf.0.lock().clone()).unwrap();
+        assert!(text.contains("work: 10/10"), "{text}");
+        // Late ticks on the surviving handle are dropped silently.
+        h.tick(5);
+    }
+
+    #[test]
+    fn rate_limiting_reduces_lines() {
+        let buf = SharedBuf::default();
+        let sink = ProgressSink::new(100, "w", 50, buf.clone());
+        let h = sink.handle();
+        for _ in 0..100 {
+            h.tick(1);
+        }
+        sink.finish();
+        let text = String::from_utf8(buf.0.lock().clone()).unwrap();
+        let lines = text.lines().count();
+        assert!(lines <= 4, "expected few lines, got {lines}: {text}");
+    }
+
+    #[test]
+    fn concurrent_ticks_from_many_threads() {
+        let sink = ProgressSink::new(400, "par", 100, std::io::sink());
+        let h = sink.handle();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let h = h.clone();
+                s.spawn(move || {
+                    for _ in 0..100 {
+                        h.tick(1);
+                    }
+                });
+            }
+        });
+        let seen = sink.finish();
+        // try_send may drop ticks under extreme pressure; most must land.
+        assert!(seen >= 300, "seen {seen}");
+    }
+
+    #[test]
+    fn drop_without_finish_does_not_hang() {
+        let sink = ProgressSink::new(5, "x", 1, std::io::sink());
+        let h = sink.handle();
+        h.tick(3);
+        drop(sink);
+        h.tick(1); // channel closed; silently dropped
+    }
+
+    #[test]
+    #[should_panic(expected = "report_every must be positive")]
+    fn zero_report_interval_rejected() {
+        let _ = ProgressSink::new(1, "x", 0, std::io::sink());
+    }
+}

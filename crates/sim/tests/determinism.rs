@@ -1,0 +1,79 @@
+//! Determinism and parallel-safety tests for the experiment engine:
+//! results must be bit-identical across runs and across thread counts
+//! (rayon parallelism must never change outcomes).
+
+use rayfade_sim::{
+    optimum_statistic, run_figure1, run_figure1_analytic, run_figure2, Figure1Config,
+    Figure2Config, PowerFamily,
+};
+
+#[test]
+fn figure1_bitwise_deterministic() {
+    let cfg = Figure1Config::smoke();
+    let a = run_figure1(&cfg);
+    let b = run_figure1(&cfg);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn figure1_independent_of_thread_count() {
+    let cfg = Figure1Config::smoke();
+    let default_pool = run_figure1(&cfg);
+    let single = rayon::ThreadPoolBuilder::new()
+        .num_threads(1)
+        .build()
+        .unwrap()
+        .install(|| run_figure1(&cfg));
+    assert_eq!(default_pool, single);
+    let two = rayon::ThreadPoolBuilder::new()
+        .num_threads(2)
+        .build()
+        .unwrap()
+        .install(|| run_figure1(&cfg));
+    assert_eq!(default_pool, two);
+}
+
+#[test]
+fn figure2_independent_of_thread_count() {
+    let cfg = Figure2Config::smoke();
+    let default_pool = run_figure2(&cfg);
+    let single = rayon::ThreadPoolBuilder::new()
+        .num_threads(1)
+        .build()
+        .unwrap()
+        .install(|| run_figure2(&cfg));
+    assert_eq!(default_pool, single);
+}
+
+#[test]
+fn optimum_statistic_thread_invariant() {
+    let mut cfg = Figure1Config::smoke();
+    cfg.networks = 3;
+    let a = optimum_statistic(&cfg, 2);
+    let b = rayon::ThreadPoolBuilder::new()
+        .num_threads(1)
+        .build()
+        .unwrap()
+        .install(|| optimum_statistic(&cfg, 2));
+    // RunningStats merge order may differ across pools; compare moments,
+    // not internal state.
+    assert_eq!(a.count(), b.count());
+    assert!((a.mean() - b.mean()).abs() < 1e-9);
+    assert!((a.variance() - b.variance()).abs() < 1e-9);
+}
+
+#[test]
+fn analytic_curve_deterministic() {
+    let cfg = Figure1Config::smoke();
+    let a = run_figure1_analytic(&cfg, PowerFamily::SquareRoot);
+    let b = run_figure1_analytic(&cfg, PowerFamily::SquareRoot);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn seed_changes_results() {
+    let base = Figure1Config::smoke();
+    let mut other = base.clone();
+    other.seed ^= 0xdead;
+    assert_ne!(run_figure1(&base), run_figure1(&other));
+}

@@ -1,0 +1,273 @@
+//! Affectance — normalized interference.
+//!
+//! The *affectance* of link `j` on link `i` (Halldórsson–Wattenhofer \[25\],
+//! as used in the paper's Lemma 6) rescales interference so that the SINR
+//! constraint of link `i` becomes "total affectance at most 1":
+//!
+//! ```text
+//! a(j,i) = min{ 1,  β·S̄_{j,i} / (S̄_{i,i} − β·ν) }
+//! ```
+//!
+//! For uniform power `p = 1` this specializes to the paper's formula
+//! `a(j,i) = min{1, (β·d_ii^α/d_ji^α) / (1 − β·ν·d_ii^α)}`. A set `S ∋ i`
+//! satisfies link `i`'s SINR constraint iff `Σ_{j∈S, j≠i} a(j,i) ≤ 1`
+//! (whenever no single term clips at 1; a clipped term certifies
+//! infeasibility by itself).
+//!
+//! Affectance is the workhorse of the capacity algorithms and of the
+//! regret-learning analysis (Lemmas 6–8).
+
+use crate::gain::GainMatrix;
+use crate::params::SinrParams;
+use serde::{Deserialize, Serialize};
+
+/// Dense matrix of pairwise affectances under fixed gains and parameters.
+///
+/// Stored row-major by *affected* link: `a[i * n + j] = a(j, i)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Affectance {
+    n: usize,
+    a: Vec<f64>,
+    /// Unclipped values `β·S̄_{j,i} / (S̄_{i,i} − β·ν)` — exact feasibility
+    /// needs these, because a clipped entry flattens "barely infeasible"
+    /// and "hopelessly infeasible" to the same 1.0.
+    raw: Vec<f64>,
+    /// `margin[i] = S̄_{i,i} − β·ν`; non-positive means link `i` cannot
+    /// succeed even alone in the non-fading model.
+    margin: Vec<f64>,
+}
+
+impl Affectance {
+    /// Computes the affectance matrix from gains and model parameters.
+    ///
+    /// Links with non-positive noise margin (`S̄_{i,i} ≤ β·ν`) receive
+    /// affectance 1 from every other link — they are infeasible regardless,
+    /// and this keeps sums meaningful without special cases downstream.
+    pub fn new(gain: &GainMatrix, params: &SinrParams) -> Self {
+        let n = gain.len();
+        let mut a = vec![0.0; n * n];
+        let mut raw = vec![0.0; n * n];
+        let mut margin = vec![0.0; n];
+        for i in 0..n {
+            let m = gain.signal(i) - params.beta * params.noise;
+            margin[i] = m;
+            let gains = gain.at_receiver(i);
+            for j in 0..n {
+                let (clipped, exact) = if j == i {
+                    (0.0, 0.0)
+                } else if m <= 0.0 {
+                    (1.0, f64::INFINITY)
+                } else {
+                    let v = params.beta * gains[j] / m;
+                    (v.min(1.0), v)
+                };
+                a[i * n + j] = clipped;
+                raw[i * n + j] = exact;
+            }
+        }
+        Affectance { n, a, raw, margin }
+    }
+
+    /// Number of links.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether there are no links.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Affectance `a(j, i)` of link `j` on link `i` (zero for `j == i`).
+    #[inline]
+    pub fn get(&self, j: usize, i: usize) -> f64 {
+        self.a[i * self.n + j]
+    }
+
+    /// Whether link `i` can succeed alone (`S̄_{i,i} > β·ν`).
+    #[inline]
+    pub fn feasible_alone(&self, i: usize) -> bool {
+        self.margin[i] > 0.0
+    }
+
+    /// Incoming affectance on `i` from all links in `set` (excluding `i`):
+    /// `Σ_{j∈set, j≠i} a(j, i)`.
+    pub fn in_affectance(&self, set: &[usize], i: usize) -> f64 {
+        set.iter()
+            .filter(|&&j| j != i)
+            .map(|&j| self.get(j, i))
+            .sum()
+    }
+
+    /// Outgoing affectance of `j` onto all links in `set` (excluding `j`):
+    /// `Σ_{i∈set, i≠j} a(j, i)`.
+    pub fn out_affectance(&self, j: usize, set: &[usize]) -> f64 {
+        set.iter()
+            .filter(|&&i| i != j)
+            .map(|&i| self.get(j, i))
+            .sum()
+    }
+
+    /// Incoming affectance using an activity mask instead of an index set.
+    pub fn in_affectance_mask(&self, active: &[bool], i: usize) -> f64 {
+        debug_assert_eq!(active.len(), self.n);
+        let row = &self.a[i * self.n..(i + 1) * self.n];
+        row.iter()
+            .zip(active)
+            .enumerate()
+            .filter(|&(j, (_, &on))| on && j != i)
+            .map(|(_, (&v, _))| v)
+            .sum()
+    }
+
+    /// Unclipped affectance `β·S̄_{j,i} / (S̄_{i,i} − β·ν)` of `j` on `i`
+    /// (`∞` when `i` is infeasible alone, `0` for `j == i`).
+    #[inline]
+    pub fn get_unclipped(&self, j: usize, i: usize) -> f64 {
+        self.raw[i * self.n + j]
+    }
+
+    /// Whether every link of `set` meets its SINR constraint, expressed via
+    /// affectance: for all `i ∈ set`, the *unclipped* incoming affectance
+    /// is at most 1 and `i` is feasible alone.
+    ///
+    /// This is exactly equivalent to [`crate::nonfading::is_feasible`]:
+    /// `Σ_{j∈S,j≠i} β·S̄_{j,i}/(S̄_{i,i} − β·ν) ≤ 1  ⇔  γ_i^nf ≥ β`.
+    pub fn is_feasible(&self, set: &[usize]) -> bool {
+        set.iter().all(|&i| {
+            self.feasible_alone(i)
+                && set
+                    .iter()
+                    .filter(|&&j| j != i)
+                    .map(|&j| self.get_unclipped(j, i))
+                    .sum::<f64>()
+                    <= 1.0 + 1e-12
+        })
+    }
+
+    /// The paper's Lemma 7 (= [24, Lemma 8]) filter: given a feasible set
+    /// `L`, returns `L' = {u ∈ L : Σ_{v∈L} a(u, v) ≤ 2}`, which satisfies
+    /// `|L'| ≥ |L|/2`.
+    ///
+    /// Intuition: the *total* affectance inside a feasible set is at most
+    /// `|L|`, so at most half its members can radiate more than 2.
+    pub fn low_out_affectance_half(&self, set: &[usize]) -> Vec<usize> {
+        set.iter()
+            .copied()
+            .filter(|&u| self.out_affectance(u, set) <= 2.0)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nonfading;
+
+    fn gain3() -> GainMatrix {
+        GainMatrix::from_raw(
+            3,
+            vec![
+                10.0, 1.0, 0.5, //
+                1.0, 10.0, 0.5, //
+                0.5, 0.5, 10.0,
+            ],
+        )
+    }
+
+    #[test]
+    fn affectance_formula() {
+        let gm = gain3();
+        let params = SinrParams::new(2.0, 2.0, 1.0);
+        let a = Affectance::new(&gm, &params);
+        // margin_0 = 10 - 2 = 8; a(1,0) = min(1, 2*1/8) = 0.25.
+        assert!((a.get(1, 0) - 0.25).abs() < 1e-12);
+        // a(2,0) = min(1, 2*0.5/8) = 0.125.
+        assert!((a.get(2, 0) - 0.125).abs() < 1e-12);
+        // Self-affectance is zero.
+        assert_eq!(a.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn affectance_clips_at_one() {
+        let gm = GainMatrix::from_raw(2, vec![10.0, 1000.0, 1000.0, 10.0]);
+        let params = SinrParams::new(2.0, 1.0, 0.0);
+        let a = Affectance::new(&gm, &params);
+        assert_eq!(a.get(1, 0), 1.0);
+    }
+
+    #[test]
+    fn hopeless_link_has_unit_incoming_affectance() {
+        let gm = GainMatrix::from_raw(2, vec![0.5, 0.0, 0.0, 10.0]);
+        let params = SinrParams::new(2.0, 1.0, 1.0); // beta*nu = 1 > 0.5
+        let a = Affectance::new(&gm, &params);
+        assert!(!a.feasible_alone(0));
+        assert!(a.feasible_alone(1));
+        assert_eq!(a.get(1, 0), 1.0);
+        assert!(!a.is_feasible(&[0]));
+    }
+
+    #[test]
+    fn feasibility_matches_direct_sinr_check() {
+        let gm = gain3();
+        for beta in [0.5, 2.0, 5.0, 9.0, 15.0] {
+            let params = SinrParams::new(2.0, beta, 0.5);
+            let a = Affectance::new(&gm, &params);
+            for set in [
+                vec![],
+                vec![0],
+                vec![1],
+                vec![2],
+                vec![0, 1],
+                vec![0, 2],
+                vec![1, 2],
+                vec![0, 1, 2],
+            ] {
+                assert_eq!(
+                    a.is_feasible(&set),
+                    nonfading::is_feasible(&gm, &params, &set),
+                    "beta={beta} set={set:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn in_and_out_affectance_sums() {
+        let gm = gain3();
+        let params = SinrParams::new(2.0, 2.0, 1.0);
+        let a = Affectance::new(&gm, &params);
+        let set = vec![0, 1, 2];
+        let in0 = a.in_affectance(&set, 0);
+        assert!((in0 - (a.get(1, 0) + a.get(2, 0))).abs() < 1e-12);
+        let out2 = a.out_affectance(2, &set);
+        assert!((out2 - (a.get(2, 0) + a.get(2, 1))).abs() < 1e-12);
+        // Mask variant agrees.
+        let mask = nonfading::mask_from_set(3, &set);
+        assert!((a.in_affectance_mask(&mask, 0) - in0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lemma7_filter_keeps_at_least_half() {
+        let gm = gain3();
+        let params = SinrParams::new(2.0, 2.0, 0.5);
+        let a = Affectance::new(&gm, &params);
+        // Whole set is feasible here (small cross gains).
+        let set = vec![0, 1, 2];
+        assert!(a.is_feasible(&set));
+        let filtered = a.low_out_affectance_half(&set);
+        assert!(filtered.len() * 2 >= set.len());
+        for &u in &filtered {
+            assert!(a.out_affectance(u, &set) <= 2.0);
+        }
+    }
+
+    #[test]
+    fn empty_set_is_feasible() {
+        let gm = gain3();
+        let a = Affectance::new(&gm, &SinrParams::new(2.0, 1.0, 0.0));
+        assert!(a.is_feasible(&[]));
+    }
+}

@@ -1,0 +1,242 @@
+//! Deterministic (non-fading) SINR evaluation.
+//!
+//! In the non-fading model a signal transmitted by `s_j` is received at
+//! `r_i` with exactly its expected strength `S̄_{j,i}`; the SINR of link `i`
+//! against a set `S` of simultaneously transmitting links is
+//!
+//! ```text
+//!              S̄_{i,i}
+//! γ_i^nf = ----------------------
+//!          Σ_{j ∈ S, j≠i} S̄_{j,i} + ν
+//! ```
+//!
+//! (Sec. 2 of the paper). This module evaluates SINRs, success sets, and
+//! feasibility of transmission sets. Transmission sets are passed as boolean
+//! masks (hot paths) or index slices (convenience).
+
+use crate::gain::GainMatrix;
+use crate::params::SinrParams;
+
+/// Converts an index set into a boolean activity mask of length `n`.
+///
+/// # Panics
+/// If any index is out of range. Duplicate indices are idempotent.
+pub fn mask_from_set(n: usize, set: &[usize]) -> Vec<bool> {
+    let mut mask = vec![false; n];
+    for &i in set {
+        assert!(i < n, "link index {i} out of range (n = {n})");
+        mask[i] = true;
+    }
+    mask
+}
+
+/// Converts a boolean activity mask back into a sorted index set.
+pub fn set_from_mask(mask: &[bool]) -> Vec<usize> {
+    mask.iter()
+        .enumerate()
+        .filter_map(|(i, &on)| on.then_some(i))
+        .collect()
+}
+
+/// Total interference `Σ_{j active, j≠i} S̄_{j,i}` suffered by receiver `i`.
+#[inline]
+pub fn interference_at(gain: &GainMatrix, active: &[bool], i: usize) -> f64 {
+    let row = gain.at_receiver(i);
+    debug_assert_eq!(active.len(), row.len());
+    let mut sum = 0.0;
+    for (j, (&g, &on)) in row.iter().zip(active).enumerate() {
+        if on && j != i {
+            sum += g;
+        }
+    }
+    sum
+}
+
+/// Non-fading SINR `γ_i^nf` of link `i` against the active set.
+///
+/// Whether `i` itself is marked active does not matter: the value is the
+/// SINR link `i` *would* obtain transmitting alongside the other active
+/// links. Returns `f64::INFINITY` when there is neither interference nor
+/// noise.
+#[inline]
+pub fn sinr(gain: &GainMatrix, params: &SinrParams, active: &[bool], i: usize) -> f64 {
+    let denom = interference_at(gain, active, i) + params.noise;
+    if denom == 0.0 {
+        f64::INFINITY
+    } else {
+        gain.signal(i) / denom
+    }
+}
+
+/// Non-fading SINR of every link against the active set.
+pub fn sinr_all(gain: &GainMatrix, params: &SinrParams, active: &[bool]) -> Vec<f64> {
+    (0..gain.len())
+        .map(|i| sinr(gain, params, active, i))
+        .collect()
+}
+
+/// Whether active link `i` succeeds: it transmits and `γ_i^nf ≥ β`.
+#[inline]
+pub fn succeeds(gain: &GainMatrix, params: &SinrParams, active: &[bool], i: usize) -> bool {
+    active[i] && sinr(gain, params, active, i) >= params.beta
+}
+
+/// Indices of all links that transmit *and* reach SINR `β` under the
+/// active set.
+pub fn successful_links(gain: &GainMatrix, params: &SinrParams, active: &[bool]) -> Vec<usize> {
+    (0..gain.len())
+        .filter(|&i| succeeds(gain, params, active, i))
+        .collect()
+}
+
+/// Number of successful transmissions under the active set.
+pub fn count_successes(gain: &GainMatrix, params: &SinrParams, active: &[bool]) -> usize {
+    (0..gain.len())
+        .filter(|&i| succeeds(gain, params, active, i))
+        .count()
+}
+
+/// Whether `set` is *feasible*: all its links succeed simultaneously
+/// (Sec. 6's "feasible set").
+pub fn is_feasible(gain: &GainMatrix, params: &SinrParams, set: &[usize]) -> bool {
+    let mask = mask_from_set(gain.len(), set);
+    set.iter().all(|&i| succeeds(gain, params, &mask, i))
+}
+
+/// Largest prefix-greedy feasible subset of `set`, preserving order:
+/// walks `set` and keeps each link whose addition leaves every kept link
+/// successful. Useful for repairing near-feasible algorithm outputs.
+pub fn greedy_feasible_subset(gain: &GainMatrix, params: &SinrParams, set: &[usize]) -> Vec<usize> {
+    let mut kept: Vec<usize> = Vec::with_capacity(set.len());
+    let mut mask = vec![false; gain.len()];
+    for &i in set {
+        mask[i] = true;
+        let all_ok = kept
+            .iter()
+            .chain(std::iter::once(&i))
+            .all(|&k| succeeds(gain, params, &mask, k));
+        if all_ok {
+            kept.push(i);
+        } else {
+            mask[i] = false;
+        }
+    }
+    kept
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two symmetric links: strong own signal 10, cross gain 1, no noise.
+    fn symmetric_gain() -> GainMatrix {
+        GainMatrix::from_raw(2, vec![10.0, 1.0, 1.0, 10.0])
+    }
+
+    #[test]
+    fn masks_round_trip() {
+        let mask = mask_from_set(5, &[0, 3, 3]);
+        assert_eq!(mask, vec![true, false, false, true, false]);
+        assert_eq!(set_from_mask(&mask), vec![0, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn mask_rejects_bad_index() {
+        let _ = mask_from_set(2, &[2]);
+    }
+
+    #[test]
+    fn sinr_single_link_no_noise_is_infinite() {
+        let gm = symmetric_gain();
+        let params = SinrParams::new(2.0, 1.0, 0.0);
+        let active = mask_from_set(2, &[0]);
+        assert_eq!(sinr(&gm, &params, &active, 0), f64::INFINITY);
+    }
+
+    #[test]
+    fn sinr_with_interference() {
+        let gm = symmetric_gain();
+        let params = SinrParams::new(2.0, 1.0, 0.5);
+        let active = mask_from_set(2, &[0, 1]);
+        // gamma_0 = 10 / (1 + 0.5)
+        assert!((sinr(&gm, &params, &active, 0) - 10.0 / 1.5).abs() < 1e-12);
+        assert!((sinr(&gm, &params, &active, 1) - 10.0 / 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn success_requires_transmission() {
+        let gm = symmetric_gain();
+        let params = SinrParams::new(2.0, 1.0, 0.5);
+        let active = mask_from_set(2, &[0]);
+        assert!(succeeds(&gm, &params, &active, 0));
+        // Link 1 has excellent SINR but is not transmitting.
+        assert!(!succeeds(&gm, &params, &active, 1));
+    }
+
+    #[test]
+    fn count_and_list_successes() {
+        let gm = symmetric_gain();
+        // beta = 7: together each gets 10/1 = 10 >= 7 with zero noise.
+        let params = SinrParams::new(2.0, 7.0, 0.0);
+        let both = mask_from_set(2, &[0, 1]);
+        assert_eq!(successful_links(&gm, &params, &both), vec![0, 1]);
+        assert_eq!(count_successes(&gm, &params, &both), 2);
+        // beta = 11: together both fail.
+        let tight = params.with_beta(11.0);
+        assert_eq!(count_successes(&gm, &tight, &both), 0);
+    }
+
+    #[test]
+    fn feasibility() {
+        let gm = symmetric_gain();
+        let loose = SinrParams::new(2.0, 7.0, 0.0);
+        assert!(is_feasible(&gm, &loose, &[0, 1]));
+        let tight = SinrParams::new(2.0, 11.0, 0.0);
+        assert!(!is_feasible(&gm, &tight, &[0, 1]));
+        assert!(is_feasible(&gm, &tight, &[0]));
+        // The empty set is trivially feasible.
+        assert!(is_feasible(&gm, &tight, &[]));
+    }
+
+    #[test]
+    fn greedy_subset_repairs_infeasible_set() {
+        let gm = symmetric_gain();
+        let tight = SinrParams::new(2.0, 11.0, 0.0);
+        let repaired = greedy_feasible_subset(&gm, &tight, &[0, 1]);
+        assert_eq!(repaired, vec![0]);
+        assert!(is_feasible(&gm, &tight, &repaired));
+        // A feasible set is untouched.
+        let loose = SinrParams::new(2.0, 7.0, 0.0);
+        assert_eq!(greedy_feasible_subset(&gm, &loose, &[0, 1]), vec![0, 1]);
+    }
+
+    #[test]
+    fn asymmetric_interference() {
+        // Link 1's sender blasts link 0's receiver (gain 100) but not
+        // vice versa.
+        let gm = GainMatrix::from_raw(2, vec![10.0, 100.0, 0.001, 10.0]);
+        let params = SinrParams::new(2.0, 1.0, 0.0);
+        let both = mask_from_set(2, &[0, 1]);
+        assert!(!succeeds(&gm, &params, &both, 0));
+        assert!(succeeds(&gm, &params, &both, 1));
+        assert_eq!(successful_links(&gm, &params, &both), vec![1]);
+    }
+
+    #[test]
+    fn interference_sums_only_active_others() {
+        let gm = GainMatrix::from_raw(
+            3,
+            vec![
+                5.0, 1.0, 2.0, //
+                1.0, 5.0, 1.0, //
+                2.0, 1.0, 5.0,
+            ],
+        );
+        let active = mask_from_set(3, &[0, 2]);
+        // Receiver 0 hears sender 2 (gain 2.0); sender 1 inactive; self excluded.
+        assert!((interference_at(&gm, &active, 0) - 2.0).abs() < 1e-12);
+        // Receiver 1 hears senders 0 and 2.
+        assert!((interference_at(&gm, &active, 1) - 2.0).abs() < 1e-12);
+    }
+}

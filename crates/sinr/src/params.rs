@@ -1,0 +1,106 @@
+//! Physical-model parameters.
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the SINR model (Sec. 2 of the paper).
+///
+/// * `alpha` — path-loss exponent `α > 0`: signal transmitted at power `p`
+///   is received after distance `d` at expected strength `p / d^α`.
+/// * `beta` — SINR threshold `β > 0` for binary utilities: a transmission
+///   succeeds iff its SINR is at least `β`.
+/// * `noise` — ambient noise `ν ≥ 0`. The paper's Figure 2 uses `ν = 0`,
+///   so zero is explicitly supported everywhere.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SinrParams {
+    /// Path-loss exponent `α`.
+    pub alpha: f64,
+    /// Success threshold `β`.
+    pub beta: f64,
+    /// Ambient noise `ν`.
+    pub noise: f64,
+}
+
+impl SinrParams {
+    /// Creates a parameter set, validating ranges.
+    ///
+    /// # Panics
+    /// If `alpha <= 0`, `beta <= 0`, `noise < 0`, or any value is non-finite.
+    pub fn new(alpha: f64, beta: f64, noise: f64) -> Self {
+        assert!(alpha.is_finite() && alpha > 0.0, "alpha must be > 0");
+        assert!(beta.is_finite() && beta > 0.0, "beta must be > 0");
+        assert!(noise.is_finite() && noise >= 0.0, "noise must be >= 0");
+        SinrParams { alpha, beta, noise }
+    }
+
+    /// Parameters used for the paper's Figure 1:
+    /// `β = 2.5`, `α = 2.2`, `ν = 4·10⁻⁷`.
+    pub fn figure1() -> Self {
+        SinrParams::new(2.2, 2.5, 4e-7)
+    }
+
+    /// Parameters used for the paper's Figure 2:
+    /// `β = 0.5`, `α = 2.1`, `ν = 0`.
+    pub fn figure2() -> Self {
+        SinrParams::new(2.1, 0.5, 0.0)
+    }
+
+    /// Returns a copy with a different SINR threshold.
+    ///
+    /// Flexible-data-rate algorithms sweep `β` while keeping the physical
+    /// parameters fixed.
+    pub fn with_beta(&self, beta: f64) -> Self {
+        SinrParams::new(self.alpha, beta, self.noise)
+    }
+}
+
+impl Default for SinrParams {
+    /// Defaults to the Figure 1 parameters.
+    fn default() -> Self {
+        SinrParams::figure1()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_presets_match_paper() {
+        let f1 = SinrParams::figure1();
+        assert_eq!((f1.alpha, f1.beta, f1.noise), (2.2, 2.5, 4e-7));
+        let f2 = SinrParams::figure2();
+        assert_eq!((f2.alpha, f2.beta, f2.noise), (2.1, 0.5, 0.0));
+    }
+
+    #[test]
+    fn zero_noise_allowed() {
+        let p = SinrParams::new(2.0, 1.0, 0.0);
+        assert_eq!(p.noise, 0.0);
+    }
+
+    #[test]
+    fn with_beta_changes_only_beta() {
+        let p = SinrParams::figure1().with_beta(1.0);
+        assert_eq!(p.beta, 1.0);
+        assert_eq!(p.alpha, 2.2);
+        assert_eq!(p.noise, 4e-7);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be > 0")]
+    fn zero_alpha_rejected() {
+        let _ = SinrParams::new(0.0, 1.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "beta must be > 0")]
+    fn zero_beta_rejected() {
+        let _ = SinrParams::new(2.0, 0.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "noise must be >= 0")]
+    fn negative_noise_rejected() {
+        let _ = SinrParams::new(2.0, 1.0, -1.0);
+    }
+}

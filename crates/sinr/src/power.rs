@@ -1,0 +1,179 @@
+//! Transmission power assignments.
+//!
+//! The paper's reduction is power-agnostic ("the transformation does not
+//! modify transmission powers", Sec. 1.1), but every transferred algorithm
+//! is tied to a power scheme: uniform \[8\], square-root/oblivious \[4\], \[7\],
+//! linear, or algorithm-chosen per-link powers \[6\]. This module models all
+//! of them behind one enum so gain-matrix construction and the scheduling
+//! algorithms can be written once.
+
+use rayfade_geometry::LinkGeometry;
+use serde::{Deserialize, Serialize};
+
+/// A rule assigning a transmission power `p_i > 0` to every link.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PowerAssignment {
+    /// Every sender transmits with the same power `p`.
+    ///
+    /// Figure 1 of the paper uses `Uniform(2.0)`.
+    Uniform(f64),
+    /// Square-root (a.k.a. "mean") power: `p_i = scale · √(d_i^α)`, i.e.
+    /// `scale · d_i^(α/2)` for link length `d_i`.
+    ///
+    /// Figure 1's second assignment is `p_i = 2·√(d_i^2.2)`, i.e.
+    /// `SquareRoot { scale: 2.0 }` with `α = 2.2`.
+    SquareRoot {
+        /// Multiplicative constant.
+        scale: f64,
+    },
+    /// Oblivious monotone power of the form `p_i = scale · d_i^(τ·α)` with
+    /// exponent fraction `τ ∈ [0, 1]`.
+    ///
+    /// `τ = 0` recovers uniform power, `τ = 1/2` square-root, `τ = 1`
+    /// linear power (constant received signal strength).
+    Monotone {
+        /// Multiplicative constant.
+        scale: f64,
+        /// Fraction `τ` of the path-loss exponent.
+        tau: f64,
+    },
+    /// Linear power: `p_i = scale · d_i^α`, yielding a received signal of
+    /// exactly `scale` at the intended receiver.
+    Linear {
+        /// Received-signal strength (the constant signal at each receiver).
+        scale: f64,
+    },
+    /// Arbitrary per-link powers, e.g. produced by a power-control
+    /// algorithm such as \[6\].
+    Custom(Vec<f64>),
+}
+
+impl PowerAssignment {
+    /// Power of link `i` with length `length`, under path-loss exponent
+    /// `alpha`.
+    ///
+    /// # Panics
+    /// If a `Custom` assignment is indexed out of range, or the resulting
+    /// power is not strictly positive and finite.
+    pub fn power(&self, i: usize, length: f64, alpha: f64) -> f64 {
+        let p = match self {
+            PowerAssignment::Uniform(p) => *p,
+            PowerAssignment::SquareRoot { scale } => scale * length.powf(alpha / 2.0),
+            PowerAssignment::Monotone { scale, tau } => scale * length.powf(tau * alpha),
+            PowerAssignment::Linear { scale } => scale * length.powf(alpha),
+            PowerAssignment::Custom(powers) => powers[i],
+        };
+        assert!(
+            p.is_finite() && p > 0.0,
+            "power of link {i} must be positive and finite, got {p}"
+        );
+        p
+    }
+
+    /// Materializes the assignment into a per-link power vector.
+    pub fn powers<G: LinkGeometry>(&self, geometry: &G, alpha: f64) -> Vec<f64> {
+        (0..geometry.len())
+            .map(|i| self.power(i, geometry.length(i), alpha))
+            .collect()
+    }
+
+    /// Whether the assignment is *oblivious*: the power of a link depends
+    /// only on its own length (not on other links). Power-control
+    /// algorithms may produce non-oblivious `Custom` assignments.
+    pub fn is_oblivious(&self) -> bool {
+        !matches!(self, PowerAssignment::Custom(_))
+    }
+
+    /// The paper's Figure 1 uniform assignment, `p_i = 2`.
+    pub fn figure1_uniform() -> Self {
+        PowerAssignment::Uniform(2.0)
+    }
+
+    /// The paper's Figure 1 square-root assignment, `p_i = 2·√(d_i^α)`.
+    pub fn figure1_square_root() -> Self {
+        PowerAssignment::SquareRoot { scale: 2.0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rayfade_geometry::{Link, Network, Point};
+
+    fn net() -> Network {
+        Network::new(vec![
+            Link::new(Point::new(0.0, 0.0), Point::new(4.0, 0.0)),
+            Link::new(Point::new(10.0, 0.0), Point::new(10.0, 9.0)),
+        ])
+    }
+
+    #[test]
+    fn uniform_ignores_length() {
+        let p = PowerAssignment::Uniform(2.0);
+        assert_eq!(p.power(0, 4.0, 2.2), 2.0);
+        assert_eq!(p.power(1, 9.0, 2.2), 2.0);
+    }
+
+    #[test]
+    fn square_root_matches_paper_formula() {
+        // p_i = 2 * sqrt(d^2.2) = 2 * d^1.1
+        let p = PowerAssignment::figure1_square_root();
+        let expected = 2.0 * 4.0f64.powf(1.1);
+        assert!((p.power(0, 4.0, 2.2) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn monotone_interpolates_uniform_and_linear() {
+        let alpha = 2.0;
+        let uni = PowerAssignment::Monotone {
+            scale: 3.0,
+            tau: 0.0,
+        };
+        assert!((uni.power(0, 7.0, alpha) - 3.0).abs() < 1e-12);
+        let lin = PowerAssignment::Monotone {
+            scale: 3.0,
+            tau: 1.0,
+        };
+        assert!((lin.power(0, 7.0, alpha) - 3.0 * 49.0).abs() < 1e-9);
+        let sqrt = PowerAssignment::Monotone {
+            scale: 3.0,
+            tau: 0.5,
+        };
+        assert!((sqrt.power(0, 7.0, alpha) - 3.0 * 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn linear_yields_constant_received_signal() {
+        let alpha = 2.5;
+        let p = PowerAssignment::Linear { scale: 1.5 };
+        for d in [0.5, 1.0, 10.0, 123.0] {
+            let received = p.power(0, d, alpha) / d.powf(alpha);
+            assert!((received - 1.5).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn custom_indexes_per_link() {
+        let p = PowerAssignment::Custom(vec![1.0, 5.0]);
+        assert_eq!(p.power(0, 99.0, 2.0), 1.0);
+        assert_eq!(p.power(1, 99.0, 2.0), 5.0);
+        assert!(!p.is_oblivious());
+        assert!(PowerAssignment::Uniform(1.0).is_oblivious());
+    }
+
+    #[test]
+    fn powers_vector_matches_pointwise() {
+        let net = net();
+        let p = PowerAssignment::figure1_square_root();
+        let v = p.powers(&net, 2.2);
+        assert_eq!(v.len(), 2);
+        assert!((v[0] - p.power(0, 4.0, 2.2)).abs() < 1e-12);
+        assert!((v[1] - p.power(1, 9.0, 2.2)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn zero_power_rejected() {
+        let _ = PowerAssignment::Uniform(0.0).power(0, 1.0, 2.0);
+    }
+}

@@ -1,0 +1,299 @@
+//! Minimal-power feasibility via Foschini–Miljanic iteration.
+//!
+//! For a fixed set of transmitting links, the SINR constraints
+//! `p_i·g_{i,i} ≥ β(Σ_{j≠i} p_j·g_{j,i} + ν)` are linear in the power
+//! vector `p`. When a feasible `p > 0` exists, the fixed-point iteration
+//!
+//! ```text
+//! p_i ← β · (Σ_{j≠i} p_j·g_{j,i} + ν) / g_{i,i}
+//! ```
+//!
+//! converges monotonically to the componentwise-minimal feasible power
+//! vector (Foschini & Miljanic, 1993); when none exists the iterates
+//! diverge. This is the classical power-control substrate the paper's
+//! reference \[6\] builds on; `rayfade-sched` uses it to equip selected sets
+//! with concrete feasible powers.
+
+use crate::params::SinrParams;
+use serde::{Deserialize, Serialize};
+
+/// Outcome of a power-iteration solve.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PowerSolve {
+    /// A feasible power vector was found (componentwise minimal up to the
+    /// iteration tolerance), indexed like the input set.
+    Feasible(Vec<f64>),
+    /// The constraints are infeasible for every power vector (iterates
+    /// diverged or exceeded the power cap).
+    Infeasible,
+}
+
+/// Configuration of the iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerIterationConfig {
+    /// Maximum iterations before declaring divergence.
+    pub max_iters: usize,
+    /// Relative convergence tolerance.
+    pub tol: f64,
+    /// Upper bound on any single power; exceeding it declares infeasibility.
+    /// This is both a physical cap and the divergence detector.
+    pub power_cap: f64,
+    /// SINR slack factor: constraints are solved for `β·(1+slack)` so the
+    /// returned powers satisfy the *strict* threshold with margin even
+    /// after floating-point noise. Zero is allowed.
+    pub slack: f64,
+}
+
+impl Default for PowerIterationConfig {
+    fn default() -> Self {
+        PowerIterationConfig {
+            max_iters: 10_000,
+            tol: 1e-12,
+            power_cap: 1e12,
+            slack: 1e-9,
+        }
+    }
+}
+
+/// Solves for minimal feasible powers of `set` under *unit-power path
+/// gains* `unit_gain` (the gain each sender would have with power 1).
+///
+/// `unit_gain(j, i)` must return `g_{j,i} > 0` for `j, i` ranging over
+/// positions *within the set* (i.e. it is called with set-local indices
+/// already mapped by the caller). Noise may be zero: with `ν = 0` the
+/// constraints are scale-invariant, so the iteration is seeded at 1 and a
+/// feasible direction is returned with minimum component 1.
+pub fn solve_min_powers<F>(
+    m: usize,
+    unit_gain: F,
+    params: &SinrParams,
+    config: &PowerIterationConfig,
+) -> PowerSolve
+where
+    F: Fn(usize, usize) -> f64,
+{
+    if m == 0 {
+        return PowerSolve::Feasible(Vec::new());
+    }
+    let beta = params.beta * (1.0 + config.slack);
+    let nu = params.noise;
+    // With zero noise the all-zero vector is a trivial fixed point; seed at
+    // 1 and renormalize each sweep so we find a feasible *direction*.
+    let zero_noise = nu == 0.0;
+    let mut p = vec![1.0; m];
+    let mut next = vec![0.0; m];
+    for _ in 0..config.max_iters {
+        for (i, slot) in next.iter_mut().enumerate() {
+            let mut interference = 0.0;
+            for (j, &pj) in p.iter().enumerate() {
+                if j != i {
+                    interference += pj * unit_gain(j, i);
+                }
+            }
+            *slot = beta * (interference + nu) / unit_gain(i, i);
+        }
+        if zero_noise {
+            // Renormalize so min power is 1; divergence shows up as the
+            // normalized update still growing (spectral radius >= 1).
+            let mx = next.iter().cloned().fold(0.0f64, f64::max);
+            if mx == 0.0 {
+                // No interference at all: any positive powers work.
+                return PowerSolve::Feasible(vec![1.0; m]);
+            }
+        }
+        if next.iter().any(|&v| !v.is_finite() || v > config.power_cap) {
+            return PowerSolve::Infeasible;
+        }
+        // Convergence: relative change below tolerance.
+        let mut converged = true;
+        for i in 0..m {
+            let scale = p[i].abs().max(1.0);
+            if (next[i] - p[i]).abs() > config.tol * scale {
+                converged = false;
+            }
+        }
+        std::mem::swap(&mut p, &mut next);
+        if converged {
+            if zero_noise {
+                // Fixed point of a linear map with rho < 1 is 0: feasible.
+                // Return the *direction* from one unit: scale so min is 1.
+                let dirs = feasible_direction_zero_noise(m, &unit_gain, beta);
+                return match dirs {
+                    Some(v) => PowerSolve::Feasible(v),
+                    None => PowerSolve::Infeasible,
+                };
+            }
+            // Nudge to guarantee constraints hold exactly (p is the limit
+            // from below).
+            for v in &mut p {
+                *v *= 1.0 + 10.0 * config.tol;
+            }
+            return PowerSolve::Feasible(p);
+        }
+    }
+    PowerSolve::Infeasible
+}
+
+/// Zero-noise case: constraints read `p ≥ β·F·p` with
+/// `F_{i,j} = g_{j,i}/g_{i,i}`. Feasibility ⇔ spectral radius of `β·F`
+/// is `< 1`; a feasible vector is `p = Σ_k (βF)^k · 1` (the Neumann
+/// series), computed by iterating `p ← 1 + βF·p` until it stabilizes
+/// (or is declared divergent).
+fn feasible_direction_zero_noise<F>(m: usize, unit_gain: &F, beta: f64) -> Option<Vec<f64>>
+where
+    F: Fn(usize, usize) -> f64,
+{
+    let mut p = vec![1.0; m];
+    let mut next = vec![0.0; m];
+    for _ in 0..10_000 {
+        for (i, slot) in next.iter_mut().enumerate() {
+            let mut acc = 0.0;
+            for (j, &pj) in p.iter().enumerate() {
+                if j != i {
+                    acc += pj * unit_gain(j, i);
+                }
+            }
+            *slot = 1.0 + beta * acc / unit_gain(i, i);
+        }
+        if next.iter().any(|&v| !v.is_finite() || v > 1e12) {
+            return None;
+        }
+        let converged = p
+            .iter()
+            .zip(&next)
+            .all(|(&a, &b)| (a - b).abs() <= 1e-12 * a.abs().max(1.0));
+        std::mem::swap(&mut p, &mut next);
+        if converged {
+            // p solves p = 1 + βF p, hence p > βF p: strictly feasible.
+            return Some(p);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two links, symmetric unit gains: own 1.0, cross c.
+    fn pair_gain(c: f64) -> impl Fn(usize, usize) -> f64 {
+        move |j, i| if j == i { 1.0 } else { c }
+    }
+
+    #[test]
+    fn single_link_needs_noise_power_only() {
+        let params = SinrParams::new(2.0, 2.0, 0.5);
+        let solve = solve_min_powers(1, |_, _| 4.0, &params, &PowerIterationConfig::default());
+        match solve {
+            PowerSolve::Feasible(p) => {
+                // p * 4 >= 2 * 0.5 -> p >= 0.25.
+                assert!((p[0] - 0.25).abs() < 1e-6, "{p:?}");
+            }
+            PowerSolve::Infeasible => panic!("single link must be feasible"),
+        }
+    }
+
+    #[test]
+    fn symmetric_pair_feasible_when_coupling_small() {
+        // SINR: p1 >= beta (c p2 + nu); with beta=1, c=0.25, nu=1:
+        // p = beta(c p + nu) -> p (1 - 0.25) = 1 -> p = 4/3.
+        let params = SinrParams::new(2.0, 1.0, 1.0);
+        match solve_min_powers(
+            2,
+            pair_gain(0.25),
+            &params,
+            &PowerIterationConfig::default(),
+        ) {
+            PowerSolve::Feasible(p) => {
+                assert!((p[0] - 4.0 / 3.0).abs() < 1e-6, "{p:?}");
+                assert!((p[1] - 4.0 / 3.0).abs() < 1e-6);
+            }
+            PowerSolve::Infeasible => panic!("should be feasible"),
+        }
+    }
+
+    #[test]
+    fn symmetric_pair_infeasible_when_coupling_large() {
+        // beta * c = 1.0 * 1.5 > 1: spectral radius above 1, no powers work.
+        let params = SinrParams::new(2.0, 1.0, 1.0);
+        assert_eq!(
+            solve_min_powers(2, pair_gain(1.5), &params, &PowerIterationConfig::default()),
+            PowerSolve::Infeasible
+        );
+    }
+
+    #[test]
+    fn boundary_coupling_is_infeasible() {
+        // beta * c = 1 exactly: constraints only satisfiable in the limit.
+        let params = SinrParams::new(2.0, 1.0, 1.0);
+        assert_eq!(
+            solve_min_powers(2, pair_gain(1.0), &params, &PowerIterationConfig::default()),
+            PowerSolve::Infeasible
+        );
+    }
+
+    #[test]
+    fn zero_noise_returns_feasible_direction() {
+        let params = SinrParams::new(2.0, 1.0, 0.0);
+        match solve_min_powers(
+            2,
+            pair_gain(0.25),
+            &params,
+            &PowerIterationConfig::default(),
+        ) {
+            PowerSolve::Feasible(p) => {
+                // Verify SINR constraints directly.
+                for i in 0..2 {
+                    let interference: f64 = (0..2).filter(|&j| j != i).map(|j| p[j] * 0.25).sum();
+                    assert!(p[i] * 1.0 >= params.beta * interference, "{p:?}");
+                }
+            }
+            PowerSolve::Infeasible => panic!("should be feasible"),
+        }
+    }
+
+    #[test]
+    fn zero_noise_infeasible_detected() {
+        let params = SinrParams::new(2.0, 2.0, 0.0);
+        // beta*c = 2*0.8 = 1.6 > 1.
+        assert_eq!(
+            solve_min_powers(2, pair_gain(0.8), &params, &PowerIterationConfig::default()),
+            PowerSolve::Infeasible
+        );
+    }
+
+    #[test]
+    fn empty_set_is_trivially_feasible() {
+        let params = SinrParams::new(2.0, 1.0, 1.0);
+        assert_eq!(
+            solve_min_powers(0, |_, _| 1.0, &params, &PowerIterationConfig::default()),
+            PowerSolve::Feasible(vec![])
+        );
+    }
+
+    #[test]
+    fn three_link_chain() {
+        // Links 0-1 couple strongly, 2 is far from both.
+        let g = move |j: usize, i: usize| -> f64 {
+            if j == i {
+                1.0
+            } else if (j, i) == (0, 1) || (j, i) == (1, 0) {
+                0.3
+            } else {
+                0.001
+            }
+        };
+        let params = SinrParams::new(2.0, 1.0, 0.1);
+        match solve_min_powers(3, g, &params, &PowerIterationConfig::default()) {
+            PowerSolve::Feasible(p) => {
+                for i in 0..3 {
+                    let interference: f64 =
+                        (0..3).filter(|&j| j != i).map(|j| p[j] * g(j, i)).sum();
+                    let sinr = p[i] * g(i, i) / (interference + 0.1);
+                    assert!(sinr >= 1.0 - 1e-9, "link {i}: sinr {sinr}");
+                }
+            }
+            PowerSolve::Infeasible => panic!("chain should be feasible"),
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! Spectral feasibility analysis.
+//!
+//! For a fixed transmitting set, the zero-noise power-control constraints
+//! `p_i·g_ii ≥ β·Σ_{j≠i} p_j·g_ji` are satisfiable iff `β·ρ(F) < 1`,
+//! where `F` is the *normalized interference matrix*
+//! `F_ij = g_{j,i}/g_{i,i}` (zero diagonal) and `ρ` its spectral radius
+//! (Perron root). Equivalently, the **maximum SINR threshold** the set can
+//! support with *some* power vector is exactly `β* = 1/ρ(F)` — the
+//! classical Zander/Foschini characterization underlying power-control
+//! capacity results like the paper's reference \[6\].
+//!
+//! This module computes `ρ(F)` by power iteration (the matrix is
+//! non-negative, so the Perron root is the dominant eigenvalue) and
+//! exposes `max_feasible_threshold`. With positive noise the achievable
+//! threshold is strictly below `β*` but approaches it as the power cap
+//! grows; tests cross-check against the Foschini–Miljanic solver.
+
+use crate::gain::GainMatrix;
+use serde::{Deserialize, Serialize};
+
+/// Result of a spectral analysis of a transmitting set.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpectralReport {
+    /// Spectral radius `ρ(F)` of the normalized interference matrix.
+    pub rho: f64,
+    /// Maximum supportable SINR threshold `1/ρ(F)` under zero noise
+    /// (`∞` when the set has no mutual interference at all).
+    pub max_threshold: f64,
+    /// Iterations the power method used.
+    pub iterations: usize,
+}
+
+/// Computes the spectral radius of the normalized interference matrix of
+/// `set` via power iteration.
+///
+/// `set` must contain at least one link with positive own-gain; entries
+/// with zero own-gain are rejected (their normalization is undefined).
+///
+/// # Panics
+/// If `set` contains an out-of-range index or a link with zero `S̄_{i,i}`.
+pub fn spectral_report(gain: &GainMatrix, set: &[usize]) -> SpectralReport {
+    let m = set.len();
+    for &i in set {
+        assert!(i < gain.len(), "link {i} out of range");
+        assert!(
+            gain.signal(i) > 0.0,
+            "link {i} has zero own-gain; normalization undefined"
+        );
+    }
+    if m <= 1 {
+        return SpectralReport {
+            rho: 0.0,
+            max_threshold: f64::INFINITY,
+            iterations: 0,
+        };
+    }
+    // F[a][b] = g(set[b], set[a]) / g(set[a], set[a]), zero diagonal.
+    let mut f = vec![0.0; m * m];
+    let mut all_zero = true;
+    for (a, &i) in set.iter().enumerate() {
+        let own = gain.signal(i);
+        for (b, &j) in set.iter().enumerate() {
+            if a != b {
+                let v = gain.gain(j, i) / own;
+                f[a * m + b] = v;
+                if v > 0.0 {
+                    all_zero = false;
+                }
+            }
+        }
+    }
+    if all_zero {
+        return SpectralReport {
+            rho: 0.0,
+            max_threshold: f64::INFINITY,
+            iterations: 0,
+        };
+    }
+    // Power iteration on the *shifted* matrix I + F: non-negative
+    // matrices can be periodic (e.g. a pure 2-cycle), on which the plain
+    // power method oscillates; adding the identity makes the matrix
+    // primitive without moving the Perron vector, and ρ(I + F) = 1 + ρ(F).
+    let mut x = vec![1.0 / m as f64; m];
+    let mut y = vec![0.0; m];
+    let mut shifted_rho = 1.0;
+    let mut iterations = 0;
+    for it in 0..10_000 {
+        iterations = it + 1;
+        for a in 0..m {
+            let row = &f[a * m..(a + 1) * m];
+            let fx: f64 = row.iter().zip(&x).map(|(&fij, &xj)| fij * xj).sum();
+            y[a] = x[a] + fx;
+        }
+        let norm: f64 = y.iter().sum();
+        debug_assert!(
+            norm >= 1.0 - 1e-12,
+            "I + F cannot shrink an L1-normalized vector"
+        );
+        let new_rho = norm; // since x was L1-normalized
+        y.iter_mut().for_each(|v| *v /= norm);
+        std::mem::swap(&mut x, &mut y);
+        if (new_rho - shifted_rho).abs() <= 1e-13 * new_rho {
+            shifted_rho = new_rho;
+            break;
+        }
+        shifted_rho = new_rho;
+    }
+    let rho = (shifted_rho - 1.0).max(0.0);
+    SpectralReport {
+        rho,
+        max_threshold: if rho > 0.0 { 1.0 / rho } else { f64::INFINITY },
+        iterations,
+    }
+}
+
+/// Maximum SINR threshold `β*` the set can support with power control and
+/// zero noise: `1/ρ(F)`.
+pub fn max_feasible_threshold(gain: &GainMatrix, set: &[usize]) -> f64 {
+    spectral_report(gain, set).max_threshold
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::SinrParams;
+    use crate::power_iteration::{solve_min_powers, PowerIterationConfig, PowerSolve};
+
+    /// Symmetric pair with cross-coupling c has F = [[0, c], [c, 0]],
+    /// rho = c.
+    fn pair(c: f64) -> GainMatrix {
+        GainMatrix::from_raw(2, vec![1.0, c, c, 1.0])
+    }
+
+    #[test]
+    fn symmetric_pair_rho_is_coupling() {
+        let r = spectral_report(&pair(0.25), &[0, 1]);
+        assert!((r.rho - 0.25).abs() < 1e-10, "{r:?}");
+        assert!((r.max_threshold - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn singleton_and_empty_are_unbounded() {
+        let gm = pair(0.5);
+        assert_eq!(max_feasible_threshold(&gm, &[0]), f64::INFINITY);
+        assert_eq!(max_feasible_threshold(&gm, &[]), f64::INFINITY);
+    }
+
+    #[test]
+    fn independent_links_are_unbounded() {
+        let gm = GainMatrix::from_raw(2, vec![1.0, 0.0, 0.0, 1.0]);
+        assert_eq!(max_feasible_threshold(&gm, &[0, 1]), f64::INFINITY);
+    }
+
+    #[test]
+    fn agrees_with_foschini_miljanic_feasibility() {
+        // Just below the spectral threshold: solvable; just above: not.
+        let gm = pair(0.5); // beta* = 2
+        let config = PowerIterationConfig::default();
+        let below = SinrParams::new(2.0, 1.9, 0.0);
+        let above = SinrParams::new(2.0, 2.1, 0.0);
+        let g = |j: usize, i: usize| gm.gain(j, i);
+        assert!(matches!(
+            solve_min_powers(2, g, &below, &config),
+            PowerSolve::Feasible(_)
+        ));
+        assert!(matches!(
+            solve_min_powers(2, g, &above, &config),
+            PowerSolve::Infeasible
+        ));
+        let beta_star = max_feasible_threshold(&gm, &[0, 1]);
+        assert!((beta_star - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn asymmetric_coupling_rho_is_geometric_mean() {
+        // F = [[0, a], [b, 0]] has rho = sqrt(a*b).
+        let gm = GainMatrix::from_raw(2, vec![1.0, 0.4, 0.1, 1.0]);
+        let r = spectral_report(&gm, &[0, 1]);
+        assert!((r.rho - (0.4f64 * 0.1).sqrt()).abs() < 1e-9, "{r:?}");
+    }
+
+    #[test]
+    fn three_link_ring() {
+        // Cyclic interference: F is a 3-cycle with weight c; rho = c.
+        let c = 0.3;
+        let gm = GainMatrix::from_raw(
+            3,
+            vec![
+                1.0, c, 0.0, //
+                0.0, 1.0, c, //
+                c, 0.0, 1.0,
+            ],
+        );
+        let r = spectral_report(&gm, &[0, 1, 2]);
+        assert!((r.rho - c).abs() < 1e-8, "{r:?}");
+    }
+
+    #[test]
+    fn subset_thresholds_dominate_superset() {
+        // Removing links can only raise the supportable threshold.
+        let gm = GainMatrix::from_raw(
+            3,
+            vec![
+                1.0, 0.3, 0.2, //
+                0.3, 1.0, 0.1, //
+                0.2, 0.1, 1.0,
+            ],
+        );
+        let all = max_feasible_threshold(&gm, &[0, 1, 2]);
+        let pair01 = max_feasible_threshold(&gm, &[0, 1]);
+        let pair02 = max_feasible_threshold(&gm, &[0, 2]);
+        assert!(pair01 >= all - 1e-12);
+        assert!(pair02 >= all - 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero own-gain")]
+    fn zero_own_gain_rejected() {
+        let gm = GainMatrix::from_raw(2, vec![0.0, 0.1, 0.1, 1.0]);
+        let _ = spectral_report(&gm, &[0, 1]);
+    }
+}

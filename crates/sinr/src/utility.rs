@@ -1,0 +1,345 @@
+//! Utility functions over achieved SINR.
+//!
+//! The paper generalizes capacity maximization from binary success counting
+//! to arbitrary per-link utilities `u_i(γ_i)` (Sec. 2). Its results require
+//! *valid* utility functions (Definition 1): non-negative, and
+//! non-decreasing + concave on `[S̄_{i,i}/(c_i·ν), ∞)` for some constant
+//! `c_i > 1`. The three examples from the paper are implemented here:
+//! binary thresholds, weighted thresholds, and Shannon capacity
+//! `log(1 + γ)` — plus a numeric validity checker usable on any
+//! implementation.
+
+use serde::{Deserialize, Serialize};
+
+/// A per-link utility of achieved SINR.
+///
+/// `value(i, sinr)` must be non-negative and finite for finite `sinr`;
+/// implementations should also handle `sinr = ∞` gracefully (a lone
+/// transmitter under zero noise) by returning their supremum or a saturated
+/// value.
+pub trait UtilityFunction {
+    /// Utility obtained by link `i` when achieving SINR `sinr`.
+    fn value(&self, i: usize, sinr: f64) -> f64;
+
+    /// Total utility over per-link SINRs.
+    fn total(&self, sinrs: &[f64]) -> f64 {
+        sinrs
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| self.value(i, s))
+            .sum()
+    }
+}
+
+/// Binary utility: `1` iff SINR reaches the global threshold `β`
+/// (the standard capacity-maximization objective).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BinaryUtility {
+    /// Success threshold `β`.
+    pub beta: f64,
+}
+
+impl BinaryUtility {
+    /// Creates a binary utility with threshold `beta > 0`.
+    pub fn new(beta: f64) -> Self {
+        assert!(beta > 0.0 && beta.is_finite(), "beta must be > 0");
+        BinaryUtility { beta }
+    }
+}
+
+impl UtilityFunction for BinaryUtility {
+    #[inline]
+    fn value(&self, _i: usize, sinr: f64) -> f64 {
+        if sinr >= self.beta {
+            1.0
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Link-weighted binary utility: `w_i` iff SINR ≥ `β`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WeightedUtility {
+    /// Success threshold `β`.
+    pub beta: f64,
+    /// Per-link non-negative weights `w_i`.
+    pub weights: Vec<f64>,
+}
+
+impl WeightedUtility {
+    /// Creates a weighted utility.
+    ///
+    /// # Panics
+    /// If `beta <= 0` or any weight is negative/non-finite.
+    pub fn new(beta: f64, weights: Vec<f64>) -> Self {
+        assert!(beta > 0.0 && beta.is_finite(), "beta must be > 0");
+        assert!(
+            weights.iter().all(|w| w.is_finite() && *w >= 0.0),
+            "weights must be finite and non-negative"
+        );
+        WeightedUtility { beta, weights }
+    }
+}
+
+impl UtilityFunction for WeightedUtility {
+    #[inline]
+    fn value(&self, i: usize, sinr: f64) -> f64 {
+        if sinr >= self.beta {
+            self.weights[i]
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Shannon-capacity utility `u(γ) = log₂(1 + γ)`, optionally capped.
+///
+/// The cap models finite modulation/coding rates: real radios cannot
+/// exploit unbounded SINR, and a cap also keeps the `sinr = ∞` case (lone
+/// transmitter, zero noise) finite. An uncapped instance returns `∞` there,
+/// which callers must be prepared for.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ShannonUtility {
+    /// Maximum rate; `f64::INFINITY` for the pure `log₂(1+γ)` law.
+    pub max_rate: f64,
+}
+
+impl ShannonUtility {
+    /// The pure (uncapped) Shannon law.
+    pub fn uncapped() -> Self {
+        ShannonUtility {
+            max_rate: f64::INFINITY,
+        }
+    }
+
+    /// Shannon law capped at `max_rate` bits/symbol.
+    pub fn capped(max_rate: f64) -> Self {
+        assert!(max_rate > 0.0, "cap must be positive");
+        ShannonUtility { max_rate }
+    }
+}
+
+impl UtilityFunction for ShannonUtility {
+    #[inline]
+    fn value(&self, _i: usize, sinr: f64) -> f64 {
+        if sinr == f64::INFINITY {
+            return self.max_rate;
+        }
+        (1.0 + sinr.max(0.0)).log2().min(self.max_rate)
+    }
+}
+
+/// Logistic (S-shaped) rate utility
+/// `u(γ) = max / (1 + exp(−steepness·(γ − midpoint)))`.
+///
+/// A realistic modulation curve: almost no rate below the operating
+/// point, saturation above it. Unlike the Shannon law it is **convex
+/// below the midpoint**, so Definition 1 only holds when the noise-ratio
+/// interval `[S̄ii/(c·ν), ∞)` starts past the inflection — exactly the
+/// "noise is not too large" regime the paper assumes. The validity
+/// checker below detects both cases; see the tests.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LogisticUtility {
+    /// Inflection point (SINR at half rate).
+    pub midpoint: f64,
+    /// Slope parameter (> 0); larger is closer to a hard threshold.
+    pub steepness: f64,
+    /// Saturation rate.
+    pub max: f64,
+}
+
+impl LogisticUtility {
+    /// Creates a logistic utility.
+    ///
+    /// # Panics
+    /// If any parameter is non-positive or non-finite.
+    pub fn new(midpoint: f64, steepness: f64, max: f64) -> Self {
+        assert!(
+            midpoint > 0.0 && steepness > 0.0 && max > 0.0,
+            "logistic parameters must be positive"
+        );
+        assert!(
+            midpoint.is_finite() && steepness.is_finite() && max.is_finite(),
+            "logistic parameters must be finite"
+        );
+        LogisticUtility {
+            midpoint,
+            steepness,
+            max,
+        }
+    }
+}
+
+impl UtilityFunction for LogisticUtility {
+    #[inline]
+    fn value(&self, _i: usize, sinr: f64) -> f64 {
+        if sinr == f64::INFINITY {
+            return self.max;
+        }
+        self.max / (1.0 + (-self.steepness * (sinr.max(0.0) - self.midpoint)).exp())
+    }
+}
+
+/// Numeric check of the paper's Definition 1 for link `i`: is there a
+/// constant `c = c_i > 1` (given by the caller) such that the utility is
+/// non-decreasing and concave on `[signal/(c·noise), ∞)`?
+///
+/// With `noise == 0` the interval start is `+∞` and the condition is
+/// vacuous — every utility is valid, matching the paper's observation that
+/// validity only constrains behaviour relative to the noise floor.
+///
+/// The check samples `samples` points geometrically spaced over
+/// `[start, start · span]` and verifies discrete monotonicity and midpoint
+/// concavity up to tolerance `tol`. It is a test/diagnostic aid, not a
+/// proof.
+#[allow(clippy::too_many_arguments)]
+pub fn is_valid_utility<U: UtilityFunction>(
+    u: &U,
+    i: usize,
+    signal: f64,
+    noise: f64,
+    c: f64,
+    samples: usize,
+    span: f64,
+    tol: f64,
+) -> bool {
+    assert!(c > 1.0, "Definition 1 requires c > 1");
+    assert!(samples >= 3 && span > 1.0);
+    if noise == 0.0 {
+        return true;
+    }
+    let start = (signal / (c * noise)).max(f64::MIN_POSITIVE);
+    let ratio = span.powf(1.0 / (samples as f64 - 1.0));
+    let xs: Vec<f64> = (0..samples).map(|k| start * ratio.powi(k as i32)).collect();
+    let ys: Vec<f64> = xs.iter().map(|&x| u.value(i, x)).collect();
+    // Non-decreasing.
+    for w in ys.windows(2) {
+        if w[1] < w[0] - tol {
+            return false;
+        }
+    }
+    // Midpoint concavity: u((x+z)/2) >= (u(x)+u(z))/2 on the sampled grid.
+    for k in 0..samples - 2 {
+        let (x, z) = (xs[k], xs[k + 2]);
+        let mid = u.value(i, 0.5 * (x + z));
+        if mid < 0.5 * (ys[k] + ys[k + 2]) - tol {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binary_threshold() {
+        let u = BinaryUtility::new(2.5);
+        assert_eq!(u.value(0, 2.5), 1.0);
+        assert_eq!(u.value(0, 2.4999), 0.0);
+        assert_eq!(u.value(0, f64::INFINITY), 1.0);
+        assert_eq!(u.total(&[3.0, 1.0, 2.5]), 2.0);
+    }
+
+    #[test]
+    fn weighted_threshold() {
+        let u = WeightedUtility::new(1.0, vec![2.0, 0.5]);
+        assert_eq!(u.value(0, 1.0), 2.0);
+        assert_eq!(u.value(1, 1.0), 0.5);
+        assert_eq!(u.value(1, 0.5), 0.0);
+        assert_eq!(u.total(&[2.0, 2.0]), 2.5);
+    }
+
+    #[test]
+    fn shannon_law() {
+        let u = ShannonUtility::uncapped();
+        assert_eq!(u.value(0, 0.0), 0.0);
+        assert!((u.value(0, 1.0) - 1.0).abs() < 1e-12);
+        assert!((u.value(0, 3.0) - 2.0).abs() < 1e-12);
+        assert_eq!(u.value(0, f64::INFINITY), f64::INFINITY);
+        // Negative SINR cannot occur physically; clamp to zero utility.
+        assert_eq!(u.value(0, -1.0), 0.0);
+    }
+
+    #[test]
+    fn shannon_cap() {
+        let u = ShannonUtility::capped(4.0);
+        assert!((u.value(0, 3.0) - 2.0).abs() < 1e-12);
+        assert_eq!(u.value(0, 1e9), 4.0);
+        assert_eq!(u.value(0, f64::INFINITY), 4.0);
+    }
+
+    #[test]
+    fn binary_is_valid_when_beta_below_noise_ratio() {
+        // Paper: binary utilities are valid for (c, beta) with
+        // beta <= min_i S_ii / (c*nu): then u is constant (=1) on the
+        // interval [S_ii/(c nu), inf).
+        let signal = 10.0;
+        let noise = 1.0;
+        let c = 2.0;
+        // Interval starts at 5.0. beta = 4 <= 5 -> constant 1 on interval.
+        let u = BinaryUtility::new(4.0);
+        assert!(is_valid_utility(&u, 0, signal, noise, c, 64, 1e3, 1e-9));
+        // beta = 50 jumps inside the interval -> not concave there.
+        let bad = BinaryUtility::new(50.0);
+        assert!(!is_valid_utility(&bad, 0, signal, noise, c, 256, 1e3, 1e-9));
+    }
+
+    #[test]
+    fn shannon_is_always_valid() {
+        let u = ShannonUtility::uncapped();
+        assert!(is_valid_utility(&u, 0, 10.0, 1.0, 2.0, 64, 1e4, 1e-9));
+        assert!(is_valid_utility(&u, 0, 1.0, 5.0, 1.5, 64, 1e4, 1e-9));
+    }
+
+    #[test]
+    fn logistic_basic_shape() {
+        let u = LogisticUtility::new(2.0, 3.0, 10.0);
+        assert!(
+            (u.value(0, 2.0) - 5.0).abs() < 1e-12,
+            "half rate at midpoint"
+        );
+        assert!(u.value(0, 0.0) < 0.5);
+        assert!(u.value(0, 10.0) > 9.9);
+        assert_eq!(u.value(0, f64::INFINITY), 10.0);
+        // Monotone.
+        let mut prev = 0.0;
+        for k in 0..50 {
+            let v = u.value(0, k as f64 * 0.2);
+            assert!(v >= prev);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn logistic_validity_depends_on_noise_regime() {
+        let u = LogisticUtility::new(2.0, 3.0, 1.0);
+        // Interval starts at S/(c*nu) = 10/(2*1) = 5 > midpoint 2:
+        // concave region only -> valid.
+        assert!(is_valid_utility(&u, 0, 10.0, 1.0, 2.0, 128, 1e3, 1e-9));
+        // Interval starts at 0.25 < midpoint: includes the convex part
+        // -> invalid (the "large noise" case the paper excludes).
+        assert!(!is_valid_utility(&u, 0, 0.5, 1.0, 2.0, 256, 1e3, 1e-9));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn logistic_rejects_bad_params() {
+        let _ = LogisticUtility::new(0.0, 1.0, 1.0);
+    }
+
+    #[test]
+    fn zero_noise_makes_everything_valid() {
+        let bad = BinaryUtility::new(1e12);
+        assert!(is_valid_utility(&bad, 0, 1.0, 0.0, 2.0, 16, 10.0, 1e-9));
+    }
+
+    #[test]
+    #[should_panic(expected = "c > 1")]
+    fn validity_requires_c_above_one() {
+        let u = BinaryUtility::new(1.0);
+        let _ = is_valid_utility(&u, 0, 1.0, 1.0, 1.0, 16, 10.0, 1e-9);
+    }
+}

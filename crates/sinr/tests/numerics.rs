@@ -1,0 +1,115 @@
+//! Property tests for the numerical substrate: spectral radius and the
+//! Foschini–Miljanic power iteration must agree with each other and
+//! behave monotonically.
+
+use proptest::prelude::*;
+use rayfade_geometry::PaperTopology;
+use rayfade_sinr::{
+    max_feasible_threshold, solve_min_powers, spectral_report, GainMatrix, PowerAssignment,
+    PowerIterationConfig, PowerSolve, SinrParams,
+};
+
+fn paper_gain(seed: u64, n: usize) -> GainMatrix {
+    let net = PaperTopology {
+        links: n,
+        side: 300.0,
+        min_length: 20.0,
+        max_length: 40.0,
+    }
+    .generate(seed);
+    GainMatrix::from_geometry(&net, &PowerAssignment::figure1_uniform(), 2.2)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Spectral radius grows (weakly) when links are added.
+    #[test]
+    fn rho_monotone_under_link_addition(seed in any::<u64>()) {
+        let gm = paper_gain(seed, 10);
+        let mut prev = 0.0f64;
+        for k in 2..=10 {
+            let set: Vec<usize> = (0..k).collect();
+            let rho = spectral_report(&gm, &set).rho;
+            prop_assert!(rho + 1e-9 >= prev, "rho dropped from {prev} to {rho} at k={k}");
+            prev = rho;
+        }
+    }
+
+    /// Feasibility of the zero-noise power-control problem flips exactly
+    /// at the spectral threshold.
+    #[test]
+    fn spectral_threshold_is_the_feasibility_boundary(seed in any::<u64>()) {
+        let gm = paper_gain(seed, 6);
+        let set: Vec<usize> = (0..6).collect();
+        let beta_star = max_feasible_threshold(&gm, &set);
+        prop_assume!(beta_star.is_finite() && beta_star > 1e-6);
+        let unit_gain = |j: usize, i: usize| gm.gain(set[j], set[i]);
+        let cfg = PowerIterationConfig::default();
+        let below = SinrParams::new(2.2, beta_star * 0.9, 0.0);
+        prop_assert!(matches!(
+            solve_min_powers(6, unit_gain, &below, &cfg),
+            PowerSolve::Feasible(_)
+        ));
+        let above = SinrParams::new(2.2, beta_star * 1.1, 0.0);
+        prop_assert!(matches!(
+            solve_min_powers(6, unit_gain, &above, &cfg),
+            PowerSolve::Infeasible
+        ));
+    }
+
+    /// Foschini–Miljanic solutions actually satisfy every SINR constraint,
+    /// and scaling them up keeps them feasible (monotone constraints...
+    /// for noise-limited instances scaling up helps each link's signal and
+    /// interference equally, so the SINRs improve toward the zero-noise
+    /// limit).
+    #[test]
+    fn fm_solutions_satisfy_constraints(seed in any::<u64>(), beta in 0.2f64..1.2, nu in 0.001f64..0.05) {
+        let gm = paper_gain(seed, 5);
+        let params = SinrParams::new(2.2, beta, nu);
+        let unit_gain = |j: usize, i: usize| gm.gain(j, i);
+        if let PowerSolve::Feasible(p) =
+            solve_min_powers(5, unit_gain, &params, &PowerIterationConfig::default())
+        {
+            for scale in [1.0, 2.0, 10.0] {
+                for i in 0..5 {
+                    let interference: f64 = (0..5)
+                        .filter(|&j| j != i)
+                        .map(|j| scale * p[j] * unit_gain(j, i))
+                        .sum();
+                    let sinr = scale * p[i] * unit_gain(i, i) / (interference + nu);
+                    prop_assert!(
+                        sinr >= beta * (1.0 - 1e-6),
+                        "scale {scale}, link {i}: sinr {sinr} < beta {beta}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// The minimal power vector is componentwise minimal: shrinking any
+    /// coordinate breaks that link's constraint.
+    #[test]
+    fn fm_minimality(seed in any::<u64>()) {
+        let gm = paper_gain(seed, 4);
+        let params = SinrParams::new(2.2, 0.8, 0.01);
+        let unit_gain = |j: usize, i: usize| gm.gain(j, i);
+        if let PowerSolve::Feasible(p) =
+            solve_min_powers(4, unit_gain, &params, &PowerIterationConfig::default())
+        {
+            for i in 0..4 {
+                let mut q = p.clone();
+                q[i] *= 0.95;
+                let interference: f64 = (0..4)
+                    .filter(|&j| j != i)
+                    .map(|j| q[j] * unit_gain(j, i))
+                    .sum();
+                let sinr = q[i] * unit_gain(i, i) / (interference + params.noise);
+                prop_assert!(
+                    sinr < params.beta,
+                    "link {i} still feasible after 5% power cut: {sinr}"
+                );
+            }
+        }
+    }
+}

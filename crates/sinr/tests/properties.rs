@@ -1,0 +1,140 @@
+//! Property-based tests for the SINR substrate.
+
+use proptest::prelude::*;
+use rayfade_geometry::PaperTopology;
+use rayfade_sinr::{
+    is_feasible, mask_from_set, sinr, sinr_all, Affectance, GainMatrix, PowerAssignment, SinrParams,
+};
+
+fn paper_gain(seed: u64, n: usize) -> (GainMatrix, SinrParams) {
+    let net = PaperTopology {
+        links: n,
+        side: 500.0,
+        min_length: 10.0,
+        max_length: 30.0,
+    }
+    .generate(seed);
+    let params = SinrParams::figure1();
+    let gm = GainMatrix::from_geometry(&net, &PowerAssignment::figure1_uniform(), params.alpha);
+    (gm, params)
+}
+
+proptest! {
+    /// Adding an interferer can only lower any link's SINR.
+    #[test]
+    fn sinr_monotone_in_interferers(seed in any::<u64>(), extra in 0usize..10) {
+        let (gm, params) = paper_gain(seed, 12);
+        let base: Vec<usize> = vec![0, 1];
+        let extra = 2 + extra % 10;
+        let mut bigger = base.clone();
+        if !bigger.contains(&extra) {
+            bigger.push(extra);
+        }
+        let m1 = mask_from_set(gm.len(), &base);
+        let m2 = mask_from_set(gm.len(), &bigger);
+        for i in 0..gm.len() {
+            prop_assert!(sinr(&gm, &params, &m2, i) <= sinr(&gm, &params, &m1, i) + 1e-9);
+        }
+    }
+
+    /// Subsets of feasible sets are feasible (interference only shrinks).
+    #[test]
+    fn feasibility_closed_under_subsets(seed in any::<u64>()) {
+        let (gm, params) = paper_gain(seed, 10);
+        // Find some feasible set greedily.
+        let all: Vec<usize> = (0..gm.len()).collect();
+        let set = rayfade_sinr::greedy_feasible_subset(&gm, &params, &all);
+        prop_assert!(is_feasible(&gm, &params, &set));
+        // Every prefix must remain feasible.
+        for k in 0..=set.len() {
+            prop_assert!(is_feasible(&gm, &params, &set[..k]));
+        }
+    }
+
+    /// Affectance feasibility agrees with the direct SINR definition on
+    /// random small sets.
+    #[test]
+    fn affectance_agrees_with_sinr(seed in any::<u64>(), picks in prop::collection::vec(0usize..10, 0..6)) {
+        let (gm, params) = paper_gain(seed, 10);
+        let aff = Affectance::new(&gm, &params);
+        let mut set: Vec<usize> = picks;
+        set.sort_unstable();
+        set.dedup();
+        prop_assert_eq!(aff.is_feasible(&set), is_feasible(&gm, &params, &set));
+    }
+
+    /// Affectance entries are within [0, 1] and zero on the diagonal.
+    #[test]
+    fn affectance_bounds(seed in any::<u64>()) {
+        let (gm, params) = paper_gain(seed, 8);
+        let aff = Affectance::new(&gm, &params);
+        for i in 0..8 {
+            prop_assert_eq!(aff.get(i, i), 0.0);
+            for j in 0..8 {
+                let a = aff.get(j, i);
+                prop_assert!((0.0..=1.0).contains(&a));
+            }
+        }
+    }
+
+    /// SINR of every link is positive and finite when at least one other
+    /// link transmits (interference > 0).
+    #[test]
+    fn sinr_finite_under_interference(seed in any::<u64>()) {
+        let (gm, params) = paper_gain(seed, 8);
+        let mask = vec![true; 8];
+        for (i, s) in sinr_all(&gm, &params, &mask).iter().enumerate() {
+            prop_assert!(*s > 0.0 && s.is_finite(), "link {i}: {s}");
+        }
+    }
+
+    /// Lemma 7 filter keeps at least half of any feasible set.
+    #[test]
+    fn lemma7_half(seed in any::<u64>()) {
+        let (gm, params) = paper_gain(seed, 14);
+        let aff = Affectance::new(&gm, &params);
+        let all: Vec<usize> = (0..gm.len()).collect();
+        let feasible = rayfade_sinr::greedy_feasible_subset(&gm, &params, &all);
+        let filtered = aff.low_out_affectance_half(&feasible);
+        prop_assert!(filtered.len() * 2 >= feasible.len(),
+            "filtered {} of {}", filtered.len(), feasible.len());
+    }
+
+    /// Empirical Lemma 8 (paper's [24, Lemma 11]): for a feasible set R
+    /// whose members each radiate affectance <= 2 into R (the Lemma 7
+    /// filter), any *other* link's total affectance onto R is bounded by
+    /// a constant. We measure the constant on paper topologies.
+    #[test]
+    fn lemma8_outside_affectance_bounded(seed in any::<u64>()) {
+        let (gm, params) = paper_gain(seed, 20);
+        let aff = Affectance::new(&gm, &params);
+        let all: Vec<usize> = (0..gm.len()).collect();
+        let feasible = rayfade_sinr::greedy_feasible_subset(&gm, &params, &all);
+        let r = aff.low_out_affectance_half(&feasible);
+        for u in 0..gm.len() {
+            if r.contains(&u) {
+                continue;
+            }
+            let onto: f64 = r.iter().map(|&v| aff.get(u, v)).sum();
+            // The paper's O(1); a generous concrete constant for these
+            // geometric instances.
+            prop_assert!(onto <= 8.0, "link {u} radiates {onto} onto R (|R|={})", r.len());
+        }
+    }
+
+    /// Scaling all powers uniformly leaves zero-noise SINR invariant.
+    #[test]
+    fn sinr_scale_invariance_zero_noise(seed in any::<u64>(), scale in 0.1f64..10.0) {
+        let net = PaperTopology { links: 6, side: 300.0, min_length: 5.0, max_length: 20.0 }
+            .generate(seed);
+        let params = SinrParams::new(2.2, 2.5, 0.0);
+        let g1 = GainMatrix::from_geometry(&net, &PowerAssignment::Uniform(1.0), params.alpha);
+        let g2 = GainMatrix::from_geometry(&net, &PowerAssignment::Uniform(scale), params.alpha);
+        let mask = vec![true; 6];
+        for i in 0..6 {
+            let a = sinr(&g1, &params, &mask, i);
+            let b = sinr(&g2, &params, &mask, i);
+            prop_assert!((a - b).abs() <= 1e-9 * a.abs().max(1.0));
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! # rayfade
+//!
+//! A production-quality reproduction of *"Scheduling in Wireless Networks
+//! with Rayleigh-Fading Interference"* (Johannes Dams, Martin Hoefer,
+//! Thomas Kesselheim; SPAA 2012): SINR scheduling algorithms, the
+//! `O(log* n)` Rayleigh-fading reduction, distributed regret learning, and
+//! a seeded Monte Carlo experiment engine regenerating the paper's
+//! figures.
+//!
+//! This facade crate re-exports the workspace members:
+//!
+//! * [`geometry`] — points, links, networks, topology generators;
+//! * [`sinr`] — the deterministic SINR substrate (gains, powers,
+//!   affectance, utilities);
+//! * [`sched`] — non-fading capacity and latency algorithms;
+//! * [`fading`] — the paper's contribution: Rayleigh channel, Theorem 1
+//!   closed form, Lemma 2 transfer, Theorem 2 simulation;
+//! * [`learning`] — regret-learning dynamics (Sec. 6);
+//! * [`sim`] — the experiment engine (Sec. 7).
+//!
+//! ## Quickstart
+//!
+//! Select a feasible set with a non-fading algorithm and transfer it to
+//! the Rayleigh model — the paper's recipe in six lines:
+//!
+//! ```
+//! use rayfade::prelude::*;
+//!
+//! // A random 50-link network as in the paper's Figure 1 setup.
+//! let network = PaperTopology { links: 50, ..PaperTopology::figure1() }.generate(7);
+//! let params = SinrParams::figure1();
+//! let gain = GainMatrix::from_geometry(&network, &PowerAssignment::figure1_uniform(), params.alpha);
+//!
+//! // 1. Non-fading capacity maximization (feasible by construction).
+//! let set = GreedyCapacity::new().select(&CapacityInstance::unweighted(&gain, &params));
+//! assert!(rayfade::sinr::is_feasible(&gain, &params, &set));
+//!
+//! // 2. Transfer to Rayleigh fading: Lemma 2 guarantees >= 1/e survives.
+//! let report = transfer_set(&gain, &params, &set);
+//! assert!(report.meets_guarantee());
+//! assert!(report.rayleigh_expected_successes > set.len() as f64 / std::f64::consts::E);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use rayfade_core as fading;
+pub use rayfade_geometry as geometry;
+pub use rayfade_learning as learning;
+pub use rayfade_sched as sched;
+pub use rayfade_sim as sim;
+pub use rayfade_sinr as sinr;
+
+/// Convenience re-exports of the most used types across the workspace.
+pub mod prelude {
+    pub use rayfade_core::{
+        rayleigh_capacity, success_probability, transfer_set, RayleighModel, SimulationPlan,
+    };
+    pub use rayfade_geometry::{
+        ClusteredTopology, ExponentialChain, GridTopology, Link, LinkGeometry, Network,
+        PaperTopology, Point,
+    };
+    pub use rayfade_learning::{run_game_with_beta, GameConfig, Rwm};
+    pub use rayfade_sched::{
+        multihop_schedule, recursive_schedule, run_aloha, AlohaConfig, CapacityAlgorithm,
+        CapacityInstance, ExactCapacity, FlexibleCapacity, GreedyCapacity, LocalSearchCapacity,
+        PowerControlCapacity, Request, Schedule,
+    };
+    pub use rayfade_sim::{run_figure1, run_figure2, Figure1Config, Figure2Config, Table};
+    pub use rayfade_sinr::{
+        Affectance, BinaryUtility, GainMatrix, NonFadingModel, PowerAssignment, ShannonUtility,
+        SinrParams, SuccessModel, UtilityFunction,
+    };
+}

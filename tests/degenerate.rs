@@ -1,0 +1,204 @@
+//! Failure-injection and degenerate-instance tests across the workspace:
+//! empty networks, singleton links, hopeless noise regimes, zero noise,
+//! extreme thresholds, and adversarial gain matrices. The library must
+//! degrade gracefully (empty results, explicit "hopeless" reporting),
+//! never panic on valid-but-extreme inputs.
+
+use rayfade::prelude::*;
+
+fn empty_gain() -> GainMatrix {
+    GainMatrix::from_raw(0, vec![])
+}
+
+#[test]
+fn empty_instance_everywhere() {
+    let params = SinrParams::figure1();
+    let gm = empty_gain();
+    assert!(GreedyCapacity::new()
+        .select(&CapacityInstance::unweighted(&gm, &params))
+        .is_empty());
+    assert!(LocalSearchCapacity::default()
+        .select(&CapacityInstance::unweighted(&gm, &params))
+        .is_empty());
+    let sol = recursive_schedule(&gm, &params, &GreedyCapacity::new());
+    assert_eq!(sol.makespan(), 0);
+    let report = transfer_set(&gm, &params, &[]);
+    assert!(report.meets_guarantee());
+    let mut model = RayleighModel::new(gm, params, 0);
+    assert!(SuccessModel::resolve_slot(&mut model, &[]).is_empty());
+}
+
+#[test]
+fn singleton_network() {
+    let params = SinrParams::figure1();
+    let net = PaperTopology {
+        links: 1,
+        ..PaperTopology::figure1()
+    }
+    .generate(0);
+    let gm = GainMatrix::from_geometry(&net, &PowerAssignment::figure1_uniform(), params.alpha);
+    let set = GreedyCapacity::new().select(&CapacityInstance::unweighted(&gm, &params));
+    assert_eq!(set, vec![0]);
+    let report = transfer_set(&gm, &params, &set);
+    assert!(
+        report.rayleigh_expected_successes > 0.9,
+        "lone paper link is near-certain"
+    );
+    let sol = recursive_schedule(&gm, &params, &GreedyCapacity::new());
+    assert_eq!(sol.makespan(), 1);
+}
+
+#[test]
+fn all_links_hopeless_against_noise() {
+    // Every link below the noise floor: non-fading can do nothing.
+    let gm = GainMatrix::from_raw(3, vec![0.1, 0.0, 0.0, 0.0, 0.1, 0.0, 0.0, 0.0, 0.1]);
+    let params = SinrParams::new(2.0, 10.0, 1.0); // beta*nu = 10 >> 0.1
+    assert!(GreedyCapacity::new()
+        .select(&CapacityInstance::unweighted(&gm, &params))
+        .is_empty());
+    let sol = recursive_schedule(&gm, &params, &GreedyCapacity::new());
+    assert_eq!(sol.hopeless, vec![0, 1, 2]);
+    assert_eq!(sol.makespan(), 0);
+    // Rayleigh still gives everyone a (tiny) chance — the paper's
+    // "infinitely better" regime.
+    let e = rayfade::fading::expected_successes_of_set(&gm, &params, &[0, 1, 2]);
+    assert!(e > 0.0 && e < 1e-20, "expected {e}");
+}
+
+#[test]
+fn zero_noise_figure2_regime() {
+    // nu = 0 everywhere: no division by noise anywhere.
+    let params = SinrParams::figure2();
+    let net = PaperTopology {
+        links: 20,
+        ..PaperTopology::figure2()
+    }
+    .generate(1);
+    let gm = GainMatrix::from_geometry(&net, &PowerAssignment::Uniform(2.0), params.alpha);
+    let set = GreedyCapacity::new().select(&CapacityInstance::unweighted(&gm, &params));
+    assert!(!set.is_empty());
+    let report = transfer_set(&gm, &params, &set);
+    assert!(report.meets_guarantee());
+    // Lone transmitter at zero noise: infinite SINR, certain success.
+    let q = success_probability(
+        &gm,
+        &params,
+        &{
+            let mut v = vec![0.0; 20];
+            v[set[0]] = 1.0;
+            v
+        },
+        set[0],
+    );
+    assert!((q - 1.0).abs() < 1e-12);
+}
+
+#[test]
+fn extreme_thresholds() {
+    let net = PaperTopology {
+        links: 10,
+        ..PaperTopology::figure1()
+    }
+    .generate(2);
+    // Absurdly low threshold: everyone succeeds together.
+    let easy = SinrParams::new(2.2, 1e-12, 4e-7);
+    let gm = GainMatrix::from_geometry(&net, &PowerAssignment::figure1_uniform(), easy.alpha);
+    let set = GreedyCapacity::new().select(&CapacityInstance::unweighted(&gm, &easy));
+    assert_eq!(set.len(), 10);
+    // Absurdly high threshold: nobody can succeed, even alone (noise).
+    let hard = SinrParams::new(2.2, 1e18, 4e-7);
+    let set = GreedyCapacity::new().select(&CapacityInstance::unweighted(&gm, &hard));
+    assert!(
+        set.len() <= 1,
+        "at most a lone link can clear beta=1e18: {set:?}"
+    );
+}
+
+#[test]
+fn adversarial_gain_matrix_asymmetric_domination() {
+    // Link 0 jams everyone; nobody jams link 0.
+    let n = 5;
+    let mut g = vec![0.0; n * n];
+    for i in 0..n {
+        g[i * n + i] = 10.0;
+        if i != 0 {
+            g[i * n] = 1e6; // sender 0 at receiver i
+        }
+    }
+    let gm = GainMatrix::from_raw(n, g);
+    let params = SinrParams::new(2.0, 1.0, 0.1);
+    let set = GreedyCapacity::new().select(&CapacityInstance::unweighted(&gm, &params));
+    assert!(rayfade::sinr::is_feasible(&gm, &params, &set));
+    // Either link 0 alone, or everyone but link 0.
+    if set.contains(&0) {
+        assert_eq!(set, vec![0]);
+    } else {
+        assert_eq!(set.len(), n - 1);
+    }
+    // The exact optimum picks the n-1 victims over the lone jammer.
+    let exact = ExactCapacity::default().select(&CapacityInstance::unweighted(&gm, &params));
+    assert_eq!(exact, vec![1, 2, 3, 4]);
+}
+
+#[test]
+fn aloha_with_unschedulable_subset_terminates() {
+    let gm = GainMatrix::from_raw(2, vec![10.0, 0.0, 0.0, 0.01]);
+    let params = SinrParams::new(2.0, 5.0, 1.0); // link 1 hopeless
+    let mut model = NonFadingModel::new(gm, params);
+    let out = run_aloha(
+        &mut model,
+        &AlohaConfig {
+            max_steps: 200,
+            ..AlohaConfig::default()
+        },
+        None,
+    );
+    assert!(out.success_slot[0].is_some());
+    assert!(out.success_slot[1].is_none());
+}
+
+#[test]
+fn simulation_plan_handles_zero_probabilities() {
+    let plan = SimulationPlan::build(&[0.0, 0.0, 0.0, 0.0]);
+    let gm = GainMatrix::from_raw(
+        4,
+        vec![
+            1.0, 0.0, 0.0, 0.0, //
+            0.0, 1.0, 0.0, 0.0, //
+            0.0, 0.0, 1.0, 0.0, //
+            0.0, 0.0, 0.0, 1.0,
+        ],
+    );
+    let params = SinrParams::new(2.0, 1.0, 0.1);
+    let run = rayfade::fading::execute_plan(&gm, &params, &plan, 3);
+    // Nobody ever transmits; best SINR stays at -inf.
+    assert_eq!(run.count_reached(params.beta), 0);
+}
+
+#[test]
+fn learning_on_two_hostile_links_splits_the_channel() {
+    // Mutually exclusive pair: at most one can ever succeed per round.
+    // Learning should not collapse to both-always-send.
+    let gm = GainMatrix::from_raw(2, vec![10.0, 50.0, 50.0, 10.0]);
+    let params = SinrParams::new(2.0, 1.0, 0.0);
+    let mut model = NonFadingModel::new(gm, params);
+    let out = run_game_with_beta(
+        &mut model,
+        params.beta,
+        &GameConfig {
+            rounds: 500,
+            seed: 3,
+        },
+    );
+    // Per-round successes can be at most 1.
+    assert!(out.successes_per_round.iter().all(|&s| s <= 1));
+}
+
+#[test]
+fn giant_weights_do_not_break_weighted_selection() {
+    let gm = GainMatrix::from_raw(2, vec![10.0, 9.0, 9.0, 10.0]);
+    let params = SinrParams::new(2.0, 2.0, 0.0);
+    let w = vec![1e300, 1.0];
+    let set = GreedyCapacity::weighted().select(&CapacityInstance::weighted(&gm, &params, &w));
+    assert_eq!(set, vec![0]);
+}

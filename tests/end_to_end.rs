@@ -1,0 +1,175 @@
+//! End-to-end integration tests across all workspace crates: generate a
+//! topology, build gains, schedule, transfer to fading, learn, simulate.
+
+use rayfade::prelude::*;
+
+#[test]
+fn full_capacity_pipeline() {
+    let network = PaperTopology::figure1().generate(1);
+    let params = SinrParams::figure1();
+    let gain =
+        GainMatrix::from_geometry(&network, &PowerAssignment::figure1_uniform(), params.alpha);
+    let result = rayleigh_capacity(&gain, &params, &GreedyCapacity::new());
+    assert!(!result.set.is_empty());
+    assert!(result.transfer.meets_guarantee());
+    assert!(result.expected_successes() > 0.0);
+    assert!(result.logstar_rounds <= 9);
+    // The selected set is feasible (the contract the transfer relies on).
+    assert!(rayfade::sinr::is_feasible(&gain, &params, &result.set));
+}
+
+#[test]
+fn latency_pipeline_under_both_models() {
+    let network = PaperTopology {
+        links: 40,
+        ..PaperTopology::figure1()
+    }
+    .generate(2);
+    let params = SinrParams::figure1();
+    let gain =
+        GainMatrix::from_geometry(&network, &PowerAssignment::figure1_uniform(), params.alpha);
+    // Centralized schedule: feasible slots covering everything.
+    let sol = recursive_schedule(&gain, &params, &GreedyCapacity::new());
+    assert!(sol.schedule.covers_all(40));
+    assert!(sol.schedule.validate(&gain, &params).is_ok());
+
+    // Distributed ALOHA in the non-fading model.
+    let mut nf = NonFadingModel::new(gain.clone(), params);
+    let nf_out = run_aloha(&mut nf, &AlohaConfig::default(), None);
+    assert_eq!(nf_out.finished(), 40);
+
+    // Distributed ALOHA under Rayleigh fading with the 4x transform.
+    let cfg = rayfade::fading::rayleigh_aloha_config(&AlohaConfig::default());
+    assert_eq!(cfg.repeats, 4);
+    let mut ray = RayleighModel::new(gain, params, 3);
+    let ray_out = run_aloha(&mut ray, &cfg, None);
+    assert_eq!(ray_out.finished(), 40);
+}
+
+#[test]
+fn learning_pipeline_reaches_fraction_of_optimum() {
+    let params = SinrParams::figure2();
+    let network = PaperTopology {
+        links: 60,
+        ..PaperTopology::figure2()
+    }
+    .generate(3);
+    let gain = GainMatrix::from_geometry(&network, &PowerAssignment::Uniform(2.0), params.alpha);
+    let optimum = LocalSearchCapacity::default()
+        .select(&CapacityInstance::unweighted(&gain, &params))
+        .len();
+    assert!(optimum > 0);
+
+    let cfg = GameConfig {
+        rounds: 200,
+        seed: 4,
+    };
+    let mut nf = NonFadingModel::new(gain.clone(), params);
+    let out = run_game_with_beta(&mut nf, params.beta, &cfg);
+    let converged = out.converged_successes(40);
+    // Theorem 3/4: a constant fraction of OPT. Require a conservative 30%.
+    assert!(
+        converged >= 0.3 * optimum as f64,
+        "converged {converged} vs optimum {optimum}"
+    );
+
+    // Rayleigh run converges too, to a (typically slightly smaller) value.
+    let mut ray = RayleighModel::new(gain, params, 8);
+    let ray_out = run_game_with_beta(&mut ray, params.beta, &cfg);
+    assert!(ray_out.converged_successes(40) >= 0.2 * optimum as f64);
+}
+
+#[test]
+fn simulation_engine_figures_smoke() {
+    let f1 = rayfade::sim::run_figure1(&Figure1Config::smoke());
+    assert_eq!(f1.curves.len(), 4);
+    let f2 = rayfade::sim::run_figure2(&Figure2Config::smoke());
+    assert!(f2.optimum.unwrap() > 0.0);
+    // Optimum line upper-bounds the converged non-fading learning curve
+    // (up to round-level noise).
+    let tail: f64 = f2.nonfading[f2.nonfading.len() - 5..].iter().sum::<f64>() / 5.0;
+    assert!(
+        f2.optimum.unwrap() + 2.0 >= tail,
+        "optimum {} vs learned tail {tail}",
+        f2.optimum.unwrap()
+    );
+}
+
+#[test]
+fn multihop_over_power_control() {
+    // Cross-crate composition: power control picks powers, the multihop
+    // scheduler runs over the resulting gain matrix.
+    let network = PaperTopology {
+        links: 24,
+        ..PaperTopology::figure1()
+    }
+    .generate(5);
+    let params = SinrParams::figure1();
+    let (pc, ok) = PowerControlCapacity::default().select_verified(&network, &params);
+    assert!(ok);
+    let gain = GainMatrix::from_geometry(&network, &pc.powers, params.alpha);
+    let requests: Vec<Request> = (0..8)
+        .map(|r| Request::new(vec![3 * r, 3 * r + 1, 3 * r + 2]))
+        .collect();
+    let sol = multihop_schedule(&gain, &params, &requests, &GreedyCapacity::new());
+    assert!(sol.completed() >= 6, "completed {}", sol.completed());
+    assert!(sol.schedule.validate(&gain, &params).is_ok());
+}
+
+#[test]
+fn multichannel_pipeline() {
+    use rayfade::fading::transfer_multichannel;
+    use rayfade::sched::multichannel_capacity;
+    let network = PaperTopology {
+        links: 50,
+        ..PaperTopology::figure1()
+    }
+    .generate(9);
+    let params = SinrParams::figure1();
+    let gain =
+        GainMatrix::from_geometry(&network, &PowerAssignment::figure1_uniform(), params.alpha);
+    let single = multichannel_capacity(&gain, &params, 1, &GreedyCapacity::new());
+    let quad = multichannel_capacity(&gain, &params, 4, &GreedyCapacity::new());
+    assert!(quad.total() > single.total(), "channels must add capacity");
+    let (nf, ray) = transfer_multichannel(&gain, &params, &quad);
+    assert_eq!(nf, quad.total());
+    assert!(ray >= nf as f64 / std::f64::consts::E);
+    // A logistic utility validates in the paper's noise regime here.
+    let u = rayfade::sinr::LogisticUtility::new(params.beta, 2.0, 1.0);
+    let i = quad.all()[0];
+    assert!(rayfade::sinr::is_valid_utility(
+        &u,
+        i,
+        gain.signal(i),
+        params.noise,
+        2.0,
+        128,
+        1e3,
+        1e-9
+    ));
+}
+
+#[test]
+fn flexible_rates_transfer() {
+    let network = PaperTopology {
+        links: 30,
+        ..PaperTopology::figure1()
+    }
+    .generate(6);
+    let params = SinrParams::figure1();
+    let gain =
+        GainMatrix::from_geometry(&network, &PowerAssignment::figure1_uniform(), params.alpha);
+    let u = ShannonUtility::capped(12.0);
+    let sol = FlexibleCapacity::default().select_with_utility(&gain, &params, &u);
+    assert!(!sol.set.is_empty());
+    let (nf, ray) = rayfade::fading::transfer_utility_mc(
+        &gain,
+        &params.with_beta(sol.threshold),
+        &sol.set,
+        &u,
+        1500,
+        7,
+    );
+    assert!(nf > 0.0);
+    assert!(ray >= nf / std::f64::consts::E * 0.85, "nf {nf}, ray {ray}");
+}
