@@ -29,6 +29,7 @@ const EXPERIMENTS: &[&str] = &[
     "nakagami_exp",
     "threshold_sweep",
     "channels_exp",
+    "stability_exp",
 ];
 
 fn main() {

@@ -5,6 +5,9 @@
 //! All binaries accept `--quick` for a reduced smoke configuration and
 //! `--out <dir>` to choose where CSV files land (default `results/`).
 
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
 use rayfade_geometry::PaperTopology;
 use rayfade_sinr::{GainMatrix, PowerAssignment, SinrParams};
 use std::path::PathBuf;

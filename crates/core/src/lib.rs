@@ -57,6 +57,7 @@ pub mod optimum;
 pub mod pipeline;
 pub mod repetition;
 pub mod replay;
+pub mod seed;
 pub mod shadowing;
 pub mod simulation;
 pub mod success;
@@ -82,6 +83,7 @@ pub use repetition::{
     PAPER_REPEATS,
 };
 pub use replay::{replay_until_delivered, ReplayOutcome};
+pub use seed::{mix_seed, mix_seed2};
 pub use shadowing::apply_lognormal_shadowing;
 pub use simulation::{
     best_step, coverage_probability, execute_plan, step_expected_successes, SimulationPlan,

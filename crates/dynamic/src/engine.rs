@@ -1,0 +1,418 @@
+//! The slotted dynamic-scheduling engine.
+//!
+//! One *cell* = (network, arrival rate λ, policy, success model). The
+//! engine runs `networks` independent replications in parallel with rayon
+//! and aggregates. Inside one replication the slot loop is sequential
+//! (queues and learners are stateful), and every random stream is derived
+//! from the base seed through [`rayfade_core::mix_seed2`]:
+//!
+//! * topology — `(seed, TOPOLOGY, net)`: shared by every cell so policies
+//!   and models are compared on identical instances;
+//! * arrivals — `(arrival-root, link)` where the root mixes only
+//!   `(seed, net, λ-bits)`: identical traffic across policies and models,
+//!   the precondition for "max-weight ≥ ALOHA at every λ" comparisons;
+//! * policy draws — `(seed, POLICY, net)` xor'd with the policy's label
+//!   hash, so different policies see independent randomness;
+//! * fading — `(seed, FADING, net)`: the Rayleigh model's own stream.
+//!
+//! The result is bitwise deterministic for a fixed config regardless of
+//! rayon's thread count (replications are indexed, not work-stolen into
+//! the output order).
+
+use crate::arrivals::{ArrivalProcess, ArrivalSample};
+use crate::policy::{OnlinePolicy, PolicyKind, QueueAloha, QueueMaxWeight, RegretPolicy};
+use crate::queue::QueueBank;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rayfade_core::{mix_seed, mix_seed2, RayleighModel};
+use rayfade_geometry::PaperTopology;
+use rayfade_sinr::{GainMatrix, NonFadingModel, PowerAssignment, SinrParams, SuccessModel};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Distinct stream tags for [`mix_seed2`] derivations.
+mod stream {
+    pub const TOPOLOGY: u64 = 1;
+    pub const ARRIVALS: u64 = 2;
+    pub const POLICY: u64 = 3;
+    pub const FADING: u64 = 4;
+}
+
+/// Which success model resolves slots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SuccessModelKind {
+    /// Deterministic SINR (no fading).
+    NonFading,
+    /// Rayleigh fading: exponential gains redrawn every slot.
+    Rayleigh,
+}
+
+impl SuccessModelKind {
+    /// Stable label used in CSV output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SuccessModelKind::NonFading => "non_fading",
+            SuccessModelKind::Rayleigh => "rayleigh",
+        }
+    }
+
+    /// Both models, in CSV order.
+    pub fn all() -> [SuccessModelKind; 2] {
+        [SuccessModelKind::NonFading, SuccessModelKind::Rayleigh]
+    }
+}
+
+/// Configuration of one dynamic run (a cell, possibly replicated over
+/// several random networks).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DynamicConfig {
+    /// Links per network.
+    pub links: usize,
+    /// Independent random networks to average over.
+    pub networks: usize,
+    /// Slots per replication.
+    pub slots: u64,
+    /// Arrival process (per link; each link gets an independent stream).
+    pub arrival: ArrivalProcess,
+    /// The online policy.
+    pub policy: PolicyKind,
+    /// The success model.
+    pub model: SuccessModelKind,
+    /// Topology template (densities control interference pressure).
+    pub topology: PaperTopology,
+    /// SINR parameters.
+    pub params: SinrParams,
+    /// Record total backlog every this many slots (drift series).
+    pub sample_every: u64,
+    /// Base seed.
+    pub seed: u64,
+}
+
+impl DynamicConfig {
+    /// A small smoke configuration (seconds, not minutes).
+    pub fn smoke() -> Self {
+        DynamicConfig {
+            links: 12,
+            networks: 2,
+            slots: 2_000,
+            arrival: ArrivalProcess::Bernoulli { rate: 0.05 },
+            policy: PolicyKind::MaxWeight,
+            model: SuccessModelKind::NonFading,
+            topology: PaperTopology {
+                links: 12,
+                ..PaperTopology::figure1()
+            },
+            params: SinrParams::figure1(),
+            sample_every: 50,
+            seed: 0xd1_4a,
+        }
+    }
+}
+
+/// Backlog trace of one replication (for drift estimation / plotting).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SlotTrace {
+    /// Slot indices at which the backlog was sampled.
+    pub slots: Vec<u64>,
+    /// Total backlog at each sampled slot.
+    pub total_backlog: Vec<u64>,
+}
+
+/// Aggregated outcome of one replication.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DynamicOutcome {
+    /// Packets delivered per slot per link (the throughput the λ sweep
+    /// compares against the offered load).
+    pub throughput_per_link: f64,
+    /// Offered load: packets that *arrived* per slot per link.
+    pub offered_per_link: f64,
+    /// Mean packet delay in slots (`None` if nothing was delivered).
+    pub mean_delay: Option<f64>,
+    /// 95th-percentile packet delay (`None` if nothing was delivered).
+    pub p95_delay: Option<u64>,
+    /// Total backlog remaining when the run stopped, per link.
+    pub final_backlog_per_link: f64,
+    /// The sampled backlog series.
+    pub trace: SlotTrace,
+}
+
+/// Runs dynamic-scheduling cells; see the module docs for the seeding
+/// contract.
+#[derive(Debug, Clone)]
+pub struct DynamicEngine {
+    config: DynamicConfig,
+}
+
+impl DynamicEngine {
+    /// Wraps a configuration.
+    pub fn new(config: DynamicConfig) -> Self {
+        assert!(config.links > 0, "need at least one link");
+        assert!(config.networks > 0, "need at least one network");
+        assert!(config.slots > 0, "need at least one slot");
+        assert!(config.sample_every > 0, "sample_every must be positive");
+        DynamicEngine { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &DynamicConfig {
+        &self.config
+    }
+
+    /// Runs every replication (rayon-parallel, deterministic order) and
+    /// returns the per-network outcomes.
+    pub fn run(&self) -> Vec<DynamicOutcome> {
+        (0..self.config.networks as u64)
+            .into_par_iter()
+            .map(|net| self.run_network(net))
+            .collect()
+    }
+
+    /// Runs one replication.
+    pub fn run_network(&self, net: u64) -> DynamicOutcome {
+        let cfg = &self.config;
+        let topology = PaperTopology {
+            links: cfg.links,
+            ..cfg.topology
+        };
+        let network = topology.generate(mix_seed2(cfg.seed, stream::TOPOLOGY, net));
+        let gain = GainMatrix::from_geometry(
+            &network,
+            &PowerAssignment::figure1_uniform(),
+            cfg.params.alpha,
+        );
+        let n = cfg.links;
+
+        // Arrival streams depend on (seed, net, λ) only — never on the
+        // policy or model — so every cell at this λ sees identical
+        // traffic.
+        let arrival_root = mix_seed2(
+            mix_seed(cfg.seed, stream::ARRIVALS),
+            net,
+            cfg.arrival.rate().to_bits(),
+        );
+        let mut arrival_rngs: Vec<StdRng> = (0..n as u64)
+            .map(|link| StdRng::seed_from_u64(mix_seed(arrival_root, link)))
+            .collect();
+        let mut samplers: Vec<ArrivalSample> = (0..n).map(|_| cfg.arrival.sampler()).collect();
+
+        // Policy randomness: per (seed, net, policy).
+        let policy_seed = mix_seed2(
+            mix_seed(cfg.seed, stream::POLICY),
+            net,
+            label_tag(cfg.policy.label()),
+        );
+        let mut policy_rng = StdRng::seed_from_u64(policy_seed);
+        let mut policy = build_policy(cfg, &gain);
+
+        let mut model = build_model(cfg, &gain, net);
+
+        let beta = cfg.params.beta;
+        let mut bank = QueueBank::new(n);
+        let mut trace = SlotTrace {
+            slots: Vec::new(),
+            total_backlog: Vec::new(),
+        };
+        let mut active = vec![false; n];
+        let mut successes = vec![false; n];
+
+        for slot in 0..cfg.slots {
+            // 1. Arrivals.
+            for i in 0..n {
+                let count = samplers[i].draw(&mut arrival_rngs[i]);
+                if count > 0 {
+                    bank.queue_mut(i).enqueue(count, slot);
+                }
+            }
+            // 2. Policy picks transmitters (never on empty queues; the
+            //    engine re-checks defensively).
+            let backlogs = bank.backlogs();
+            let mask = policy.choose(&backlogs, &mut policy_rng);
+            debug_assert_eq!(mask.len(), n);
+            for i in 0..n {
+                active[i] = mask[i] && backlogs[i] > 0;
+            }
+            // 3. One physical slot: realized SINRs (counterfactual for
+            //    idle links), successes, departures.
+            let sinrs = model.resolve_sinrs(&active);
+            for i in 0..n {
+                successes[i] = active[i] && sinrs[i] >= beta;
+                if successes[i] {
+                    let delivered = bank.queue_mut(i).dequeue(slot);
+                    debug_assert!(delivered.is_some());
+                }
+            }
+            // 4. Feedback.
+            policy.observe(&active, &sinrs, &successes);
+            // 5. Sampled backlog trace.
+            if slot % cfg.sample_every == 0 {
+                trace.slots.push(slot);
+                trace.total_backlog.push(bank.total_backlog());
+            }
+        }
+
+        let slots = cfg.slots as f64;
+        DynamicOutcome {
+            throughput_per_link: bank.total_departures() as f64 / slots / n as f64,
+            offered_per_link: bank.total_arrivals() as f64 / slots / n as f64,
+            mean_delay: bank.mean_delay(),
+            p95_delay: bank.delay_percentile(95.0),
+            final_backlog_per_link: bank.total_backlog() as f64 / n as f64,
+            trace,
+        }
+    }
+}
+
+/// Stable small tag derived from a policy label (FNV-1a), mixed into the
+/// policy stream so distinct policies get distinct randomness.
+fn label_tag(label: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in label.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1_0000_01b3);
+    }
+    h
+}
+
+fn build_policy(cfg: &DynamicConfig, gain: &GainMatrix) -> Box<dyn OnlinePolicy> {
+    match cfg.policy {
+        PolicyKind::MaxWeight => Box::new(QueueMaxWeight::new(gain.clone(), cfg.params)),
+        PolicyKind::Aloha => Box::new(QueueAloha::default_inverse(cfg.links)),
+        PolicyKind::Regret => Box::new(RegretPolicy::new(cfg.links, cfg.params.beta)),
+    }
+}
+
+fn build_model(cfg: &DynamicConfig, gain: &GainMatrix, net: u64) -> Box<dyn SuccessModel> {
+    match cfg.model {
+        SuccessModelKind::NonFading => Box::new(NonFadingModel::new(gain.clone(), cfg.params)),
+        SuccessModelKind::Rayleigh => Box::new(RayleighModel::new(
+            gain.clone(),
+            cfg.params,
+            mix_seed2(cfg.seed, stream::FADING, net),
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_is_deterministic_and_sane() {
+        let engine = DynamicEngine::new(DynamicConfig::smoke());
+        let a = engine.run();
+        let b = engine.run();
+        assert_eq!(a, b, "bitwise determinism across runs");
+        assert_eq!(a.len(), 2);
+        for out in &a {
+            assert!(out.throughput_per_link <= out.offered_per_link + 1e-12);
+            assert!(out.offered_per_link > 0.0);
+            assert!(!out.trace.slots.is_empty());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut cfg = DynamicConfig::smoke();
+        let a = DynamicEngine::new(cfg.clone()).run();
+        cfg.seed ^= 1;
+        let b = DynamicEngine::new(cfg).run();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn arrivals_identical_across_policies_and_models() {
+        // The offered load must be bit-identical in every cell sharing
+        // (seed, net, λ): the fairness precondition of the comparison.
+        let base = DynamicConfig::smoke();
+        let mut offered = Vec::new();
+        for policy in PolicyKind::all() {
+            for model in SuccessModelKind::all() {
+                let cfg = DynamicConfig {
+                    policy,
+                    model,
+                    ..base.clone()
+                };
+                let outs = DynamicEngine::new(cfg).run();
+                offered.push(
+                    outs.iter()
+                        .map(|o| o.offered_per_link.to_bits())
+                        .collect::<Vec<_>>(),
+                );
+            }
+        }
+        for w in offered.windows(2) {
+            assert_eq!(w[0], w[1], "offered load differed between cells");
+        }
+    }
+
+    #[test]
+    fn zero_rate_means_empty_queues_and_zero_throughput() {
+        let cfg = DynamicConfig {
+            arrival: ArrivalProcess::Bernoulli { rate: 0.0 },
+            ..DynamicConfig::smoke()
+        };
+        for out in DynamicEngine::new(cfg).run() {
+            assert_eq!(out.offered_per_link, 0.0);
+            assert_eq!(out.throughput_per_link, 0.0);
+            assert_eq!(out.final_backlog_per_link, 0.0);
+            assert!(out.trace.total_backlog.iter().all(|&b| b == 0));
+            assert_eq!(out.mean_delay, None);
+        }
+    }
+
+    #[test]
+    fn all_policy_model_cells_run() {
+        let base = DynamicConfig {
+            slots: 300,
+            networks: 1,
+            ..DynamicConfig::smoke()
+        };
+        for policy in PolicyKind::all() {
+            for model in SuccessModelKind::all() {
+                let cfg = DynamicConfig {
+                    policy,
+                    model,
+                    ..base.clone()
+                };
+                let outs = DynamicEngine::new(cfg).run();
+                assert_eq!(outs.len(), 1);
+                let o = &outs[0];
+                assert!(o.throughput_per_link >= 0.0);
+                assert!(o.throughput_per_link <= o.offered_per_link + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn light_load_is_fully_served() {
+        // At trivially light load every policy should deliver nearly all
+        // arrivals within the horizon.
+        for policy in PolicyKind::all() {
+            let cfg = DynamicConfig {
+                arrival: ArrivalProcess::Bernoulli { rate: 0.01 },
+                slots: 4_000,
+                networks: 1,
+                policy,
+                ..DynamicConfig::smoke()
+            };
+            let o = &DynamicEngine::new(cfg).run()[0];
+            assert!(
+                o.throughput_per_link > 0.8 * o.offered_per_link,
+                "{}: served {} of offered {}",
+                policy.label(),
+                o.throughput_per_link,
+                o.offered_per_link
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one link")]
+    fn zero_links_rejected() {
+        let cfg = DynamicConfig {
+            links: 0,
+            ..DynamicConfig::smoke()
+        };
+        let _ = DynamicEngine::new(cfg);
+    }
+}

@@ -1,0 +1,374 @@
+//! Online transmission policies for the dynamic setting.
+//!
+//! A policy sees only per-link backlogs (plus its own internal state) and
+//! picks the transmitting set for one slot; after the slot it receives the
+//! realized SINRs for learning. Three families:
+//!
+//! * [`QueueMaxWeight`] — the classic max-weight rule: solve a weighted
+//!   capacity problem with weights = backlogs (via the non-fading
+//!   [`GreedyCapacity`] selector, the workspace's feasibility-preserving
+//!   workhorse);
+//! * [`QueueAloha`] — blind contention: every *backlogged* link transmits
+//!   with the probability an [`AlohaPolicy`] assigns at the current
+//!   contention level (reusing `rayfade-sched`'s latency-layer policy
+//!   logic, with "pending" = "backlogged");
+//! * [`RegretPolicy`] — one RWM learner per link over {idle, send},
+//!   updated from counterfactual SINR feedback exactly like the capacity
+//!   game in `rayfade-learning`, but gated on a nonempty queue.
+//!
+//! Policies never transmit on an empty queue: a success without a packet
+//! to send would be meaningless, and the engine enforces the same
+//! invariant defensively.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rayfade_learning::{loss, Action, NoRegretLearner, Rwm};
+use rayfade_sched::{AlohaPolicy, CapacityAlgorithm, CapacityInstance, GreedyCapacity};
+use rayfade_sinr::{GainMatrix, SinrParams};
+use serde::{Deserialize, Serialize};
+
+/// Which policy a [`crate::DynamicConfig`] runs — the sweepable label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PolicyKind {
+    /// [`QueueMaxWeight`].
+    MaxWeight,
+    /// [`QueueAloha`] with the contention-proportional default.
+    Aloha,
+    /// [`RegretPolicy`].
+    Regret,
+}
+
+impl PolicyKind {
+    /// Stable label used in CSV output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PolicyKind::MaxWeight => "max_weight",
+            PolicyKind::Aloha => "aloha",
+            PolicyKind::Regret => "regret",
+        }
+    }
+
+    /// All sweepable kinds, in CSV order.
+    pub fn all() -> [PolicyKind; 3] {
+        [PolicyKind::MaxWeight, PolicyKind::Aloha, PolicyKind::Regret]
+    }
+}
+
+/// An online per-slot transmission policy.
+pub trait OnlinePolicy {
+    /// Stable policy name (CSV label).
+    fn name(&self) -> &'static str;
+
+    /// Chooses the transmitting set for this slot given current backlogs.
+    /// Implementations must not select links with zero backlog.
+    fn choose(&mut self, backlogs: &[u64], rng: &mut StdRng) -> Vec<bool>;
+
+    /// Post-slot feedback: the chosen mask, every link's realized SINR
+    /// (counterfactual for idle links — see
+    /// [`rayfade_sinr::SuccessModel::resolve_sinrs`]), and which links the
+    /// engine credited with a successful delivery.
+    fn observe(&mut self, active: &[bool], sinrs: &[f64], successes: &[bool]);
+}
+
+/// Max-weight scheduling: maximize total backlog of a feasible set.
+#[derive(Debug, Clone)]
+pub struct QueueMaxWeight {
+    gain: GainMatrix,
+    params: SinrParams,
+    selector: GreedyCapacity,
+}
+
+impl QueueMaxWeight {
+    /// Max-weight over the given (non-fading) instance, selecting with
+    /// the weight-descending greedy.
+    pub fn new(gain: GainMatrix, params: SinrParams) -> Self {
+        QueueMaxWeight {
+            gain,
+            params,
+            selector: GreedyCapacity::weighted(),
+        }
+    }
+}
+
+impl OnlinePolicy for QueueMaxWeight {
+    fn name(&self) -> &'static str {
+        PolicyKind::MaxWeight.label()
+    }
+
+    fn choose(&mut self, backlogs: &[u64], _rng: &mut StdRng) -> Vec<bool> {
+        let n = self.gain.len();
+        debug_assert_eq!(backlogs.len(), n);
+        let weights: Vec<f64> = backlogs.iter().map(|&b| b as f64).collect();
+        // GreedyCapacity skips weight-0 links, so empty queues are never
+        // selected.
+        let set = self.selector.select(&CapacityInstance::weighted(
+            &self.gain,
+            &self.params,
+            &weights,
+        ));
+        let mut mask = vec![false; n];
+        for i in set {
+            mask[i] = true;
+        }
+        mask
+    }
+
+    fn observe(&mut self, _active: &[bool], _sinrs: &[f64], _successes: &[bool]) {}
+}
+
+/// Queue-gated ALOHA: backlogged links contend with the probability an
+/// [`AlohaPolicy`] assigns at the current contention level.
+#[derive(Debug, Clone)]
+pub struct QueueAloha {
+    policy: AlohaPolicy,
+    /// Per-link probability state for the `Backoff` policy.
+    backoff_prob: Vec<f64>,
+    /// Logical step counter (drives the `Sawtooth` ladder).
+    step: u64,
+}
+
+impl QueueAloha {
+    /// Queue-gated ALOHA under the given contention policy for `n` links.
+    pub fn new(policy: AlohaPolicy, n: usize) -> Self {
+        let backoff_prob = match &policy {
+            AlohaPolicy::Backoff { init, .. } => vec![*init; n],
+            _ => Vec::new(),
+        };
+        QueueAloha {
+            policy,
+            backoff_prob,
+            step: 0,
+        }
+    }
+
+    /// The contention-proportional `min(1/k, 1/2)` default of the latency
+    /// layer.
+    pub fn default_inverse(n: usize) -> Self {
+        Self::new(AlohaPolicy::default_inverse(), n)
+    }
+
+    /// Transmission probability for link `i` when `contenders` links are
+    /// backlogged — the same per-policy formula as
+    /// `rayfade_sched::latency::run_aloha`.
+    fn probability(&self, i: usize, contenders: usize) -> f64 {
+        let q = match &self.policy {
+            AlohaPolicy::Fixed(q) => *q,
+            AlohaPolicy::InversePending { c, cap } => (c / contenders.max(1) as f64).min(*cap),
+            AlohaPolicy::Backoff { .. } => self.backoff_prob[i],
+            AlohaPolicy::Sawtooth { levels } => {
+                let level = (self.step % u64::from(*levels)) + 1;
+                0.5f64.powi(level as i32)
+            }
+        };
+        q.clamp(0.0, 1.0)
+    }
+}
+
+impl OnlinePolicy for QueueAloha {
+    fn name(&self) -> &'static str {
+        PolicyKind::Aloha.label()
+    }
+
+    fn choose(&mut self, backlogs: &[u64], rng: &mut StdRng) -> Vec<bool> {
+        let contenders = backlogs.iter().filter(|&&b| b > 0).count();
+        let mask: Vec<bool> = backlogs
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| b > 0 && rng.gen_bool(self.probability(i, contenders)))
+            .collect();
+        self.step += 1;
+        mask
+    }
+
+    fn observe(&mut self, active: &[bool], _sinrs: &[f64], successes: &[bool]) {
+        if let AlohaPolicy::Backoff {
+            init,
+            factor,
+            floor,
+        } = &self.policy
+        {
+            // Failed transmitters back off; a success resets to the
+            // initial probability — each delivered packet starts the next
+            // head-of-line packet's attempt sequence afresh, mirroring the
+            // per-packet restarts of the latency layer.
+            for i in 0..active.len() {
+                if successes[i] {
+                    self.backoff_prob[i] = *init;
+                } else if active[i] {
+                    self.backoff_prob[i] = (self.backoff_prob[i] * factor).max(*floor);
+                }
+            }
+        }
+    }
+}
+
+/// Per-link RWM learners over {idle, send}, gated on a nonempty queue.
+#[derive(Debug, Clone)]
+pub struct RegretPolicy {
+    learners: Vec<Rwm>,
+    beta: f64,
+    /// Links gated out this slot (empty queue) must not receive an update:
+    /// they had no packet, so "send" was not an available action.
+    gated: Vec<bool>,
+}
+
+impl RegretPolicy {
+    /// One binary RWM learner per link; `beta` is the success threshold
+    /// used to turn SINR feedback into losses.
+    pub fn new(n: usize, beta: f64) -> Self {
+        RegretPolicy {
+            learners: (0..n).map(|_| Rwm::binary()).collect(),
+            beta,
+            gated: vec![false; n],
+        }
+    }
+}
+
+impl OnlinePolicy for RegretPolicy {
+    fn name(&self) -> &'static str {
+        PolicyKind::Regret.label()
+    }
+
+    fn choose(&mut self, backlogs: &[u64], rng: &mut StdRng) -> Vec<bool> {
+        self.learners
+            .iter_mut()
+            .zip(backlogs)
+            .enumerate()
+            .map(|(i, (learner, &b))| {
+                self.gated[i] = b == 0;
+                b > 0 && learner.choose(rng) == Action::Send.index()
+            })
+            .collect()
+    }
+
+    fn observe(&mut self, _active: &[bool], sinrs: &[f64], _successes: &[bool]) {
+        // Same full-information update as the capacity game: one slot
+        // yields the realized loss of the taken action and the exact
+        // counterfactual loss of the other (interference is identical
+        // whether or not link i itself transmits).
+        for (i, learner) in self.learners.iter_mut().enumerate() {
+            if self.gated[i] {
+                continue;
+            }
+            let would_succeed = sinrs[i] >= self.beta;
+            let losses = [
+                loss(Action::Idle, would_succeed),
+                loss(Action::Send, would_succeed),
+            ];
+            debug_assert_eq!(Action::Idle.index(), 0);
+            learner.update(&losses);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rayfade_geometry::PaperTopology;
+    use rayfade_sinr::{is_feasible, PowerAssignment};
+
+    fn paper_instance(seed: u64, n: usize) -> (GainMatrix, SinrParams) {
+        let net = PaperTopology {
+            links: n,
+            ..PaperTopology::figure1()
+        }
+        .generate(seed);
+        let params = SinrParams::figure1();
+        let gm = GainMatrix::from_geometry(&net, &PowerAssignment::figure1_uniform(), params.alpha);
+        (gm, params)
+    }
+
+    #[test]
+    fn max_weight_is_feasible_and_skips_empty_queues() {
+        let (gm, params) = paper_instance(1, 30);
+        let mut policy = QueueMaxWeight::new(gm.clone(), params);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut backlogs = vec![3u64; 30];
+        backlogs[4] = 0;
+        backlogs[17] = 0;
+        let mask = policy.choose(&backlogs, &mut rng);
+        assert!(!mask[4] && !mask[17], "empty queues must not transmit");
+        let set: Vec<usize> = (0..30).filter(|&i| mask[i]).collect();
+        assert!(!set.is_empty());
+        assert!(is_feasible(&gm, &params, &set));
+    }
+
+    #[test]
+    fn max_weight_prefers_longer_queues() {
+        // Two mutually-exclusive links: the longer queue wins.
+        let gm = GainMatrix::from_raw(2, vec![10.0, 9.0, 9.0, 10.0]);
+        let params = SinrParams::new(2.0, 2.0, 0.0);
+        let mut policy = QueueMaxWeight::new(gm, params);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mask = policy.choose(&[1, 9], &mut rng);
+        assert_eq!(mask, vec![false, true]);
+        let mask = policy.choose(&[9, 1], &mut rng);
+        assert_eq!(mask, vec![true, false]);
+    }
+
+    #[test]
+    fn aloha_gates_on_backlog_and_respects_contention() {
+        let mut policy = QueueAloha::default_inverse(4);
+        let mut rng = StdRng::seed_from_u64(3);
+        // Only link 2 backlogged: contention 1 ⇒ q = min(1/1, 1/2) = 1/2.
+        let mut sent = 0usize;
+        let trials = 2000;
+        for _ in 0..trials {
+            let mask = policy.choose(&[0, 0, 5, 0], &mut rng);
+            assert!(!mask[0] && !mask[1] && !mask[3]);
+            sent += usize::from(mask[2]);
+        }
+        let f = sent as f64 / trials as f64;
+        assert!((f - 0.5).abs() < 0.05, "empirical send rate {f}");
+    }
+
+    #[test]
+    fn aloha_probability_drops_with_contention() {
+        let policy = QueueAloha::default_inverse(10);
+        assert!((policy.probability(0, 1) - 0.5).abs() < 1e-12);
+        assert!((policy.probability(0, 10) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn regret_policy_gates_and_learns() {
+        let mut policy = RegretPolicy::new(2, 1.0);
+        let mut rng = StdRng::seed_from_u64(5);
+        // Empty queues: nobody transmits, regardless of learner state.
+        assert_eq!(policy.choose(&[0, 0], &mut rng), vec![false, false]);
+        // Teach link 0 that sending always succeeds (SINR above beta):
+        // its send probability must grow.
+        for _ in 0..200 {
+            let mask = policy.choose(&[5, 0], &mut rng);
+            let succ = vec![mask[0], false];
+            policy.observe(&mask, &[10.0, 0.0], &succ);
+        }
+        let sends = (0..500)
+            .filter(|_| policy.choose(&[5, 0], &mut rng)[0])
+            .count();
+        assert!(
+            sends > 400,
+            "learner should have converged to send: {sends}/500"
+        );
+    }
+
+    #[test]
+    fn regret_policy_does_not_update_gated_links() {
+        let mut policy = RegretPolicy::new(2, 1.0);
+        let mut rng = StdRng::seed_from_u64(6);
+        let before = policy.learners[1].clone();
+        let mask = policy.choose(&[3, 0], &mut rng);
+        let succ = vec![mask[0], false];
+        policy.observe(&mask, &[10.0, 10.0], &succ);
+        assert_eq!(policy.learners[1], before, "gated learner must not move");
+        assert_ne!(policy.learners[0], before, "active learner must update");
+    }
+
+    #[test]
+    fn kind_labels_are_stable() {
+        assert_eq!(PolicyKind::MaxWeight.label(), "max_weight");
+        assert_eq!(PolicyKind::Aloha.label(), "aloha");
+        assert_eq!(PolicyKind::Regret.label(), "regret");
+        assert_eq!(PolicyKind::all().len(), 3);
+    }
+}

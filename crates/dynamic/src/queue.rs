@@ -1,0 +1,218 @@
+//! Per-link FIFO packet queues with delay accounting.
+//!
+//! Each queued packet remembers its enqueue slot, so a departure yields an
+//! exact sojourn time; the engine aggregates these into mean and
+//! percentile delays. Backlog totals feed the drift estimator in
+//! [`crate::stability`].
+
+use std::collections::VecDeque;
+
+/// A FIFO queue of packets for one link.
+#[derive(Debug, Clone, Default)]
+pub struct LinkQueue {
+    /// Enqueue slot of every waiting packet, oldest first.
+    fifo: VecDeque<u64>,
+    arrivals: u64,
+    departures: u64,
+    /// Sojourn time (slots, including the departure slot) of every
+    /// departed packet.
+    delays: Vec<u64>,
+}
+
+impl LinkQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enqueues `count` packets arriving in `slot`.
+    pub fn enqueue(&mut self, count: u32, slot: u64) {
+        for _ in 0..count {
+            self.fifo.push_back(slot);
+        }
+        self.arrivals += u64::from(count);
+    }
+
+    /// Dequeues the head-of-line packet after a successful transmission
+    /// in `slot`; returns its delay, or `None` when the queue was empty.
+    pub fn dequeue(&mut self, slot: u64) -> Option<u64> {
+        let enq = self.fifo.pop_front()?;
+        debug_assert!(slot >= enq, "departure before arrival");
+        let delay = slot - enq + 1;
+        self.delays.push(delay);
+        self.departures += 1;
+        Some(delay)
+    }
+
+    /// Current backlog (packets waiting).
+    pub fn backlog(&self) -> u64 {
+        self.fifo.len() as u64
+    }
+
+    /// Whether the queue holds at least one packet.
+    pub fn is_backlogged(&self) -> bool {
+        !self.fifo.is_empty()
+    }
+
+    /// Total packets ever enqueued.
+    pub fn arrivals(&self) -> u64 {
+        self.arrivals
+    }
+
+    /// Total packets ever dequeued.
+    pub fn departures(&self) -> u64 {
+        self.departures
+    }
+
+    /// Delays of all departed packets (slots), in departure order.
+    pub fn delays(&self) -> &[u64] {
+        &self.delays
+    }
+}
+
+/// The queues of every link in a network.
+#[derive(Debug, Clone, Default)]
+pub struct QueueBank {
+    queues: Vec<LinkQueue>,
+}
+
+impl QueueBank {
+    /// Creates `n` empty queues.
+    pub fn new(n: usize) -> Self {
+        QueueBank {
+            queues: (0..n).map(|_| LinkQueue::new()).collect(),
+        }
+    }
+
+    /// Number of links.
+    pub fn len(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Whether the bank has no links.
+    pub fn is_empty(&self) -> bool {
+        self.queues.is_empty()
+    }
+
+    /// The queue of link `i`.
+    pub fn queue(&self, i: usize) -> &LinkQueue {
+        &self.queues[i]
+    }
+
+    /// Mutable queue of link `i`.
+    pub fn queue_mut(&mut self, i: usize) -> &mut LinkQueue {
+        &mut self.queues[i]
+    }
+
+    /// Per-link backlogs, indexed by link.
+    pub fn backlogs(&self) -> Vec<u64> {
+        self.queues.iter().map(LinkQueue::backlog).collect()
+    }
+
+    /// Sum of all backlogs.
+    pub fn total_backlog(&self) -> u64 {
+        self.queues.iter().map(LinkQueue::backlog).sum()
+    }
+
+    /// Total packets ever enqueued across links.
+    pub fn total_arrivals(&self) -> u64 {
+        self.queues.iter().map(LinkQueue::arrivals).sum()
+    }
+
+    /// Total packets ever dequeued across links.
+    pub fn total_departures(&self) -> u64 {
+        self.queues.iter().map(LinkQueue::departures).sum()
+    }
+
+    /// Mean delay over every departed packet, or `None` when nothing has
+    /// departed yet.
+    pub fn mean_delay(&self) -> Option<f64> {
+        let (sum, count) = self.queues.iter().fold((0u64, 0u64), |(s, c), q| {
+            (s + q.delays.iter().sum::<u64>(), c + q.delays.len() as u64)
+        });
+        (count > 0).then(|| sum as f64 / count as f64)
+    }
+
+    /// The `p`-th percentile delay (0 < p ≤ 100) over all departed
+    /// packets, or `None` when nothing has departed yet.
+    ///
+    /// Uses the nearest-rank definition, so the result is always an
+    /// observed delay.
+    pub fn delay_percentile(&self, p: f64) -> Option<u64> {
+        assert!(p > 0.0 && p <= 100.0, "percentile must be in (0, 100]");
+        let mut all: Vec<u64> = self
+            .queues
+            .iter()
+            .flat_map(|q| q.delays.iter().copied())
+            .collect();
+        if all.is_empty() {
+            return None;
+        }
+        all.sort_unstable();
+        let rank = ((p / 100.0) * all.len() as f64).ceil() as usize;
+        Some(all[rank.clamp(1, all.len()) - 1])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_and_delay() {
+        let mut q = LinkQueue::new();
+        q.enqueue(2, 0); // two packets at slot 0
+        q.enqueue(1, 3);
+        assert_eq!(q.backlog(), 3);
+        // First departure at slot 4: head packet waited slots 0..=4.
+        assert_eq!(q.dequeue(4), Some(5));
+        assert_eq!(q.dequeue(5), Some(6));
+        assert_eq!(q.dequeue(5), Some(3)); // the slot-3 packet
+        assert_eq!(q.dequeue(6), None);
+        assert_eq!(q.arrivals(), 3);
+        assert_eq!(q.departures(), 3);
+        assert_eq!(q.delays(), &[5, 6, 3]);
+    }
+
+    #[test]
+    fn same_slot_service_has_delay_one() {
+        let mut q = LinkQueue::new();
+        q.enqueue(1, 7);
+        assert_eq!(q.dequeue(7), Some(1));
+    }
+
+    #[test]
+    fn bank_aggregates() {
+        let mut bank = QueueBank::new(3);
+        bank.queue_mut(0).enqueue(2, 0);
+        bank.queue_mut(2).enqueue(1, 0);
+        assert_eq!(bank.backlogs(), vec![2, 0, 1]);
+        assert_eq!(bank.total_backlog(), 3);
+        assert_eq!(bank.total_arrivals(), 3);
+        assert!(bank.queue(0).is_backlogged());
+        assert!(!bank.queue(1).is_backlogged());
+
+        bank.queue_mut(0).dequeue(1); // delay 2
+        bank.queue_mut(2).dequeue(3); // delay 4
+        assert_eq!(bank.total_departures(), 2);
+        assert_eq!(bank.mean_delay(), Some(3.0));
+        assert_eq!(bank.delay_percentile(50.0), Some(2));
+        assert_eq!(bank.delay_percentile(100.0), Some(4));
+    }
+
+    #[test]
+    fn empty_bank_statistics() {
+        let bank = QueueBank::new(2);
+        assert_eq!(bank.mean_delay(), None);
+        assert_eq!(bank.delay_percentile(95.0), None);
+        assert_eq!(bank.total_backlog(), 0);
+        assert_eq!(QueueBank::new(0).len(), 0);
+        assert!(QueueBank::new(0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile must be in (0, 100]")]
+    fn bad_percentile_rejected() {
+        let _ = QueueBank::new(1).delay_percentile(0.0);
+    }
+}

@@ -1,0 +1,104 @@
+//! The dynamic engine's contract: the same configuration and seed must
+//! reproduce byte-identical results — including the CSV-style row
+//! rendering the `stability_exp` binary writes — run after run.
+
+use rayfade_dynamic::{
+    ArrivalProcess, DynamicConfig, DynamicEngine, LambdaSweep, PolicyKind, StabilityReport,
+    SuccessModelKind,
+};
+use rayfade_geometry::PaperTopology;
+use rayfade_sinr::SinrParams;
+
+fn base_config() -> DynamicConfig {
+    DynamicConfig {
+        links: 8,
+        networks: 2,
+        slots: 1_500,
+        arrival: ArrivalProcess::MarkovBurst {
+            rate: 0.05,
+            burst: 4.0,
+        },
+        policy: PolicyKind::MaxWeight,
+        model: SuccessModelKind::Rayleigh,
+        topology: PaperTopology {
+            links: 8,
+            side: 200.0,
+            ..PaperTopology::figure1()
+        },
+        params: SinrParams::figure1(),
+        sample_every: 30,
+        seed: 0xdead_beef,
+    }
+}
+
+/// The exact row rendering of `stability_exp`'s CSV body.
+fn csv_rows(report: &StabilityReport) -> Vec<String> {
+    report
+        .cells
+        .iter()
+        .map(|c| {
+            format!(
+                "{},{},{:.4},{:.4},{:.4},{},{},{:.4},{}",
+                c.policy.label(),
+                c.model.label(),
+                c.lambda,
+                c.offered,
+                c.throughput,
+                c.mean_delay
+                    .map_or_else(|| "-".into(), |d| format!("{d:.2}")),
+                c.p95_delay.map_or_else(|| "-".into(), |d| d.to_string()),
+                c.drift,
+                c.verdict.label(),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn engine_outcomes_identical_across_runs() {
+    let engine = DynamicEngine::new(base_config());
+    assert_eq!(engine.run(), engine.run());
+}
+
+#[test]
+fn sweep_csv_rows_are_byte_identical() {
+    let sweep = LambdaSweep::linear(base_config(), 0.1, 3);
+    let a = csv_rows(&sweep.run());
+    let b = csv_rows(&sweep.run());
+    assert!(!a.is_empty());
+    assert_eq!(a, b, "CSV rows must be byte-identical across runs");
+}
+
+#[test]
+fn results_independent_of_thread_count() {
+    // Replications collect by index, so the outcome must not depend on
+    // how rayon schedules them.
+    let cfg = base_config();
+    let baseline = DynamicEngine::new(cfg.clone()).run();
+    for threads in [1, 4] {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("pool");
+        let got = pool.install(|| DynamicEngine::new(cfg.clone()).run());
+        assert_eq!(baseline, got, "thread count {threads} changed results");
+    }
+}
+
+#[test]
+fn every_policy_and_model_cell_is_deterministic() {
+    for policy in PolicyKind::all() {
+        for model in SuccessModelKind::all() {
+            let cfg = DynamicConfig {
+                policy,
+                model,
+                slots: 400,
+                networks: 1,
+                ..base_config()
+            };
+            let a = DynamicEngine::new(cfg.clone()).run();
+            let b = DynamicEngine::new(cfg).run();
+            assert_eq!(a, b, "{}/{}", policy.label(), model.label());
+        }
+    }
+}

@@ -7,13 +7,19 @@
 
 use crate::slots::{nonfading_success_curve_point, rayleigh_success_curve_point};
 use crate::stats::RunningStats;
-use rayfade_core::RayleighModel;
+use rayfade_core::{mix_seed2, RayleighModel};
 use rayfade_geometry::PaperTopology;
 use rayfade_learning::{run_game_with_beta, GameConfig};
 use rayfade_sched::{CapacityAlgorithm, CapacityInstance, LocalSearchCapacity};
 use rayfade_sinr::{GainMatrix, NonFadingModel, PowerAssignment, SinrParams};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+
+/// Stream tags for [`mix_seed2`]-derived RNG streams. Topology seeds
+/// deliberately stay `seed + net` so networks remain shared with
+/// `figure1_instance`-style helpers elsewhere in the workspace.
+const GAME_STREAM: u64 = 0x6a;
+const FADING_STREAM: u64 = 0xfa;
 
 /// Which power assignments Figure 1 compares.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -174,10 +180,10 @@ where
                     GainMatrix::from_geometry(&net, &family.assignment(), config.params.alpha);
                 for rayleigh in [false, true] {
                     for (qi, &q) in config.q_grid.iter().enumerate() {
-                        let seed_base = config
-                            .seed
-                            .wrapping_mul(31)
-                            .wrapping_add(net_idx * 10_007 + qi as u64);
+                        // Collision-free (net, q) stream separation; the
+                        // old `seed*31 + net*10_007 + qi` arithmetic
+                        // aliased across nearby seeds.
+                        let seed_base = mix_seed2(config.seed, net_idx, qi as u64);
                         let v = if rayleigh {
                             rayleigh_success_curve_point(
                                 &gain,
@@ -369,14 +375,14 @@ where
             );
             let game_cfg = GameConfig {
                 rounds: config.rounds,
-                seed: config.seed.wrapping_mul(97).wrapping_add(net_idx),
+                seed: mix_seed2(config.seed, GAME_STREAM, net_idx),
             };
             let mut nf_model = NonFadingModel::new(gain.clone(), config.params);
             let nf = run_game_with_beta(&mut nf_model, config.params.beta, &game_cfg);
             let mut ray_model = RayleighModel::new(
                 gain.clone(),
                 config.params,
-                config.seed.wrapping_mul(193).wrapping_add(net_idx),
+                mix_seed2(config.seed, FADING_STREAM, net_idx),
             );
             let ray = run_game_with_beta(&mut ray_model, config.params.beta, &game_cfg);
             let optimum = (config.optimum_restarts > 0).then(|| {

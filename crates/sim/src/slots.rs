@@ -9,7 +9,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use rayfade_core::RayleighModel;
+use rayfade_core::{mix_seed, mix_seed2, RayleighModel};
 use rayfade_sinr::{count_successes, GainMatrix, SinrParams};
 
 /// Draws one Bernoulli(q) activation mask.
@@ -31,7 +31,7 @@ pub fn nonfading_success_curve_point(
     let n = gain.len();
     let mut total = 0usize;
     for s in 0..tx_seeds {
-        let mut rng = StdRng::seed_from_u64(seed_base.wrapping_add(s));
+        let mut rng = StdRng::seed_from_u64(mix_seed(seed_base, s));
         let active = draw_activation(n, q, &mut rng);
         total += count_successes(gain, params, &active);
     }
@@ -52,16 +52,12 @@ pub fn rayleigh_success_curve_point(
     let n = gain.len();
     let mut total = 0usize;
     for s in 0..tx_seeds {
-        let mut rng = StdRng::seed_from_u64(seed_base.wrapping_add(s));
+        let mut rng = StdRng::seed_from_u64(mix_seed(seed_base, s));
         let active = draw_activation(n, q, &mut rng);
         for f in 0..fading_seeds {
-            let mut model = RayleighModel::new(
-                gain.clone(),
-                *params,
-                seed_base
-                    .wrapping_mul(0x9e37_79b9_7f4a_7c15)
-                    .wrapping_add(s * 1_000_003 + f),
-            );
+            // `mix_seed2` keeps the (s, f) grid collision-free — the old
+            // `base*φ + s*1e6+f` arithmetic could collide across bases.
+            let mut model = RayleighModel::new(gain.clone(), *params, mix_seed2(seed_base, s, f));
             total += rayfade_sinr::SuccessModel::resolve_slot(&mut model, &active).len();
         }
     }

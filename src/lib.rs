@@ -16,7 +16,10 @@
 //! * [`fading`] — the paper's contribution: Rayleigh channel, Theorem 1
 //!   closed form, Lemma 2 transfer, Theorem 2 simulation;
 //! * [`learning`] — regret-learning dynamics (Sec. 6);
-//! * [`sim`] — the experiment engine (Sec. 7).
+//! * [`sim`] — the experiment engine (Sec. 7);
+//! * [`dynamic`] — online scheduling under stochastic arrivals with
+//!   queue-stability analysis (our extension beyond the paper's
+//!   one-shot setting).
 //!
 //! ## Quickstart
 //!
@@ -45,6 +48,7 @@
 #![forbid(unsafe_code)]
 
 pub use rayfade_core as fading;
+pub use rayfade_dynamic as dynamic;
 pub use rayfade_geometry as geometry;
 pub use rayfade_learning as learning;
 pub use rayfade_sched as sched;
@@ -55,6 +59,10 @@ pub use rayfade_sinr as sinr;
 pub mod prelude {
     pub use rayfade_core::{
         rayleigh_capacity, success_probability, transfer_set, RayleighModel, SimulationPlan,
+    };
+    pub use rayfade_dynamic::{
+        ArrivalProcess, DynamicConfig, DynamicEngine, LambdaSweep, PolicyKind, StabilityReport,
+        StabilityVerdict, SuccessModelKind,
     };
     pub use rayfade_geometry::{
         ClusteredTopology, ExponentialChain, GridTopology, Link, LinkGeometry, Network,

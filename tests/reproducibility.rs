@@ -5,6 +5,13 @@
 //!
 //! If a change legitimately alters these numbers (e.g. a deliberate
 //! generator fix), re-pin them and call the change out in EXPERIMENTS.md.
+//!
+//! Current pins are against (a) the vendored offline `rand` stub
+//! (xoshiro256** behind `StdRng`, see `vendor/README.md`), whose streams
+//! differ from upstream rand's ChaCha12, and (b) the SplitMix64
+//! `mix_seed` stream derivations in `rayfade-sim` that replaced the old
+//! collision-prone `wrapping_add`/`wrapping_mul` arithmetic. Re-pin
+//! again if the registry crates are restored.
 
 use rayfade::prelude::*;
 
@@ -31,22 +38,22 @@ fn figure1_smoke_pinned() {
     };
     assert_series(
         means("uniform/non-fading"),
-        &[4.6, 8.6, 13.333333333333334],
+        &[4.533333333333333, 9.133333333333333, 17.333333333333332],
         "uniform/non-fading",
     );
     assert_series(
         means("uniform/rayleigh"),
-        &[4.244444444444444, 7.688888888888889, 11.488888888888889],
+        &[4.333333333333334, 7.999999999999999, 13.355555555555554],
         "uniform/rayleigh",
     );
     assert_series(
         means("square-root/non-fading"),
-        &[4.666666666666667, 8.533333333333333, 14.0],
+        &[4.466666666666667, 9.066666666666666, 17.333333333333332],
         "square-root/non-fading",
     );
     assert_series(
         means("square-root/rayleigh"),
-        &[4.266666666666667, 7.911111111111111, 11.622222222222222],
+        &[4.333333333333334, 8.133333333333333, 13.711111111111112],
         "square-root/rayleigh",
     );
 }
@@ -56,15 +63,15 @@ fn figure2_smoke_pinned() {
     let res = rayfade::sim::run_figure2(&Figure2Config::smoke());
     assert_series(
         res.nonfading[..5].iter().copied(),
-        &[15.5, 16.0, 21.0, 21.5, 19.5],
+        &[15.5, 15.0, 16.5, 18.5, 21.5],
         "fig2 non-fading head",
     );
     assert_series(
         res.rayleigh[..5].iter().copied(),
-        &[11.5, 14.0, 16.0, 15.5, 16.5],
+        &[13.0, 14.5, 12.5, 14.5, 17.0],
         "fig2 rayleigh head",
     );
-    assert!((res.optimum.unwrap() - 24.5).abs() < 1e-9, "fig2 optimum");
+    assert!((res.optimum.unwrap() - 25.0).abs() < 1e-9, "fig2 optimum");
 }
 
 #[test]
@@ -91,7 +98,8 @@ fn generator_first_link_pinned() {
 }
 
 /// `(receiver.x, receiver.y, length)` of link 0 at seed 0xf161.
-const PINNED_FIRST_LINK: (f64, f64, f64) = (499.134873118918, 440.944682135497, 31.962361088731);
+const PINNED_FIRST_LINK: (f64, f64, f64) =
+    (732.3674840821341, 362.21182429258243, 36.07129312618064);
 
 #[test]
 fn theorem1_scalar_pinned() {
@@ -104,7 +112,7 @@ fn theorem1_scalar_pinned() {
     assert_eq!(set.len(), 37, "greedy selection size on seed 2024");
     let report = transfer_set(&gm, &params, &set);
     assert!(
-        (report.rayleigh_expected_successes - 27.0964).abs() < 0.01,
+        (report.rayleigh_expected_successes - 26.2779).abs() < 0.01,
         "expected successes drifted: {}",
         report.rayleigh_expected_successes
     );

@@ -1,0 +1,282 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the API surface the workspace's benches use — [`Criterion`],
+//! [`BenchmarkGroup`] (`sample_size`, `bench_function`,
+//! `bench_with_input`, `finish`), [`BenchmarkId`], [`black_box`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros — with a toy
+//! measurement loop: fixed warmup, `sample_size` timed samples, one
+//! mean/min/max line per benchmark. No statistical analysis, HTML
+//! reports, or baseline comparison; restore the registry crate for those.
+//! Passing `--test` (as `cargo test --benches` does) runs each closure
+//! once and skips measurement.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque identity function that defeats constant-folding.
+///
+/// Forwards to `std::hint::black_box`, which is what the real criterion
+/// does on modern toolchains.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// A benchmark identifier: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id rendered as `{function_name}/{parameter}`.
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            full: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Creates an id from the parameter alone.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            full: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.full)
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    /// Total elapsed across all timed iterations.
+    elapsed: Duration,
+    /// Number of timed iterations.
+    iters: u64,
+    /// When true (`--test` mode), run the routine once, untimed.
+    smoke_only: bool,
+}
+
+impl Bencher {
+    /// Times `routine`, accumulating into this bencher's sample.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        if self.smoke_only {
+            black_box(routine());
+            self.iters += 1;
+            return;
+        }
+        // Fixed warmup, then a burst of timed iterations. Far cruder than
+        // criterion's adaptive sampling but sufficient for "did this get
+        // slower by 10×" eyeballing offline.
+        for _ in 0..3 {
+            black_box(routine());
+        }
+        let burst = 10u64;
+        let start = Instant::now();
+        for _ in 0..burst {
+            black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+        self.iters += burst;
+    }
+
+    fn per_iter_nanos(&self) -> f64 {
+        if self.iters == 0 {
+            return 0.0;
+        }
+        self.elapsed.as_nanos() as f64 / self.iters as f64
+    }
+}
+
+fn fmt_nanos(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// The benchmark driver. Construct via `Criterion::default()` (what
+/// [`criterion_main!`] does).
+#[derive(Debug)]
+pub struct Criterion {
+    smoke_only: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo test --benches` invokes harness=false bench binaries with
+        // `--test`; run each routine once instead of measuring.
+        let smoke_only = std::env::args().any(|a| a == "--test");
+        Criterion { smoke_only }
+    }
+}
+
+impl Criterion {
+    /// Hook for criterion's CLI configuration; the stub ignores it.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+
+    /// Runs a stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let smoke = self.smoke_only;
+        run_one(smoke, name, 10, f);
+        self
+    }
+
+    /// Prints the closing summary (no-op in the stub).
+    pub fn final_summary(&mut self) {}
+}
+
+/// A named group of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs a benchmark within this group.
+    pub fn bench_function<I: Display, F: FnMut(&mut Bencher)>(&mut self, id: I, f: F) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        run_one(self.criterion.smoke_only, &label, self.sample_size, f);
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: Display, T: ?Sized, F: FnMut(&mut Bencher, &T)>(
+        &mut self,
+        id: I,
+        input: &T,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        run_one(self.criterion.smoke_only, &label, self.sample_size, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(smoke_only: bool, label: &str, sample_size: usize, mut f: F) {
+    if smoke_only {
+        let mut b = Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+            smoke_only: true,
+        };
+        f(&mut b);
+        println!("{label}: ok (smoke)");
+        return;
+    }
+    let mut per_sample = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size {
+        let mut b = Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+            smoke_only: false,
+        };
+        f(&mut b);
+        per_sample.push(b.per_iter_nanos());
+    }
+    let mean = per_sample.iter().sum::<f64>() / per_sample.len().max(1) as f64;
+    let min = per_sample.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = per_sample.iter().cloned().fold(0.0f64, f64::max);
+    println!(
+        "{label}: mean {} [min {}, max {}] over {} samples",
+        fmt_nanos(mean),
+        fmt_nanos(min),
+        fmt_nanos(max),
+        per_sample.len()
+    );
+}
+
+/// Declares a group of benchmark functions (criterion-compatible).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+            criterion.final_summary();
+        }
+    };
+}
+
+/// Declares the `main` entry point running one or more groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_iter_counts_iterations() {
+        let mut b = Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+            smoke_only: false,
+        };
+        let mut calls = 0u64;
+        b.iter(|| calls += 1);
+        assert!(b.iters > 0);
+        assert!(calls >= b.iters, "warmup calls included");
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion { smoke_only: true };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(20);
+        let mut ran = false;
+        group.bench_with_input(BenchmarkId::new("f", 3), &3u32, |b, &n| {
+            b.iter(|| black_box(n * 2));
+            ran = true;
+        });
+        group.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 12).to_string(), "f/12");
+        assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+    }
+}

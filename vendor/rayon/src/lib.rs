@@ -1,0 +1,241 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! Exposes the parallel-iterator API subset the workspace uses —
+//! `into_par_iter`, `par_iter`, `map`/`filter`/`flat_map`/`fold`/`reduce`/
+//! `sum`/`collect`/`for_each`, plus [`ThreadPoolBuilder`] — but executes
+//! everything **sequentially** on the calling thread. Every consumer in
+//! this workspace is written to be order-deterministic (indexed collects),
+//! so sequential execution produces bit-identical results; only wall-clock
+//! parallel speedup is lost. When a real crates.io mirror is available,
+//! deleting this stub and restoring the registry dependency restores
+//! parallelism with no source changes.
+
+#![forbid(unsafe_code)]
+
+/// The parallel-iterator traits and adaptors (sequential implementation).
+pub mod iter {
+    /// A "parallel" iterator: a thin wrapper over a sequential iterator.
+    #[derive(Debug, Clone)]
+    pub struct Par<I>(pub(crate) I);
+
+    /// Conversion into a parallel iterator by value.
+    pub trait IntoParallelIterator {
+        /// Element type.
+        type Item;
+        /// Concrete iterator type.
+        type Iter: Iterator<Item = Self::Item>;
+        /// Converts `self` into a parallel iterator.
+        fn into_par_iter(self) -> Par<Self::Iter>;
+    }
+
+    impl<I: IntoIterator> IntoParallelIterator for I {
+        type Item = I::Item;
+        type Iter = I::IntoIter;
+        fn into_par_iter(self) -> Par<I::IntoIter> {
+            Par(self.into_iter())
+        }
+    }
+
+    /// Conversion into a parallel iterator over references.
+    pub trait IntoParallelRefIterator<'a> {
+        /// Element type (a reference).
+        type Item: 'a;
+        /// Concrete iterator type.
+        type Iter: Iterator<Item = Self::Item>;
+        /// Borrowing counterpart of `into_par_iter`.
+        fn par_iter(&'a self) -> Par<Self::Iter>;
+    }
+
+    impl<'a, C: 'a> IntoParallelRefIterator<'a> for C
+    where
+        &'a C: IntoIterator,
+    {
+        type Item = <&'a C as IntoIterator>::Item;
+        type Iter = <&'a C as IntoIterator>::IntoIter;
+        fn par_iter(&'a self) -> Par<Self::Iter> {
+            Par(self.into_iter())
+        }
+    }
+
+    impl<I: Iterator> Par<I> {
+        /// Maps each element.
+        pub fn map<O, F: FnMut(I::Item) -> O>(self, f: F) -> Par<std::iter::Map<I, F>> {
+            Par(self.0.map(f))
+        }
+
+        /// Keeps elements matching the predicate.
+        pub fn filter<F: FnMut(&I::Item) -> bool>(self, f: F) -> Par<std::iter::Filter<I, F>> {
+            Par(self.0.filter(f))
+        }
+
+        /// Maps then flattens.
+        pub fn flat_map<O: IntoIterator, F: FnMut(I::Item) -> O>(
+            self,
+            f: F,
+        ) -> Par<std::iter::FlatMap<I, O, F>> {
+            Par(self.0.flat_map(f))
+        }
+
+        /// Collects into any `FromIterator` container.
+        pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+            self.0.collect()
+        }
+
+        /// Runs `f` on every element.
+        pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
+            self.0.for_each(f)
+        }
+
+        /// Sums the elements.
+        pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
+            self.0.sum()
+        }
+
+        /// Counts the elements.
+        pub fn count(self) -> usize {
+            self.0.count()
+        }
+
+        /// Rayon-style fold: produces per-"thread" accumulators. The
+        /// sequential stub produces exactly one accumulator.
+        pub fn fold<T, ID: Fn() -> T, F: FnMut(T, I::Item) -> T>(
+            self,
+            identity: ID,
+            mut fold_op: F,
+        ) -> Par<std::iter::Once<T>> {
+            let mut acc = identity();
+            for item in self.0 {
+                acc = fold_op(acc, item);
+            }
+            Par(std::iter::once(acc))
+        }
+
+        /// Rayon-style reduce with an identity constructor.
+        pub fn reduce<ID: Fn() -> I::Item, F: FnMut(I::Item, I::Item) -> I::Item>(
+            self,
+            identity: ID,
+            mut op: F,
+        ) -> I::Item {
+            let mut acc = identity();
+            for item in self.0 {
+                acc = op(acc, item);
+            }
+            acc
+        }
+
+        /// Maximum element.
+        pub fn max(self) -> Option<I::Item>
+        where
+            I::Item: Ord,
+        {
+            self.0.max()
+        }
+
+        /// Minimum element.
+        pub fn min(self) -> Option<I::Item>
+        where
+            I::Item: Ord,
+        {
+            self.0.min()
+        }
+    }
+}
+
+/// Everything a `use rayon::prelude::*;` consumer expects in scope.
+pub mod prelude {
+    pub use crate::iter::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+/// Builder for a (stub) thread pool.
+///
+/// `num_threads` is recorded but ignored: all work runs on the calling
+/// thread, which trivially satisfies "results must match across thread
+/// counts" determinism tests.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+/// Error type of [`ThreadPoolBuilder::build`] (never produced).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool construction cannot fail in the sequential stub")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records the requested thread count (ignored by the stub).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Builds the (stub) pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            _threads: self.num_threads,
+        })
+    }
+}
+
+/// A stub thread pool: `install` simply runs the closure inline.
+#[derive(Debug)]
+pub struct ThreadPool {
+    _threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `op` "inside" the pool (inline in the stub).
+    pub fn install<R, F: FnOnce() -> R>(&self, op: F) -> R {
+        op()
+    }
+}
+
+/// Number of threads the stub executes on (always 1).
+pub fn current_num_threads() -> usize {
+    1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::ThreadPoolBuilder;
+
+    #[test]
+    fn map_collect_matches_sequential() {
+        let out: Vec<u64> = (0u64..10).into_par_iter().map(|x| x * x).collect();
+        assert_eq!(out, (0u64..10).map(|x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fold_reduce_chain() {
+        let total: u64 = (1u64..=100)
+            .into_par_iter()
+            .fold(|| 0u64, |a, x| a + x)
+            .reduce(|| 0, |a, b| a + b);
+        assert_eq!(total, 5050);
+    }
+
+    #[test]
+    fn par_iter_over_refs() {
+        let v = vec![1, 2, 3];
+        let s: i32 = v.par_iter().map(|&x| x).sum();
+        assert_eq!(s, 6);
+    }
+
+    #[test]
+    fn pool_install_runs_inline() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        assert_eq!(pool.install(|| 42), 42);
+    }
+}

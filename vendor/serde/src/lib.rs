@@ -1,0 +1,25 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! Provides marker [`Serialize`] / [`Deserialize`] traits and (behind the
+//! `derive` feature) re-exports the no-op derive macros from the vendored
+//! `serde_derive` stub. The workspace derives these traits on config and
+//! result structs as forward-looking markers but performs no actual
+//! serialization, so empty traits and empty derive expansions are
+//! sufficient for everything to compile and behave identically.
+
+#![forbid(unsafe_code)]
+
+/// Marker trait standing in for `serde::Serialize`.
+///
+/// The stub derive emits no impl, and nothing in the workspace bounds on
+/// this trait; it exists so `use serde::Serialize;` resolves.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+///
+/// See [`Serialize`] for the rationale. The real trait carries a lifetime
+/// parameter; the workspace never names it in bounds, so the stub omits it.
+pub trait Deserialize {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,23 @@
+//! Offline stand-in for the `serde_derive` crate.
+//!
+//! The workspace applies `#[derive(Serialize, Deserialize)]` to config and
+//! result structs as forward-looking markers but never calls any serde
+//! serializer (all output goes through the hand-rolled CSV writer). These
+//! derives therefore expand to nothing: the attribute compiles, no trait
+//! impl is generated, and nothing downstream notices — until real
+//! serialization is needed, at which point the genuine serde crates must
+//! replace the `vendor/` stubs.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive: accepts any item, emits no code.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive: accepts any item, emits no code.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
