@@ -1,0 +1,66 @@
+//! Criterion bench: incremental Theorem-1 evaluator primitives.
+//!
+//! Compares the cached-ratio `SuccessEvaluator` operations against their
+//! from-scratch equivalents at n ∈ {50, 200, 800}: a single-link update
+//! (`set_prob`, O(n)) vs recomputing all success probabilities (O(n²)),
+//! and a greedy candidate score (`activation_gain`, O(n)) vs the naive
+//! `expected_successes_of_set(S ∪ {j})` re-score (O(|S|²)).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rayfade_bench::figure1_instance;
+use rayfade_core::{expected_successes_of_set, success_probabilities, SuccessEvaluator};
+use std::hint::black_box;
+
+fn bench_evaluator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("evaluator");
+    for &n in &[50usize, 200, 800] {
+        let (gm, params) = figure1_instance(0, n);
+        let probs = vec![0.7; n];
+        // Active set for the candidate-score comparison: every third link
+        // plus the probed candidate.
+        let mut set: Vec<usize> = (0..n).step_by(3).collect();
+        let candidate = 1;
+        let mut ev = SuccessEvaluator::new(&gm, &params);
+        for &j in &set {
+            ev.insert(j);
+        }
+
+        group.bench_with_input(BenchmarkId::new("build", n), &n, |b, _| {
+            b.iter(|| black_box(SuccessEvaluator::new(black_box(&gm), black_box(&params))))
+        });
+        group.bench_with_input(BenchmarkId::new("set_prob_incremental", n), &n, |b, _| {
+            let mut ev = SuccessEvaluator::new(&gm, &params);
+            ev.set_probs(&probs);
+            let mut q = 0.3;
+            b.iter(|| {
+                q = if q == 0.3 { 0.8 } else { 0.3 };
+                ev.set_prob(black_box(n / 2), black_box(q));
+                black_box(ev.success_probability(n / 2))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("scratch_all_probs", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(success_probabilities(
+                    black_box(&gm),
+                    black_box(&params),
+                    black_box(&probs),
+                ))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("activation_gain", n), &n, |b, _| {
+            b.iter(|| black_box(ev.activation_gain(None, black_box(candidate))))
+        });
+        group.bench_with_input(BenchmarkId::new("naive_candidate_score", n), &n, |b, _| {
+            b.iter(|| {
+                set.push(candidate);
+                let v = expected_successes_of_set(black_box(&gm), black_box(&params), &set);
+                set.pop();
+                black_box(v)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_evaluator);
+criterion_main!(benches);

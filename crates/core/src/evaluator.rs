@@ -1,0 +1,348 @@
+//! Incremental Theorem 1 evaluator.
+//!
+//! [`SuccessEvaluator`] bundles the precomputed [`InterferenceRatios`]
+//! cache with an incremental [`SuccessAccumulator`]: construction pays
+//! the O(n²) ratio precomputation once per `(GainMatrix, SinrParams)`
+//! pair, after which
+//!
+//! * changing one transmission probability (or toggling one link in a
+//!   transmit set) updates every affected `Q_i` in **O(n)**,
+//! * reading one `Q_i` is **O(1)**,
+//! * scoring a candidate activation
+//!   ([`activation_gain`](SuccessEvaluator::activation_gain)) is
+//!   **O(n)** — versus the O(n²) from-scratch evaluation of
+//!   [`success_probability`](crate::success_probability) per candidate.
+//!
+//! This is the intended engine for greedy capacity re-scoring, RWM/Exp3
+//! reward computation, and the dynamic slot loop, all of which mutate one
+//! link at a time.
+//!
+//! # Log-domain vs. product accumulation
+//!
+//! [`AccumMode::LogDomain`] (the default) keeps per-receiver sums
+//! `Σ ln(1 − ρ·q_j)`: updates are additions, so the accumulator cannot
+//! underflow no matter how many near-zero factors pile up, at the cost of
+//! one `exp` per probability query and ~1 ulp of the running sum of
+//! rounding drift per update. [`AccumMode::Product`] keeps the raw product
+//! and multiplies/divides single factors: queries are cheapest and short
+//! sequences are bit-faithful, but dividing by tiny factors loses
+//! precision and long products can underflow, so it re-derives a
+//! receiver's product from scratch (exact, O(n)) whenever a guard trips.
+//! Both stay within 1e-12 of the closed form on realistic instances; the
+//! property suite in `tests/evaluator_equivalence.rs` pins this.
+//!
+//! For embarrassingly parallel workloads (Monte Carlo replications,
+//! probability-grid sweeps) the free functions
+//! [`batch_expected_successes`] and [`batch_success_probabilities`]
+//! evaluate many probability vectors against one shared ratio cache with
+//! rayon.
+
+use rayfade_sinr::{
+    kahan_sum, AccumMode, GainMatrix, InterferenceRatios, SinrParams, SuccessAccumulator,
+};
+use rayon::prelude::*;
+
+/// Incremental Theorem 1 evaluator: a ratio cache plus an O(n)-update
+/// success-probability accumulator (see the [module docs](self) for the
+/// complexity model and the log-domain vs product trade-off).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SuccessEvaluator {
+    ratios: InterferenceRatios,
+    acc: SuccessAccumulator,
+}
+
+impl SuccessEvaluator {
+    /// Builds the evaluator (O(n²) precomputation) with the default
+    /// log-domain accumulator; all probabilities start at 0.
+    pub fn new(gain: &GainMatrix, params: &SinrParams) -> Self {
+        Self::with_mode(gain, params, AccumMode::default())
+    }
+
+    /// Builds the evaluator with an explicit accumulation mode.
+    pub fn with_mode(gain: &GainMatrix, params: &SinrParams, mode: AccumMode) -> Self {
+        let ratios = InterferenceRatios::new(gain, params);
+        let acc = SuccessAccumulator::new(ratios.len(), mode);
+        SuccessEvaluator { ratios, acc }
+    }
+
+    /// Wraps an existing ratio cache (shared caches can be cloned in).
+    pub fn from_ratios(ratios: InterferenceRatios, mode: AccumMode) -> Self {
+        let acc = SuccessAccumulator::new(ratios.len(), mode);
+        SuccessEvaluator { ratios, acc }
+    }
+
+    /// Number of links.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.ratios.len()
+    }
+
+    /// Whether the instance has no links.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.ratios.is_empty()
+    }
+
+    /// The underlying ratio cache.
+    #[inline]
+    pub fn ratios(&self) -> &InterferenceRatios {
+        &self.ratios
+    }
+
+    /// Current transmission probabilities.
+    #[inline]
+    pub fn probs(&self) -> &[f64] {
+        self.acc.probs()
+    }
+
+    /// Current transmission probability of link `j`.
+    #[inline]
+    pub fn prob(&self, j: usize) -> f64 {
+        self.acc.prob(j)
+    }
+
+    /// Resets every probability to 0 — O(n), no reallocation.
+    pub fn reset(&mut self) {
+        self.acc.reset();
+    }
+
+    /// Replaces the whole probability vector — O(n²) rebuild.
+    pub fn set_probs(&mut self, probs: &[f64]) {
+        self.acc.set_probs(&self.ratios, probs);
+    }
+
+    /// Sets every probability to the same `q` — O(n²) rebuild.
+    pub fn set_uniform(&mut self, q: f64) {
+        self.acc.set_uniform(&self.ratios, q);
+    }
+
+    /// Changes one probability, updating all affected `Q_i` in O(n).
+    pub fn set_prob(&mut self, j: usize, q: f64) {
+        self.acc.set_prob(&self.ratios, j, q);
+    }
+
+    /// Sets `q_j = 1` (link joins the transmit set) — O(n).
+    pub fn insert(&mut self, j: usize) {
+        self.acc.insert(&self.ratios, j);
+    }
+
+    /// Sets `q_j = 0` (link leaves the transmit set) — O(n).
+    pub fn remove(&mut self, j: usize) {
+        self.acc.remove(&self.ratios, j);
+    }
+
+    /// Exact Theorem 1 success probability `Q_i` under the current
+    /// probabilities — O(1).
+    #[inline]
+    pub fn success_probability(&self, i: usize) -> f64 {
+        self.acc.success_probability(&self.ratios, i)
+    }
+
+    /// `Q_i` conditioned on link `i` transmitting (`q_i` read as 1,
+    /// interference unchanged) — O(1). The Sec. 6 expected send reward is
+    /// `2·Q̃_i − 1` with this `Q̃_i`.
+    #[inline]
+    pub fn conditional_success_probability(&self, i: usize) -> f64 {
+        self.acc.conditional_success_probability(&self.ratios, i)
+    }
+
+    /// All success probabilities — O(n).
+    pub fn success_probabilities(&self) -> Vec<f64> {
+        self.acc.success_probabilities(&self.ratios)
+    }
+
+    /// Expected successes `Σ_i Q_i` — O(n), compensated summation.
+    pub fn expected_successes(&self) -> f64 {
+        self.acc.expected_successes(&self.ratios)
+    }
+
+    /// Change in (optionally weighted) expected successes if silent link
+    /// `j` were activated — O(n), does not mutate the evaluator.
+    ///
+    /// # Panics
+    /// If `q_j ≠ 0`.
+    pub fn activation_gain(&self, weights: Option<&[f64]>, j: usize) -> f64 {
+        self.acc.activation_gain(&self.ratios, weights, j)
+    }
+}
+
+/// Evaluates `Σ_i Q_i` for many probability vectors against one shared
+/// ratio cache, in parallel (rayon). The per-vector cost is O(n²) — the
+/// win over calling [`expected_successes`](crate::expected_successes) per
+/// vector is the shared O(n²) ratio precomputation and the parallelism
+/// across vectors (Monte Carlo replications, `q`-grid sweeps).
+pub fn batch_expected_successes(
+    gain: &GainMatrix,
+    params: &SinrParams,
+    prob_sets: &[Vec<f64>],
+) -> Vec<f64> {
+    let ratios = InterferenceRatios::new(gain, params);
+    prob_sets
+        .into_par_iter()
+        .map(|probs| {
+            let mut acc = SuccessAccumulator::new(ratios.len(), AccumMode::LogDomain);
+            acc.set_probs(&ratios, probs);
+            acc.expected_successes(&ratios)
+        })
+        .collect()
+}
+
+/// Evaluates the full success-probability vector for many probability
+/// vectors against one shared ratio cache, in parallel (rayon).
+pub fn batch_success_probabilities(
+    gain: &GainMatrix,
+    params: &SinrParams,
+    prob_sets: &[Vec<f64>],
+) -> Vec<Vec<f64>> {
+    let ratios = InterferenceRatios::new(gain, params);
+    prob_sets
+        .into_par_iter()
+        .map(|probs| {
+            let mut acc = SuccessAccumulator::new(ratios.len(), AccumMode::LogDomain);
+            acc.set_probs(&ratios, probs);
+            acc.success_probabilities(&ratios)
+        })
+        .collect()
+}
+
+/// Evaluates `Σ_{i∈S} Q_i` for many fixed transmit sets against one
+/// shared ratio cache, in parallel (rayon) — the batch counterpart of
+/// [`expected_successes_of_set`](crate::expected_successes_of_set).
+pub fn batch_expected_successes_of_sets(
+    gain: &GainMatrix,
+    params: &SinrParams,
+    sets: &[Vec<usize>],
+) -> Vec<f64> {
+    let ratios = InterferenceRatios::new(gain, params);
+    sets.into_par_iter()
+        .map(|set| {
+            let mut acc = SuccessAccumulator::new(ratios.len(), AccumMode::LogDomain);
+            for &j in set {
+                acc.insert(&ratios, j);
+            }
+            kahan_sum(set.iter().map(|&i| acc.success_probability(&ratios, i)))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::success::{
+        expected_successes, expected_successes_of_set, success_probabilities, success_probability,
+    };
+
+    fn paper_gain() -> GainMatrix {
+        GainMatrix::from_raw(
+            3,
+            vec![
+                10.0, 2.0, 1.0, //
+                2.0, 8.0, 0.5, //
+                1.0, 0.5, 12.0,
+            ],
+        )
+    }
+
+    #[test]
+    fn evaluator_matches_scratch_closed_form() {
+        let gm = paper_gain();
+        let params = SinrParams::new(2.0, 1.5, 0.2);
+        let probs = [0.9, 0.3, 0.6];
+        for mode in [AccumMode::LogDomain, AccumMode::Product] {
+            let mut ev = SuccessEvaluator::with_mode(&gm, &params, mode);
+            ev.set_probs(&probs);
+            let got = ev.success_probabilities();
+            let want = success_probabilities(&gm, &params, &probs);
+            for (g, w) in got.iter().zip(&want) {
+                assert!((g - w).abs() < 1e-12, "{mode:?}: {g} vs {w}");
+            }
+            let total = ev.expected_successes();
+            let want_total = expected_successes(&gm, &params, &probs);
+            assert!((total - want_total).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn incremental_sequence_tracks_scratch() {
+        let gm = paper_gain();
+        let params = SinrParams::new(2.0, 1.5, 0.0);
+        let mut ev = SuccessEvaluator::new(&gm, &params);
+        ev.insert(0);
+        ev.insert(2);
+        ev.set_prob(1, 0.4);
+        ev.remove(0);
+        ev.set_prob(2, 0.75);
+        let probs = [0.0, 0.4, 0.75];
+        assert_eq!(ev.probs(), &probs);
+        for i in 0..3 {
+            let want = success_probability(&gm, &params, &probs, i);
+            assert!((ev.success_probability(i) - want).abs() < 1e-12);
+        }
+        assert_eq!(ev.prob(1), 0.4);
+        assert_eq!(ev.len(), 3);
+        assert!(!ev.is_empty());
+    }
+
+    #[test]
+    fn activation_gain_matches_set_difference() {
+        let gm = paper_gain();
+        let params = SinrParams::new(2.0, 1.5, 0.1);
+        let mut ev = SuccessEvaluator::new(&gm, &params);
+        ev.insert(0);
+        let before = expected_successes(&gm, &params, &[1.0, 0.0, 0.0]);
+        let after = expected_successes(&gm, &params, &[1.0, 1.0, 0.0]);
+        let gain = ev.activation_gain(None, 1);
+        assert!((gain - (after - before)).abs() < 1e-12, "{gain}");
+    }
+
+    #[test]
+    fn reset_and_uniform() {
+        let gm = paper_gain();
+        let params = SinrParams::new(2.0, 1.5, 0.0);
+        let mut ev = SuccessEvaluator::new(&gm, &params);
+        ev.set_uniform(0.5);
+        let want = expected_successes(&gm, &params, &[0.5, 0.5, 0.5]);
+        assert!((ev.expected_successes() - want).abs() < 1e-12);
+        ev.reset();
+        assert_eq!(ev.expected_successes(), 0.0);
+    }
+
+    #[test]
+    fn batch_entry_points_match_sequential() {
+        let gm = paper_gain();
+        let params = SinrParams::new(2.0, 1.5, 0.2);
+        let prob_sets = vec![
+            vec![1.0, 1.0, 1.0],
+            vec![0.5, 0.0, 0.9],
+            vec![0.0, 0.0, 0.0],
+        ];
+        let totals = batch_expected_successes(&gm, &params, &prob_sets);
+        let vectors = batch_success_probabilities(&gm, &params, &prob_sets);
+        for (k, probs) in prob_sets.iter().enumerate() {
+            let want = expected_successes(&gm, &params, probs);
+            assert!((totals[k] - want).abs() < 1e-12);
+            let want_vec = success_probabilities(&gm, &params, probs);
+            for (g, w) in vectors[k].iter().zip(&want_vec) {
+                assert!((g - w).abs() < 1e-12);
+            }
+        }
+        let sets = vec![vec![0], vec![0, 2], vec![0, 1, 2], vec![]];
+        let set_totals = batch_expected_successes_of_sets(&gm, &params, &sets);
+        for (k, set) in sets.iter().enumerate() {
+            let want = expected_successes_of_set(&gm, &params, set);
+            assert!((set_totals[k] - want).abs() < 1e-12, "set {set:?}");
+        }
+    }
+
+    #[test]
+    fn from_ratios_shares_cache() {
+        let gm = paper_gain();
+        let params = SinrParams::new(2.0, 1.5, 0.0);
+        let ratios = InterferenceRatios::new(&gm, &params);
+        let mut ev = SuccessEvaluator::from_ratios(ratios.clone(), AccumMode::Product);
+        ev.insert(1);
+        assert_eq!(ev.ratios(), &ratios);
+        let want = success_probability(&gm, &params, &[0.0, 1.0, 0.0], 1);
+        assert!((ev.success_probability(1) - want).abs() < 1e-12);
+    }
+}

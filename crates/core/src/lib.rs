@@ -11,6 +11,7 @@
 //! |---|---|
 //! | Rayleigh channel, Sec. 2 | [`channel`] ([`channel::RayleighModel`]) |
 //! | Theorem 1 (exact success probability) | [`success`] |
+//! | Theorem 1, incremental/cached form | [`evaluator`] |
 //! | Lemma 1 / Observation 1 (bounds) | [`bounds`] |
 //! | Lemma 2 (1/e black-box transfer) | [`transfer`] |
 //! | Sec. 4 ALOHA 4× repetition | [`repetition`] |
@@ -51,6 +52,7 @@ pub mod adaptive_mc;
 pub mod bounds;
 pub mod channel;
 pub mod distribution;
+pub mod evaluator;
 pub mod logstar;
 pub mod nakagami;
 pub mod optimum;
@@ -71,6 +73,10 @@ pub use bounds::{
 pub use channel::{sample_exponential, RayleighModel};
 pub use distribution::{
     expected_total_utility_exact, expected_utility_exact, sinr_ccdf, QuadratureConfig,
+};
+pub use evaluator::{
+    batch_expected_successes, batch_expected_successes_of_sets, batch_success_probabilities,
+    SuccessEvaluator,
 };
 pub use logstar::{log_star, simulation_rounds, simulation_sequence};
 pub use nakagami::{sample_gamma, sample_nakagami_power, NakagamiModel};

@@ -12,7 +12,7 @@
 //! This is an *exact* probability — a luxury the non-fading model does not
 //! offer — and the analytic backbone of the whole reduction.
 
-use rayfade_sinr::{GainMatrix, SinrParams};
+use rayfade_sinr::{kahan_sum, GainMatrix, SinrParams};
 
 /// Exact success probability `Q_i(q₁,…,qₙ, β)` of link `i` (Theorem 1).
 ///
@@ -59,8 +59,11 @@ pub fn success_probabilities(gain: &GainMatrix, params: &SinrParams, probs: &[f6
 
 /// Expected number of successful transmissions under `probs` — the
 /// Rayleigh capacity objective `E[Σ 1{γᵢᴿ ≥ β}] = Σ Q_i`, exact.
+///
+/// Uses compensated (Kahan) summation so links with tiny `Q_i` are not
+/// absorbed by large ones on big instances.
 pub fn expected_successes(gain: &GainMatrix, params: &SinrParams, probs: &[f64]) -> f64 {
-    success_probabilities(gain, params, probs).iter().sum()
+    kahan_sum((0..gain.len()).map(|i| success_probability(gain, params, probs, i)))
 }
 
 /// Success probability of link `i` when a *fixed set* transmits
@@ -75,22 +78,36 @@ pub fn success_probability_of_set(
     set: &[usize],
     i: usize,
 ) -> f64 {
-    let mut probs = vec![0.0; gain.len()];
-    for &j in set {
-        probs[j] = 1.0;
+    if !set.contains(&i) {
+        return 0.0;
     }
-    success_probability(gain, params, &probs, i)
+    let s_ii = gain.signal(i);
+    if s_ii == 0.0 {
+        return 0.0;
+    }
+    let beta = params.beta;
+    let mut p = (-beta * params.noise / s_ii).exp();
+    let row = gain.at_receiver(i);
+    for &j in set {
+        let s_ji = row[j];
+        if j == i || s_ji == 0.0 {
+            continue;
+        }
+        // q_j = 1: factor is 1 - beta/(beta + S_ii/S_ji), guarded against
+        // S_ii/S_ji overflowing for tiny S_ji exactly as in the general
+        // form (beta * 1.0 == beta, so this matches it to the ulp).
+        p *= 1.0 - beta / (beta + s_ii / s_ji);
+    }
+    p
 }
 
-/// Expected successes when a fixed set transmits: `Σ_{i∈set} Q_i`.
+/// Expected successes when a fixed set transmits: `Σ_{i∈set} Q_i`
+/// (compensated summation, no per-call allocation).
 pub fn expected_successes_of_set(gain: &GainMatrix, params: &SinrParams, set: &[usize]) -> f64 {
-    let mut probs = vec![0.0; gain.len()];
-    for &j in set {
-        probs[j] = 1.0;
-    }
-    set.iter()
-        .map(|&i| success_probability(gain, params, &probs, i))
-        .sum()
+    kahan_sum(
+        set.iter()
+            .map(|&i| success_probability_of_set(gain, params, set, i)),
+    )
 }
 
 #[cfg(test)]
@@ -222,5 +239,32 @@ mod tests {
         let gm = gain2();
         let params = SinrParams::new(2.0, 2.0, 0.0);
         let _ = success_probability(&gm, &params, &[1.0], 0);
+    }
+
+    #[test]
+    fn compensated_expected_successes_beats_naive_on_adversarial_ordering() {
+        // 10^4 summands: one Q near 1 followed by 10^4 - 1 values of
+        // 1e-16 — each tiny term individually vanishes against the
+        // running naive sum, so the naive result is exactly the first
+        // term while the compensated sum recovers all of them.
+        let mut values = vec![1.0f64];
+        values.extend(std::iter::repeat_n(1e-16, 9_999));
+        let naive: f64 = values.iter().sum();
+        let compensated = rayfade_sinr::kahan_sum(values.iter().copied());
+        let exact = 1.0 + 9_999.0 * 1e-16;
+        assert_eq!(naive, 1.0, "naive summation drops every tiny term");
+        assert!(
+            (compensated - exact).abs() < 1e-28,
+            "compensated sum {compensated} vs exact {exact}"
+        );
+        // And the public entry point agrees with an explicitly
+        // compensated per-link sum on a real instance.
+        let gm = gain2();
+        let params = SinrParams::new(2.0, 2.0, 0.1);
+        let probs = [0.9, 0.4];
+        let total = expected_successes(&gm, &params, &probs);
+        let reference =
+            rayfade_sinr::kahan_sum((0..2).map(|i| success_probability(&gm, &params, &probs, i)));
+        assert_eq!(total, reference);
     }
 }

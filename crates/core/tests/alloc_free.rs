@@ -1,0 +1,76 @@
+//! Allocation-freedom regression for the Theorem 1 set evaluations.
+//!
+//! `success_probability_of_set` used to build a fresh `vec![0.0; n]`
+//! probability vector on every call — inside greedy's inner loop that is
+//! one heap allocation per candidate per round. The rewrite computes
+//! directly over the set; this test pins that with a counting global
+//! allocator. It lives alone in its own integration-test binary so no
+//! concurrently running test can pollute the allocation counter.
+
+use rayfade_core::{expected_successes, expected_successes_of_set, success_probability_of_set};
+use rayfade_sinr::{GainMatrix, SinrParams};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+// SAFETY: delegates directly to `System`; the counter is a relaxed atomic.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocations_during<R>(f: impl FnOnce() -> R) -> (usize, R) {
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let out = f();
+    (ALLOCATIONS.load(Ordering::Relaxed) - before, out)
+}
+
+#[test]
+fn set_evaluations_do_not_allocate() {
+    let n = 64;
+    let mut g = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            g[i * n + j] = if i == j {
+                50.0
+            } else {
+                1.0 / (1.0 + (i as f64 - j as f64).abs())
+            };
+        }
+    }
+    let gm = GainMatrix::from_raw(n, g);
+    let params = SinrParams::new(2.0, 1.5, 0.1);
+    let set: Vec<usize> = (0..n).step_by(3).collect();
+    let probs = vec![0.5; n];
+
+    // Warm up (lazy test-harness state, first-use allocations).
+    let _ = success_probability_of_set(&gm, &params, &set, set[1]);
+    let _ = expected_successes_of_set(&gm, &params, &set);
+    let _ = expected_successes(&gm, &params, &probs);
+
+    let (count, q) = allocations_during(|| success_probability_of_set(&gm, &params, &set, set[1]));
+    assert!(q > 0.0 && q < 1.0);
+    assert_eq!(count, 0, "success_probability_of_set allocated {count}x");
+
+    let (count, total) = allocations_during(|| expected_successes_of_set(&gm, &params, &set));
+    assert!(total > 0.0);
+    assert_eq!(count, 0, "expected_successes_of_set allocated {count}x");
+
+    // The Kahan rewrite of expected_successes also dropped its
+    // intermediate Vec.
+    let (count, total) = allocations_during(|| expected_successes(&gm, &params, &probs));
+    assert!(total > 0.0);
+    assert_eq!(count, 0, "expected_successes allocated {count}x");
+}

@@ -20,7 +20,9 @@
 //! the output order).
 
 use crate::arrivals::{ArrivalProcess, ArrivalSample};
-use crate::policy::{OnlinePolicy, PolicyKind, QueueAloha, QueueMaxWeight, RegretPolicy};
+use crate::policy::{
+    OnlinePolicy, PolicyKind, QueueAloha, QueueMaxWeight, RayleighMaxWeight, RegretPolicy,
+};
 use crate::queue::QueueBank;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -278,6 +280,7 @@ fn build_policy(cfg: &DynamicConfig, gain: &GainMatrix) -> Box<dyn OnlinePolicy>
         PolicyKind::MaxWeight => Box::new(QueueMaxWeight::new(gain.clone(), cfg.params)),
         PolicyKind::Aloha => Box::new(QueueAloha::default_inverse(cfg.links)),
         PolicyKind::Regret => Box::new(RegretPolicy::new(cfg.links, cfg.params.beta)),
+        PolicyKind::RayleighMaxWeight => Box::new(RayleighMaxWeight::new(gain.clone(), cfg.params)),
     }
 }
 
@@ -343,6 +346,23 @@ mod tests {
         for w in offered.windows(2) {
             assert_eq!(w[0], w[1], "offered load differed between cells");
         }
+    }
+
+    #[test]
+    fn rayleigh_max_weight_runs_through_the_engine() {
+        let cfg = DynamicConfig {
+            policy: PolicyKind::RayleighMaxWeight,
+            model: SuccessModelKind::Rayleigh,
+            slots: 300,
+            networks: 1,
+            ..DynamicConfig::smoke()
+        };
+        let a = DynamicEngine::new(cfg.clone()).run();
+        let b = DynamicEngine::new(cfg).run();
+        assert_eq!(a, b, "deterministic");
+        assert_eq!(a.len(), 1);
+        assert!(a[0].throughput_per_link > 0.0, "must deliver something");
+        assert!(a[0].throughput_per_link <= a[0].offered_per_link + 1e-12);
     }
 
     #[test]

@@ -25,7 +25,9 @@ pub mod stability;
 
 pub use arrivals::{ArrivalProcess, ArrivalSample};
 pub use engine::{DynamicConfig, DynamicEngine, DynamicOutcome, SlotTrace, SuccessModelKind};
-pub use policy::{OnlinePolicy, PolicyKind, QueueAloha, QueueMaxWeight, RegretPolicy};
+pub use policy::{
+    OnlinePolicy, PolicyKind, QueueAloha, QueueMaxWeight, RayleighMaxWeight, RegretPolicy,
+};
 pub use queue::{LinkQueue, QueueBank};
 pub use stability::{
     judge_cell, least_squares_slope, LambdaSweep, StabilityCell, StabilityReport, StabilityVerdict,

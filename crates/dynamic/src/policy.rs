@@ -2,7 +2,7 @@
 //!
 //! A policy sees only per-link backlogs (plus its own internal state) and
 //! picks the transmitting set for one slot; after the slot it receives the
-//! realized SINRs for learning. Three families:
+//! realized SINRs for learning. Four families:
 //!
 //! * [`QueueMaxWeight`] — the classic max-weight rule: solve a weighted
 //!   capacity problem with weights = backlogs (via the non-fading
@@ -14,7 +14,10 @@
 //!   logic, with "pending" = "backlogged");
 //! * [`RegretPolicy`] — one RWM learner per link over {idle, send},
 //!   updated from counterfactual SINR feedback exactly like the capacity
-//!   game in `rayfade-learning`, but gated on a nonempty queue.
+//!   game in `rayfade-learning`, but gated on a nonempty queue;
+//! * [`RayleighMaxWeight`] — max-weight on the exact Rayleigh objective
+//!   `Σ backlog_i · Q_i` (Theorem 1) via the incremental
+//!   interference-ratio cache.
 //!
 //! Policies never transmit on an empty queue: a success without a packet
 //! to send would be meaningless, and the engine enforces the same
@@ -23,8 +26,10 @@
 use rand::rngs::StdRng;
 use rand::Rng;
 use rayfade_learning::{loss, Action, NoRegretLearner, Rwm};
-use rayfade_sched::{AlohaPolicy, CapacityAlgorithm, CapacityInstance, GreedyCapacity};
-use rayfade_sinr::{GainMatrix, SinrParams};
+use rayfade_sched::{
+    AlohaPolicy, CapacityAlgorithm, CapacityInstance, GreedyCapacity, RayleighGreedy,
+};
+use rayfade_sinr::{GainMatrix, InterferenceRatios, SinrParams};
 use serde::{Deserialize, Serialize};
 
 /// Which policy a [`crate::DynamicConfig`] runs — the sweepable label.
@@ -36,6 +41,8 @@ pub enum PolicyKind {
     Aloha,
     /// [`RegretPolicy`].
     Regret,
+    /// [`RayleighMaxWeight`] — max-weight on the exact Rayleigh objective.
+    RayleighMaxWeight,
 }
 
 impl PolicyKind {
@@ -45,10 +52,14 @@ impl PolicyKind {
             PolicyKind::MaxWeight => "max_weight",
             PolicyKind::Aloha => "aloha",
             PolicyKind::Regret => "regret",
+            PolicyKind::RayleighMaxWeight => "rayleigh_max_weight",
         }
     }
 
-    /// All sweepable kinds, in CSV order.
+    /// The kinds the stability sweep iterates, in CSV order. Kept at the
+    /// original three so the committed `results/stability.csv` rows stay
+    /// comparable across revisions; [`PolicyKind::RayleighMaxWeight`] is
+    /// opt-in via an explicit [`crate::DynamicConfig`].
     pub fn all() -> [PolicyKind; 3] {
         [PolicyKind::MaxWeight, PolicyKind::Aloha, PolicyKind::Regret]
     }
@@ -106,6 +117,64 @@ impl OnlinePolicy for QueueMaxWeight {
             &self.params,
             &weights,
         ));
+        let mut mask = vec![false; n];
+        for i in set {
+            mask[i] = true;
+        }
+        mask
+    }
+
+    fn observe(&mut self, _active: &[bool], _sinrs: &[f64], _successes: &[bool]) {}
+}
+
+/// Max-weight on the *Rayleigh* objective: each slot transmits the set
+/// maximizing `Σ_i backlog_i · Q_i` (Theorem 1), selected by the
+/// incremental [`RayleighGreedy`]. The interference-ratio cache is built
+/// once at construction and shared across every slot — only the weights
+/// (backlogs) change, which is exactly the workload
+/// [`RayleighGreedy::select_with_ratios`] is made for.
+///
+/// Unlike [`QueueMaxWeight`] the chosen set need not be feasible in the
+/// non-fading model: the fading engine resolves each slot
+/// probabilistically, and a set with per-link success probability 1/2 can
+/// still drain queues faster than a small "safe" set.
+#[derive(Debug, Clone)]
+pub struct RayleighMaxWeight {
+    gain: GainMatrix,
+    params: SinrParams,
+    ratios: InterferenceRatios,
+    selector: RayleighGreedy,
+}
+
+impl RayleighMaxWeight {
+    /// Rayleigh max-weight over the given instance; precomputes the
+    /// Theorem 1 ratio cache once (O(n²)).
+    pub fn new(gain: GainMatrix, params: SinrParams) -> Self {
+        let ratios = InterferenceRatios::new(&gain, &params);
+        RayleighMaxWeight {
+            gain,
+            params,
+            ratios,
+            selector: RayleighGreedy::new(),
+        }
+    }
+}
+
+impl OnlinePolicy for RayleighMaxWeight {
+    fn name(&self) -> &'static str {
+        PolicyKind::RayleighMaxWeight.label()
+    }
+
+    fn choose(&mut self, backlogs: &[u64], _rng: &mut StdRng) -> Vec<bool> {
+        let n = self.gain.len();
+        debug_assert_eq!(backlogs.len(), n);
+        let weights: Vec<f64> = backlogs.iter().map(|&b| b as f64).collect();
+        // RayleighGreedy requires strictly positive weight to activate a
+        // link, so empty queues are never selected.
+        let set = self.selector.select_with_ratios(
+            &self.ratios,
+            &CapacityInstance::weighted(&self.gain, &self.params, &weights),
+        );
         let mut mask = vec![false; n];
         for i in set {
             mask[i] = true;
@@ -369,6 +438,43 @@ mod tests {
         assert_eq!(PolicyKind::MaxWeight.label(), "max_weight");
         assert_eq!(PolicyKind::Aloha.label(), "aloha");
         assert_eq!(PolicyKind::Regret.label(), "regret");
+        assert_eq!(PolicyKind::RayleighMaxWeight.label(), "rayleigh_max_weight");
+        // The sweep list stays at the original three — committed
+        // stability.csv rows depend on it.
         assert_eq!(PolicyKind::all().len(), 3);
+    }
+
+    #[test]
+    fn rayleigh_max_weight_skips_empty_queues_and_prefers_backlog() {
+        // Two mutually-destructive links (huge cross gains): only the
+        // longer queue should transmit.
+        let gm = GainMatrix::from_raw(2, vec![10.0, 1e4, 1e4, 10.0]);
+        let params = SinrParams::new(2.0, 2.0, 0.0);
+        let mut policy = RayleighMaxWeight::new(gm, params);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mask = policy.choose(&[1, 9], &mut rng);
+        assert_eq!(mask, vec![false, true]);
+        let mask = policy.choose(&[9, 1], &mut rng);
+        assert_eq!(mask, vec![true, false]);
+        let mask = policy.choose(&[0, 0], &mut rng);
+        assert_eq!(mask, vec![false, false], "empty queues never transmit");
+    }
+
+    #[test]
+    fn rayleigh_max_weight_can_overbook_the_nonfading_optimum() {
+        // Noise-limited links (S < β·ν): hopeless in the non-fading model
+        // — QueueMaxWeight's affectance guard refuses them — but each
+        // still succeeds with probability exp(−βν/S) under Rayleigh
+        // fading, so the Rayleigh policy transmits both.
+        let gm = GainMatrix::from_raw(2, vec![1.0, 0.0, 0.0, 1.0]);
+        let params = SinrParams::new(2.0, 1.0, 2.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut policy = RayleighMaxWeight::new(gm.clone(), params);
+        let mask = policy.choose(&[5, 5], &mut rng);
+        assert_eq!(mask, vec![true, true]);
+        assert!(!is_feasible(&gm, &params, &[0]), "non-fading hopeless");
+        let mut nonfading = QueueMaxWeight::new(gm, params);
+        let mask = nonfading.choose(&[5, 5], &mut rng);
+        assert_eq!(mask, vec![false, false], "non-fading policy idles");
     }
 }

@@ -31,5 +31,5 @@ pub use game::{run_game, run_game_bandit, run_game_with_beta, GameConfig, GameOu
 pub use multichannel::{run_game_multichannel, MultichannelGameConfig, MultichannelGameOutcome};
 pub use nash::{best_response_dynamics, is_pure_nash, NashOutcome, RewardModel};
 pub use regret::RegretTracker;
-pub use reward::{expected_send_reward, loss, reward, Action};
+pub use reward::{expected_send_reward, expected_send_rewards, loss, reward, Action};
 pub use rwm::{NoRegretLearner, Rwm};

@@ -12,7 +12,8 @@
 //! round count and report convergence. On paper-style instances they
 //! settle within a handful of rounds.
 
-use crate::reward::expected_send_reward;
+use crate::reward::expected_send_rewards;
+use rayfade_core::SuccessEvaluator;
 use rayfade_sinr::{mask_from_set, sinr, GainMatrix, SinrParams};
 use serde::{Deserialize, Serialize};
 
@@ -52,12 +53,20 @@ pub fn best_response_dynamics(
     let mut profile = vec![false; n];
     let mut converged = false;
     let mut rounds = 0;
+    // Rayleigh rewards: one player flips at a time, so the incremental
+    // evaluator turns each reward query into an O(1) read plus an O(n)
+    // update per actual switch (previously an O(n) scratch evaluation
+    // plus a probability-vector clone per query).
+    let mut evaluator = match model {
+        RewardModel::Rayleigh => Some(SuccessEvaluator::new(gain, params)),
+        RewardModel::NonFading => None,
+    };
     while rounds < max_rounds {
         rounds += 1;
         let mut changed = false;
         for i in 0..n {
-            let send_reward = match model {
-                RewardModel::NonFading => {
+            let send_reward = match (&model, &evaluator) {
+                (RewardModel::NonFading, _) => {
                     // SINR i would get if it sent alongside current senders.
                     let s = sinr(gain, params, &profile, i);
                     if s >= params.beta {
@@ -66,15 +75,17 @@ pub fn best_response_dynamics(
                         -1.0
                     }
                 }
-                RewardModel::Rayleigh => {
-                    let probs: Vec<f64> =
-                        profile.iter().map(|&b| if b { 1.0 } else { 0.0 }).collect();
-                    expected_send_reward(gain, params, &probs, i)
+                (RewardModel::Rayleigh, Some(ev)) => {
+                    2.0 * ev.conditional_success_probability(i) - 1.0
                 }
+                (RewardModel::Rayleigh, None) => unreachable!(),
             };
             let want_send = send_reward > 0.0;
             if profile[i] != want_send {
                 profile[i] = want_send;
+                if let Some(ev) = evaluator.as_mut() {
+                    ev.set_prob(i, if want_send { 1.0 } else { 0.0 });
+                }
                 changed = true;
             }
         }
@@ -116,9 +127,17 @@ pub fn is_pure_nash(
 ) -> bool {
     let n = gain.len();
     assert_eq!(profile.len(), n);
+    // One shared evaluation for all n Rayleigh deviation checks.
+    let rayleigh_rewards = match model {
+        RewardModel::Rayleigh => {
+            let probs: Vec<f64> = profile.iter().map(|&b| if b { 1.0 } else { 0.0 }).collect();
+            Some(expected_send_rewards(gain, params, &probs))
+        }
+        RewardModel::NonFading => None,
+    };
     for i in 0..n {
-        let send_reward = match model {
-            RewardModel::NonFading => {
+        let send_reward = match (&model, &rayleigh_rewards) {
+            (RewardModel::NonFading, _) => {
                 let s = sinr(gain, params, profile, i);
                 if s >= params.beta {
                     1.0
@@ -126,10 +145,8 @@ pub fn is_pure_nash(
                     -1.0
                 }
             }
-            RewardModel::Rayleigh => {
-                let probs: Vec<f64> = profile.iter().map(|&b| if b { 1.0 } else { 0.0 }).collect();
-                expected_send_reward(gain, params, &probs, i)
-            }
+            (RewardModel::Rayleigh, Some(rewards)) => rewards[i],
+            (RewardModel::Rayleigh, None) => unreachable!(),
         };
         let current = if profile[i] { send_reward } else { 0.0 };
         let alternative = if profile[i] { 0.0 } else { send_reward };

@@ -12,6 +12,7 @@
 //! map `loss = (1 − reward)/2`, as the paper notes ("These losses
 //! correspond to the utility function used in Section 6").
 
+use rayfade_core::SuccessEvaluator;
 use rayfade_sinr::{GainMatrix, SinrParams};
 use serde::{Deserialize, Serialize};
 
@@ -68,9 +69,38 @@ pub fn expected_send_reward(
     probs: &[f64],
     i: usize,
 ) -> f64 {
-    let mut q = probs.to_vec();
-    q[i] = 1.0;
-    2.0 * rayfade_core::success_probability(gain, params, &q, i) - 1.0
+    assert_eq!(probs.len(), gain.len(), "one probability per link");
+    // Conditional Theorem 1 evaluation: q_i read as 1, no clone of the
+    // probability vector (this sits inside the per-round game loop).
+    let s_ii = gain.signal(i);
+    if s_ii == 0.0 {
+        return -1.0; // dead link: transmitting always fails
+    }
+    let beta = params.beta;
+    let mut q = (-beta * params.noise / s_ii).exp();
+    let row = gain.at_receiver(i);
+    for (j, (&s_ji, &q_j)) in row.iter().zip(probs).enumerate() {
+        if j == i || q_j == 0.0 || s_ji == 0.0 {
+            continue;
+        }
+        q *= 1.0 - beta * q_j / (beta + s_ii / s_ji);
+    }
+    2.0 * q - 1.0
+}
+
+/// Expected Section 6 rewards of *all* links at once: `h̄_i = 2·Q̃_i − 1`
+/// with `Q̃_i` the Theorem 1 success probability conditioned on link `i`
+/// transmitting while everyone else keeps probability `probs[j]`.
+///
+/// Builds one [`SuccessEvaluator`] (O(n²)) and reads each conditional
+/// probability in O(1) — same total cost as a *single*
+/// [`expected_send_reward`] call, versus n of them.
+pub fn expected_send_rewards(gain: &GainMatrix, params: &SinrParams, probs: &[f64]) -> Vec<f64> {
+    let mut ev = SuccessEvaluator::new(gain, params);
+    ev.set_probs(probs);
+    (0..gain.len())
+        .map(|i| 2.0 * ev.conditional_success_probability(i) - 1.0)
+        .collect()
 }
 
 #[cfg(test)]
@@ -120,5 +150,32 @@ mod tests {
         let gm = GainMatrix::from_raw(1, vec![5.0]);
         let params = SinrParams::new(2.0, 1.0, 0.0);
         assert!((expected_send_reward(&gm, &params, &[0.0], 0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dead_link_reward_is_minus_one() {
+        let gm = GainMatrix::from_raw(2, vec![0.0, 1.0, 1.0, 5.0]);
+        let params = SinrParams::new(2.0, 1.0, 0.0);
+        assert_eq!(expected_send_reward(&gm, &params, &[0.5, 0.5], 0), -1.0);
+        assert_eq!(expected_send_rewards(&gm, &params, &[0.5, 0.5])[0], -1.0);
+    }
+
+    #[test]
+    fn batch_rewards_match_per_link_calls() {
+        let gm = GainMatrix::from_raw(
+            3,
+            vec![
+                10.0, 2.0, 1.0, //
+                2.0, 8.0, 0.5, //
+                1.0, 0.5, 12.0,
+            ],
+        );
+        let params = SinrParams::new(2.0, 1.5, 0.2);
+        let probs = vec![0.9, 0.0, 0.4];
+        let batch = expected_send_rewards(&gm, &params, &probs);
+        for (i, &b) in batch.iter().enumerate() {
+            let single = expected_send_reward(&gm, &params, &probs, i);
+            assert!((b - single).abs() < 1e-12, "link {i}: {b} vs {single}");
+        }
     }
 }

@@ -15,7 +15,7 @@
 //! degrades gracefully into a feasibility-preserving heuristic.
 
 use super::{CapacityAlgorithm, CapacityInstance};
-use rayfade_sinr::Affectance;
+use rayfade_sinr::{AccumMode, Affectance, InterferenceRatios, SuccessAccumulator};
 use serde::{Deserialize, Serialize};
 
 /// Link processing order for [`GreedyCapacity`].
@@ -80,11 +80,13 @@ impl GreedyCapacity {
             }
             GreedyOrder::SignalDescending => {
                 let mut idx: Vec<usize> = (0..n).collect();
+                // total_cmp: a NaN entry must not abort the whole
+                // schedule; it sorts deterministically (first, in
+                // descending order) and is skipped by the select() guard.
                 idx.sort_by(|&a, &b| {
                     inst.gain
                         .signal(b)
-                        .partial_cmp(&inst.gain.signal(a))
-                        .expect("signals must not be NaN")
+                        .total_cmp(&inst.gain.signal(a))
                         .then(a.cmp(&b))
                 });
                 idx
@@ -93,19 +95,100 @@ impl GreedyCapacity {
                 let mut idx: Vec<usize> = (0..n).collect();
                 idx.sort_by(|&a, &b| {
                     inst.weight(b)
-                        .partial_cmp(&inst.weight(a))
-                        .expect("weights must not be NaN")
-                        .then(
-                            inst.gain
-                                .signal(b)
-                                .partial_cmp(&inst.gain.signal(a))
-                                .expect("signals must not be NaN"),
-                        )
+                        .total_cmp(&inst.weight(a))
+                        .then(inst.gain.signal(b).total_cmp(&inst.gain.signal(a)))
                         .then(a.cmp(&b))
                 });
                 idx
             }
         }
+    }
+}
+
+/// Marginal-gain greedy on the *Rayleigh* objective `Σ_i w_i·Q_i`
+/// (Theorem 1), powered by the incremental ratio-cache accumulator.
+///
+/// Each round activates the silent link with the largest exact change in
+/// weighted expected successes and stops when no activation improves the
+/// objective by more than [`min_gain`](Self::min_gain). With the cached
+/// [`InterferenceRatios`] a candidate is scored in O(n) (vs. the O(n²)
+/// from-scratch Theorem 1 evaluation), so a full run costs O(n³) instead
+/// of O(n⁴) — the benchmark in `rayfade-bench` (`evaluator_bench`)
+/// measures the re-scoring speedup directly.
+///
+/// Unlike [`GreedyCapacity`] this does **not** implement
+/// [`CapacityAlgorithm`]: its output maximizes a stochastic objective and
+/// is deliberately *not* required to be feasible in the non-fading model
+/// (a set can be worth transmitting even when every link only succeeds
+/// with probability 1/2).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RayleighGreedy {
+    /// Stop once the best marginal gain drops to this value or below
+    /// (0 accepts any strict improvement).
+    pub min_gain: f64,
+    /// Optional cap on the number of activated links.
+    pub max_links: Option<usize>,
+}
+
+impl Default for RayleighGreedy {
+    fn default() -> Self {
+        RayleighGreedy {
+            min_gain: 0.0,
+            max_links: None,
+        }
+    }
+}
+
+impl RayleighGreedy {
+    /// Greedy accepting any strict improvement, no size cap.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Selects a transmit set maximizing `Σ w_i·Q_i` greedily, in
+    /// activation order. NaN or non-positive weights exclude a link.
+    pub fn select(&self, inst: &CapacityInstance<'_>) -> Vec<usize> {
+        let ratios = InterferenceRatios::new(inst.gain, inst.params);
+        self.select_with_ratios(&ratios, inst)
+    }
+
+    /// [`select`](Self::select) against a prebuilt ratio cache — the
+    /// entry point for callers re-solving many weight vectors on one
+    /// gain matrix (e.g. queue-weighted scheduling slot loops).
+    ///
+    /// # Panics
+    /// If the cache size does not match the instance.
+    pub fn select_with_ratios(
+        &self,
+        ratios: &InterferenceRatios,
+        inst: &CapacityInstance<'_>,
+    ) -> Vec<usize> {
+        assert_eq!(ratios.len(), inst.len(), "ratio cache size mismatch");
+        let n = inst.len();
+        let mut acc = SuccessAccumulator::new(n, AccumMode::LogDomain);
+        let mut selected: Vec<usize> = Vec::new();
+        let cap = self.max_links.unwrap_or(n);
+        while selected.len() < cap {
+            let mut best: Option<(usize, f64)> = None;
+            for j in 0..n {
+                // `strictly_positive` also rejects NaN weights.
+                if acc.prob(j) != 0.0 || !crate::capacity::strictly_positive(inst.weight(j)) {
+                    continue;
+                }
+                let gain = acc.activation_gain(ratios, inst.weights, j);
+                if best.is_none_or(|(_, g)| gain.total_cmp(&g).is_gt()) {
+                    best = Some((j, gain));
+                }
+            }
+            match best {
+                Some((j, gain)) if gain > self.min_gain => {
+                    acc.insert(ratios, j);
+                    selected.push(j);
+                }
+                _ => break,
+            }
+        }
+        selected
     }
 }
 
@@ -123,7 +206,8 @@ impl CapacityAlgorithm for GreedyCapacity {
         // link (indexed by link id for O(1) updates).
         let mut cur_in = vec![0.0; inst.len()];
         'cand: for &i in &order {
-            if !aff.feasible_alone(i) || inst.weight(i) <= 0.0 {
+            // `strictly_positive` rather than `w <= 0`: it also skips NaN weights.
+            if !aff.feasible_alone(i) || !crate::capacity::strictly_positive(inst.weight(i)) {
                 continue;
             }
             // Incoming affectance the candidate would suffer.
@@ -273,6 +357,128 @@ mod tests {
         let params = SinrParams::new(2.0, 1.0, 0.0);
         let set = GreedyCapacity::new().select(&CapacityInstance::unweighted(&gm, &params));
         assert!(set.is_empty());
+    }
+
+    #[test]
+    fn nan_weight_is_skipped_not_fatal() {
+        // Regression: the weight sort used partial_cmp().expect(...), so a
+        // single NaN weight aborted the whole schedule. It must now be
+        // ordered deterministically and excluded from the selection.
+        let gm = GainMatrix::from_raw(
+            3,
+            vec![
+                10.0, 1e-6, 1e-6, //
+                1e-6, 10.0, 1e-6, //
+                1e-6, 1e-6, 10.0,
+            ],
+        );
+        let params = SinrParams::new(2.0, 2.0, 0.1);
+        let w = vec![1.0, f64::NAN, 2.0];
+        let mut set =
+            GreedyCapacity::weighted().select(&CapacityInstance::weighted(&gm, &params, &w));
+        set.sort_unstable();
+        assert_eq!(set, vec![0, 2], "NaN-weighted link must be dropped");
+    }
+
+    /// Scratch Theorem 1 objective `Σ_{i∈set} Q_i` for reference checks
+    /// (kept independent of the accumulator under test).
+    fn scratch_objective(gm: &GainMatrix, params: &SinrParams, set: &[usize]) -> f64 {
+        let beta = params.beta;
+        set.iter()
+            .map(|&i| {
+                let s_ii = gm.signal(i);
+                if s_ii == 0.0 {
+                    return 0.0;
+                }
+                let mut p = (-beta * params.noise / s_ii).exp();
+                for &j in set {
+                    let s_ji = gm.gain(j, i);
+                    if j != i && s_ji != 0.0 {
+                        p *= 1.0 - beta / (beta + s_ii / s_ji);
+                    }
+                }
+                p
+            })
+            .sum()
+    }
+
+    #[test]
+    fn rayleigh_greedy_is_deterministic_and_locally_maximal() {
+        let (gm, params) = paper_instance(3, 10);
+        let inst = CapacityInstance::unweighted(&gm, &params);
+        let set = RayleighGreedy::new().select(&inst);
+        assert!(!set.is_empty());
+        assert_eq!(set, RayleighGreedy::new().select(&inst), "deterministic");
+        // No silent link may improve the objective (greedy stops only
+        // when every marginal gain is <= 0).
+        let base = scratch_objective(&gm, &params, &set);
+        for j in 0..inst.len() {
+            if set.contains(&j) {
+                continue;
+            }
+            let mut bigger = set.clone();
+            bigger.push(j);
+            let with_j = scratch_objective(&gm, &params, &bigger);
+            assert!(
+                with_j <= base + 1e-9,
+                "link {j} would improve {base} -> {with_j}"
+            );
+        }
+        // And greedy must beat every singleton.
+        for j in 0..inst.len() {
+            assert!(scratch_objective(&gm, &params, &[j]) <= base + 1e-12);
+        }
+    }
+
+    #[test]
+    fn rayleigh_greedy_first_pick_is_best_singleton() {
+        // With min_gain = 0 and max_links = 1, the selection is exactly
+        // the argmax of w_i * Q_i({i}).
+        let gm = GainMatrix::from_raw(
+            3,
+            vec![
+                10.0, 2.0, 1.0, //
+                2.0, 8.0, 0.5, //
+                1.0, 0.5, 12.0,
+            ],
+        );
+        let params = SinrParams::new(2.0, 1.5, 0.2);
+        let inst = CapacityInstance::unweighted(&gm, &params);
+        let alg = RayleighGreedy {
+            max_links: Some(1),
+            ..RayleighGreedy::default()
+        };
+        let set = alg.select(&inst);
+        // Q_i({i}) = exp(-beta*nu/S_ii): maximized by the largest signal.
+        assert_eq!(set, vec![2]);
+    }
+
+    #[test]
+    fn rayleigh_greedy_skips_nan_and_nonpositive_weights() {
+        let gm = GainMatrix::from_raw(
+            3,
+            vec![
+                10.0, 1e-6, 1e-6, //
+                1e-6, 10.0, 1e-6, //
+                1e-6, 1e-6, 10.0,
+            ],
+        );
+        let params = SinrParams::new(2.0, 2.0, 0.0);
+        let w = vec![f64::NAN, 0.0, 1.0];
+        let inst = CapacityInstance::weighted(&gm, &params, &w);
+        let set = RayleighGreedy::new().select(&inst);
+        assert_eq!(set, vec![2]);
+    }
+
+    #[test]
+    fn rayleigh_greedy_reuses_prebuilt_ratio_cache() {
+        use rayfade_sinr::InterferenceRatios;
+        let (gm, params) = paper_instance(7, 20);
+        let inst = CapacityInstance::unweighted(&gm, &params);
+        let ratios = InterferenceRatios::new(&gm, &params);
+        let direct = RayleighGreedy::new().select(&inst);
+        let cached = RayleighGreedy::new().select_with_ratios(&ratios, &inst);
+        assert_eq!(direct, cached);
     }
 
     #[test]

@@ -27,6 +27,13 @@ pub mod power_control;
 
 use rayfade_sinr::{GainMatrix, SinrParams};
 
+/// `true` iff `x` is strictly positive — rejects NaN (unlike `x <= 0.0`,
+/// whose negation silently admits it). The selection loops use this to
+/// skip degenerate weights/lengths instead of propagating NaN scores.
+pub(crate) fn strictly_positive(x: f64) -> bool {
+    matches!(x.partial_cmp(&0.0), Some(std::cmp::Ordering::Greater))
+}
+
 /// A capacity-maximization instance with fixed transmission powers
 /// (already folded into the gain matrix).
 #[derive(Debug, Clone, Copy)]

@@ -8,10 +8,11 @@
 //! substitution notes).
 
 use super::{CapacityAlgorithm, CapacityInstance};
+use crate::capacity::greedy::RayleighGreedy;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
-use rayfade_sinr::Affectance;
+use rayfade_sinr::{AccumMode, Affectance, InterferenceRatios, SuccessAccumulator};
 use serde::{Deserialize, Serialize};
 
 /// Exact maximum-weight feasible set via depth-first branch-and-bound.
@@ -117,12 +118,10 @@ impl CapacityAlgorithm for ExactCapacity {
         let aff = Affectance::new(inst.gain, inst.params);
         // Heaviest-first ordering makes the weight bound bite early.
         let mut order: Vec<usize> = (0..inst.len()).collect();
-        order.sort_by(|&a, &b| {
-            inst.weight(b)
-                .partial_cmp(&inst.weight(a))
-                .expect("weights must not be NaN")
-                .then(a.cmp(&b))
-        });
+        // total_cmp: NaN weights order deterministically instead of
+        // aborting; the include-branch guard (`weight(i) > 0.0`) already
+        // keeps them out of the solution.
+        order.sort_by(|&a, &b| inst.weight(b).total_cmp(&inst.weight(a)).then(a.cmp(&b)));
         let mut suffix = vec![0.0; order.len() + 1];
         for k in (0..order.len()).rev() {
             let i = order[k];
@@ -277,12 +276,7 @@ impl LocalSearchCapacity {
             }
         }
         let mut order: Vec<usize> = (0..n).collect();
-        order.sort_by(|&a, &b| {
-            score[a]
-                .partial_cmp(&score[b])
-                .expect("scores are finite")
-                .then(a.cmp(&b))
-        });
+        order.sort_by(|&a, &b| score[a].total_cmp(&score[b]).then(a.cmp(&b)));
         Self::greedy_in_order(inst, aff, &order)
     }
 
@@ -294,7 +288,11 @@ impl LocalSearchCapacity {
         chosen: &mut Vec<usize>,
         cur_in: &mut [f64],
     ) -> bool {
-        if chosen.contains(&i) || !aff.feasible_alone(i) || inst.weight(i) <= 0.0 {
+        // `strictly_positive` rather than `w <= 0`: it also rejects NaN weights.
+        if chosen.contains(&i)
+            || !aff.feasible_alone(i)
+            || !crate::capacity::strictly_positive(inst.weight(i))
+        {
             return false;
         }
         let mut in_i = 0.0;
@@ -405,6 +403,93 @@ impl CapacityAlgorithm for LocalSearchCapacity {
     }
 }
 
+/// Local search on the *Rayleigh* objective `Σ_i w_i·Q_i` (Theorem 1):
+/// greedy construction ([`RayleighGreedy`]) followed by add and 1-swap
+/// improvement sweeps, all scored incrementally through the cached
+/// [`InterferenceRatios`] so one candidate evaluation costs O(n).
+///
+/// Like [`RayleighGreedy`] this maximizes a stochastic objective and does
+/// not promise non-fading feasibility, so it is not a
+/// [`CapacityAlgorithm`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RayleighLocalSearch {
+    /// Maximum improvement sweeps after the greedy construction.
+    pub max_sweeps: usize,
+}
+
+impl Default for RayleighLocalSearch {
+    fn default() -> Self {
+        RayleighLocalSearch { max_sweeps: 50 }
+    }
+}
+
+impl RayleighLocalSearch {
+    /// Local search with the default sweep budget.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Selects a transmit set by greedy construction plus add/1-swap
+    /// improvement on `Σ w_i·Q_i`. NaN or non-positive weights exclude a
+    /// link.
+    pub fn select(&self, inst: &CapacityInstance<'_>) -> Vec<usize> {
+        let ratios = InterferenceRatios::new(inst.gain, inst.params);
+        let n = inst.len();
+        let mut acc = SuccessAccumulator::new(n, AccumMode::LogDomain);
+        for &i in &RayleighGreedy::new().select_with_ratios(&ratios, inst) {
+            acc.insert(&ratios, i);
+        }
+        for _sweep in 0..self.max_sweeps {
+            let mut improved = false;
+            // Add moves: any silent link with a positive marginal gain.
+            for j in 0..n {
+                if acc.prob(j) != 0.0 || !crate::capacity::strictly_positive(inst.weight(j)) {
+                    continue;
+                }
+                if acc.activation_gain(&ratios, inst.weights, j) > 1e-12 {
+                    acc.insert(&ratios, j);
+                    improved = true;
+                }
+            }
+            // 1-swap moves: for each member, check whether some outsider
+            // is worth strictly more in its place.
+            for m in 0..n {
+                if acc.prob(m) == 0.0 {
+                    continue;
+                }
+                acc.remove(&ratios, m);
+                let regain = acc.activation_gain(&ratios, inst.weights, m);
+                let mut best: Option<(usize, f64)> = None;
+                for j in 0..n {
+                    if j == m
+                        || acc.prob(j) != 0.0
+                        || !crate::capacity::strictly_positive(inst.weight(j))
+                    {
+                        continue;
+                    }
+                    let g = acc.activation_gain(&ratios, inst.weights, j);
+                    if best.is_none_or(|(_, b)| g.total_cmp(&b).is_gt()) {
+                        best = Some((j, g));
+                    }
+                }
+                match best {
+                    Some((j, g)) if g > regain + 1e-12 => {
+                        acc.insert(&ratios, j);
+                        improved = true;
+                    }
+                    _ => {
+                        acc.insert(&ratios, m);
+                    }
+                }
+            }
+            if !improved {
+                break;
+            }
+        }
+        (0..n).filter(|&i| acc.prob(i) != 0.0).collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -503,6 +588,86 @@ mod tests {
             max_sweeps: 10,
         };
         assert_eq!(alg.select(&inst), alg.select(&inst));
+    }
+
+    #[test]
+    fn nan_weight_does_not_abort_solvers() {
+        // Regression: the BnB weight sort and the conflict-order score
+        // sort both panicked on NaN via partial_cmp().expect(...).
+        let gm = GainMatrix::from_raw(
+            3,
+            vec![
+                10.0, 1e-6, 1e-6, //
+                1e-6, 10.0, 1e-6, //
+                1e-6, 1e-6, 10.0,
+            ],
+        );
+        let params = SinrParams::new(2.0, 2.0, 0.1);
+        let w = vec![2.0, f64::NAN, 1.0];
+        let inst = CapacityInstance::weighted(&gm, &params, &w);
+        let mut exact = ExactCapacity::default().select(&inst);
+        exact.sort_unstable();
+        assert_eq!(exact, vec![0, 2], "NaN-weighted link must be dropped");
+        let mut ls = LocalSearchCapacity::default().select(&inst);
+        ls.sort_unstable();
+        assert_eq!(ls, vec![0, 2]);
+    }
+
+    #[test]
+    fn rayleigh_local_search_never_loses_to_rayleigh_greedy() {
+        use crate::capacity::greedy::RayleighGreedy;
+        /// Scratch Theorem 1 objective, independent of the accumulator.
+        fn objective(gm: &GainMatrix, params: &SinrParams, set: &[usize]) -> f64 {
+            let beta = params.beta;
+            set.iter()
+                .map(|&i| {
+                    let s_ii = gm.signal(i);
+                    if s_ii == 0.0 {
+                        return 0.0;
+                    }
+                    let mut p = (-beta * params.noise / s_ii).exp();
+                    for &j in set {
+                        let s_ji = gm.gain(j, i);
+                        if j != i && s_ji != 0.0 {
+                            p *= 1.0 - beta / (beta + s_ii / s_ji);
+                        }
+                    }
+                    p
+                })
+                .sum()
+        }
+        for seed in 0..3 {
+            let (gm, params) = paper_instance(seed, 25);
+            let inst = CapacityInstance::unweighted(&gm, &params);
+            let greedy = RayleighGreedy::new().select(&inst);
+            let ls = RayleighLocalSearch::new().select(&inst);
+            let g_obj = objective(&gm, &params, &greedy);
+            let ls_obj = objective(&gm, &params, &ls);
+            assert!(
+                ls_obj >= g_obj - 1e-9,
+                "seed {seed}: local search {ls_obj} < greedy {g_obj}"
+            );
+            assert_eq!(
+                ls,
+                RayleighLocalSearch::new().select(&inst),
+                "deterministic"
+            );
+        }
+    }
+
+    #[test]
+    fn rayleigh_local_search_skips_nan_weights() {
+        let gm = GainMatrix::from_raw(
+            2,
+            vec![
+                10.0, 1e-6, //
+                1e-6, 10.0,
+            ],
+        );
+        let params = SinrParams::new(2.0, 2.0, 0.0);
+        let w = vec![f64::NAN, 1.0];
+        let inst = CapacityInstance::weighted(&gm, &params, &w);
+        assert_eq!(RayleighLocalSearch::new().select(&inst), vec![1]);
     }
 
     #[test]

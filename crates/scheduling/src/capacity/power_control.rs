@@ -70,16 +70,19 @@ impl PowerControlCapacity {
         let n = geometry.len();
         // Shortest-first admission, the order of [6].
         let mut order: Vec<usize> = (0..n).collect();
+        // total_cmp: a NaN length orders deterministically (last, in
+        // ascending order) instead of aborting; the degenerate-link guard
+        // below keeps such links out of the admission.
         order.sort_by(|&a, &b| {
             geometry
                 .length(a)
-                .partial_cmp(&geometry.length(b))
-                .expect("lengths must not be NaN")
+                .total_cmp(&geometry.length(b))
                 .then(a.cmp(&b))
         });
         let mut admitted: Vec<usize> = Vec::new();
         for &i in &order {
-            if geometry.length(i) <= 0.0 {
+            // `strictly_positive` also skips NaN lengths, not just non-positive.
+            if !crate::capacity::strictly_positive(geometry.length(i)) {
                 continue; // degenerate link, cannot assign path-loss power
             }
             // Relative interference of already-admitted (shorter) links on
@@ -238,6 +241,34 @@ mod tests {
         let (sol, ok) = PowerControlCapacity::default().select_verified(&net, &params);
         assert!(ok);
         assert!(sol.set.len() >= 3, "only {} admitted", sol.set.len());
+    }
+
+    #[test]
+    fn nan_length_is_skipped_not_fatal() {
+        // Regression: the shortest-first sort used partial_cmp().expect,
+        // so a single NaN length (e.g. from corrupted coordinates)
+        // aborted the whole schedule. It must now be ordered
+        // deterministically and excluded by the degenerate-link guard.
+        struct NanLink;
+        impl LinkGeometry for NanLink {
+            fn len(&self) -> usize {
+                3
+            }
+            fn cross_dist(&self, j: usize, i: usize) -> f64 {
+                if j == i {
+                    if i == 1 {
+                        f64::NAN
+                    } else {
+                        10.0
+                    }
+                } else {
+                    1e6 // far apart: no meaningful interference
+                }
+            }
+        }
+        let params = SinrParams::new(2.5, 1.5, 1e-12);
+        let sol = PowerControlCapacity::default().select(&NanLink, &params);
+        assert_eq!(sol.set, vec![0, 2], "NaN-length link must be dropped");
     }
 
     #[test]

@@ -25,8 +25,8 @@ pub mod multihop;
 pub mod schedule;
 
 pub use capacity::flexible::{FlexibleCapacity, FlexibleSolution};
-pub use capacity::greedy::{GreedyCapacity, GreedyOrder};
-pub use capacity::optimal::{ExactCapacity, LocalSearchCapacity};
+pub use capacity::greedy::{GreedyCapacity, GreedyOrder, RayleighGreedy};
+pub use capacity::optimal::{ExactCapacity, LocalSearchCapacity, RayleighLocalSearch};
 pub use capacity::power_control::{PowerControlCapacity, PowerControlSolution};
 pub use capacity::{CapacityAlgorithm, CapacityInstance};
 pub use channels::{

@@ -248,11 +248,8 @@ pub fn run_figure1_analytic(config: &Figure1Config, family: PowerFamily) -> Curv
         .map(|net_idx| {
             let net = config.topology.generate(config.seed.wrapping_add(net_idx));
             let gain = GainMatrix::from_geometry(&net, &family.assignment(), config.params.alpha);
-            config
-                .q_grid
-                .iter()
-                .map(|&q| crate::slots::rayleigh_expected_successes(&gain, &config.params, q))
-                .collect()
+            // One ratio cache per network, shared across the whole q-grid.
+            crate::slots::rayleigh_expected_successes_grid(&gain, &config.params, &config.q_grid)
         })
         .collect();
     let points = config

@@ -34,6 +34,6 @@ pub use progress::{ProgressHandle, ProgressSink};
 pub use report::{fmt_f, gnuplot_script, sparkline, write_gnuplot_script, Table};
 pub use slots::{
     draw_activation, nonfading_success_curve_point, rayleigh_expected_successes,
-    rayleigh_success_curve_point,
+    rayleigh_expected_successes_grid, rayleigh_success_curve_point,
 };
 pub use stats::RunningStats;

@@ -9,7 +9,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use rayfade_core::{mix_seed, mix_seed2, RayleighModel};
+use rayfade_core::{mix_seed, mix_seed2, RayleighModel, SuccessEvaluator};
 use rayfade_sinr::{count_successes, GainMatrix, SinrParams};
 
 /// Draws one Bernoulli(q) activation mask.
@@ -68,8 +68,25 @@ pub fn rayleigh_success_curve_point(
 /// (Theorem 1 closed form) — the analytic counterpart of
 /// [`rayleigh_success_curve_point`].
 pub fn rayleigh_expected_successes(gain: &GainMatrix, params: &SinrParams, q: f64) -> f64 {
-    let probs = vec![q; gain.len()];
-    rayfade_core::expected_successes(gain, params, &probs)
+    rayleigh_expected_successes_grid(gain, params, &[q])[0]
+}
+
+/// Exact expected Rayleigh successes for a whole grid of uniform
+/// transmission probabilities, sharing one interference-ratio cache
+/// across all grid points (the Figure 1 analytic sweep evaluates 50
+/// points per network; rebuilding the ratios per point is pure waste).
+pub fn rayleigh_expected_successes_grid(
+    gain: &GainMatrix,
+    params: &SinrParams,
+    qs: &[f64],
+) -> Vec<f64> {
+    let mut ev = SuccessEvaluator::new(gain, params);
+    qs.iter()
+        .map(|&q| {
+            ev.set_uniform(q);
+            ev.expected_successes()
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -129,6 +146,22 @@ mod tests {
             (mc - analytic).abs() < 0.35,
             "MC {mc} vs closed form {analytic}"
         );
+    }
+
+    #[test]
+    fn grid_matches_per_point_evaluation() {
+        let (gm, params) = paper_gain(4, 18);
+        let qs = [0.0, 0.1, 0.35, 0.7, 1.0];
+        let grid = rayleigh_expected_successes_grid(&gm, &params, &qs);
+        for (k, &q) in qs.iter().enumerate() {
+            let probs = vec![q; gm.len()];
+            let want = rayfade_core::expected_successes(&gm, &params, &probs);
+            assert!(
+                (grid[k] - want).abs() < 1e-12,
+                "q = {q}: {} vs {want}",
+                grid[k]
+            );
+        }
     }
 
     #[test]

@@ -14,6 +14,8 @@
 //! * [`nonfading`] — SINR evaluation, success sets, feasibility,
 //! * [`affectance`] — normalized interference `a(j, i)` and the Lemma 7
 //!   machinery,
+//! * [`ratio`] — cached Theorem-1 interference ratios and the incremental
+//!   success-probability accumulator shared by the Rayleigh hot paths,
 //! * [`utility`] — valid utility functions (Definition 1): binary,
 //!   weighted, Shannon.
 //!
@@ -30,6 +32,7 @@ pub mod nonfading;
 pub mod params;
 pub mod power;
 pub mod power_iteration;
+pub mod ratio;
 pub mod spectral;
 pub mod utility;
 
@@ -43,6 +46,7 @@ pub use nonfading::{
 pub use params::SinrParams;
 pub use power::PowerAssignment;
 pub use power_iteration::{solve_min_powers, PowerIterationConfig, PowerSolve};
+pub use ratio::{kahan_sum, AccumMode, InterferenceRatios, SuccessAccumulator};
 pub use spectral::{max_feasible_threshold, spectral_report, SpectralReport};
 pub use utility::{
     is_valid_utility, BinaryUtility, LogisticUtility, ShannonUtility, UtilityFunction,
