@@ -31,6 +31,7 @@ const EXPERIMENTS: &[&str] = &[
     "channels_exp",
     "stability_exp",
     "evaluator_bench",
+    "telemetry_overhead",
 ];
 
 fn main() {
@@ -59,6 +60,9 @@ fn main() {
             cmd.arg("--quick");
         }
         cmd.arg("--out").arg(&cli.out);
+        if let Some(dir) = &cli.telemetry {
+            cmd.arg("--telemetry").arg(dir);
+        }
         match cmd.status() {
             Ok(status) if status.success() => {
                 eprintln!("    done in {:.1}s", started.elapsed().as_secs_f64());

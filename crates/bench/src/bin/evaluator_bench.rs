@@ -13,7 +13,7 @@
 //!
 //! Usage: `cargo run -p rayfade-bench --release --bin evaluator_bench [--quick] [--out dir]`
 
-use rayfade_bench::{figure1_instance, Cli};
+use rayfade_bench::{figure1_instance, telemetry_ref, Cli};
 use rayfade_core::{expected_successes_of_set, SuccessEvaluator};
 use rayfade_sim::{fmt_f, Table};
 use rayfade_sinr::{GainMatrix, SinrParams};
@@ -53,8 +53,10 @@ fn naive_greedy(gm: &GainMatrix, params: &SinrParams, max_links: usize) -> Vec<u
 }
 
 /// Same greedy driven by the incremental evaluator: one `activation_gain`
-/// per candidate, one `insert` per round.
-fn incremental_greedy(gm: &GainMatrix, params: &SinrParams, max_links: usize) -> Vec<usize> {
+/// per candidate, one `insert` per round. Also returns the evaluator's
+/// underflow-guard rederivation count (an observability satellite: the
+/// guard should essentially never trip on paper-scale instances).
+fn incremental_greedy(gm: &GainMatrix, params: &SinrParams, max_links: usize) -> (Vec<usize>, u64) {
     let n = gm.len();
     let mut ev = SuccessEvaluator::new(gm, params);
     let mut active = vec![false; n];
@@ -79,7 +81,7 @@ fn incremental_greedy(gm: &GainMatrix, params: &SinrParams, max_links: usize) ->
             _ => break,
         }
     }
-    (0..n).filter(|&j| active[j]).collect()
+    ((0..n).filter(|&j| active[j]).collect(), ev.rederivations())
 }
 
 fn time_ms<R>(repeats: usize, mut f: impl FnMut() -> R) -> (f64, R) {
@@ -103,29 +105,51 @@ fn main() {
     };
     eprintln!("incremental evaluator vs naive re-scoring, n in {sizes:?} ...");
 
-    let mut table = Table::new(["n", "k", "naive_ms", "incr_ms", "speedup"]);
+    let tele = cli.experiment_telemetry("evaluator");
+    let mut table = Table::new(["n", "k", "naive_ms", "incr_ms", "speedup", "rederivations"]);
     let mut last_speedup = 0.0;
     for &n in sizes {
         let (gm, params) = figure1_instance(0, n);
         let cap = n / 4;
         let repeats = if n <= 200 { 3 } else { 1 };
         let (naive_ms, naive_set) = time_ms(repeats, || naive_greedy(&gm, &params, cap));
-        let (incr_ms, incr_set) = time_ms(repeats, || incremental_greedy(&gm, &params, cap));
+        let (incr_ms, (incr_set, rederivations)) =
+            time_ms(repeats, || incremental_greedy(&gm, &params, cap));
         assert_eq!(
             naive_set, incr_set,
             "n={n}: evaluator-driven greedy diverged from the naive greedy"
         );
         let speedup = naive_ms / incr_ms;
         last_speedup = speedup;
+        if let Some(t) = telemetry_ref(&tele) {
+            let reg = t.registry();
+            reg.counter("rayfade_evaluator_selections_total").inc();
+            reg.counter("rayfade_sched_rederivations_total")
+                .add(rederivations);
+            reg.histogram("rayfade_evaluator_naive_seconds")
+                .observe(naive_ms / 1e3);
+            reg.histogram("rayfade_evaluator_incremental_seconds")
+                .observe(incr_ms / 1e3);
+            // Journal only deterministic fields — timings stay in the
+            // metrics dump so journals remain byte-diffable across runs.
+            if let Some(ev) = t.event("evaluator_size") {
+                ev.int("n", n as i64)
+                    .int("k", naive_set.len() as i64)
+                    .int("rederivations", rederivations as i64)
+                    .write();
+            }
+        }
         table.push_row([
             n.to_string(),
             naive_set.len().to_string(),
             fmt_f(naive_ms, 2),
             fmt_f(incr_ms, 2),
             fmt_f(speedup, 1),
+            rederivations.to_string(),
         ]);
         eprintln!(
-            "  n={n}: k={}, naive {naive_ms:.2} ms, incremental {incr_ms:.2} ms ({speedup:.1}x)",
+            "  n={n}: k={}, naive {naive_ms:.2} ms, incremental {incr_ms:.2} ms ({speedup:.1}x, \
+             {rederivations} rederivations)",
             naive_set.len()
         );
     }
@@ -151,6 +175,9 @@ fn main() {
     let path = cli.csv_path("evaluator.csv");
     table.write_csv(&path).expect("write CSV");
     eprintln!("wrote {}", path.display());
+    if let Some(t) = &tele {
+        t.finish();
+    }
     if !cli.quick {
         assert!(
             last_speedup >= 5.0,

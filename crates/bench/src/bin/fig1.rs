@@ -7,11 +7,11 @@
 //! α = 2.2, ν = 4·10⁻⁷, p = 2 (sqrt: pᵢ = 2·√(dᵢ^2.2)), 25 transmit seeds,
 //! 10 fading seeds.
 //!
-//! Usage: `cargo run -p rayfade-bench --release --bin fig1 [--quick] [--out dir]`
+//! Usage: `cargo run -p rayfade-bench --release --bin fig1 [--quick] [--out dir] [--telemetry dir]`
 
-use rayfade_bench::Cli;
+use rayfade_bench::{telemetry_ref, Cli};
 use rayfade_sim::{
-    fmt_f, run_figure1_analytic, run_figure1_with_progress, write_gnuplot_script, Figure1Config,
+    fmt_f, run_figure1_analytic, run_figure1_with_telemetry, write_gnuplot_script, Figure1Config,
     PowerFamily, ProgressSink, Table,
 };
 
@@ -30,9 +30,15 @@ fn main() {
         config.tx_seeds,
         config.fading_seeds
     );
-    let progress = ProgressSink::stderr(config.networks, "networks", (config.networks / 10).max(1));
+    let tele = cli.experiment_telemetry("fig1");
+    let mut progress =
+        ProgressSink::stderr(config.networks, "networks", (config.networks / 10).max(1));
+    if let Some(t) = telemetry_ref(&tele) {
+        // Bridged counter: sees every tick even when the channel drops.
+        progress = progress.bridge_counter(t.registry().counter("rayfade_progress_units_total"));
+    }
     let handle = progress.handle();
-    let result = run_figure1_with_progress(&config, move |_| handle.tick(1));
+    let result = run_figure1_with_telemetry(&config, move |_| handle.tick(1), telemetry_ref(&tele));
     progress.finish();
 
     let mut table = Table::new(["q", "power", "model", "mean_successes", "std_err"]);
@@ -141,5 +147,8 @@ fn main() {
             fmt_f(nf.points[high_q].q, 2),
             nf.points[high_q].mean - ray.points[high_q].mean,
         );
+    }
+    if let Some(t) = &tele {
+        t.finish();
     }
 }

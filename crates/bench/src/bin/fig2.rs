@@ -6,10 +6,12 @@
 //! ν = 0, uniform power 2, RWM losses (send-fail 1, idle 0.5, success 0),
 //! η schedule √0.5 halving at powers of 2.
 //!
-//! Usage: `cargo run -p rayfade-bench --release --bin fig2 [--quick] [--out dir]`
+//! Usage: `cargo run -p rayfade-bench --release --bin fig2 [--quick] [--out dir] [--telemetry dir]`
 
-use rayfade_bench::Cli;
-use rayfade_sim::{fmt_f, run_figure2, sparkline, write_gnuplot_script, Figure2Config, Table};
+use rayfade_bench::{telemetry_ref, Cli};
+use rayfade_sim::{
+    fmt_f, run_figure2_with_telemetry, sparkline, write_gnuplot_script, Figure2Config, Table,
+};
 
 fn main() {
     let cli = Cli::parse();
@@ -22,7 +24,8 @@ fn main() {
         "figure 2: {} networks x {} links, {} rounds ...",
         config.networks, config.topology.links, config.rounds
     );
-    let result = run_figure2(&config);
+    let tele = cli.experiment_telemetry("fig2");
+    let result = run_figure2_with_telemetry(&config, |_| {}, telemetry_ref(&tele));
 
     let mut table = Table::new(["round", "nonfading", "rayleigh", "optimum"]);
     let opt = result.optimum.unwrap_or(f64::NAN);
@@ -80,4 +83,7 @@ fn main() {
         fmt_f(result.mean_max_regret_rayleigh, 4)
     );
     eprintln!("\nwrote {}", path.display());
+    if let Some(t) = &tele {
+        t.finish();
+    }
 }

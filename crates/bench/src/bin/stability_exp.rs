@@ -17,9 +17,9 @@
 //! least one policy — fading randomizes interference, so the strongest
 //! blocker is not *always* present.
 //!
-//! Usage: `cargo run -p rayfade-bench --release --bin stability_exp [--quick] [--out dir]`
+//! Usage: `cargo run -p rayfade-bench --release --bin stability_exp [--quick] [--out dir] [--telemetry dir]`
 
-use rayfade_bench::Cli;
+use rayfade_bench::{telemetry_ref, Cli};
 use rayfade_dynamic::{ArrivalProcess, DynamicConfig, LambdaSweep, PolicyKind, SuccessModelKind};
 use rayfade_geometry::PaperTopology;
 use rayfade_sim::{fmt_f, Table};
@@ -56,8 +56,9 @@ fn main() {
         sample_every: (slots / 100).max(1),
         seed: 0xd1_4a,
     };
+    let tele = cli.experiment_telemetry("stability");
     let sweep = LambdaSweep::linear(base, max_lambda, steps);
-    let report = sweep.run();
+    let report = sweep.run_with_telemetry(telemetry_ref(&tele));
 
     let mut table = Table::new([
         "policy",
@@ -124,4 +125,7 @@ fn main() {
     let path = cli.csv_path("stability.csv");
     table.write_csv(&path).expect("write CSV");
     eprintln!("wrote {}", path.display());
+    if let Some(t) = &tele {
+        t.finish();
+    }
 }

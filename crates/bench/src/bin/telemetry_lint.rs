@@ -1,0 +1,178 @@
+//! CI gate for telemetry artifacts: validates every journal and metrics
+//! dump a `--telemetry` run produced.
+//!
+//! Checks, per file in the target directory:
+//!
+//! * `*.jsonl` — every line parses as a JSON object whose first field is
+//!   the monotonically increasing `seq` and whose second is a non-empty
+//!   `kind` string;
+//! * `*_metrics.prom` — non-empty, every non-comment line is
+//!   `name value`, and at least one `rayfade_`-prefixed sample exists;
+//! * `*_metrics.csv` — non-empty with the `kind,name,value` header.
+//!
+//! Exits non-zero (after reporting every problem, not just the first) if
+//! anything fails, so CI can upload the artifacts and still go red.
+//!
+//! Usage: `cargo run -p rayfade-bench --release --bin telemetry_lint -- --telemetry dir`
+//! (falls back to `--out`'s directory when `--telemetry` is not given).
+
+use rayfade_bench::Cli;
+use rayfade_telemetry::read_jsonl;
+use std::path::Path;
+
+/// Validate one JSONL journal; returns human-readable problems.
+fn lint_journal(path: &Path) -> Vec<String> {
+    let mut problems = Vec::new();
+    let events = match read_jsonl(path) {
+        Ok(events) => events,
+        Err(e) => return vec![format!("{}: unreadable journal: {e}", path.display())],
+    };
+    if events.is_empty() {
+        problems.push(format!("{}: journal is empty", path.display()));
+    }
+    for (i, ev) in events.iter().enumerate() {
+        match ev.get("seq").and_then(|v| v.as_i64()) {
+            Some(seq) if seq == i as i64 => {}
+            Some(seq) => {
+                problems.push(format!(
+                    "{}: event {i} has seq {seq}, expected {i}",
+                    path.display()
+                ));
+            }
+            None => {
+                problems.push(format!("{}: event {i} has no integer seq", path.display()));
+            }
+        }
+        match ev.get("kind").and_then(|v| v.as_str()) {
+            Some(kind) if !kind.is_empty() => {}
+            _ => problems.push(format!(
+                "{}: event {i} has no non-empty kind",
+                path.display()
+            )),
+        }
+    }
+    problems
+}
+
+/// Validate one Prometheus-text metrics dump.
+fn lint_prom(path: &Path) -> Vec<String> {
+    let mut problems = Vec::new();
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => return vec![format!("{}: unreadable: {e}", path.display())],
+    };
+    let mut samples = 0usize;
+    let mut rayfade_samples = 0usize;
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        // Sample lines are `name[{labels}] value`.
+        let Some((name, value)) = line.rsplit_once(' ') else {
+            problems.push(format!(
+                "{}:{}: not a `name value` sample: {line:?}",
+                path.display(),
+                lineno + 1
+            ));
+            continue;
+        };
+        if value.parse::<f64>().is_err() {
+            problems.push(format!(
+                "{}:{}: non-numeric sample value {value:?}",
+                path.display(),
+                lineno + 1
+            ));
+        }
+        samples += 1;
+        if name.starts_with("rayfade_") {
+            rayfade_samples += 1;
+        }
+    }
+    if samples == 0 {
+        problems.push(format!("{}: no metric samples", path.display()));
+    } else if rayfade_samples == 0 {
+        problems.push(format!(
+            "{}: no rayfade_-prefixed samples among {samples}",
+            path.display()
+        ));
+    }
+    problems
+}
+
+/// Validate one CSV metrics dump.
+fn lint_csv(path: &Path) -> Vec<String> {
+    match std::fs::read_to_string(path) {
+        Ok(text) => {
+            let mut lines = text.lines();
+            match lines.next() {
+                Some("kind,name,value") => {
+                    if lines.next().is_none() {
+                        vec![format!("{}: header but no metric rows", path.display())]
+                    } else {
+                        Vec::new()
+                    }
+                }
+                _ => vec![format!(
+                    "{}: missing `kind,name,value` header",
+                    path.display()
+                )],
+            }
+        }
+        Err(e) => vec![format!("{}: unreadable: {e}", path.display())],
+    }
+}
+
+fn main() {
+    let cli = Cli::parse();
+    let dir = cli.telemetry.clone().unwrap_or_else(|| cli.out.clone());
+    let mut entries: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", dir.display()))
+        .map(|entry| entry.expect("directory entry").path())
+        .collect();
+    entries.sort();
+
+    let mut problems = Vec::new();
+    let mut checked = 0usize;
+    for path in &entries {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        let file_problems = if name.ends_with(".jsonl") {
+            lint_journal(path)
+        } else if name.ends_with("_metrics.prom") {
+            lint_prom(path)
+        } else if name.ends_with("_metrics.csv") {
+            lint_csv(path)
+        } else {
+            continue;
+        };
+        checked += 1;
+        if file_problems.is_empty() {
+            eprintln!("ok   {}", path.display());
+        } else {
+            for p in &file_problems {
+                eprintln!("FAIL {p}");
+            }
+            problems.extend(file_problems);
+        }
+    }
+
+    if checked == 0 {
+        eprintln!(
+            "FAIL {}: no telemetry artifacts (*.jsonl, *_metrics.prom, *_metrics.csv) found",
+            dir.display()
+        );
+        std::process::exit(1);
+    }
+    eprintln!(
+        "\nchecked {checked} telemetry artifact(s) in {}: {}",
+        dir.display(),
+        if problems.is_empty() {
+            "all clean".to_string()
+        } else {
+            format!("{} problem(s)", problems.len())
+        }
+    );
+    if !problems.is_empty() {
+        std::process::exit(1);
+    }
+}

@@ -2,14 +2,17 @@
 //!
 //! Every binary in `src/bin/` regenerates one figure/statistic of the
 //! paper (or one of our ablations) — see DESIGN.md's experiment index.
-//! All binaries accept `--quick` for a reduced smoke configuration and
-//! `--out <dir>` to choose where CSV files land (default `results/`).
+//! All binaries accept `--quick` for a reduced smoke configuration,
+//! `--out <dir>` to choose where CSV files land (default `results/`),
+//! and `--telemetry <dir>` to dump a metrics registry and JSONL journal
+//! on exit (see README's Observability section).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 use rayfade_geometry::PaperTopology;
 use rayfade_sinr::{GainMatrix, PowerAssignment, SinrParams};
+use rayfade_telemetry::Telemetry;
 use std::path::PathBuf;
 
 /// Parsed common command-line options.
@@ -19,13 +22,17 @@ pub struct Cli {
     pub quick: bool,
     /// Output directory for CSV artifacts.
     pub out: PathBuf,
+    /// Telemetry output directory (`None` disables instrumentation).
+    pub telemetry: Option<PathBuf>,
 }
 
 impl Cli {
-    /// Parses `--quick` and `--out <dir>` from `std::env::args`.
+    /// Parses `--quick`, `--out <dir>` and `--telemetry <dir>` from
+    /// `std::env::args`.
     pub fn parse() -> Self {
         let mut quick = false;
         let mut out = PathBuf::from("results");
+        let mut telemetry = None;
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
             match a.as_str() {
@@ -33,15 +40,99 @@ impl Cli {
                 "--out" => {
                     out = PathBuf::from(args.next().expect("--out requires a directory argument"))
                 }
-                other => panic!("unknown argument: {other} (expected --quick / --out <dir>)"),
+                "--telemetry" => {
+                    telemetry = Some(PathBuf::from(
+                        args.next()
+                            .expect("--telemetry requires a directory argument"),
+                    ))
+                }
+                other => panic!(
+                    "unknown argument: {other} (expected --quick / --out <dir> / \
+                     --telemetry <dir>)"
+                ),
             }
         }
-        Cli { quick, out }
+        Cli {
+            quick,
+            out,
+            telemetry,
+        }
     }
 
     /// Path for a CSV artifact inside the output directory.
     pub fn csv_path(&self, name: &str) -> PathBuf {
         self.out.join(name)
+    }
+
+    /// Experiment-scoped telemetry when `--telemetry <dir>` was given:
+    /// journal events stream to `<dir>/<name>_journal.jsonl` and
+    /// [`ExperimentTelemetry::finish`] dumps the metric registry to
+    /// `<dir>/<name>_metrics.prom` / `.csv`.
+    pub fn experiment_telemetry(&self, name: &str) -> Option<ExperimentTelemetry> {
+        let dir = self.telemetry.as_ref()?;
+        let journal_path = dir.join(format!("{name}_journal.jsonl"));
+        let tele = Telemetry::with_journal(&journal_path).unwrap_or_else(|e| {
+            panic!(
+                "cannot create telemetry journal {}: {e}",
+                journal_path.display()
+            )
+        });
+        Some(ExperimentTelemetry {
+            tele,
+            journal_path,
+            prom_path: dir.join(format!("{name}_metrics.prom")),
+            csv_path: dir.join(format!("{name}_metrics.csv")),
+        })
+    }
+}
+
+/// Borrows the inner [`Telemetry`] out of an optional
+/// [`ExperimentTelemetry`] — the `Option<&Telemetry>` shape every
+/// instrumented library entry point takes.
+pub fn telemetry_ref(tele: &Option<ExperimentTelemetry>) -> Option<&Telemetry> {
+    tele.as_ref().map(ExperimentTelemetry::telemetry)
+}
+
+/// A [`Telemetry`] bound to one experiment's output paths (see
+/// [`Cli::experiment_telemetry`]).
+#[derive(Debug)]
+pub struct ExperimentTelemetry {
+    tele: Telemetry,
+    journal_path: PathBuf,
+    prom_path: PathBuf,
+    csv_path: PathBuf,
+}
+
+impl ExperimentTelemetry {
+    /// The telemetry context to pass into instrumented entry points.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.tele
+    }
+
+    /// Flushes the journal and writes the metric registry to the
+    /// `.prom`/`.csv` paths; call once at the end of the experiment.
+    /// Panics on IO failure (an experiment run that silently loses its
+    /// telemetry is worse than one that fails loudly) and reports any
+    /// journal write errors tallied during the run.
+    pub fn finish(&self) {
+        self.tele
+            .write_metrics(&self.prom_path, &self.csv_path)
+            .unwrap_or_else(|e| panic!("cannot write telemetry metrics: {e}"));
+        if let Some(j) = self.tele.journal() {
+            let errs = j.write_errors();
+            if errs > 0 {
+                eprintln!(
+                    "warning: {errs} journal write error(s); {} is incomplete",
+                    self.journal_path.display()
+                );
+            }
+        }
+        eprintln!(
+            "telemetry: wrote {}, {}, {}",
+            self.journal_path.display(),
+            self.prom_path.display(),
+            self.csv_path.display()
+        );
     }
 }
 
@@ -90,7 +181,47 @@ mod tests {
         let cli = Cli {
             quick: true,
             out: PathBuf::from("x"),
+            telemetry: None,
         };
         assert_eq!(cli.csv_path("a.csv"), PathBuf::from("x/a.csv"));
+        assert!(cli.experiment_telemetry("noop").is_none());
+    }
+
+    #[test]
+    fn experiment_telemetry_writes_all_three_artifacts() {
+        let dir = std::env::temp_dir().join(format!("rayfade-bench-tele-{}", std::process::id()));
+        let cli = Cli {
+            quick: true,
+            out: PathBuf::from("x"),
+            telemetry: Some(dir.clone()),
+        };
+        let tele = cli.experiment_telemetry("smoke").expect("enabled");
+        telemetry_ref(&Some(tele))
+            .unwrap()
+            .registry()
+            .counter("rayfade_smoke_total")
+            .inc();
+        // `finish` on a fresh handle: recreate (the previous line consumed
+        // the Option wrapper, not the files).
+        let tele = cli.experiment_telemetry("smoke").expect("enabled");
+        tele.telemetry()
+            .registry()
+            .counter("rayfade_smoke_total")
+            .inc();
+        if let Some(ev) = tele.telemetry().event("smoke") {
+            ev.int("x", 1).write();
+        }
+        tele.finish();
+        for name in [
+            "smoke_journal.jsonl",
+            "smoke_metrics.prom",
+            "smoke_metrics.csv",
+        ] {
+            let p = dir.join(name);
+            assert!(p.exists(), "{} missing", p.display());
+        }
+        let prom = std::fs::read_to_string(dir.join("smoke_metrics.prom")).unwrap();
+        assert!(prom.contains("rayfade_smoke_total 1"));
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -1,0 +1,214 @@
+//! The committed stability journal must *reproduce* the committed
+//! stability verdicts.
+//!
+//! `results/stability_journal.jsonl` is the raw observability record of
+//! the full S1 run (written by `stability_exp --telemetry`); `results/
+//! stability.csv` is its published summary. This test closes the loop:
+//! it recomputes every cell's backlog drift from the journal's per-slot
+//! `dyn_slot` records alone — the same least-squares slope and threshold
+//! the engine uses — and checks that the recomputed drift, verdict and
+//! per-curve λ* all agree with the journal's own `stability_cell` /
+//! `lambda_star` events *and* with the committed CSV. If either artifact
+//! is regenerated without the other, or the drift-test semantics drift
+//! (pun intended) from what the journal records, this fails.
+
+use rayfade_dynamic::{least_squares_slope, DRIFT_TOLERANCE};
+use rayfade_telemetry::{read_jsonl, Json};
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+fn results_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("results")
+}
+
+fn str_field<'a>(ev: &'a Json, key: &str) -> &'a str {
+    ev.get(key)
+        .and_then(|v| v.as_str())
+        .unwrap_or_else(|| panic!("event missing string field {key:?}: {ev:?}"))
+}
+
+fn num_field(ev: &Json, key: &str) -> f64 {
+    ev.get(key)
+        .and_then(|v| v.as_f64())
+        .unwrap_or_else(|| panic!("event missing numeric field {key:?}: {ev:?}"))
+}
+
+/// λ appears as an f64 in journal events and with 4 decimals in the CSV;
+/// keying on micro-λ units makes the two collide exactly.
+fn lambda_key(lambda: f64) -> i64 {
+    (lambda * 1e6).round() as i64
+}
+
+type CellKey = (String, String, i64);
+/// Per-cell replication traces: net index → (slot xs, backlog ys).
+type CellTraces = BTreeMap<i64, (Vec<f64>, Vec<f64>)>;
+
+#[test]
+fn committed_journal_reproduces_committed_stability_verdicts() {
+    let dir = results_dir();
+    let journal_path = dir.join("stability_journal.jsonl");
+    let csv_path = dir.join("stability.csv");
+    let events = read_jsonl(&journal_path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", journal_path.display()));
+    assert!(!events.is_empty(), "committed journal is empty");
+
+    // -- Header: the sweep's shape.
+    let header = events
+        .iter()
+        .find(|e| str_field(e, "kind") == "stability_config")
+        .expect("journal has a stability_config header");
+    let links = num_field(header, "links");
+    assert!(links > 0.0, "header links must be positive");
+
+    // -- Collect per-replication backlog traces from dyn_slot records.
+    // Key: (policy, model, λ) cell → net index → (slots, backlogs).
+    let mut traces: BTreeMap<CellKey, CellTraces> = BTreeMap::new();
+    for ev in events.iter().filter(|e| str_field(e, "kind") == "dyn_slot") {
+        let key = (
+            str_field(ev, "policy").to_string(),
+            str_field(ev, "model").to_string(),
+            lambda_key(num_field(ev, "lambda")),
+        );
+        let net = num_field(ev, "net") as i64;
+        let (slots, backlogs) = traces.entry(key).or_default().entry(net).or_default();
+        slots.push(num_field(ev, "slot"));
+        backlogs.push(num_field(ev, "backlog"));
+    }
+    assert!(!traces.is_empty(), "journal has no dyn_slot records");
+
+    // -- Recompute each cell's drift and verdict from the traces alone.
+    let mut recomputed: BTreeMap<CellKey, (f64, bool)> = BTreeMap::new();
+    for (key, nets) in &traces {
+        let drift = nets
+            .values()
+            .map(|(xs, ys)| least_squares_slope(xs, ys))
+            .sum::<f64>()
+            / nets.len() as f64;
+        let lambda = key.2 as f64 / 1e6;
+        let stable = drift <= DRIFT_TOLERANCE * lambda * links;
+        recomputed.insert(key.clone(), (drift, stable));
+    }
+
+    // -- The journal's own stability_cell events must agree exactly.
+    let cell_events: Vec<&Json> = events
+        .iter()
+        .filter(|e| str_field(e, "kind") == "stability_cell")
+        .collect();
+    assert_eq!(
+        cell_events.len(),
+        recomputed.len(),
+        "one stability_cell event per traced cell"
+    );
+    for ev in &cell_events {
+        let key = (
+            str_field(ev, "policy").to_string(),
+            str_field(ev, "model").to_string(),
+            lambda_key(num_field(ev, "lambda")),
+        );
+        let (drift, stable) = recomputed
+            .get(&key)
+            .unwrap_or_else(|| panic!("stability_cell {key:?} has no dyn_slot trace"));
+        assert!(
+            (num_field(ev, "drift") - drift).abs() <= 1e-9 * drift.abs().max(1.0),
+            "{key:?}: journaled drift {} != recomputed {drift}",
+            num_field(ev, "drift")
+        );
+        let journaled_stable = str_field(ev, "verdict") == "stable";
+        assert_eq!(
+            journaled_stable, *stable,
+            "{key:?}: journaled verdict disagrees with recomputed drift test"
+        );
+    }
+
+    // -- The committed CSV must tell the same story, row for row.
+    let csv = std::fs::read_to_string(&csv_path).unwrap_or_else(|e| panic!("cannot read CSV: {e}"));
+    let mut lines = csv.lines();
+    let head: Vec<&str> = lines.next().expect("CSV header").split(',').collect();
+    let col = |name: &str| {
+        head.iter()
+            .position(|h| *h == name)
+            .unwrap_or_else(|| panic!("CSV missing column {name}"))
+    };
+    let (pc, mc, lc, dc, vc) = (
+        col("policy"),
+        col("model"),
+        col("lambda"),
+        col("drift"),
+        col("verdict"),
+    );
+    let mut rows = 0;
+    for line in lines.filter(|l| !l.trim().is_empty()) {
+        let f: Vec<&str> = line.split(',').collect();
+        let key = (
+            f[pc].to_string(),
+            f[mc].to_string(),
+            lambda_key(f[lc].parse::<f64>().expect("λ parses")),
+        );
+        let (drift, stable) = recomputed
+            .get(&key)
+            .unwrap_or_else(|| panic!("CSV row {key:?} missing from journal"));
+        let csv_drift: f64 = f[dc].parse().expect("drift parses");
+        // The CSV prints drift with 4 decimals; allow half an ulp of that.
+        assert!(
+            (csv_drift - drift).abs() <= 5e-5 + 1e-6 * drift.abs(),
+            "{key:?}: CSV drift {csv_drift} vs journal-recomputed {drift}"
+        );
+        assert_eq!(
+            f[vc] == "stable",
+            *stable,
+            "{key:?}: CSV verdict {} disagrees with journal-recomputed drift test",
+            f[vc]
+        );
+        rows += 1;
+    }
+    assert_eq!(rows, recomputed.len(), "CSV covers every journaled cell");
+
+    // -- λ* (stable-from-below) recomputed per curve must match the
+    //    journal's lambda_star events.
+    let mut curves: BTreeMap<(String, String), Vec<(i64, bool)>> = BTreeMap::new();
+    for (key, (_, stable)) in &recomputed {
+        curves
+            .entry((key.0.clone(), key.1.clone()))
+            .or_default()
+            .push((key.2, *stable));
+    }
+    let star_events: Vec<&Json> = events
+        .iter()
+        .filter(|e| str_field(e, "kind") == "lambda_star")
+        .collect();
+    assert_eq!(star_events.len(), curves.len(), "one λ* event per curve");
+    for ev in &star_events {
+        let curve = curves
+            .get(&(
+                str_field(ev, "policy").to_string(),
+                str_field(ev, "model").to_string(),
+            ))
+            .expect("λ* event for a traced curve");
+        let mut sorted = curve.clone();
+        sorted.sort_unstable();
+        let mut star = None;
+        for (lk, stable) in sorted {
+            if stable {
+                star = Some(lk);
+            } else {
+                break;
+            }
+        }
+        match star {
+            Some(lk) => assert_eq!(
+                lambda_key(num_field(ev, "lambda_star")),
+                lk,
+                "λ* mismatch for {}/{}",
+                str_field(ev, "policy"),
+                str_field(ev, "model")
+            ),
+            None => assert_eq!(
+                ev.get("none").and_then(|v| v.as_bool()),
+                Some(true),
+                "journal claims a λ* where recomputation finds none"
+            ),
+        }
+    }
+}

@@ -89,6 +89,15 @@ impl SuccessEvaluator {
         &self.ratios
     }
 
+    /// Lifetime number of underflow/precision-guard trips in the
+    /// underlying accumulator — each one an O(n) from-scratch product
+    /// re-derivation (always 0 in log-domain mode). Telemetry reads this
+    /// to expose how often the product-mode fast path degraded.
+    #[inline]
+    pub fn rederivations(&self) -> u64 {
+        self.acc.rederivations()
+    }
+
     /// Current transmission probabilities.
     #[inline]
     pub fn probs(&self) -> &[f64] {

@@ -29,8 +29,10 @@ use rand::SeedableRng;
 use rayfade_core::{mix_seed, mix_seed2, RayleighModel};
 use rayfade_geometry::PaperTopology;
 use rayfade_sinr::{GainMatrix, NonFadingModel, PowerAssignment, SinrParams, SuccessModel};
+use rayfade_telemetry::Telemetry;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+use std::time::Instant;
 
 /// Distinct stream tags for [`mix_seed2`] derivations.
 mod stream {
@@ -118,6 +120,10 @@ pub struct SlotTrace {
     pub slots: Vec<u64>,
     /// Total backlog at each sampled slot.
     pub total_backlog: Vec<u64>,
+    /// Cumulative packet arrivals up to and including each sampled slot.
+    pub cum_arrivals: Vec<u64>,
+    /// Cumulative packet departures up to and including each sampled slot.
+    pub cum_departures: Vec<u64>,
 }
 
 /// Aggregated outcome of one replication.
@@ -163,14 +169,40 @@ impl DynamicEngine {
     /// Runs every replication (rayon-parallel, deterministic order) and
     /// returns the per-network outcomes.
     pub fn run(&self) -> Vec<DynamicOutcome> {
+        self.run_with_telemetry(None)
+    }
+
+    /// Like [`run`](Self::run), but records `rayfade_dynamic_*` /
+    /// `rayfade_sched_*` metrics into the registry during the parallel
+    /// replications and then journals `dyn_run` / `dyn_slot` / `dyn_net`
+    /// events post-collect, in deterministic order (journal bytes do not
+    /// depend on rayon scheduling). `None` is the uninstrumented fast
+    /// path; the returned outcomes are bit-identical either way.
+    pub fn run_with_telemetry(&self, tele: Option<&Telemetry>) -> Vec<DynamicOutcome> {
+        let outcomes = self.run_with_metrics(tele);
+        self.journal_outcomes(tele, &outcomes);
+        outcomes
+    }
+
+    /// The metrics-only half of [`run_with_telemetry`](Self::run_with_telemetry):
+    /// replications tally registry metrics but nothing is journaled.
+    /// Sweeps running many engines in parallel use this and journal each
+    /// engine's outcomes afterwards, in deterministic order.
+    pub fn run_with_metrics(&self, tele: Option<&Telemetry>) -> Vec<DynamicOutcome> {
         (0..self.config.networks as u64)
             .into_par_iter()
-            .map(|net| self.run_network(net))
+            .map(|net| self.run_network_telemetry(net, tele))
             .collect()
     }
 
     /// Runs one replication.
     pub fn run_network(&self, net: u64) -> DynamicOutcome {
+        self.run_network_telemetry(net, None)
+    }
+
+    /// Runs one replication, optionally tallying metrics (never journal
+    /// events — see [`journal_outcomes`](Self::journal_outcomes)).
+    fn run_network_telemetry(&self, net: u64, tele: Option<&Telemetry>) -> DynamicOutcome {
         let cfg = &self.config;
         let topology = PaperTopology {
             links: cfg.links,
@@ -213,9 +245,18 @@ impl DynamicEngine {
         let mut trace = SlotTrace {
             slots: Vec::new(),
             total_backlog: Vec::new(),
+            cum_arrivals: Vec::new(),
+            cum_departures: Vec::new(),
         };
         let mut active = vec![false; n];
         let mut successes = vec![false; n];
+        // Metric handles resolved once per replication; the per-slot hot
+        // path only touches atomics (and `Instant` when instrumented).
+        let policy_seconds = tele.map(|t| t.registry().histogram("rayfade_dynamic_policy_seconds"));
+        let sampled_backlog =
+            tele.map(|t| t.registry().histogram("rayfade_dynamic_sampled_backlog"));
+        let mut transmissions: u64 = 0;
+        let mut deliveries: u64 = 0;
 
         for slot in 0..cfg.slots {
             // 1. Arrivals.
@@ -228,10 +269,15 @@ impl DynamicEngine {
             // 2. Policy picks transmitters (never on empty queues; the
             //    engine re-checks defensively).
             let backlogs = bank.backlogs();
+            let choose_start = policy_seconds.as_ref().map(|_| Instant::now());
             let mask = policy.choose(&backlogs, &mut policy_rng);
+            if let (Some(hist), Some(start)) = (&policy_seconds, choose_start) {
+                hist.observe_duration(start.elapsed());
+            }
             debug_assert_eq!(mask.len(), n);
             for i in 0..n {
                 active[i] = mask[i] && backlogs[i] > 0;
+                transmissions += u64::from(active[i]);
             }
             // 3. One physical slot: realized SINRs (counterfactual for
             //    idle links), successes, departures.
@@ -241,14 +287,46 @@ impl DynamicEngine {
                 if successes[i] {
                     let delivered = bank.queue_mut(i).dequeue(slot);
                     debug_assert!(delivered.is_some());
+                    deliveries += 1;
                 }
             }
             // 4. Feedback.
             policy.observe(&active, &sinrs, &successes);
             // 5. Sampled backlog trace.
             if slot % cfg.sample_every == 0 {
+                let backlog = bank.total_backlog();
                 trace.slots.push(slot);
-                trace.total_backlog.push(bank.total_backlog());
+                trace.total_backlog.push(backlog);
+                trace.cum_arrivals.push(bank.total_arrivals());
+                trace.cum_departures.push(bank.total_departures());
+                if let Some(hist) = &sampled_backlog {
+                    hist.observe(backlog as f64);
+                }
+            }
+        }
+
+        if let Some(t) = tele {
+            let reg = t.registry();
+            reg.counter("rayfade_dynamic_slots_total").add(cfg.slots);
+            reg.counter("rayfade_dynamic_arrivals_total")
+                .add(bank.total_arrivals());
+            reg.counter("rayfade_dynamic_departures_total")
+                .add(bank.total_departures());
+            reg.counter("rayfade_dynamic_transmissions_total")
+                .add(transmissions);
+            reg.counter("rayfade_dynamic_successes_total")
+                .add(deliveries);
+            reg.gauge("rayfade_dynamic_final_backlog")
+                .add(bank.total_backlog() as i64);
+            if let Some(stats) = policy.selection_stats() {
+                reg.counter("rayfade_sched_candidates_scored_total")
+                    .add(stats.candidates_scored);
+                reg.counter("rayfade_sched_accepted_total")
+                    .add(stats.accepted);
+                reg.counter("rayfade_sched_rejected_total")
+                    .add(stats.rejected);
+                reg.counter("rayfade_sched_rederivations_total")
+                    .add(stats.rederivations);
             }
         }
 
@@ -260,6 +338,72 @@ impl DynamicEngine {
             p95_delay: bank.delay_percentile(95.0),
             final_backlog_per_link: bank.total_backlog() as f64 / n as f64,
             trace,
+        }
+    }
+
+    /// Journals a `dyn_run` header plus, per replication (in network
+    /// order), the sampled `dyn_slot` trace records and a `dyn_net`
+    /// summary. Kept separate from the rayon-parallel replication phase
+    /// so journal bytes are deterministic regardless of scheduling;
+    /// no-op when `tele` is `None` or carries no journal. Public so
+    /// sweeps (e.g. [`crate::stability::LambdaSweep`]) can run cells
+    /// metrics-only in parallel and journal afterwards.
+    pub fn journal_outcomes(&self, tele: Option<&Telemetry>, outcomes: &[DynamicOutcome]) {
+        let Some(journal) = tele.and_then(Telemetry::journal) else {
+            return;
+        };
+        let cfg = &self.config;
+        let policy = cfg.policy.label();
+        let model = cfg.model.label();
+        let lambda = cfg.arrival.rate();
+        journal
+            .event("dyn_run")
+            .str("policy", policy)
+            .str("model", model)
+            .num("lambda", lambda)
+            .int("links", cfg.links as i64)
+            .int("networks", cfg.networks as i64)
+            .int("slots", cfg.slots as i64)
+            .int("sample_every", cfg.sample_every as i64)
+            // Strings, not JSON numbers: seeds and hashes use all 64 bits
+            // and would lose precision above 2^53.
+            .str("seed", &format!("{:#x}", cfg.seed))
+            .str(
+                "config_hash",
+                &format!("{:016x}", rayfade_telemetry::config_hash(cfg)),
+            )
+            .write();
+        for (net, out) in outcomes.iter().enumerate() {
+            let trace = &out.trace;
+            for k in 0..trace.slots.len() {
+                journal
+                    .event("dyn_slot")
+                    .str("policy", policy)
+                    .str("model", model)
+                    .num("lambda", lambda)
+                    .int("net", net as i64)
+                    .int("slot", trace.slots[k] as i64)
+                    .int("backlog", trace.total_backlog[k] as i64)
+                    .int("cum_arrivals", trace.cum_arrivals[k] as i64)
+                    .int("cum_departures", trace.cum_departures[k] as i64)
+                    .write();
+            }
+            let mut ev = journal
+                .event("dyn_net")
+                .str("policy", policy)
+                .str("model", model)
+                .num("lambda", lambda)
+                .int("net", net as i64)
+                .num("throughput_per_link", out.throughput_per_link)
+                .num("offered_per_link", out.offered_per_link)
+                .num("final_backlog_per_link", out.final_backlog_per_link);
+            if let Some(d) = out.mean_delay {
+                ev = ev.num("mean_delay", d);
+            }
+            if let Some(p) = out.p95_delay {
+                ev = ev.int("p95_delay", p as i64);
+            }
+            ev.write();
         }
     }
 }
@@ -423,6 +567,74 @@ mod tests {
                 o.throughput_per_link,
                 o.offered_per_link
             );
+        }
+    }
+
+    #[test]
+    fn telemetry_does_not_perturb_outcomes_and_journals_deterministically() {
+        let cfg = DynamicConfig {
+            slots: 400,
+            networks: 2,
+            ..DynamicConfig::smoke()
+        };
+        let engine = DynamicEngine::new(cfg);
+        let plain = engine.run();
+
+        let dir = std::env::temp_dir().join("rayfade-dynamic-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let run_once = |name: &str| {
+            let path = dir.join(format!("{name}-{}.jsonl", std::process::id()));
+            let tele = Telemetry::with_journal(&path).unwrap();
+            let outs = engine.run_with_telemetry(Some(&tele));
+            tele.flush();
+            let bytes = std::fs::read(&path).unwrap();
+            std::fs::remove_file(&path).ok();
+            (outs, bytes, tele)
+        };
+        let (outs_a, bytes_a, tele) = run_once("engine-a");
+        let (outs_b, bytes_b, _tele_b) = run_once("engine-b");
+        assert_eq!(outs_a, outs_b);
+
+        assert_eq!(plain, outs_a, "instrumentation must not change results");
+        assert_eq!(bytes_a, bytes_b, "journal must be byte-reproducible");
+
+        let reg = tele.registry();
+        assert_eq!(reg.counter("rayfade_dynamic_slots_total").get(), 800);
+        let arrivals = reg.counter("rayfade_dynamic_arrivals_total").get();
+        let departures = reg.counter("rayfade_dynamic_departures_total").get();
+        let backlog = reg.gauge("rayfade_dynamic_final_backlog").get();
+        assert_eq!(arrivals, departures + backlog as u64, "flow conservation");
+        assert!(
+            reg.counter("rayfade_sched_candidates_scored_total").get()
+                >= reg.counter("rayfade_sched_accepted_total").get(),
+            "cannot accept more candidates than were scored"
+        );
+        assert_eq!(
+            reg.histogram("rayfade_dynamic_policy_seconds").count(),
+            800,
+            "one latency observation per slot"
+        );
+    }
+
+    #[test]
+    fn trace_cumulative_series_are_consistent() {
+        let outs = DynamicEngine::new(DynamicConfig::smoke()).run();
+        for out in &outs {
+            let t = &out.trace;
+            assert_eq!(t.slots.len(), t.cum_arrivals.len());
+            assert_eq!(t.slots.len(), t.cum_departures.len());
+            for k in 0..t.slots.len() {
+                assert_eq!(
+                    t.total_backlog[k],
+                    t.cum_arrivals[k] - t.cum_departures[k],
+                    "backlog must equal arrivals minus departures at slot {}",
+                    t.slots[k]
+                );
+                if k > 0 {
+                    assert!(t.cum_arrivals[k] >= t.cum_arrivals[k - 1]);
+                    assert!(t.cum_departures[k] >= t.cum_departures[k - 1]);
+                }
+            }
         }
     }
 

@@ -27,7 +27,7 @@ use rand::rngs::StdRng;
 use rand::Rng;
 use rayfade_learning::{loss, Action, NoRegretLearner, Rwm};
 use rayfade_sched::{
-    AlohaPolicy, CapacityAlgorithm, CapacityInstance, GreedyCapacity, RayleighGreedy,
+    AlohaPolicy, CapacityInstance, GreedyCapacity, RayleighGreedy, SelectionStats,
 };
 use rayfade_sinr::{GainMatrix, InterferenceRatios, SinrParams};
 use serde::{Deserialize, Serialize};
@@ -79,6 +79,15 @@ pub trait OnlinePolicy {
     /// [`rayfade_sinr::SuccessModel::resolve_sinrs`]), and which links the
     /// engine credited with a successful delivery.
     fn observe(&mut self, active: &[bool], sinrs: &[f64], successes: &[bool]);
+
+    /// Cumulative capacity-selection work tally over every
+    /// [`choose`](Self::choose) call so far, for policies backed by a
+    /// capacity selector; `None` for policies that never score candidates
+    /// (ALOHA, per-link learners). The engine drains this into telemetry
+    /// at the end of a replication.
+    fn selection_stats(&self) -> Option<SelectionStats> {
+        None
+    }
 }
 
 /// Max-weight scheduling: maximize total backlog of a feasible set.
@@ -87,6 +96,7 @@ pub struct QueueMaxWeight {
     gain: GainMatrix,
     params: SinrParams,
     selector: GreedyCapacity,
+    stats: SelectionStats,
 }
 
 impl QueueMaxWeight {
@@ -97,6 +107,7 @@ impl QueueMaxWeight {
             gain,
             params,
             selector: GreedyCapacity::weighted(),
+            stats: SelectionStats::default(),
         }
     }
 }
@@ -112,11 +123,12 @@ impl OnlinePolicy for QueueMaxWeight {
         let weights: Vec<f64> = backlogs.iter().map(|&b| b as f64).collect();
         // GreedyCapacity skips weight-0 links, so empty queues are never
         // selected.
-        let set = self.selector.select(&CapacityInstance::weighted(
+        let (set, stats) = self.selector.select_with_stats(&CapacityInstance::weighted(
             &self.gain,
             &self.params,
             &weights,
         ));
+        self.stats.merge(&stats);
         let mut mask = vec![false; n];
         for i in set {
             mask[i] = true;
@@ -125,6 +137,10 @@ impl OnlinePolicy for QueueMaxWeight {
     }
 
     fn observe(&mut self, _active: &[bool], _sinrs: &[f64], _successes: &[bool]) {}
+
+    fn selection_stats(&self) -> Option<SelectionStats> {
+        Some(self.stats)
+    }
 }
 
 /// Max-weight on the *Rayleigh* objective: each slot transmits the set
@@ -144,6 +160,7 @@ pub struct RayleighMaxWeight {
     params: SinrParams,
     ratios: InterferenceRatios,
     selector: RayleighGreedy,
+    stats: SelectionStats,
 }
 
 impl RayleighMaxWeight {
@@ -156,6 +173,7 @@ impl RayleighMaxWeight {
             params,
             ratios,
             selector: RayleighGreedy::new(),
+            stats: SelectionStats::default(),
         }
     }
 }
@@ -171,10 +189,11 @@ impl OnlinePolicy for RayleighMaxWeight {
         let weights: Vec<f64> = backlogs.iter().map(|&b| b as f64).collect();
         // RayleighGreedy requires strictly positive weight to activate a
         // link, so empty queues are never selected.
-        let set = self.selector.select_with_ratios(
+        let (set, stats) = self.selector.select_with_ratios_stats(
             &self.ratios,
             &CapacityInstance::weighted(&self.gain, &self.params, &weights),
         );
+        self.stats.merge(&stats);
         let mut mask = vec![false; n];
         for i in set {
             mask[i] = true;
@@ -183,6 +202,10 @@ impl OnlinePolicy for RayleighMaxWeight {
     }
 
     fn observe(&mut self, _active: &[bool], _sinrs: &[f64], _successes: &[bool]) {}
+
+    fn selection_stats(&self) -> Option<SelectionStats> {
+        Some(self.stats)
+    }
 }
 
 /// Queue-gated ALOHA: backlogged links contend with the probability an

@@ -18,6 +18,7 @@
 
 use crate::engine::{DynamicConfig, DynamicEngine, DynamicOutcome, SuccessModelKind};
 use crate::policy::PolicyKind;
+use rayfade_telemetry::Telemetry;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
@@ -170,6 +171,17 @@ impl LambdaSweep {
     /// report. Cell order is deterministic: policies × models × λ
     /// ascending.
     pub fn run(&self) -> StabilityReport {
+        self.run_with_telemetry(None)
+    }
+
+    /// Like [`run`](Self::run), but tallies registry metrics during the
+    /// parallel cell runs and afterwards journals — in deterministic
+    /// sweep order, so journal bytes never depend on rayon scheduling —
+    /// a `stability_config` header, each cell's `dyn_run`/`dyn_slot`/
+    /// `dyn_net` trace, a `stability_cell` verdict per cell, and one
+    /// `lambda_star` event per (policy, model) curve. The report is
+    /// bit-identical to [`run`](Self::run)'s either way.
+    pub fn run_with_telemetry(&self, tele: Option<&Telemetry>) -> StabilityReport {
         let mut configs = Vec::new();
         for policy in PolicyKind::all() {
             for model in SuccessModelKind::all() {
@@ -183,20 +195,77 @@ impl LambdaSweep {
                 }
             }
         }
-        let cells: Vec<StabilityCell> = configs
+        let runs: Vec<(DynamicConfig, Vec<DynamicOutcome>)> = configs
             .into_par_iter()
             .map(|cfg| {
-                let outcomes = DynamicEngine::new(cfg.clone()).run();
-                judge_cell(
-                    cfg.policy,
-                    cfg.model,
-                    cfg.arrival.rate(),
-                    cfg.links,
-                    &outcomes,
-                )
+                let outcomes = DynamicEngine::new(cfg.clone()).run_with_metrics(tele);
+                (cfg, outcomes)
             })
             .collect();
-        StabilityReport { cells }
+
+        if let Some(t) = tele {
+            if t.journal().is_some() {
+                t.event("stability_config")
+                    .expect("journal present")
+                    .int("links", self.base.links as i64)
+                    .int("networks", self.base.networks as i64)
+                    .int("slots", self.base.slots as i64)
+                    .int("sample_every", self.base.sample_every as i64)
+                    .int("lambda_steps", self.lambdas.len() as i64)
+                    .str("seed", &format!("{:#x}", self.base.seed))
+                    .str(
+                        "config_hash",
+                        &format!("{:016x}", rayfade_telemetry::config_hash(&self.base)),
+                    )
+                    .write();
+            }
+        }
+
+        let mut cells = Vec::with_capacity(runs.len());
+        for (cfg, outcomes) in &runs {
+            let engine = DynamicEngine::new(cfg.clone());
+            engine.journal_outcomes(tele, outcomes);
+            let cell = judge_cell(
+                cfg.policy,
+                cfg.model,
+                cfg.arrival.rate(),
+                cfg.links,
+                outcomes,
+            );
+            if let Some(ev) = tele.and_then(|t| t.event("stability_cell")) {
+                ev.str("policy", cell.policy.label())
+                    .str("model", cell.model.label())
+                    .num("lambda", cell.lambda)
+                    .num("throughput", cell.throughput)
+                    .num("offered", cell.offered)
+                    .num("drift", cell.drift)
+                    .str("verdict", cell.verdict.label())
+                    .write();
+            }
+            cells.push(cell);
+        }
+        let report = StabilityReport { cells };
+
+        if let Some(t) = tele {
+            if t.journal().is_some() {
+                for policy in PolicyKind::all() {
+                    for model in SuccessModelKind::all() {
+                        let mut ev = t
+                            .event("lambda_star")
+                            .expect("journal present")
+                            .str("policy", policy.label())
+                            .str("model", model.label());
+                        match report.lambda_star(policy, model) {
+                            Some(star) => ev = ev.num("lambda_star", star),
+                            None => ev = ev.bool("none", true),
+                        }
+                        ev.write();
+                    }
+                }
+            }
+            t.flush();
+        }
+        report
     }
 }
 
@@ -267,6 +336,8 @@ mod tests {
             trace: crate::engine::SlotTrace {
                 slots: (0..20).map(|i| i * 100).collect(),
                 total_backlog: vec![3; 20],
+                cum_arrivals: (0..20).map(|i| i * 10 + 3).collect(),
+                cum_departures: (0..20).map(|i| i * 10).collect(),
             },
         };
         let cell = judge_cell(
@@ -284,6 +355,8 @@ mod tests {
                 slots: (0..20).map(|i| i * 100).collect(),
                 // One extra packet per slot: far beyond 5% of 0.1·10.
                 total_backlog: (0..20).map(|i| i * 100).collect(),
+                cum_arrivals: (0..20).map(|i| i * 100).collect(),
+                cum_departures: vec![0; 20],
             },
             ..flat
         };
@@ -309,6 +382,8 @@ mod tests {
             trace: crate::engine::SlotTrace {
                 slots: vec![0, 100, 200],
                 total_backlog: vec![0, 0, 0],
+                cum_arrivals: vec![0, 0, 0],
+                cum_departures: vec![0, 0, 0],
             },
         };
         let cell = judge_cell(
@@ -418,5 +493,39 @@ mod tests {
     #[should_panic(expected = "need at least one sweep step")]
     fn empty_sweep_rejected() {
         let _ = LambdaSweep::linear(tiny_base(), 0.5, 0);
+    }
+
+    #[test]
+    fn telemetry_sweep_matches_plain_and_journals_verdicts() {
+        let base = DynamicConfig {
+            slots: 400,
+            ..tiny_base()
+        };
+        let sweep = LambdaSweep::linear(base, 0.2, 2);
+        let plain = sweep.run();
+
+        let dir = std::env::temp_dir().join("rayfade-dynamic-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("sweep-{}.jsonl", std::process::id()));
+        let tele = Telemetry::with_journal(&path).unwrap();
+        let instrumented = sweep.run_with_telemetry(Some(&tele));
+        assert_eq!(plain, instrumented, "telemetry must not change verdicts");
+
+        let events = rayfade_telemetry::read_jsonl(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        let kind_count = |kind: &str| {
+            events
+                .iter()
+                .filter(|e| e.get("kind").and_then(|k| k.as_str()) == Some(kind))
+                .count()
+        };
+        assert_eq!(kind_count("stability_config"), 1);
+        // 3 policies × 2 models × 2 λ cells; one run header + verdict each.
+        assert_eq!(kind_count("dyn_run"), plain.cells.len());
+        assert_eq!(kind_count("stability_cell"), plain.cells.len());
+        // One λ* event per (policy, model) curve.
+        assert_eq!(kind_count("lambda_star"), 6);
+        assert!(kind_count("dyn_slot") > 0, "trace records must be present");
+        assert_eq!(tele.journal().unwrap().write_errors(), 0);
     }
 }

@@ -20,6 +20,7 @@ use crate::rwm::{NoRegretLearner, Rwm};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rayfade_sinr::SuccessModel;
+use rayfade_telemetry::Telemetry;
 use serde::{Deserialize, Serialize};
 
 /// Configuration of a game run.
@@ -119,6 +120,44 @@ pub fn run_game_with_beta<M: SuccessModel>(
     beta: f64,
     config: &GameConfig,
 ) -> GameOutcome {
+    run_game_instrumented(model, beta, config, None)
+}
+
+/// Mean binary entropy (nats) of the learners' mixed strategies — 0 when
+/// every link has converged to a pure action, ln 2 at maximum hedging.
+fn mean_strategy_entropy(learners: &[Rwm]) -> f64 {
+    if learners.is_empty() {
+        return 0.0;
+    }
+    let h = |p: f64| {
+        if p <= 0.0 || p >= 1.0 {
+            0.0
+        } else {
+            -p * p.ln() - (1.0 - p) * (1.0 - p).ln()
+        }
+    };
+    learners
+        .iter()
+        .map(|l| h(l.strategy()[Action::Send.index()]))
+        .sum::<f64>()
+        / learners.len() as f64
+}
+
+/// [`run_game_with_beta`] with optional telemetry: tallies
+/// `rayfade_learning_*` counters and journals one `learn_round` event per
+/// round (successes, transmitters, running max average regret, mean
+/// strategy entropy). All journaled quantities are deterministic given
+/// the config, so journals stay byte-reproducible; callers running many
+/// games concurrently should pass a metrics-only [`Telemetry`] (journal
+/// interleaving across threads is not ordered). `None` is the
+/// uninstrumented fast path and the returned outcome is bit-identical
+/// either way.
+pub fn run_game_instrumented<M: SuccessModel>(
+    model: &mut M,
+    beta: f64,
+    config: &GameConfig,
+    tele: Option<&Telemetry>,
+) -> GameOutcome {
     let n = model.len();
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut learners: Vec<Rwm> = (0..n).map(|_| Rwm::binary()).collect();
@@ -126,7 +165,7 @@ pub fn run_game_with_beta<M: SuccessModel>(
     let mut successes_per_round = Vec::with_capacity(config.rounds);
     let mut transmitters_per_round = Vec::with_capacity(config.rounds);
     let mut active = vec![false; n];
-    for _round in 0..config.rounds {
+    for round in 0..config.rounds {
         for (i, learner) in learners.iter_mut().enumerate() {
             active[i] = learner.choose(&mut rng) == Action::Send.index();
         }
@@ -155,6 +194,22 @@ pub fn run_game_with_beta<M: SuccessModel>(
         }
         successes_per_round.push(succ_count);
         transmitters_per_round.push(tx_count);
+        if let Some(t) = tele {
+            let reg = t.registry();
+            reg.counter("rayfade_learning_rounds_total").inc();
+            reg.counter("rayfade_learning_transmissions_total")
+                .add(tx_count as u64);
+            reg.counter("rayfade_learning_successes_total")
+                .add(succ_count as u64);
+            if let Some(ev) = t.event("learn_round") {
+                ev.int("round", round as i64)
+                    .int("successes", succ_count as i64)
+                    .int("transmitters", tx_count as i64)
+                    .num("max_avg_regret", regret.max_average_regret(round + 1))
+                    .num("mean_entropy", mean_strategy_entropy(&learners))
+                    .write();
+            }
+        }
     }
     GameOutcome {
         successes_per_round,
@@ -354,6 +409,55 @@ mod tests {
         let head: f64 = out.successes_per_round[..50].iter().sum::<usize>() as f64 / 50.0;
         let tail = out.converged_successes(50);
         assert!(tail >= head * 0.8, "head {head} tail {tail}");
+    }
+
+    #[test]
+    fn instrumented_game_matches_plain_and_tallies_metrics() {
+        let (gm, params) = figure2_model(6, 25);
+        let cfg = GameConfig {
+            rounds: 50,
+            seed: 13,
+        };
+        let plain = run_game_with_beta(
+            &mut NonFadingModel::new(gm.clone(), params),
+            params.beta,
+            &cfg,
+        );
+
+        let dir = std::env::temp_dir().join("rayfade-learning-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("game-{}.jsonl", std::process::id()));
+        let tele = Telemetry::with_journal(&path).unwrap();
+        let instrumented = run_game_instrumented(
+            &mut NonFadingModel::new(gm, params),
+            params.beta,
+            &cfg,
+            Some(&tele),
+        );
+        assert_eq!(plain, instrumented, "telemetry must not change the game");
+
+        let reg = tele.registry();
+        assert_eq!(reg.counter("rayfade_learning_rounds_total").get(), 50);
+        assert_eq!(
+            reg.counter("rayfade_learning_successes_total").get(),
+            plain.successes_per_round.iter().sum::<usize>() as u64
+        );
+        assert_eq!(
+            reg.counter("rayfade_learning_transmissions_total").get(),
+            plain.transmitters_per_round.iter().sum::<usize>() as u64
+        );
+        tele.flush();
+        let events = rayfade_telemetry::read_jsonl(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(events.len(), 50, "one learn_round event per round");
+        let last = events.last().unwrap();
+        assert_eq!(
+            last.get("max_avg_regret").and_then(|v| v.as_f64()),
+            Some(plain.regret.max_average_regret(50)),
+            "journaled regret must match the tracker"
+        );
+        let entropy = last.get("mean_entropy").and_then(|v| v.as_f64()).unwrap();
+        assert!((0.0..=std::f64::consts::LN_2 + 1e-12).contains(&entropy));
     }
 
     #[test]

@@ -27,7 +27,10 @@ pub mod reward;
 pub mod rwm;
 
 pub use exp3::{BanditLearner, Exp3};
-pub use game::{run_game, run_game_bandit, run_game_with_beta, GameConfig, GameOutcome, HasBeta};
+pub use game::{
+    run_game, run_game_bandit, run_game_instrumented, run_game_with_beta, GameConfig, GameOutcome,
+    HasBeta,
+};
 pub use multichannel::{run_game_multichannel, MultichannelGameConfig, MultichannelGameOutcome};
 pub use nash::{best_response_dynamics, is_pure_nash, NashOutcome, RewardModel};
 pub use regret::RegretTracker;

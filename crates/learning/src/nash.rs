@@ -36,6 +36,10 @@ pub struct NashOutcome {
     pub converged: bool,
     /// Rounds executed.
     pub rounds: usize,
+    /// Total best-response action switches across all rounds (the
+    /// dynamics' work measure; observability surfaces this as
+    /// `rayfade_learning_best_response_switches_total`).
+    pub switches: u64,
     /// Expected number of successes of the final profile under the chosen
     /// reward model (deterministic count for [`RewardModel::NonFading`]).
     pub expected_successes: f64,
@@ -53,6 +57,7 @@ pub fn best_response_dynamics(
     let mut profile = vec![false; n];
     let mut converged = false;
     let mut rounds = 0;
+    let mut switches: u64 = 0;
     // Rayleigh rewards: one player flips at a time, so the incremental
     // evaluator turns each reward query into an O(1) read plus an O(n)
     // update per actual switch (previously an O(n) scratch evaluation
@@ -87,6 +92,7 @@ pub fn best_response_dynamics(
                     ev.set_prob(i, if want_send { 1.0 } else { 0.0 });
                 }
                 changed = true;
+                switches += 1;
             }
         }
         if !changed {
@@ -113,6 +119,7 @@ pub fn best_response_dynamics(
         profile,
         converged,
         rounds,
+        switches,
         expected_successes,
     }
 }
@@ -189,6 +196,13 @@ mod tests {
                 &out.profile
             ));
             assert!(out.expected_successes > 0.0);
+            // From all-idle, every final sender flipped at least once.
+            let senders = out.profile.iter().filter(|&&b| b).count() as u64;
+            assert!(
+                out.switches >= senders,
+                "switches {} < senders {senders}",
+                out.switches
+            );
         }
     }
 

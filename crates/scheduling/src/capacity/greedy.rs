@@ -14,7 +14,7 @@
 //! transferred algorithm of the paper's Sec. 4; for arbitrary gains it
 //! degrades gracefully into a feasibility-preserving heuristic.
 
-use super::{CapacityAlgorithm, CapacityInstance};
+use super::{CapacityAlgorithm, CapacityInstance, SelectionStats};
 use rayfade_sinr::{AccumMode, Affectance, InterferenceRatios, SuccessAccumulator};
 use serde::{Deserialize, Serialize};
 
@@ -163,10 +163,26 @@ impl RayleighGreedy {
         ratios: &InterferenceRatios,
         inst: &CapacityInstance<'_>,
     ) -> Vec<usize> {
+        self.select_with_ratios_stats(ratios, inst).0
+    }
+
+    /// [`select_with_ratios`](Self::select_with_ratios) that also returns
+    /// the work tally: candidates scored per round, accepted vs. rejected,
+    /// and accumulator guard trips (always 0 here — the selector runs in
+    /// log-domain mode — but reported uniformly for telemetry).
+    ///
+    /// # Panics
+    /// If the cache size does not match the instance.
+    pub fn select_with_ratios_stats(
+        &self,
+        ratios: &InterferenceRatios,
+        inst: &CapacityInstance<'_>,
+    ) -> (Vec<usize>, SelectionStats) {
         assert_eq!(ratios.len(), inst.len(), "ratio cache size mismatch");
         let n = inst.len();
         let mut acc = SuccessAccumulator::new(n, AccumMode::LogDomain);
         let mut selected: Vec<usize> = Vec::new();
+        let mut stats = SelectionStats::default();
         let cap = self.max_links.unwrap_or(n);
         while selected.len() < cap {
             let mut best: Option<(usize, f64)> = None;
@@ -175,6 +191,7 @@ impl RayleighGreedy {
                 if acc.prob(j) != 0.0 || !crate::capacity::strictly_positive(inst.weight(j)) {
                     continue;
                 }
+                stats.candidates_scored += 1;
                 let gain = acc.activation_gain(ratios, inst.weights, j);
                 if best.is_none_or(|(_, g)| gain.total_cmp(&g).is_gt()) {
                     best = Some((j, gain));
@@ -188,20 +205,24 @@ impl RayleighGreedy {
                 _ => break,
             }
         }
-        selected
+        stats.accepted = selected.len() as u64;
+        stats.rejected = stats.candidates_scored.saturating_sub(stats.accepted);
+        stats.rederivations = acc.rederivations();
+        (selected, stats)
     }
 }
 
-impl CapacityAlgorithm for GreedyCapacity {
-    fn name(&self) -> &str {
-        "greedy-affectance"
-    }
-
-    fn select(&self, inst: &CapacityInstance<'_>) -> Vec<usize> {
+impl GreedyCapacity {
+    /// [`CapacityAlgorithm::select`] that also returns the work tally:
+    /// every link whose affectance guards were evaluated counts as
+    /// scored, and scored − accepted as rejected (`rederivations` is
+    /// always 0 — this selector keeps no incremental evaluator).
+    pub fn select_with_stats(&self, inst: &CapacityInstance<'_>) -> (Vec<usize>, SelectionStats) {
         assert!(self.in_budget >= 0.0 && self.acceptance_cap <= 1.0 + 1e-12);
         let aff = Affectance::new(inst.gain, inst.params);
         let order = self.ordering(inst);
         let mut accepted: Vec<usize> = Vec::new();
+        let mut stats = SelectionStats::default();
         // Incoming unclipped affectance currently suffered by each accepted
         // link (indexed by link id for O(1) updates).
         let mut cur_in = vec![0.0; inst.len()];
@@ -210,6 +231,7 @@ impl CapacityAlgorithm for GreedyCapacity {
             if !aff.feasible_alone(i) || !crate::capacity::strictly_positive(inst.weight(i)) {
                 continue;
             }
+            stats.candidates_scored += 1;
             // Incoming affectance the candidate would suffer.
             let mut in_i = 0.0;
             for &j in &accepted {
@@ -230,7 +252,19 @@ impl CapacityAlgorithm for GreedyCapacity {
             cur_in[i] = in_i;
             accepted.push(i);
         }
-        accepted
+        stats.accepted = accepted.len() as u64;
+        stats.rejected = stats.candidates_scored - stats.accepted;
+        (accepted, stats)
+    }
+}
+
+impl CapacityAlgorithm for GreedyCapacity {
+    fn name(&self) -> &str {
+        "greedy-affectance"
+    }
+
+    fn select(&self, inst: &CapacityInstance<'_>) -> Vec<usize> {
+        self.select_with_stats(inst).0
     }
 }
 
@@ -479,6 +513,35 @@ mod tests {
         let direct = RayleighGreedy::new().select(&inst);
         let cached = RayleighGreedy::new().select_with_ratios(&ratios, &inst);
         assert_eq!(direct, cached);
+    }
+
+    #[test]
+    fn selection_stats_balance() {
+        let (gm, params) = paper_instance(5, 40);
+        let inst = CapacityInstance::unweighted(&gm, &params);
+
+        let (set, stats) = GreedyCapacity::new().select_with_stats(&inst);
+        assert_eq!(set, GreedyCapacity::new().select(&inst), "same selection");
+        assert_eq!(stats.accepted, set.len() as u64);
+        assert_eq!(stats.candidates_scored, stats.accepted + stats.rejected);
+        assert_eq!(stats.rederivations, 0, "no incremental evaluator here");
+        assert!(stats.candidates_scored >= set.len() as u64);
+
+        let ratios = InterferenceRatios::new(&gm, &params);
+        let (rset, rstats) = RayleighGreedy::new().select_with_ratios_stats(&ratios, &inst);
+        assert_eq!(rset, RayleighGreedy::new().select(&inst), "same selection");
+        assert_eq!(rstats.accepted, rset.len() as u64);
+        assert_eq!(rstats.candidates_scored, rstats.accepted + rstats.rejected);
+        // Each of the (accepted + 1 final) rounds scores every silent link.
+        assert!(rstats.candidates_scored > rstats.accepted);
+
+        let mut merged = stats;
+        merged.merge(&rstats);
+        assert_eq!(
+            merged.candidates_scored,
+            stats.candidates_scored + rstats.candidates_scored
+        );
+        assert_eq!(merged.accepted, stats.accepted + rstats.accepted);
     }
 
     #[test]

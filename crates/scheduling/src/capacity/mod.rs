@@ -34,6 +34,36 @@ pub(crate) fn strictly_positive(x: f64) -> bool {
     matches!(x.partial_cmp(&0.0), Some(std::cmp::Ordering::Greater))
 }
 
+/// Work tally of one capacity-selection invocation, for observability:
+/// how many candidate links were scored, how many were accepted into the
+/// transmit set vs. rejected, and how many times an incremental
+/// evaluator's underflow guard forced an O(n) product re-derivation
+/// (always 0 for selectors that keep no accumulator). The scheduling
+/// crate stays telemetry-agnostic — callers (the dynamic engine, bench
+/// binaries) fold these tallies into their own counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SelectionStats {
+    /// Candidate links examined/scored across all rounds.
+    pub candidates_scored: u64,
+    /// Links accepted into the returned set.
+    pub accepted: u64,
+    /// Scored candidates not part of the returned set (guard failures,
+    /// insufficient marginal gain, or losing the per-round argmax).
+    pub rejected: u64,
+    /// Underflow/precision-guard trips in the incremental evaluator.
+    pub rederivations: u64,
+}
+
+impl SelectionStats {
+    /// Accumulates another invocation's tallies into this one.
+    pub fn merge(&mut self, other: &SelectionStats) {
+        self.candidates_scored += other.candidates_scored;
+        self.accepted += other.accepted;
+        self.rejected += other.rejected;
+        self.rederivations += other.rederivations;
+    }
+}
+
 /// A capacity-maximization instance with fixed transmission powers
 /// (already folded into the gain matrix).
 #[derive(Debug, Clone, Copy)]

@@ -28,7 +28,7 @@ pub use capacity::flexible::{FlexibleCapacity, FlexibleSolution};
 pub use capacity::greedy::{GreedyCapacity, GreedyOrder, RayleighGreedy};
 pub use capacity::optimal::{ExactCapacity, LocalSearchCapacity, RayleighLocalSearch};
 pub use capacity::power_control::{PowerControlCapacity, PowerControlSolution};
-pub use capacity::{CapacityAlgorithm, CapacityInstance};
+pub use capacity::{CapacityAlgorithm, CapacityInstance, SelectionStats};
 pub use channels::{
     assign_channels_greedy, multichannel_capacity, ChannelAssignment, MultichannelSolution,
 };

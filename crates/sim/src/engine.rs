@@ -12,8 +12,10 @@ use rayfade_geometry::PaperTopology;
 use rayfade_learning::{run_game_with_beta, GameConfig};
 use rayfade_sched::{CapacityAlgorithm, CapacityInstance, LocalSearchCapacity};
 use rayfade_sinr::{GainMatrix, NonFadingModel, PowerAssignment, SinrParams};
+use rayfade_telemetry::Telemetry;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+use std::time::Instant;
 
 /// Stream tags for [`mix_seed2`]-derived RNG streams. Topology seeds
 /// deliberately stay `seed + net` so networks remain shared with
@@ -167,8 +169,25 @@ pub fn run_figure1_with_progress<F>(config: &Figure1Config, on_network_done: F) 
 where
     F: Fn(u64) + Sync,
 {
+    run_figure1_with_telemetry(config, on_network_done, None)
+}
+
+/// [`run_figure1_with_progress`] plus optional telemetry: per-curve-point
+/// timings and success tallies go to the registry during the parallel
+/// sweep, and the finished curves are journaled afterwards (`fig1_config`,
+/// `fig1_point`, `fig1_argmax` events, in deterministic order). `None` is
+/// the uninstrumented fast path; the result is bit-identical either way.
+pub fn run_figure1_with_telemetry<F>(
+    config: &Figure1Config,
+    on_network_done: F,
+    tele: Option<&Telemetry>,
+) -> Figure1Result
+where
+    F: Fn(u64) + Sync,
+{
     assert!(config.networks > 0, "need at least one network");
     let families = [PowerFamily::Uniform, PowerFamily::SquareRoot];
+    let point_seconds = tele.map(|t| t.registry().histogram("rayfade_fig1_point_seconds"));
     // per_network[net] -> per (family, rayleigh?, q) mean successes.
     let per_network: Vec<Vec<f64>> = (0..config.networks)
         .into_par_iter()
@@ -184,6 +203,7 @@ where
                         // old `seed*31 + net*10_007 + qi` arithmetic
                         // aliased across nearby seeds.
                         let seed_base = mix_seed2(config.seed, net_idx, qi as u64);
+                        let start = point_seconds.as_ref().map(|_| Instant::now());
                         let v = if rayleigh {
                             rayleigh_success_curve_point(
                                 &gain,
@@ -202,9 +222,18 @@ where
                                 seed_base,
                             )
                         };
+                        if let (Some(hist), Some(t0)) = (&point_seconds, start) {
+                            hist.observe_duration(t0.elapsed());
+                        }
                         row.push(v);
                     }
                 }
+            }
+            if let Some(t) = tele {
+                t.registry().counter("rayfade_fig1_networks_total").inc();
+                t.registry()
+                    .counter("rayfade_fig1_points_total")
+                    .add((families.len() * 2 * config.q_grid.len()) as u64);
             }
             on_network_done(net_idx);
             row
@@ -232,10 +261,57 @@ where
             col += config.q_grid.len();
         }
     }
-    Figure1Result {
+    let result = Figure1Result {
         config: config.clone(),
         curves,
+    };
+    journal_figure1(tele, &result);
+    result
+}
+
+/// Journals a finished Figure 1 result (`fig1_config` header, one
+/// `fig1_point` per (curve, q), one `fig1_argmax` per curve). Runs after
+/// the parallel sweep so journal bytes are deterministic; no-op when
+/// `tele` is `None` or journal-less.
+fn journal_figure1(tele: Option<&Telemetry>, result: &Figure1Result) {
+    let Some(t) = tele.filter(|t| t.journal().is_some()) else {
+        return;
+    };
+    let config = &result.config;
+    t.event("fig1_config")
+        .expect("journal present")
+        .int("networks", config.networks as i64)
+        .int("links", config.topology.links as i64)
+        .int("q_steps", config.q_grid.len() as i64)
+        .int("tx_seeds", config.tx_seeds as i64)
+        .int("fading_seeds", config.fading_seeds as i64)
+        .str("seed", &format!("{:#x}", config.seed))
+        .str(
+            "config_hash",
+            &format!("{:016x}", rayfade_telemetry::config_hash(config)),
+        )
+        .write();
+    for curve in &result.curves {
+        let label = curve.label();
+        for p in &curve.points {
+            t.event("fig1_point")
+                .expect("journal present")
+                .str("curve", &label)
+                .num("q", p.q)
+                .num("mean", p.mean)
+                .num("std_err", p.std_err)
+                .write();
+        }
+        if let Some(best) = curve.argmax() {
+            t.event("fig1_argmax")
+                .expect("journal present")
+                .str("curve", &label)
+                .num("q", best.q)
+                .num("mean", best.mean)
+                .write();
+        }
     }
+    t.flush();
 }
 
 /// Analytic (Theorem 1) counterpart of the Rayleigh curves of Figure 1:
@@ -353,6 +429,25 @@ pub fn run_figure2_with_progress<F>(config: &Figure2Config, on_network_done: F) 
 where
     F: Fn(u64) + Sync,
 {
+    run_figure2_with_telemetry(config, on_network_done, None)
+}
+
+/// [`run_figure2_with_progress`] plus optional telemetry: per-network
+/// game timings and learning tallies go to the registry; the averaged
+/// per-round series and regret summary are journaled post-collect
+/// (`fig2_config`, `fig2_round`, `fig2_summary` events, deterministic
+/// order). Per-network games themselves run uninstrumented — their
+/// `learn_round` journal events would interleave nondeterministically
+/// under rayon; use [`rayfade_learning::run_game_instrumented`] directly
+/// for a single game's round-by-round trace.
+pub fn run_figure2_with_telemetry<F>(
+    config: &Figure2Config,
+    on_network_done: F,
+    tele: Option<&Telemetry>,
+) -> Figure2Result
+where
+    F: Fn(u64) + Sync,
+{
     assert!(config.networks > 0 && config.rounds > 0);
     struct PerNet {
         nonfading: Vec<usize>,
@@ -361,9 +456,11 @@ where
         regret_nf: f64,
         regret_ray: f64,
     }
+    let network_seconds = tele.map(|t| t.registry().histogram("rayfade_fig2_network_seconds"));
     let runs: Vec<PerNet> = (0..config.networks)
         .into_par_iter()
         .map(|net_idx| {
+            let net_start = network_seconds.as_ref().map(|_| Instant::now());
             let net = config.topology.generate(config.seed.wrapping_add(net_idx));
             let gain = GainMatrix::from_geometry(
                 &net,
@@ -391,6 +488,18 @@ where
                 .select(&CapacityInstance::unweighted(&gain, &config.params))
                 .len()
             });
+            if let (Some(hist), Some(t0)) = (&network_seconds, net_start) {
+                hist.observe_duration(t0.elapsed());
+            }
+            if let Some(t) = tele {
+                let reg = t.registry();
+                reg.counter("rayfade_fig2_networks_total").inc();
+                reg.counter("rayfade_fig2_games_total").add(2);
+                reg.counter("rayfade_fig2_successes_total").add(
+                    (nf.successes_per_round.iter().sum::<usize>()
+                        + ray.successes_per_round.iter().sum::<usize>()) as u64,
+                );
+            }
             on_network_done(net_idx);
             PerNet {
                 nonfading: nf.successes_per_round.clone(),
@@ -420,7 +529,7 @@ where
     } else {
         None
     };
-    Figure2Result {
+    let result = Figure2Result {
         config: config.clone(),
         nonfading,
         rayleigh,
@@ -429,7 +538,42 @@ where
             / runs.len() as f64,
         mean_max_regret_rayleigh: runs.iter().map(|r| r.regret_ray).sum::<f64>()
             / runs.len() as f64,
+    };
+    if let Some(t) = tele.filter(|t| t.journal().is_some()) {
+        t.event("fig2_config")
+            .expect("journal present")
+            .int("networks", config.networks as i64)
+            .int("links", config.topology.links as i64)
+            .int("rounds", config.rounds as i64)
+            .str("seed", &format!("{:#x}", config.seed))
+            .str(
+                "config_hash",
+                &format!("{:016x}", rayfade_telemetry::config_hash(config)),
+            )
+            .write();
+        for t_round in 0..config.rounds {
+            t.event("fig2_round")
+                .expect("journal present")
+                .int("round", t_round as i64)
+                .num("nonfading", result.nonfading[t_round])
+                .num("rayleigh", result.rayleigh[t_round])
+                .write();
+        }
+        let mut ev = t
+            .event("fig2_summary")
+            .expect("journal present")
+            .num(
+                "mean_max_regret_nonfading",
+                result.mean_max_regret_nonfading,
+            )
+            .num("mean_max_regret_rayleigh", result.mean_max_regret_rayleigh);
+        if let Some(opt) = result.optimum {
+            ev = ev.num("optimum", opt);
+        }
+        ev.write();
+        t.flush();
     }
+    result
 }
 
 /// Computes the paper's Sec. 7 scalar: the mean size of the (reference)
@@ -525,6 +669,49 @@ mod tests {
                 b.mean
             );
         }
+    }
+
+    #[test]
+    fn telemetry_figures_match_plain_runs() {
+        let cfg1 = Figure1Config::smoke();
+        let dir = std::env::temp_dir().join("rayfade-sim-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("fig1-{}.jsonl", std::process::id()));
+        let tele = Telemetry::with_journal(&path).unwrap();
+        let instrumented = run_figure1_with_telemetry(&cfg1, |_| {}, Some(&tele));
+        assert_eq!(run_figure1(&cfg1), instrumented);
+        let reg = tele.registry();
+        assert_eq!(reg.counter("rayfade_fig1_networks_total").get(), 3);
+        // 2 families × 2 models × 3 q values × 3 networks.
+        assert_eq!(reg.counter("rayfade_fig1_points_total").get(), 36);
+        assert_eq!(reg.histogram("rayfade_fig1_point_seconds").count(), 36);
+        let events = rayfade_telemetry::read_jsonl(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        let count = |kind: &str| {
+            events
+                .iter()
+                .filter(|e| e.get("kind").and_then(|k| k.as_str()) == Some(kind))
+                .count()
+        };
+        assert_eq!(count("fig1_config"), 1);
+        assert_eq!(count("fig1_point"), 12, "4 curves × 3 q points");
+        assert_eq!(count("fig1_argmax"), 4);
+
+        let cfg2 = Figure2Config::smoke();
+        let tele2 = Telemetry::new();
+        let instrumented2 = run_figure2_with_telemetry(&cfg2, |_| {}, Some(&tele2));
+        assert_eq!(run_figure2(&cfg2), instrumented2);
+        assert_eq!(
+            tele2
+                .registry()
+                .counter("rayfade_fig2_networks_total")
+                .get(),
+            2
+        );
+        assert_eq!(
+            tele2.registry().counter("rayfade_fig2_games_total").get(),
+            4
+        );
     }
 
     #[test]

@@ -7,6 +7,14 @@
 //! a dedicated thread renders them (rate-limited) to any `Write` sink
 //! guarded by a `parking_lot` mutex.
 //!
+//! Ticks are advisory — [`ProgressHandle::tick`] never blocks a worker —
+//! but dropped ticks are no longer invisible: every unit that fails to
+//! enqueue is tallied in an atomic ([`ProgressHandle::dropped_units`]),
+//! [`ProgressSink::finish`] prints the drop total when it is nonzero, and
+//! a bridged telemetry [`Counter`](rayfade_telemetry::Counter) (see
+//! [`ProgressSink::bridge_counter`]) observes every unit regardless of
+//! channel pressure.
+//!
 //! Shutdown is by explicit sentinel, **not** by channel closure: handles
 //! are freely cloneable and may outlive the sink, so `finish()` must not
 //! wait for every clone to drop.
@@ -14,8 +22,12 @@
 use crossbeam::channel::{bounded, Sender};
 use parking_lot::Mutex;
 use std::io::Write;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+
+/// Channel capacity used by [`ProgressSink::new`].
+const DEFAULT_CAPACITY: usize = 1024;
 
 enum Msg {
     Tick(u64),
@@ -23,18 +35,32 @@ enum Msg {
 }
 
 /// A handle workers use to report completed units. Cloneable; may outlive
-/// the sink (late ticks are silently dropped).
+/// the sink (late ticks are counted as dropped, never blocked on).
 #[derive(Debug, Clone)]
 pub struct ProgressHandle {
     tx: Sender<Msg>,
+    dropped: Arc<AtomicU64>,
+    bridge: Option<Arc<rayfade_telemetry::Counter>>,
 }
 
 impl ProgressHandle {
     /// Reports `units` newly completed work items. Never blocks the
-    /// caller: if the channel is full or closed the tick is dropped
-    /// (progress is advisory).
+    /// caller: if the channel is full or closed the units are dropped
+    /// from *rendering* (and tallied in [`Self::dropped_units`]); a
+    /// bridged telemetry counter still sees them.
     pub fn tick(&self, units: u64) {
-        let _ = self.tx.try_send(Msg::Tick(units));
+        if let Some(counter) = &self.bridge {
+            counter.add(units);
+        }
+        if self.tx.try_send(Msg::Tick(units)).is_err() {
+            self.dropped.fetch_add(units, Ordering::Relaxed);
+        }
+    }
+
+    /// Total units dropped so far (shared across all clones and the
+    /// sink).
+    pub fn dropped_units(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
     }
 }
 
@@ -42,6 +68,12 @@ impl ProgressHandle {
 pub struct ProgressSink {
     tx: Sender<Msg>,
     worker: Option<JoinHandle<u64>>,
+    dropped: Arc<AtomicU64>,
+    bridge: Option<Arc<rayfade_telemetry::Counter>>,
+    /// Shared with the render thread so `shutdown` can append the
+    /// dropped-units warning after the worker has drained.
+    out: Arc<Mutex<Box<dyn Write + Send>>>,
+    label: String,
 }
 
 impl ProgressSink {
@@ -53,10 +85,26 @@ impl ProgressSink {
         report_every: u64,
         out: W,
     ) -> Self {
+        Self::with_capacity(total, label, report_every, out, DEFAULT_CAPACITY)
+    }
+
+    /// [`ProgressSink::new`] with an explicit channel capacity. Small
+    /// capacities drop ticks under pressure sooner; the drop tally keeps
+    /// that visible.
+    pub fn with_capacity<W: Write + Send + 'static>(
+        total: u64,
+        label: &str,
+        report_every: u64,
+        out: W,
+        capacity: usize,
+    ) -> Self {
         assert!(report_every > 0, "report_every must be positive");
-        let (tx, rx) = bounded::<Msg>(1024);
+        assert!(capacity > 0, "channel capacity must be positive");
+        let (tx, rx) = bounded::<Msg>(capacity);
         let label = label.to_string();
-        let sink = Arc::new(Mutex::new(out));
+        let sink: Arc<Mutex<Box<dyn Write + Send>>> = Arc::new(Mutex::new(Box::new(out)));
+        let thread_label = label.clone();
+        let thread_sink = Arc::clone(&sink);
         let worker = std::thread::spawn(move || {
             let mut done = 0u64;
             let mut last_reported = 0u64;
@@ -66,8 +114,8 @@ impl ProgressSink {
                         done += units;
                         if done - last_reported >= report_every || done >= total {
                             last_reported = done;
-                            let mut w = sink.lock();
-                            let _ = writeln!(w, "{label}: {done}/{total}");
+                            let mut w = thread_sink.lock();
+                            let _ = writeln!(w, "{thread_label}: {done}/{total}");
                         }
                     }
                     Msg::Done => break,
@@ -78,6 +126,10 @@ impl ProgressSink {
         ProgressSink {
             tx,
             worker: Some(worker),
+            dropped: Arc::new(AtomicU64::new(0)),
+            bridge: None,
+            out: sink,
+            label,
         }
     }
 
@@ -86,15 +138,31 @@ impl ProgressSink {
         Self::new(total, label, report_every, std::io::stderr())
     }
 
+    /// Bridges ticks into a telemetry counter: every unit reported through
+    /// handles created *after* this call is added to `counter` even when
+    /// the rendering channel is saturated. Returns `self` for chaining.
+    pub fn bridge_counter(mut self, counter: Arc<rayfade_telemetry::Counter>) -> Self {
+        self.bridge = Some(counter);
+        self
+    }
+
     /// The cloneable handle to hand to workers.
     pub fn handle(&self) -> ProgressHandle {
         ProgressHandle {
             tx: self.tx.clone(),
+            dropped: Arc::clone(&self.dropped),
+            bridge: self.bridge.clone(),
         }
     }
 
+    /// Total units dropped so far.
+    pub fn dropped_units(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
     /// Shuts the renderer down (outstanding queued ticks are processed
-    /// first) and returns the total units observed.
+    /// first), prints the drop total if any ticks were lost, and returns
+    /// the total units observed by the renderer.
     pub fn finish(mut self) -> u64 {
         self.shutdown()
     }
@@ -106,7 +174,18 @@ impl ProgressSink {
         // `send` (blocking) guarantees the sentinel is enqueued behind all
         // ticks already in the channel; the worker drains them in order.
         let _ = self.tx.send(Msg::Done);
-        worker.join().expect("progress thread panicked")
+        let seen = worker.join().expect("progress thread panicked");
+        let dropped = self.dropped.load(Ordering::Relaxed);
+        if dropped > 0 {
+            let mut w = self.out.lock();
+            let _ = writeln!(
+                w,
+                "{}: warning: {dropped} progress unit(s) dropped (channel full); \
+                 rendered count {seen} undercounts by that amount",
+                self.label
+            );
+        }
+        seen
     }
 }
 
@@ -119,6 +198,7 @@ impl Drop for ProgressSink {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crossbeam::channel::Receiver;
 
     /// A Write implementation collecting into a shared buffer.
     #[derive(Clone, Default)]
@@ -147,8 +227,9 @@ mod tests {
         assert_eq!(seen, 10);
         let text = String::from_utf8(buf.0.lock().clone()).unwrap();
         assert!(text.contains("work: 10/10"), "{text}");
-        // Late ticks on the surviving handle are dropped silently.
+        // Late ticks on the surviving handle are dropped, and counted.
         h.tick(5);
+        assert_eq!(h.dropped_units(), 5);
     }
 
     #[test]
@@ -179,9 +260,99 @@ mod tests {
                 });
             }
         });
+        let dropped = sink.dropped_units();
         let seen = sink.finish();
-        // try_send may drop ticks under extreme pressure; most must land.
-        assert!(seen >= 300, "seen {seen}");
+        // try_send may drop ticks under extreme pressure — but now every
+        // drop is accounted for, so the books must balance exactly.
+        assert_eq!(seen + dropped, 400, "seen {seen} + dropped {dropped}");
+    }
+
+    /// A writer that blocks until the paired gate receives a release,
+    /// pinning the render thread mid-write so the channel backs up; the
+    /// bytes still land in the shared buffer once released.
+    struct GatedWriter {
+        gate: Receiver<()>,
+        inner: SharedBuf,
+    }
+
+    impl Write for GatedWriter {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            let _ = self.gate.recv();
+            self.inner.write(buf)
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn full_channel_drops_are_counted_and_reported() {
+        let buf = SharedBuf::default();
+        let (release, gate) = bounded::<()>(16_384);
+        let writer = GatedWriter {
+            gate,
+            inner: buf.clone(),
+        };
+        let sink = ProgressSink::with_capacity(1_000, "full", 1, writer, 1);
+        let h = sink.handle();
+        // The render thread blocks inside `write` on the first tick it
+        // pulls; with capacity 1 the channel then fills and further ticks
+        // must drop. Loop until the tally proves a drop happened.
+        let mut sent = 0u64;
+        while h.dropped_units() == 0 {
+            h.tick(1);
+            sent += 1;
+            assert!(sent < 10_000, "drops never registered");
+        }
+        assert!(sink.dropped_units() > 0);
+        // Release the writer generously and shut down.
+        for _ in 0..16_000 {
+            let _ = release.try_send(());
+        }
+        drop(release);
+        let seen = sink.finish();
+        let dropped = h.dropped_units();
+        assert_eq!(
+            seen + dropped,
+            sent,
+            "every tick is either rendered or counted as dropped"
+        );
+        let text = String::from_utf8(buf.0.lock().clone()).unwrap();
+        assert!(
+            text.contains(&format!(
+                "full: warning: {dropped} progress unit(s) dropped"
+            )),
+            "finish must report the drop total: {text}"
+        );
+    }
+
+    #[test]
+    fn bridged_counter_sees_every_unit_despite_drops() {
+        let counter = Arc::new(rayfade_telemetry::Counter::new());
+        let (release, gate) = bounded::<()>(16_384);
+        let writer = GatedWriter {
+            gate,
+            inner: SharedBuf::default(),
+        };
+        let sink = ProgressSink::with_capacity(100, "bridge", 1, writer, 1)
+            .bridge_counter(Arc::clone(&counter));
+        let h = sink.handle();
+        let mut sent = 0u64;
+        while h.dropped_units() == 0 {
+            h.tick(2);
+            sent += 2;
+            assert!(sent < 20_000, "drops never registered");
+        }
+        for _ in 0..16_000 {
+            let _ = release.try_send(());
+        }
+        drop(release);
+        let seen = sink.finish();
+        assert_eq!(counter.get(), sent, "bridge counts dropped units too");
+        assert!(
+            seen < sent,
+            "some units must have been dropped from rendering"
+        );
     }
 
     #[test]
@@ -190,7 +361,8 @@ mod tests {
         let h = sink.handle();
         h.tick(3);
         drop(sink);
-        h.tick(1); // channel closed; silently dropped
+        h.tick(1); // channel closed; dropped and counted
+        assert_eq!(h.dropped_units(), 1);
     }
 
     #[test]

@@ -194,7 +194,7 @@ const DIVISOR_GUARD: f64 = 1e-140;
 /// receiver's product in O(n) total. All methods take the
 /// [`InterferenceRatios`] the accumulator was sized for; callers keep the
 /// two together (the `rayfade-core` `SuccessEvaluator` bundles them).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SuccessAccumulator {
     mode: AccumMode,
     /// Current transmission probabilities.
@@ -205,6 +205,23 @@ pub struct SuccessAccumulator {
     /// Number of exactly-zero factors at each receiver (the product is 0
     /// while any exist, but they never enter `acc`).
     zeros: Vec<u32>,
+    /// Lifetime count of underflow/precision-guard trips (each one an O(n)
+    /// [`Self::rederive_product`]); diagnostics only, excluded from
+    /// equality.
+    rederivations: u64,
+}
+
+/// Equality compares the semantic state (mode, probabilities, products,
+/// zero counts) and deliberately ignores the [`Self::rederivations`]
+/// diagnostic counter: two accumulators that answer every query
+/// identically are equal regardless of how often their guards tripped.
+impl PartialEq for SuccessAccumulator {
+    fn eq(&self, other: &Self) -> bool {
+        self.mode == other.mode
+            && self.q == other.q
+            && self.acc == other.acc
+            && self.zeros == other.zeros
+    }
 }
 
 impl SuccessAccumulator {
@@ -215,7 +232,17 @@ impl SuccessAccumulator {
             q: vec![0.0; n],
             acc: vec![Self::identity(mode); n],
             zeros: vec![0; n],
+            rederivations: 0,
         }
+    }
+
+    /// Lifetime number of underflow/precision-guard trips — from-scratch
+    /// O(n) [`AccumMode::Product`] re-derivations this accumulator has
+    /// performed (always 0 in log-domain mode). Cumulative: not cleared by
+    /// [`reset`](Self::reset), so telemetry can report a run's total.
+    #[inline]
+    pub fn rederivations(&self) -> u64 {
+        self.rederivations
     }
 
     #[inline]
@@ -369,6 +396,7 @@ impl SuccessAccumulator {
     /// the underflow/precision fallback of the product mode.
     fn rederive_product(&mut self, ratios: &InterferenceRatios, i: usize) {
         debug_assert_eq!(self.mode, AccumMode::Product);
+        self.rederivations += 1;
         let mut prod = 1.0f64;
         let mut zeros = 0u32;
         let row = ratios.at_receiver(i);
@@ -652,6 +680,71 @@ mod tests {
         assert!(want > 0.0);
         let rel = (got - want).abs() / want;
         assert!(rel < 1e-12, "relative error {rel}: {got} vs {want}");
+        assert!(
+            acc.rederivations() > 0,
+            "driving the product past the guard must be counted as a trip"
+        );
+    }
+
+    #[test]
+    fn rederivation_counter_counts_guard_trips() {
+        // 35 strong interferers at receiver 0 each contribute a ~5e-10
+        // factor, so the running product crosses PRODUCT_UNDERFLOW_GUARD
+        // (1e-280) during the inserts; once there, both the multiply-side
+        // and the retire-side guards re-derive on every further update.
+        let n = 36;
+        let mut g = vec![0.0; n * n];
+        g[0] = 1.0; // receiver 0 own signal
+        for j in 1..n {
+            g[j] = 1e9; // strong interferer at receiver 0
+            g[j * n + j] = 1.0;
+        }
+        let gm = GainMatrix::from_raw(n, g);
+        let params = SinrParams::new(2.0, 1.0, 0.0);
+        let r = InterferenceRatios::new(&gm, &params);
+
+        let mut acc = SuccessAccumulator::new(n, AccumMode::Product);
+        assert_eq!(acc.rederivations(), 0);
+        for j in 1..n {
+            acc.insert(&r, j);
+        }
+        let after_inserts = acc.rederivations();
+        assert!(
+            after_inserts > 0,
+            "underflow guard must trip during inserts"
+        );
+        acc.remove(&r, n - 1); // acc is below the guard: retire re-derives
+        assert!(
+            acc.rederivations() > after_inserts,
+            "retire-side guard must trip on remove"
+        );
+        // The trips kept the state exact.
+        acc.insert(&r, 0);
+        let got = acc.success_probability(&r, 0);
+        let probs: Vec<f64> = (0..n).map(|j| if j < n - 1 { 1.0 } else { 0.0 }).collect();
+        let want = scratch(&gm, &params, &probs, 0);
+        assert!(want > 0.0);
+        assert!(((got - want) / want).abs() < 1e-12, "{got} vs {want}");
+
+        // Log-domain mode never rederives.
+        let mut log_acc = SuccessAccumulator::new(n, AccumMode::LogDomain);
+        for j in 1..n {
+            log_acc.insert(&r, j);
+        }
+        log_acc.remove(&r, n - 1);
+        assert_eq!(log_acc.rederivations(), 0);
+    }
+
+    #[test]
+    fn equality_ignores_the_rederivation_counter() {
+        let (_, _, r) = ratios2();
+        let mut tripped = SuccessAccumulator::new(2, AccumMode::Product);
+        tripped.insert(&r, 0);
+        tripped.rederivations = 17; // simulate a guard-heavy history
+        let mut fresh = SuccessAccumulator::new(2, AccumMode::Product);
+        fresh.insert(&r, 0);
+        assert_eq!(tripped, fresh);
+        assert_ne!(tripped.rederivations(), fresh.rederivations());
     }
 
     #[test]

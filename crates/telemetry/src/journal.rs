@@ -1,0 +1,255 @@
+//! Structured JSONL run journals.
+//!
+//! A [`Journal`] appends one JSON object per line to a file. Events carry
+//! a monotone sequence number instead of a wall-clock timestamp, so two
+//! runs of the same deterministic experiment produce byte-identical
+//! journals — `diff run_a.jsonl run_b.jsonl` is the reproducibility check.
+
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::json::Json;
+
+struct Inner {
+    out: BufWriter<File>,
+    seq: u64,
+}
+
+/// An append-only JSONL event log.
+///
+/// Events are built with [`Journal::event`] and written with
+/// [`Event::write`]; each line is a JSON object whose first two fields are
+/// always `seq` (monotone, assigned at write time) and `kind`. Write
+/// failures never panic the instrumented run — they are tallied in
+/// [`Journal::write_errors`] instead.
+///
+/// # Example
+///
+/// ```
+/// let dir = std::env::temp_dir().join("rayfade-telemetry-doc-journal");
+/// std::fs::create_dir_all(&dir).unwrap();
+/// let path = dir.join("run.jsonl");
+///
+/// let journal = rayfade_telemetry::Journal::create(&path).unwrap();
+/// journal
+///     .event("slot")
+///     .int("slot", 0)
+///     .num("backlog", 3.0)
+///     .str("policy", "max-weight")
+///     .write();
+/// journal.flush();
+///
+/// let events = rayfade_telemetry::read_jsonl(&path).unwrap();
+/// assert_eq!(events.len(), 1);
+/// assert_eq!(events[0].get("kind").and_then(|k| k.as_str()), Some("slot"));
+/// assert_eq!(events[0].get("backlog").and_then(|b| b.as_f64()), Some(3.0));
+/// ```
+pub struct Journal {
+    inner: Mutex<Inner>,
+    write_errors: AtomicU64,
+}
+
+impl std::fmt::Debug for Journal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Journal")
+            .field("write_errors", &self.write_errors())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Journal {
+    /// Creates (truncating) the journal file, making parent directories as
+    /// needed.
+    pub fn create<P: AsRef<Path>>(path: P) -> io::Result<Journal> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let out = BufWriter::new(File::create(path)?);
+        Ok(Journal {
+            inner: Mutex::new(Inner { out, seq: 0 }),
+            write_errors: AtomicU64::new(0),
+        })
+    }
+
+    /// Starts building an event of the given kind.
+    pub fn event<'a>(&'a self, kind: &str) -> Event<'a> {
+        Event {
+            journal: self,
+            fields: vec![("kind".to_string(), Json::Str(kind.to_string()))],
+        }
+    }
+
+    /// Number of event writes that failed at the IO layer.
+    pub fn write_errors(&self) -> u64 {
+        self.write_errors.load(Ordering::Relaxed)
+    }
+
+    /// Flushes buffered lines to the file.
+    pub fn flush(&self) {
+        let mut inner = self.inner.lock().expect("journal mutex poisoned");
+        if inner.out.flush().is_err() {
+            self.write_errors.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn append(&self, fields: Vec<(String, Json)>) {
+        let mut inner = self.inner.lock().expect("journal mutex poisoned");
+        let seq = inner.seq;
+        inner.seq += 1;
+        let mut obj = Vec::with_capacity(fields.len() + 1);
+        obj.push(("seq".to_string(), Json::Num(seq as f64)));
+        obj.extend(fields);
+        let line = Json::Obj(obj).to_string();
+        if writeln!(inner.out, "{line}").is_err() {
+            self.write_errors.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+impl Drop for Journal {
+    fn drop(&mut self) {
+        if let Ok(inner) = self.inner.get_mut() {
+            let _ = inner.out.flush();
+        }
+    }
+}
+
+/// A journal event under construction; fields appear in insertion order.
+#[must_use = "call .write() to append the event to the journal"]
+pub struct Event<'a> {
+    journal: &'a Journal,
+    fields: Vec<(String, Json)>,
+}
+
+impl Event<'_> {
+    /// Adds a float field.
+    pub fn num(mut self, key: &str, value: f64) -> Self {
+        self.fields.push((key.to_string(), Json::Num(value)));
+        self
+    }
+
+    /// Adds an integer field.
+    pub fn int(mut self, key: &str, value: i64) -> Self {
+        self.fields.push((key.to_string(), Json::Num(value as f64)));
+        self
+    }
+
+    /// Adds a string field.
+    pub fn str(mut self, key: &str, value: &str) -> Self {
+        self.fields
+            .push((key.to_string(), Json::Str(value.to_string())));
+        self
+    }
+
+    /// Adds a boolean field.
+    pub fn bool(mut self, key: &str, value: bool) -> Self {
+        self.fields.push((key.to_string(), Json::Bool(value)));
+        self
+    }
+
+    /// Appends the event to the journal (IO failures are tallied, not
+    /// raised).
+    pub fn write(self) {
+        self.journal.append(self.fields);
+    }
+}
+
+/// Reads every line of a JSONL file as a [`Json`] value (blank lines
+/// skipped; a malformed line is an `InvalidData` error naming the line).
+pub fn read_jsonl<P: AsRef<Path>>(path: P) -> io::Result<Vec<Json>> {
+    let reader = BufReader::new(File::open(path)?);
+    let mut events = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let value = Json::parse(&line).map_err(|e| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("line {}: {e}", lineno + 1),
+            )
+        })?;
+        events.push(value);
+    }
+    Ok(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("rayfade-telemetry-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{name}-{}.jsonl", std::process::id()))
+    }
+
+    #[test]
+    fn events_round_trip_with_monotone_seq() {
+        let path = temp_path("round-trip");
+        let journal = Journal::create(&path).unwrap();
+        journal
+            .event("cell")
+            .num("lambda", 0.04)
+            .int("net", 2)
+            .str("verdict", "stable")
+            .bool("holds", true)
+            .write();
+        journal.event("done").int("total", 1).write();
+        drop(journal);
+
+        let events = read_jsonl(&path).unwrap();
+        assert_eq!(events.len(), 2);
+        for (k, ev) in events.iter().enumerate() {
+            assert_eq!(ev.get("seq").and_then(Json::as_i64), Some(k as i64));
+        }
+        assert_eq!(events[0].get("kind").and_then(Json::as_str), Some("cell"));
+        assert_eq!(events[0].get("lambda").and_then(Json::as_f64), Some(0.04));
+        assert_eq!(events[0].get("net").and_then(Json::as_i64), Some(2));
+        assert_eq!(
+            events[0].get("verdict").and_then(Json::as_str),
+            Some("stable")
+        );
+        assert_eq!(events[0].get("holds").and_then(Json::as_bool), Some(true));
+        assert_eq!(events[1].get("total").and_then(Json::as_i64), Some(1));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn identical_runs_are_byte_identical() {
+        let write_one = |path: &std::path::Path| {
+            let journal = Journal::create(path).unwrap();
+            for slot in 0..10 {
+                journal
+                    .event("slot")
+                    .int("slot", slot)
+                    .num("backlog", slot as f64 * 0.5)
+                    .write();
+            }
+            drop(journal);
+            std::fs::read(path).unwrap()
+        };
+        let a = temp_path("identical-a");
+        let b = temp_path("identical-b");
+        assert_eq!(write_one(&a), write_one(&b));
+        std::fs::remove_file(&a).ok();
+        std::fs::remove_file(&b).ok();
+    }
+
+    #[test]
+    fn malformed_line_is_reported_with_line_number() {
+        let path = temp_path("malformed");
+        std::fs::write(&path, "{\"seq\":0,\"kind\":\"ok\"}\nnot json\n").unwrap();
+        let err = read_jsonl(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("line 2"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+}

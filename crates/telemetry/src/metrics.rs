@@ -1,0 +1,288 @@
+//! Lock-free metric primitives: sharded counters, gauges, and fixed-bucket
+//! log-scale histograms.
+//!
+//! Everything here is safe to hammer concurrently from rayon workers: a
+//! [`Counter`] spreads increments over cache-line-padded shards indexed by
+//! a per-thread slot (no contended line on the hot path), a [`Gauge`] is a
+//! single atomic, and a [`Histogram`] keeps one atomic per bucket plus a
+//! CAS-updated compensating sum. Reads ([`Counter::get`],
+//! [`Histogram::bucket_counts`]) are racy snapshots — exact once writers
+//! quiesce, which is when registries are rendered.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
+use std::time::Duration;
+
+/// Number of shards a [`Counter`] spreads its increments over.
+const SHARDS: usize = 8;
+
+/// Cache-line-padded atomic so neighbouring shards never false-share.
+#[repr(align(64))]
+#[derive(Debug, Default)]
+struct PaddedU64(AtomicU64);
+
+static NEXT_SHARD: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Each thread gets a stable shard slot, assigned round-robin at first
+    /// use; with more threads than shards, threads share slots (atomics
+    /// stay correct, only padding benefit degrades).
+    static SHARD: usize = NEXT_SHARD.fetch_add(1, Ordering::Relaxed) % SHARDS;
+}
+
+/// A monotonically increasing counter, sharded to keep concurrent
+/// increments off a single cache line.
+#[derive(Debug, Default)]
+pub struct Counter {
+    shards: [PaddedU64; SHARDS],
+}
+
+impl Counter {
+    /// A counter at zero.
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `v`.
+    #[inline]
+    pub fn add(&self, v: u64) {
+        let slot = SHARD.with(|s| *s);
+        self.shards[slot].0.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Current total (sum over shards; exact once writers quiesce).
+    pub fn get(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.0.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
+/// A signed instantaneous value (queue depth, backlog, in-flight work).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// A gauge at zero.
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    /// Replaces the value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `v` (may be negative).
+    #[inline]
+    pub fn add(&self, v: i64) {
+        self.value.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of buckets every [`Histogram`] has.
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// Upper bound of bucket 0; each later bucket doubles it. `1e-9` puts
+/// nanosecond-scale timings in the low buckets and still reaches ~9.2e9
+/// in the last finite bucket — wide enough for durations in seconds and
+/// for dimensionless tallies alike.
+const MIN_UPPER_BOUND: f64 = 1e-9;
+
+/// A fixed-bucket log-scale (base-2) histogram.
+///
+/// Values land in bucket `k` when `value ≤ 1e-9 · 2^k` (bucket 0 also
+/// absorbs zero, negatives, and NaN; the last bucket absorbs everything
+/// larger, playing the `+Inf` role). Observation is two relaxed atomic
+/// increments plus one CAS loop for the running sum — lock-free and
+/// allocation-free on the hot path.
+#[derive(Debug)]
+pub struct Histogram {
+    counts: [AtomicU64; HISTOGRAM_BUCKETS],
+    /// Total observation count (kept separately so `count()` does not
+    /// have to sum 64 cells).
+    count: AtomicU64,
+    /// Bit pattern of the running `f64` sum, updated by CAS.
+    sum_bits: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0.0f64.to_bits()),
+        }
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// The bucket index a value lands in.
+    pub fn bucket_index(value: f64) -> usize {
+        if value.is_nan() || value <= MIN_UPPER_BOUND {
+            // Covers value ≤ 1e-9, zero, negatives, and NaN.
+            return 0;
+        }
+        let idx = (value / MIN_UPPER_BOUND).log2().ceil();
+        if idx >= (HISTOGRAM_BUCKETS - 1) as f64 {
+            HISTOGRAM_BUCKETS - 1
+        } else {
+            idx as usize
+        }
+    }
+
+    /// Upper bound of bucket `k` (`f64::INFINITY` for the last bucket).
+    pub fn upper_bound(k: usize) -> f64 {
+        assert!(k < HISTOGRAM_BUCKETS, "bucket index out of range");
+        if k == HISTOGRAM_BUCKETS - 1 {
+            f64::INFINITY
+        } else {
+            MIN_UPPER_BOUND * (k as f64).exp2()
+        }
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn observe(&self, value: f64) {
+        self.counts[Self::bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        if value.is_finite() {
+            let mut cur = self.sum_bits.load(Ordering::Relaxed);
+            loop {
+                let new = (f64::from_bits(cur) + value).to_bits();
+                match self.sum_bits.compare_exchange_weak(
+                    cur,
+                    new,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => break,
+                    Err(actual) => cur = actual,
+                }
+            }
+        }
+    }
+
+    /// Records a duration, in seconds.
+    #[inline]
+    pub fn observe_duration(&self, d: Duration) {
+        self.observe(d.as_secs_f64());
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all finite observed values.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// Mean observed value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() / n as f64
+        }
+    }
+
+    /// Snapshot of the per-bucket counts.
+    pub fn bucket_counts(&self) -> [u64; HISTOGRAM_BUCKETS] {
+        std::array::from_fn(|k| self.counts[k].load(Ordering::Relaxed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts() {
+        let c = Counter::new();
+        assert_eq!(c.get(), 0);
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+    }
+
+    #[test]
+    fn gauge_sets_and_adds() {
+        let g = Gauge::new();
+        g.set(7);
+        g.add(-3);
+        assert_eq!(g.get(), 4);
+    }
+
+    #[test]
+    fn bucket_index_is_monotone_and_clamped() {
+        assert_eq!(Histogram::bucket_index(f64::NAN), 0);
+        assert_eq!(Histogram::bucket_index(-1.0), 0);
+        assert_eq!(Histogram::bucket_index(0.0), 0);
+        assert_eq!(Histogram::bucket_index(1e-9), 0);
+        assert_eq!(Histogram::bucket_index(2e-9), 1);
+        assert_eq!(
+            Histogram::bucket_index(f64::INFINITY),
+            HISTOGRAM_BUCKETS - 1
+        );
+        assert_eq!(Histogram::bucket_index(1e300), HISTOGRAM_BUCKETS - 1);
+        let mut prev = 0;
+        for exp in -12..12 {
+            let idx = Histogram::bucket_index(10f64.powi(exp));
+            assert!(idx >= prev, "bucket index must be monotone in the value");
+            prev = idx;
+        }
+    }
+
+    #[test]
+    fn bucket_bounds_bracket_their_values() {
+        for k in 0..HISTOGRAM_BUCKETS - 1 {
+            let ub = Histogram::upper_bound(k);
+            assert_eq!(
+                Histogram::bucket_index(ub),
+                k,
+                "upper bound stays in bucket {k}"
+            );
+            assert_eq!(
+                Histogram::bucket_index(ub * 1.01),
+                k + 1,
+                "past the bound moves up"
+            );
+        }
+        assert!(Histogram::upper_bound(HISTOGRAM_BUCKETS - 1).is_infinite());
+    }
+
+    #[test]
+    fn histogram_totals_and_mean() {
+        let h = Histogram::new();
+        for v in [0.5, 1.5, 2.0, f64::NAN] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert!((h.sum() - 4.0).abs() < 1e-12, "NaN excluded from the sum");
+        assert!((h.mean() - 1.0).abs() < 1e-12);
+        let buckets = h.bucket_counts();
+        assert_eq!(buckets.iter().sum::<u64>(), 4);
+    }
+}

@@ -1,0 +1,80 @@
+//! RAII scope timers feeding histograms.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::metrics::Histogram;
+
+/// Times a scope and records the elapsed seconds into a [`Histogram`]
+/// when dropped (or when [`Timer::stop`] is called explicitly).
+#[derive(Debug)]
+pub struct Timer {
+    hist: Arc<Histogram>,
+    start: Instant,
+    armed: bool,
+}
+
+impl Timer {
+    /// Starts timing into `hist`.
+    pub fn new(hist: Arc<Histogram>) -> Timer {
+        Timer {
+            hist,
+            start: Instant::now(),
+            armed: true,
+        }
+    }
+
+    /// Stops the timer now, records the observation, and returns the
+    /// elapsed seconds (Drop will not record again).
+    pub fn stop(mut self) -> f64 {
+        let elapsed = self.start.elapsed().as_secs_f64();
+        self.hist.observe(elapsed);
+        self.armed = false;
+        elapsed
+    }
+}
+
+impl Drop for Timer {
+    fn drop(&mut self) {
+        if self.armed {
+            self.hist.observe(self.start.elapsed().as_secs_f64());
+        }
+    }
+}
+
+/// Starts an optional [`Timer`] over a scope when telemetry is on.
+///
+/// `$tele` is an `Option<&Telemetry>`; the macro evaluates to an
+/// `Option<Timer>` which records into the named histogram when the guard
+/// is dropped — bind it (`let _span = span!(...)`) so it lives to the end
+/// of the scope.
+#[macro_export]
+macro_rules! span {
+    ($tele:expr, $name:expr) => {
+        $tele.map(|t| $crate::Timer::new(t.registry().histogram($name)))
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drop_records_one_observation() {
+        let hist = Arc::new(Histogram::new());
+        {
+            let _t = Timer::new(Arc::clone(&hist));
+        }
+        assert_eq!(hist.count(), 1);
+        assert!(hist.sum() >= 0.0);
+    }
+
+    #[test]
+    fn stop_records_exactly_once() {
+        let hist = Arc::new(Histogram::new());
+        let t = Timer::new(Arc::clone(&hist));
+        let elapsed = t.stop();
+        assert!(elapsed >= 0.0);
+        assert_eq!(hist.count(), 1, "Drop after stop must not double-count");
+    }
+}

@@ -1,0 +1,70 @@
+//! Concurrency tests: metric totals must be exact after parallel
+//! hammering from std threads and rayon workers alike.
+
+use std::sync::Arc;
+
+use rayfade_telemetry::{Registry, Telemetry};
+use rayon::prelude::*;
+
+#[test]
+fn counter_is_exact_under_std_threads() {
+    let registry = Arc::new(Registry::new());
+    let threads = 8;
+    let per_thread = 10_000u64;
+    let handles: Vec<_> = (0..threads)
+        .map(|_| {
+            let registry = Arc::clone(&registry);
+            std::thread::spawn(move || {
+                let c = registry.counter("hammered_total");
+                for _ in 0..per_thread {
+                    c.inc();
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(
+        registry.counter("hammered_total").get(),
+        threads * per_thread
+    );
+}
+
+#[test]
+fn histogram_is_exact_under_rayon() {
+    let tele = Telemetry::new();
+    let hist = tele.registry().histogram("rayon_hammered");
+    let n = 50_000u64;
+    (0..n).into_par_iter().for_each(|k| {
+        hist.observe(1e-9 * (k % 97) as f64);
+    });
+    assert_eq!(hist.count(), n);
+    assert_eq!(hist.bucket_counts().iter().sum::<u64>(), n);
+    let expected_sum: f64 = (0..n).map(|k| 1e-9 * (k % 97) as f64).sum();
+    // The CAS sum adds in nondeterministic order; tolerance covers
+    // floating-point reassociation only, not lost updates.
+    assert!(
+        (hist.sum() - expected_sum).abs() < 1e-9,
+        "sum {} vs expected {expected_sum}",
+        hist.sum()
+    );
+}
+
+#[test]
+fn mixed_metrics_under_rayon_keep_totals() {
+    let tele = Telemetry::new();
+    let c = tele.registry().counter("mixed_total");
+    let g = tele.registry().gauge("mixed_gauge");
+    let h = tele.registry().histogram("mixed_hist");
+    let n = 20_000u64;
+    (0..n).into_par_iter().for_each(|k| {
+        c.add(2);
+        g.add(if k % 2 == 0 { 1 } else { -1 });
+        h.observe(0.5);
+    });
+    assert_eq!(c.get(), 2 * n);
+    assert_eq!(g.get(), 0);
+    assert_eq!(h.count(), n);
+    assert!((h.mean() - 0.5).abs() < 1e-12);
+}
