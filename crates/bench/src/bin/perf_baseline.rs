@@ -1,0 +1,452 @@
+//! O3 — the perf-regression sentinel: a fixed workload matrix timed
+//! against a committed baseline.
+//!
+//! Four workloads cover the workspace's hot paths — one Figure 1 curve
+//! point, the dynamic slot loop, a shared-cache evaluator batch, and a
+//! regret-learning game — plus a pure-CPU calibration spin that factors
+//! machine speed out of the comparison. Record mode writes
+//! `BENCH_perf.json` (workload → median ns, span breakdown from one
+//! traced pass, a config hash, and the calibration time); `--check`
+//! re-times the same matrix and fails (exit 1) when any workload's
+//! calibration-normalized time regresses past the tolerance.
+//!
+//! Workload *sizes* are fixed so medians stay comparable across runs;
+//! `--quick` only reduces the repeat count. The committed baseline is
+//! refreshed by re-running record mode on an idle machine.
+//!
+//! Usage:
+//!   `cargo run -p rayfade-bench --release --bin perf_baseline --
+//!   [--check] [--quick] [--baseline PATH] [--tolerance FRAC] [--out DIR]`
+
+use rayfade_core::batch_expected_successes_traced;
+use rayfade_dynamic::{ArrivalProcess, DynamicConfig, DynamicEngine, PolicyKind, SuccessModelKind};
+use rayfade_geometry::PaperTopology;
+use rayfade_learning::{run_game_instrumented, GameConfig};
+use rayfade_sim::{run_figure1_with_telemetry, Figure1Config};
+use rayfade_sinr::{NonFadingModel, SinrParams};
+use rayfade_telemetry::{Json, Telemetry};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// Bumped whenever the workload matrix or the JSON layout changes.
+const PERF_SCHEMA_VERSION: i64 = 1;
+/// Default relative slowdown tolerated before `--check` fails.
+const DEFAULT_TOLERANCE: f64 = 0.25;
+
+struct Args {
+    check: bool,
+    quick: bool,
+    baseline: PathBuf,
+    tolerance: f64,
+    out: PathBuf,
+}
+
+/// `rayfade_bench::Cli` rejects unknown flags, so the sentinel parses its
+/// richer flag set itself.
+fn parse_args() -> Args {
+    let mut parsed = Args {
+        check: false,
+        quick: false,
+        baseline: PathBuf::from("BENCH_perf.json"),
+        tolerance: DEFAULT_TOLERANCE,
+        out: PathBuf::from("target/perf"),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--check" => parsed.check = true,
+            "--quick" => parsed.quick = true,
+            "--baseline" => {
+                parsed.baseline =
+                    PathBuf::from(args.next().expect("--baseline requires a path argument"))
+            }
+            "--tolerance" => {
+                parsed.tolerance = args
+                    .next()
+                    .expect("--tolerance requires a fraction argument")
+                    .parse()
+                    .expect("--tolerance must be a number (e.g. 0.25)");
+                assert!(
+                    parsed.tolerance > 0.0,
+                    "--tolerance must be strictly positive"
+                );
+            }
+            "--out" => {
+                parsed.out =
+                    PathBuf::from(args.next().expect("--out requires a directory argument"))
+            }
+            other => panic!(
+                "unknown argument: {other} (expected --check / --quick / --baseline <path> / \
+                 --tolerance <frac> / --out <dir>)"
+            ),
+        }
+    }
+    parsed
+}
+
+/// The closure under measurement; `Some` only on the untimed traced pass.
+type WorkloadFn = Box<dyn Fn(Option<&Telemetry>)>;
+
+/// One entry of the workload matrix: a stable name, a descriptor string
+/// folded into the config hash, and the closure under measurement (also
+/// run once with tracing for the span breakdown).
+struct Workload {
+    name: &'static str,
+    descriptor: String,
+    run: WorkloadFn,
+}
+
+fn workloads() -> Vec<Workload> {
+    let mut list = Vec::new();
+
+    // One Figure 1 sweep at a fixed reduced size: exercises the parallel
+    // network loop, the Monte Carlo point estimator, and both power
+    // families.
+    let fig1_cfg = Figure1Config {
+        networks: 2,
+        topology: PaperTopology {
+            links: 15,
+            ..PaperTopology::figure1()
+        },
+        q_grid: vec![0.2, 0.5, 0.8],
+        tx_seeds: 5,
+        fading_seeds: 3,
+        ..Figure1Config::default()
+    };
+    list.push(Workload {
+        name: "fig1_point",
+        descriptor: format!(
+            "fig1 networks={} links={} qs={} tx={} fading={} seed={:#x}",
+            fig1_cfg.networks,
+            fig1_cfg.topology.links,
+            fig1_cfg.q_grid.len(),
+            fig1_cfg.tx_seeds,
+            fig1_cfg.fading_seeds,
+            fig1_cfg.seed
+        ),
+        run: Box::new(move |tele| {
+            let _ = run_figure1_with_telemetry(&fig1_cfg, |_| {}, tele);
+        }),
+    });
+
+    // The dynamic slot loop at the telemetry_overhead headline size:
+    // max-weight selection + Rayleigh resolution every slot.
+    let dyn_cfg = DynamicConfig {
+        links: 20,
+        networks: 2,
+        slots: 800,
+        arrival: ArrivalProcess::Bernoulli { rate: 0.05 },
+        policy: PolicyKind::MaxWeight,
+        model: SuccessModelKind::Rayleigh,
+        topology: PaperTopology {
+            links: 20,
+            ..PaperTopology::figure1()
+        },
+        params: SinrParams::figure1(),
+        sample_every: 50,
+        seed: 0xd1_4a,
+    };
+    list.push(Workload {
+        name: "stability_slots",
+        descriptor: format!(
+            "dynamic links={} networks={} slots={} policy={} seed={:#x}",
+            dyn_cfg.links,
+            dyn_cfg.networks,
+            dyn_cfg.slots,
+            dyn_cfg.policy.label(),
+            dyn_cfg.seed
+        ),
+        run: Box::new(move |tele| {
+            let _ = DynamicEngine::new(dyn_cfg.clone()).run_with_telemetry(tele);
+        }),
+    });
+
+    // A shared-ratio-cache evaluator batch: one O(n²) precompute plus 64
+    // parallel O(n²) Theorem 1 sweeps on a 60-link instance.
+    let (gm, params) = rayfade_bench::figure1_instance(0, 60);
+    let prob_sets: Vec<Vec<f64>> = (0..64)
+        .map(|k| {
+            let q = (k + 1) as f64 / 64.0;
+            vec![q; gm.len()]
+        })
+        .collect();
+    list.push(Workload {
+        name: "evaluator_batch",
+        descriptor: format!("evaluator links={} vectors={}", gm.len(), prob_sets.len()),
+        run: Box::new(move |tele| {
+            let _ = batch_expected_successes_traced(&gm, &params, &prob_sets, tele);
+        }),
+    });
+
+    // A regret-learning game: 200 rounds of per-link RWM updates against
+    // the non-fading model on a Figure 2 instance.
+    let (gm2, params2) = rayfade_bench::figure2_instance(0, 25);
+    let game_cfg = GameConfig {
+        rounds: 200,
+        seed: 13,
+    };
+    list.push(Workload {
+        name: "learning_round",
+        descriptor: format!(
+            "learning links={} rounds={} seed={}",
+            gm2.len(),
+            game_cfg.rounds,
+            game_cfg.seed
+        ),
+        run: Box::new(move |tele| {
+            let mut model = NonFadingModel::new(gm2.clone(), params2);
+            let _ = run_game_instrumented(&mut model, params2.beta, &game_cfg, tele);
+        }),
+    });
+
+    list
+}
+
+/// FNV-1a over the workload descriptors — changes whenever the matrix
+/// does, so `--check` refuses to compare against a stale baseline.
+fn config_hash(workloads: &[Workload]) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+    };
+    eat(&PERF_SCHEMA_VERSION.to_le_bytes());
+    for w in workloads {
+        eat(w.name.as_bytes());
+        eat(w.descriptor.as_bytes());
+    }
+    format!("{h:016x}")
+}
+
+/// The calibration spin: a fixed xorshift64* loop whose wall time tracks
+/// raw single-core speed. Baseline and fresh runs divide their medians by
+/// their own calibration time, so a uniformly slower machine cancels out.
+fn calibration_spin() -> u64 {
+    let mut x: u64 = 0x9e37_79b9_7f4a_7c15;
+    let mut acc: u64 = 0;
+    for _ in 0..20_000_000u64 {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        acc = acc.wrapping_add(x.wrapping_mul(0x2545_f491_4f6c_dd1d));
+    }
+    acc
+}
+
+/// Median wall time of `repeats` runs, in nanoseconds.
+fn median_ns(repeats: usize, mut f: impl FnMut()) -> u64 {
+    let mut samples: Vec<u64> = (0..repeats)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+struct Measured {
+    name: &'static str,
+    median_ns: u64,
+    /// Span name → (count, total_ns) from one traced pass.
+    spans: Vec<(String, u64, u64)>,
+}
+
+fn measure_all(quick: bool) -> (u64, Vec<Measured>, String) {
+    let workloads = workloads();
+    let hash = config_hash(&workloads);
+    let repeats = if quick { 5 } else { 15 };
+
+    // Warm-up: one untimed pass per workload (page-cache, allocator,
+    // rayon pool spin-up).
+    for w in &workloads {
+        (w.run)(None);
+    }
+    let calib_ns = median_ns(repeats, || {
+        std::hint::black_box(calibration_spin());
+    });
+    eprintln!(
+        "calibration spin: {:.2} ms (median of {repeats})",
+        calib_ns as f64 / 1e6
+    );
+
+    let mut measured = Vec::new();
+    for w in &workloads {
+        let ns = median_ns(repeats, || (w.run)(None));
+        // One traced pass for the span breakdown; not timed, so the span
+        // overhead never touches the medians.
+        let tele = Telemetry::new().with_tracing();
+        (w.run)(Some(&tele));
+        let profile = tele
+            .tracer()
+            .expect("tracing enabled")
+            .snapshot()
+            .self_profile();
+        let spans = profile
+            .rows
+            .iter()
+            .map(|r| (r.name.clone(), r.count, r.total_ns))
+            .collect();
+        eprintln!("  {}: {:.2} ms", w.name, ns as f64 / 1e6);
+        measured.push(Measured {
+            name: w.name,
+            median_ns: ns,
+            spans,
+        });
+    }
+    (calib_ns, measured, hash)
+}
+
+fn to_json(calib_ns: u64, measured: &[Measured], hash: &str) -> Json {
+    let workloads = measured
+        .iter()
+        .map(|m| {
+            let spans = m
+                .spans
+                .iter()
+                .map(|(name, count, total)| {
+                    (
+                        name.clone(),
+                        Json::Obj(vec![
+                            ("count".into(), Json::Num(*count as f64)),
+                            ("total_ns".into(), Json::Num(*total as f64)),
+                        ]),
+                    )
+                })
+                .collect();
+            (
+                m.name.to_string(),
+                Json::Obj(vec![
+                    ("median_ns".into(), Json::Num(m.median_ns as f64)),
+                    ("spans".into(), Json::Obj(spans)),
+                ]),
+            )
+        })
+        .collect();
+    Json::Obj(vec![
+        (
+            "schema_version".into(),
+            Json::Num(PERF_SCHEMA_VERSION as f64),
+        ),
+        ("config_hash".into(), Json::Str(hash.to_string())),
+        ("calibration_ns".into(), Json::Num(calib_ns as f64)),
+        ("workloads".into(), Json::Obj(workloads)),
+    ])
+}
+
+fn load_baseline(path: &Path) -> Json {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read baseline {}: {e} (run `perf_baseline` without --check to record one)",
+            path.display()
+        )
+    });
+    Json::parse(&text).unwrap_or_else(|e| panic!("baseline {} is not JSON: {e}", path.display()))
+}
+
+fn baseline_num(json: &Json, keys: &[&str]) -> f64 {
+    let mut cur = json;
+    for k in keys {
+        cur = cur
+            .get(k)
+            .unwrap_or_else(|| panic!("baseline is missing key {}", keys.join(".")));
+    }
+    cur.as_f64()
+        .unwrap_or_else(|| panic!("baseline key {} is not a number", keys.join(".")))
+}
+
+/// Writes a trace + self-profile of one traced pass over every workload,
+/// for CI artifact upload alongside a `--check` verdict.
+fn write_check_artifacts(out: &Path) {
+    std::fs::create_dir_all(out).unwrap_or_else(|e| panic!("cannot create {}: {e}", out.display()));
+    let tele = Telemetry::new().with_tracing();
+    for w in &workloads() {
+        (w.run)(Some(&tele));
+    }
+    let trace = tele.tracer().expect("tracing enabled").snapshot();
+    let trace_path = out.join("perf_check_trace.json");
+    let profile_path = out.join("perf_check_profile.csv");
+    trace
+        .write_chrome_json(&trace_path)
+        .unwrap_or_else(|e| panic!("cannot write {}: {e}", trace_path.display()));
+    trace
+        .self_profile()
+        .write_csv(&profile_path)
+        .unwrap_or_else(|e| panic!("cannot write {}: {e}", profile_path.display()));
+    print!("{}", trace.self_profile().to_console());
+    eprintln!("wrote {}, {}", trace_path.display(), profile_path.display());
+}
+
+fn main() {
+    let args = parse_args();
+    let (calib_ns, measured, hash) = measure_all(args.quick);
+
+    if !args.check {
+        let json = to_json(calib_ns, &measured, &hash);
+        std::fs::write(&args.baseline, format!("{json}\n"))
+            .unwrap_or_else(|e| panic!("cannot write {}: {e}", args.baseline.display()));
+        eprintln!("recorded baseline {}", args.baseline.display());
+        write_check_artifacts(&args.out);
+        return;
+    }
+
+    let baseline = load_baseline(&args.baseline);
+    let base_schema = baseline_num(&baseline, &["schema_version"]);
+    assert_eq!(
+        base_schema as i64, PERF_SCHEMA_VERSION,
+        "baseline schema_version mismatch — re-record the baseline"
+    );
+    let base_hash = baseline
+        .get("config_hash")
+        .and_then(Json::as_str)
+        .expect("baseline is missing config_hash");
+    assert_eq!(
+        base_hash, hash,
+        "workload matrix changed since the baseline was recorded — re-record it"
+    );
+    let base_calib = baseline_num(&baseline, &["calibration_ns"]);
+
+    println!(
+        "{:<18} {:>12} {:>12} {:>10} {:>10}",
+        "workload", "baseline_ms", "fresh_ms", "ratio", "verdict"
+    );
+    let mut regressions = 0usize;
+    for m in &measured {
+        let base_ns = baseline_num(&baseline, &["workloads", m.name, "median_ns"]);
+        // Normalize both sides by their own calibration spin so the
+        // comparison tracks the code, not the machine.
+        let base_norm = base_ns / base_calib;
+        let fresh_norm = m.median_ns as f64 / calib_ns as f64;
+        let ratio = fresh_norm / base_norm;
+        let regressed = ratio > 1.0 + args.tolerance;
+        if regressed {
+            regressions += 1;
+        }
+        println!(
+            "{:<18} {:>12.2} {:>12.2} {:>10.3} {:>10}",
+            m.name,
+            base_ns / 1e6,
+            m.median_ns as f64 / 1e6,
+            ratio,
+            if regressed { "REGRESSED" } else { "ok" }
+        );
+    }
+    write_check_artifacts(&args.out);
+
+    if regressions > 0 {
+        eprintln!(
+            "perf check FAILED: {regressions} workload(s) regressed beyond {:.0}% \
+             (normalized against the calibration spin)",
+            args.tolerance * 100.0
+        );
+        std::process::exit(1);
+    }
+    eprintln!(
+        "perf check passed: all workloads within {:.0}% of {}",
+        args.tolerance * 100.0,
+        args.baseline.display()
+    );
+}

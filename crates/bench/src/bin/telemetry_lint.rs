@@ -5,10 +5,14 @@
 //!
 //! * `*.jsonl` — every line parses as a JSON object whose first field is
 //!   the monotonically increasing `seq` and whose second is a non-empty
-//!   `kind` string;
+//!   `kind` string, and the first record is the `schema` header carrying
+//!   a `schema_version`;
 //! * `*_metrics.prom` — non-empty, every non-comment line is
 //!   `name value`, and at least one `rayfade_`-prefixed sample exists;
-//! * `*_metrics.csv` — non-empty with the `kind,name,value` header.
+//! * `*_metrics.csv` — non-empty with the `kind,name,value` header;
+//! * `*_trace.json` — a Chrome-trace JSON with balanced `B`/`E` events
+//!   and per-thread monotone timestamps
+//!   (via [`rayfade_telemetry::trace::validate_chrome_trace`]).
 //!
 //! Exits non-zero (after reporting every problem, not just the first) if
 //! anything fails, so CI can upload the artifacts and still go red.
@@ -29,6 +33,22 @@ fn lint_journal(path: &Path) -> Vec<String> {
     };
     if events.is_empty() {
         problems.push(format!("{}: journal is empty", path.display()));
+    }
+    if let Some(first) = events.first() {
+        if first.get("kind").and_then(|v| v.as_str()) != Some("schema") {
+            problems.push(format!(
+                "{}: first record is not the schema header",
+                path.display()
+            ));
+        } else {
+            match first.get("schema_version").and_then(|v| v.as_i64()) {
+                Some(v) if v >= 1 => {}
+                _ => problems.push(format!(
+                    "{}: schema header has no positive integer schema_version",
+                    path.display()
+                )),
+            }
+        }
     }
     for (i, ev) in events.iter().enumerate() {
         match ev.get("seq").and_then(|v| v.as_i64()) {
@@ -123,6 +143,21 @@ fn lint_csv(path: &Path) -> Vec<String> {
     }
 }
 
+/// Validate one Chrome-trace JSON export.
+fn lint_trace(path: &Path) -> Vec<String> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => return vec![format!("{}: unreadable: {e}", path.display())],
+    };
+    match rayfade_telemetry::trace::validate_chrome_trace(&text) {
+        Ok(stats) if stats.spans == 0 => {
+            vec![format!("{}: trace contains no spans", path.display())]
+        }
+        Ok(_) => Vec::new(),
+        Err(e) => vec![format!("{}: invalid trace: {e}", path.display())],
+    }
+}
+
 fn main() {
     let cli = Cli::parse();
     let dir = cli.telemetry.clone().unwrap_or_else(|| cli.out.clone());
@@ -142,6 +177,8 @@ fn main() {
             lint_prom(path)
         } else if name.ends_with("_metrics.csv") {
             lint_csv(path)
+        } else if name.ends_with("_trace.json") {
+            lint_trace(path)
         } else {
             continue;
         };
@@ -158,7 +195,8 @@ fn main() {
 
     if checked == 0 {
         eprintln!(
-            "FAIL {}: no telemetry artifacts (*.jsonl, *_metrics.prom, *_metrics.csv) found",
+            "FAIL {}: no telemetry artifacts (*.jsonl, *_metrics.prom, *_metrics.csv, \
+             *_trace.json) found",
             dir.display()
         );
         std::process::exit(1);

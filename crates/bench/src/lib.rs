@@ -4,8 +4,10 @@
 //! paper (or one of our ablations) — see DESIGN.md's experiment index.
 //! All binaries accept `--quick` for a reduced smoke configuration,
 //! `--out <dir>` to choose where CSV files land (default `results/`),
-//! and `--telemetry <dir>` to dump a metrics registry and JSONL journal
-//! on exit (see README's Observability section).
+//! `--telemetry <dir>` to dump a metrics registry and JSONL journal on
+//! exit, and `--trace` (implies nothing without `--telemetry`) to also
+//! record spans and write a Chrome-trace JSON plus a self-profile table
+//! (see README's Observability section).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -24,15 +26,20 @@ pub struct Cli {
     pub out: PathBuf,
     /// Telemetry output directory (`None` disables instrumentation).
     pub telemetry: Option<PathBuf>,
+    /// Record spans alongside metrics (requires `--telemetry`): the
+    /// experiment's [`ExperimentTelemetry::finish`] additionally writes a
+    /// Chrome-trace JSON and a self-profile CSV.
+    pub trace: bool,
 }
 
 impl Cli {
-    /// Parses `--quick`, `--out <dir>` and `--telemetry <dir>` from
-    /// `std::env::args`.
+    /// Parses `--quick`, `--out <dir>`, `--telemetry <dir>` and
+    /// `--trace` from `std::env::args`.
     pub fn parse() -> Self {
         let mut quick = false;
         let mut out = PathBuf::from("results");
         let mut telemetry = None;
+        let mut trace = false;
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
             match a.as_str() {
@@ -46,16 +53,21 @@ impl Cli {
                             .expect("--telemetry requires a directory argument"),
                     ))
                 }
+                "--trace" => trace = true,
                 other => panic!(
                     "unknown argument: {other} (expected --quick / --out <dir> / \
-                     --telemetry <dir>)"
+                     --telemetry <dir> / --trace)"
                 ),
             }
+        }
+        if trace && telemetry.is_none() {
+            panic!("--trace requires --telemetry <dir> (traces land next to the journal)");
         }
         Cli {
             quick,
             out,
             telemetry,
+            trace,
         }
     }
 
@@ -71,17 +83,22 @@ impl Cli {
     pub fn experiment_telemetry(&self, name: &str) -> Option<ExperimentTelemetry> {
         let dir = self.telemetry.as_ref()?;
         let journal_path = dir.join(format!("{name}_journal.jsonl"));
-        let tele = Telemetry::with_journal(&journal_path).unwrap_or_else(|e| {
+        let mut tele = Telemetry::with_journal(&journal_path).unwrap_or_else(|e| {
             panic!(
                 "cannot create telemetry journal {}: {e}",
                 journal_path.display()
             )
         });
+        if self.trace {
+            tele = tele.with_tracing();
+        }
         Some(ExperimentTelemetry {
             tele,
             journal_path,
             prom_path: dir.join(format!("{name}_metrics.prom")),
             csv_path: dir.join(format!("{name}_metrics.csv")),
+            trace_path: self.trace.then(|| dir.join(format!("{name}_trace.json"))),
+            profile_path: self.trace.then(|| dir.join(format!("{name}_profile.csv"))),
         })
     }
 }
@@ -101,6 +118,8 @@ pub struct ExperimentTelemetry {
     journal_path: PathBuf,
     prom_path: PathBuf,
     csv_path: PathBuf,
+    trace_path: Option<PathBuf>,
+    profile_path: Option<PathBuf>,
 }
 
 impl ExperimentTelemetry {
@@ -126,6 +145,32 @@ impl ExperimentTelemetry {
                     self.journal_path.display()
                 );
             }
+        }
+        if let (Some(tracer), Some(trace_path), Some(profile_path)) = (
+            self.tele.tracer(),
+            self.trace_path.as_ref(),
+            self.profile_path.as_ref(),
+        ) {
+            let trace = tracer.snapshot();
+            if trace.dropped > 0 {
+                eprintln!(
+                    "warning: {} span(s) dropped (ring full); {} is incomplete",
+                    trace.dropped,
+                    trace_path.display()
+                );
+            }
+            trace
+                .write_chrome_json(trace_path)
+                .unwrap_or_else(|e| panic!("cannot write trace {}: {e}", trace_path.display()));
+            trace
+                .self_profile()
+                .write_csv(profile_path)
+                .unwrap_or_else(|e| panic!("cannot write profile {}: {e}", profile_path.display()));
+            eprintln!(
+                "telemetry: wrote {}, {}",
+                trace_path.display(),
+                profile_path.display()
+            );
         }
         eprintln!(
             "telemetry: wrote {}, {}, {}",
@@ -182,6 +227,7 @@ mod tests {
             quick: true,
             out: PathBuf::from("x"),
             telemetry: None,
+            trace: false,
         };
         assert_eq!(cli.csv_path("a.csv"), PathBuf::from("x/a.csv"));
         assert!(cli.experiment_telemetry("noop").is_none());
@@ -194,6 +240,7 @@ mod tests {
             quick: true,
             out: PathBuf::from("x"),
             telemetry: Some(dir.clone()),
+            trace: false,
         };
         let tele = cli.experiment_telemetry("smoke").expect("enabled");
         telemetry_ref(&Some(tele))
@@ -222,6 +269,31 @@ mod tests {
         }
         let prom = std::fs::read_to_string(dir.join("smoke_metrics.prom")).unwrap();
         assert!(prom.contains("rayfade_smoke_total 1"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn tracing_adds_trace_and_profile_artifacts() {
+        let dir = std::env::temp_dir().join(format!("rayfade-bench-trace-{}", std::process::id()));
+        let cli = Cli {
+            quick: true,
+            out: PathBuf::from("x"),
+            telemetry: Some(dir.clone()),
+            trace: true,
+        };
+        let tele = cli.experiment_telemetry("traced").expect("enabled");
+        {
+            let tracer = tele.telemetry().tracer().expect("--trace enables spans");
+            let id = tracer.span_id("bench/smoke");
+            let _g = tracer.span(id);
+        }
+        tele.finish();
+        let trace_path = dir.join("traced_trace.json");
+        let text = std::fs::read_to_string(&trace_path).unwrap();
+        let stats = rayfade_telemetry::trace::validate_chrome_trace(&text).unwrap();
+        assert_eq!(stats.spans, 1);
+        let profile = std::fs::read_to_string(dir.join("traced_profile.csv")).unwrap();
+        assert!(profile.contains("bench/smoke"), "{profile}");
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -40,6 +40,7 @@
 use rayfade_sinr::{
     kahan_sum, AccumMode, GainMatrix, InterferenceRatios, SinrParams, SuccessAccumulator,
 };
+use rayfade_telemetry::{trace, Telemetry};
 use rayon::prelude::*;
 
 /// Incremental Theorem 1 evaluator: a ratio cache plus an O(n)-update
@@ -185,7 +186,25 @@ pub fn batch_expected_successes(
     params: &SinrParams,
     prob_sets: &[Vec<f64>],
 ) -> Vec<f64> {
-    let ratios = InterferenceRatios::new(gain, params);
+    batch_expected_successes_traced(gain, params, prob_sets, None)
+}
+
+/// [`batch_expected_successes`] with optional span tracing: the shared
+/// ratio precomputation runs under an `evaluator/ratios` span and the
+/// parallel sweep under `evaluator/batch` (one span per call — a batch
+/// is a chunky unit of work, so tracing is never sampled here).
+pub fn batch_expected_successes_traced(
+    gain: &GainMatrix,
+    params: &SinrParams,
+    prob_sets: &[Vec<f64>],
+    tele: Option<&Telemetry>,
+) -> Vec<f64> {
+    let (tracer, ratios_span, batch_span) = evaluator_spans(tele);
+    let ratios = {
+        let _g = trace::guard(tracer, ratios_span);
+        InterferenceRatios::new(gain, params)
+    };
+    let _g = trace::guard(tracer, batch_span);
     prob_sets
         .into_par_iter()
         .map(|probs| {
@@ -203,7 +222,23 @@ pub fn batch_success_probabilities(
     params: &SinrParams,
     prob_sets: &[Vec<f64>],
 ) -> Vec<Vec<f64>> {
-    let ratios = InterferenceRatios::new(gain, params);
+    batch_success_probabilities_traced(gain, params, prob_sets, None)
+}
+
+/// [`batch_success_probabilities`] with optional span tracing (same span
+/// names as [`batch_expected_successes_traced`]).
+pub fn batch_success_probabilities_traced(
+    gain: &GainMatrix,
+    params: &SinrParams,
+    prob_sets: &[Vec<f64>],
+    tele: Option<&Telemetry>,
+) -> Vec<Vec<f64>> {
+    let (tracer, ratios_span, batch_span) = evaluator_spans(tele);
+    let ratios = {
+        let _g = trace::guard(tracer, ratios_span);
+        InterferenceRatios::new(gain, params)
+    };
+    let _g = trace::guard(tracer, batch_span);
     prob_sets
         .into_par_iter()
         .map(|probs| {
@@ -222,7 +257,23 @@ pub fn batch_expected_successes_of_sets(
     params: &SinrParams,
     sets: &[Vec<usize>],
 ) -> Vec<f64> {
-    let ratios = InterferenceRatios::new(gain, params);
+    batch_expected_successes_of_sets_traced(gain, params, sets, None)
+}
+
+/// [`batch_expected_successes_of_sets`] with optional span tracing (same
+/// span names as [`batch_expected_successes_traced`]).
+pub fn batch_expected_successes_of_sets_traced(
+    gain: &GainMatrix,
+    params: &SinrParams,
+    sets: &[Vec<usize>],
+    tele: Option<&Telemetry>,
+) -> Vec<f64> {
+    let (tracer, ratios_span, batch_span) = evaluator_spans(tele);
+    let ratios = {
+        let _g = trace::guard(tracer, ratios_span);
+        InterferenceRatios::new(gain, params)
+    };
+    let _g = trace::guard(tracer, batch_span);
     sets.into_par_iter()
         .map(|set| {
             let mut acc = SuccessAccumulator::new(ratios.len(), AccumMode::LogDomain);
@@ -232,6 +283,19 @@ pub fn batch_expected_successes_of_sets(
             kahan_sum(set.iter().map(|&i| acc.success_probability(&ratios, i)))
         })
         .collect()
+}
+
+type EvaluatorSpans<'a> = (
+    Option<&'a trace::Tracer>,
+    Option<trace::SpanId>,
+    Option<trace::SpanId>,
+);
+
+fn evaluator_spans(tele: Option<&Telemetry>) -> EvaluatorSpans<'_> {
+    let tracer = tele.and_then(Telemetry::tracer);
+    let ratios_span = tracer.map(|tr| tr.span_id("evaluator/ratios"));
+    let batch_span = tracer.map(|tr| tr.span_id("evaluator/batch"));
+    (tracer, ratios_span, batch_span)
 }
 
 #[cfg(test)]
@@ -341,6 +405,32 @@ mod tests {
             let want = expected_successes_of_set(&gm, &params, set);
             assert!((set_totals[k] - want).abs() < 1e-12, "set {set:?}");
         }
+    }
+
+    #[test]
+    fn traced_batches_match_untraced_and_emit_spans() {
+        let gm = paper_gain();
+        let params = SinrParams::new(2.0, 1.5, 0.2);
+        let prob_sets = vec![vec![1.0, 1.0, 1.0], vec![0.5, 0.0, 0.9]];
+        let sets = vec![vec![0, 2], vec![1]];
+        let tele = Telemetry::new().with_tracing();
+        let totals = batch_expected_successes_traced(&gm, &params, &prob_sets, Some(&tele));
+        let vectors = batch_success_probabilities_traced(&gm, &params, &prob_sets, Some(&tele));
+        let set_totals = batch_expected_successes_of_sets_traced(&gm, &params, &sets, Some(&tele));
+        assert_eq!(totals, batch_expected_successes(&gm, &params, &prob_sets));
+        assert_eq!(
+            vectors,
+            batch_success_probabilities(&gm, &params, &prob_sets)
+        );
+        assert_eq!(
+            set_totals,
+            batch_expected_successes_of_sets(&gm, &params, &sets)
+        );
+        let trace = tele.tracer().unwrap().snapshot();
+        assert_eq!(trace.dropped, 0);
+        let count = |name: &str| trace.records.iter().filter(|r| r.name == name).count();
+        assert_eq!(count("evaluator/ratios"), 3, "one ratio build per batch");
+        assert_eq!(count("evaluator/batch"), 3, "one batch span per call");
     }
 
     #[test]

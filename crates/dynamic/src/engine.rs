@@ -29,6 +29,7 @@ use rand::SeedableRng;
 use rayfade_core::{mix_seed, mix_seed2, RayleighModel};
 use rayfade_geometry::PaperTopology;
 use rayfade_sinr::{GainMatrix, NonFadingModel, PowerAssignment, SinrParams, SuccessModel};
+use rayfade_telemetry::trace::{self, SpanId};
 use rayfade_telemetry::Telemetry;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -255,22 +256,50 @@ impl DynamicEngine {
         let policy_seconds = tele.map(|t| t.registry().histogram("rayfade_dynamic_policy_seconds"));
         let sampled_backlog =
             tele.map(|t| t.registry().histogram("rayfade_dynamic_sampled_backlog"));
+        // Span ids interned once per replication. The per-slot phase
+        // spans are *sampled* (only on `slot % sample_every == 0` slots):
+        // four always-on spans per ~µs-scale slot would blow the 5%
+        // overhead budget pinned by `telemetry_overhead`, while sampled
+        // spans amortize to nanoseconds per slot and still attribute time
+        // faithfully — every slot does the same work.
+        let tracer = tele.and_then(Telemetry::tracer);
+        let sp = |name: &str| tracer.map(|tr| tr.span_id(name));
+        let span_replication = sp("dynamic/replication");
+        let span_arrivals = sp("dynamic/arrivals");
+        let span_policy = sp("dynamic/policy");
+        let span_transmission = sp("dynamic/transmission");
+        let span_departures = sp("dynamic/departures");
+        let _replication_span = trace::guard(tracer, span_replication);
         let mut transmissions: u64 = 0;
         let mut deliveries: u64 = 0;
 
         for slot in 0..cfg.slots {
+            let sampled = slot % cfg.sample_every == 0;
+            let phase = |id: Option<SpanId>| trace::guard(tracer.filter(|_| sampled), id);
+            // A deliberately slowed slot loop for proving the CI perf
+            // sentinel fires; never enabled in normal builds or tests.
+            #[cfg(feature = "slowdown")]
+            std::thread::sleep(std::time::Duration::from_micros(20));
             // 1. Arrivals.
-            for i in 0..n {
-                let count = samplers[i].draw(&mut arrival_rngs[i]);
-                if count > 0 {
-                    bank.queue_mut(i).enqueue(count, slot);
+            {
+                let _g = phase(span_arrivals);
+                for i in 0..n {
+                    let count = samplers[i].draw(&mut arrival_rngs[i]);
+                    if count > 0 {
+                        bank.queue_mut(i).enqueue(count, slot);
+                    }
                 }
             }
             // 2. Policy picks transmitters (never on empty queues; the
             //    engine re-checks defensively).
             let backlogs = bank.backlogs();
             let choose_start = policy_seconds.as_ref().map(|_| Instant::now());
-            let mask = policy.choose(&backlogs, &mut policy_rng);
+            let mask = {
+                let _g = phase(span_policy);
+                // Selector-backed policies nest their `selector/*` span
+                // under this phase span; unsampled slots pass None.
+                policy.choose_traced(&backlogs, &mut policy_rng, tracer.filter(|_| sampled))
+            };
             if let (Some(hist), Some(start)) = (&policy_seconds, choose_start) {
                 hist.observe_duration(start.elapsed());
             }
@@ -281,19 +310,25 @@ impl DynamicEngine {
             }
             // 3. One physical slot: realized SINRs (counterfactual for
             //    idle links), successes, departures.
-            let sinrs = model.resolve_sinrs(&active);
-            for i in 0..n {
-                successes[i] = active[i] && sinrs[i] >= beta;
-                if successes[i] {
-                    let delivered = bank.queue_mut(i).dequeue(slot);
-                    debug_assert!(delivered.is_some());
-                    deliveries += 1;
+            let sinrs = {
+                let _g = phase(span_transmission);
+                model.resolve_sinrs(&active)
+            };
+            {
+                let _g = phase(span_departures);
+                for i in 0..n {
+                    successes[i] = active[i] && sinrs[i] >= beta;
+                    if successes[i] {
+                        let delivered = bank.queue_mut(i).dequeue(slot);
+                        debug_assert!(delivered.is_some());
+                        deliveries += 1;
+                    }
                 }
+                // 4. Feedback.
+                policy.observe(&active, &sinrs, &successes);
             }
-            // 4. Feedback.
-            policy.observe(&active, &sinrs, &successes);
             // 5. Sampled backlog trace.
-            if slot % cfg.sample_every == 0 {
+            if sampled {
                 let backlog = bank.total_backlog();
                 trace.slots.push(slot);
                 trace.total_backlog.push(backlog);
@@ -584,7 +619,9 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let run_once = |name: &str| {
             let path = dir.join(format!("{name}-{}.jsonl", std::process::id()));
-            let tele = Telemetry::with_journal(&path).unwrap();
+            // Journal *and* tracer attached: the strongest instrumented
+            // configuration must still not perturb outcomes.
+            let tele = Telemetry::with_journal(&path).unwrap().with_tracing();
             let outs = engine.run_with_telemetry(Some(&tele));
             tele.flush();
             let bytes = std::fs::read(&path).unwrap();
@@ -597,6 +634,23 @@ mod tests {
 
         assert_eq!(plain, outs_a, "instrumentation must not change results");
         assert_eq!(bytes_a, bytes_b, "journal must be byte-reproducible");
+
+        let trace = tele.tracer().unwrap().snapshot();
+        assert_eq!(trace.dropped, 0);
+        let count = |name: &str| trace.records.iter().filter(|r| r.name == name).count();
+        assert_eq!(count("dynamic/replication"), 2, "one span per replication");
+        // 400 slots at sample_every=50 → 8 sampled slots per replication.
+        for phase in [
+            "dynamic/arrivals",
+            "dynamic/policy",
+            "dynamic/transmission",
+            "dynamic/departures",
+        ] {
+            assert_eq!(count(phase), 16, "{phase}: sampled slots × networks");
+        }
+        let json = trace.to_chrome_json();
+        rayfade_telemetry::trace::validate_chrome_trace(&json)
+            .expect("engine trace must be a valid Chrome trace");
 
         let reg = tele.registry();
         assert_eq!(reg.counter("rayfade_dynamic_slots_total").get(), 800);

@@ -74,6 +74,21 @@ pub trait OnlinePolicy {
     /// Implementations must not select links with zero backlog.
     fn choose(&mut self, backlogs: &[u64], rng: &mut StdRng) -> Vec<bool>;
 
+    /// [`choose`](Self::choose) with an optional span tracer: policies
+    /// backed by a capacity selector override this to run the traced
+    /// selector variant (emitting `selector/*` spans nested inside the
+    /// engine's `dynamic/policy` phase span); everything else falls
+    /// through to the plain path. The engine passes `None` on unsampled
+    /// slots, so overrides must behave identically either way.
+    fn choose_traced(
+        &mut self,
+        backlogs: &[u64],
+        rng: &mut StdRng,
+        _tracer: Option<&rayfade_telemetry::trace::Tracer>,
+    ) -> Vec<bool> {
+        self.choose(backlogs, rng)
+    }
+
     /// Post-slot feedback: the chosen mask, every link's realized SINR
     /// (counterfactual for idle links — see
     /// [`rayfade_sinr::SuccessModel::resolve_sinrs`]), and which links the
@@ -112,28 +127,46 @@ impl QueueMaxWeight {
     }
 }
 
-impl OnlinePolicy for QueueMaxWeight {
-    fn name(&self) -> &'static str {
-        PolicyKind::MaxWeight.label()
-    }
-
-    fn choose(&mut self, backlogs: &[u64], _rng: &mut StdRng) -> Vec<bool> {
+impl QueueMaxWeight {
+    fn choose_inner(
+        &mut self,
+        backlogs: &[u64],
+        tracer: Option<&rayfade_telemetry::trace::Tracer>,
+    ) -> Vec<bool> {
         let n = self.gain.len();
         debug_assert_eq!(backlogs.len(), n);
         let weights: Vec<f64> = backlogs.iter().map(|&b| b as f64).collect();
         // GreedyCapacity skips weight-0 links, so empty queues are never
         // selected.
-        let (set, stats) = self.selector.select_with_stats(&CapacityInstance::weighted(
-            &self.gain,
-            &self.params,
-            &weights,
-        ));
+        let (set, stats) = self.selector.select_with_stats_traced(
+            &CapacityInstance::weighted(&self.gain, &self.params, &weights),
+            tracer,
+        );
         self.stats.merge(&stats);
         let mut mask = vec![false; n];
         for i in set {
             mask[i] = true;
         }
         mask
+    }
+}
+
+impl OnlinePolicy for QueueMaxWeight {
+    fn name(&self) -> &'static str {
+        PolicyKind::MaxWeight.label()
+    }
+
+    fn choose(&mut self, backlogs: &[u64], _rng: &mut StdRng) -> Vec<bool> {
+        self.choose_inner(backlogs, None)
+    }
+
+    fn choose_traced(
+        &mut self,
+        backlogs: &[u64],
+        _rng: &mut StdRng,
+        tracer: Option<&rayfade_telemetry::trace::Tracer>,
+    ) -> Vec<bool> {
+        self.choose_inner(backlogs, tracer)
     }
 
     fn observe(&mut self, _active: &[bool], _sinrs: &[f64], _successes: &[bool]) {}
@@ -178,20 +211,21 @@ impl RayleighMaxWeight {
     }
 }
 
-impl OnlinePolicy for RayleighMaxWeight {
-    fn name(&self) -> &'static str {
-        PolicyKind::RayleighMaxWeight.label()
-    }
-
-    fn choose(&mut self, backlogs: &[u64], _rng: &mut StdRng) -> Vec<bool> {
+impl RayleighMaxWeight {
+    fn choose_inner(
+        &mut self,
+        backlogs: &[u64],
+        tracer: Option<&rayfade_telemetry::trace::Tracer>,
+    ) -> Vec<bool> {
         let n = self.gain.len();
         debug_assert_eq!(backlogs.len(), n);
         let weights: Vec<f64> = backlogs.iter().map(|&b| b as f64).collect();
         // RayleighGreedy requires strictly positive weight to activate a
         // link, so empty queues are never selected.
-        let (set, stats) = self.selector.select_with_ratios_stats(
+        let (set, stats) = self.selector.select_with_ratios_stats_traced(
             &self.ratios,
             &CapacityInstance::weighted(&self.gain, &self.params, &weights),
+            tracer,
         );
         self.stats.merge(&stats);
         let mut mask = vec![false; n];
@@ -199,6 +233,25 @@ impl OnlinePolicy for RayleighMaxWeight {
             mask[i] = true;
         }
         mask
+    }
+}
+
+impl OnlinePolicy for RayleighMaxWeight {
+    fn name(&self) -> &'static str {
+        PolicyKind::RayleighMaxWeight.label()
+    }
+
+    fn choose(&mut self, backlogs: &[u64], _rng: &mut StdRng) -> Vec<bool> {
+        self.choose_inner(backlogs, None)
+    }
+
+    fn choose_traced(
+        &mut self,
+        backlogs: &[u64],
+        _rng: &mut StdRng,
+        tracer: Option<&rayfade_telemetry::trace::Tracer>,
+    ) -> Vec<bool> {
+        self.choose_inner(backlogs, tracer)
     }
 
     fn observe(&mut self, _active: &[bool], _sinrs: &[f64], _successes: &[bool]) {}

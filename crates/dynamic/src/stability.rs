@@ -195,9 +195,12 @@ impl LambdaSweep {
                 }
             }
         }
+        let tracer = tele.and_then(Telemetry::tracer);
+        let cell_span = tracer.map(|tr| tr.span_id("stability/cell"));
         let runs: Vec<(DynamicConfig, Vec<DynamicOutcome>)> = configs
             .into_par_iter()
             .map(|cfg| {
+                let _g = rayfade_telemetry::trace::guard(tracer, cell_span);
                 let outcomes = DynamicEngine::new(cfg.clone()).run_with_metrics(tele);
                 (cfg, outcomes)
             })

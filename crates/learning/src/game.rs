@@ -165,7 +165,10 @@ pub fn run_game_instrumented<M: SuccessModel>(
     let mut successes_per_round = Vec::with_capacity(config.rounds);
     let mut transmitters_per_round = Vec::with_capacity(config.rounds);
     let mut active = vec![false; n];
+    let tracer = tele.and_then(Telemetry::tracer);
+    let round_span = tracer.map(|tr| tr.span_id("learning/round"));
     for round in 0..config.rounds {
+        let _round_span = rayfade_telemetry::trace::guard(tracer, round_span);
         for (i, learner) in learners.iter_mut().enumerate() {
             active[i] = learner.choose(&mut rng) == Action::Send.index();
         }
@@ -427,7 +430,7 @@ mod tests {
         let dir = std::env::temp_dir().join("rayfade-learning-tests");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join(format!("game-{}.jsonl", std::process::id()));
-        let tele = Telemetry::with_journal(&path).unwrap();
+        let tele = Telemetry::with_journal(&path).unwrap().with_tracing();
         let instrumented = run_game_instrumented(
             &mut NonFadingModel::new(gm, params),
             params.beta,
@@ -449,7 +452,27 @@ mod tests {
         tele.flush();
         let events = rayfade_telemetry::read_jsonl(&path).unwrap();
         std::fs::remove_file(&path).ok();
-        assert_eq!(events.len(), 50, "one learn_round event per round");
+        assert_eq!(
+            events[0].get("kind").and_then(|v| v.as_str()),
+            Some("schema"),
+            "journal must open with the schema header"
+        );
+        let rounds = events
+            .iter()
+            .filter(|e| e.get("kind").and_then(|v| v.as_str()) == Some("learn_round"))
+            .count();
+        assert_eq!(rounds, 50, "one learn_round event per round");
+        let trace = tele.tracer().unwrap().snapshot();
+        assert_eq!(trace.dropped, 0);
+        assert_eq!(
+            trace
+                .records
+                .iter()
+                .filter(|r| r.name == "learning/round")
+                .count(),
+            50,
+            "one learning/round span per round"
+        );
         let last = events.last().unwrap();
         assert_eq!(
             last.get("max_avg_regret").and_then(|v| v.as_f64()),

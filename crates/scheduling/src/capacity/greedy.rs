@@ -16,6 +16,7 @@
 
 use super::{CapacityAlgorithm, CapacityInstance, SelectionStats};
 use rayfade_sinr::{AccumMode, Affectance, InterferenceRatios, SuccessAccumulator};
+use rayfade_telemetry::trace::{self, Tracer};
 use serde::{Deserialize, Serialize};
 
 /// Link processing order for [`GreedyCapacity`].
@@ -210,6 +211,24 @@ impl RayleighGreedy {
         stats.rederivations = acc.rederivations();
         (selected, stats)
     }
+
+    /// [`select_with_ratios_stats`](Self::select_with_ratios_stats) under
+    /// an optional `selector/rayleigh_greedy` span covering the whole
+    /// candidate-scoring loop. Callers that invoke the selector every
+    /// slot should gate the tracer on their sampling policy — a span per
+    /// selection is cheap, but only when it is not one per microsecond.
+    pub fn select_with_ratios_stats_traced(
+        &self,
+        ratios: &InterferenceRatios,
+        inst: &CapacityInstance<'_>,
+        tracer: Option<&Tracer>,
+    ) -> (Vec<usize>, SelectionStats) {
+        let _g = trace::guard(
+            tracer,
+            tracer.map(|tr| tr.span_id("selector/rayleigh_greedy")),
+        );
+        self.select_with_ratios_stats(ratios, inst)
+    }
 }
 
 impl GreedyCapacity {
@@ -255,6 +274,19 @@ impl GreedyCapacity {
         stats.accepted = accepted.len() as u64;
         stats.rejected = stats.candidates_scored - stats.accepted;
         (accepted, stats)
+    }
+
+    /// [`select_with_stats`](Self::select_with_stats) under an optional
+    /// `selector/greedy` span covering the whole affectance-guarded scan
+    /// (same sampling caveat as
+    /// [`RayleighGreedy::select_with_ratios_stats_traced`]).
+    pub fn select_with_stats_traced(
+        &self,
+        inst: &CapacityInstance<'_>,
+        tracer: Option<&Tracer>,
+    ) -> (Vec<usize>, SelectionStats) {
+        let _g = trace::guard(tracer, tracer.map(|tr| tr.span_id("selector/greedy")));
+        self.select_with_stats(inst)
     }
 }
 
@@ -391,6 +423,34 @@ mod tests {
         let params = SinrParams::new(2.0, 1.0, 0.0);
         let set = GreedyCapacity::new().select(&CapacityInstance::unweighted(&gm, &params));
         assert!(set.is_empty());
+    }
+
+    #[test]
+    fn traced_selects_match_untraced_and_emit_spans() {
+        let (gm, params) = paper_instance(7, 40);
+        let inst = CapacityInstance::unweighted(&gm, &params);
+        let tracer = Tracer::new();
+        let greedy = GreedyCapacity::new();
+        assert_eq!(
+            greedy.select_with_stats_traced(&inst, Some(&tracer)),
+            greedy.select_with_stats(&inst),
+            "tracing must not change the selection"
+        );
+        assert_eq!(
+            greedy.select_with_stats_traced(&inst, None),
+            greedy.select_with_stats(&inst)
+        );
+        let ratios = InterferenceRatios::new(&gm, &params);
+        let rayleigh = RayleighGreedy::new();
+        assert_eq!(
+            rayleigh.select_with_ratios_stats_traced(&ratios, &inst, Some(&tracer)),
+            rayleigh.select_with_ratios_stats(&ratios, &inst)
+        );
+        let trace = tracer.snapshot();
+        assert_eq!(trace.dropped, 0);
+        let count = |name: &str| trace.records.iter().filter(|r| r.name == name).count();
+        assert_eq!(count("selector/greedy"), 1);
+        assert_eq!(count("selector/rayleigh_greedy"), 1);
     }
 
     #[test]

@@ -38,9 +38,12 @@ pub(crate) fn strictly_positive(x: f64) -> bool {
 /// how many candidate links were scored, how many were accepted into the
 /// transmit set vs. rejected, and how many times an incremental
 /// evaluator's underflow guard forced an O(n) product re-derivation
-/// (always 0 for selectors that keep no accumulator). The scheduling
-/// crate stays telemetry-agnostic — callers (the dynamic engine, bench
-/// binaries) fold these tallies into their own counters.
+/// (always 0 for selectors that keep no accumulator). Metrics stay the
+/// caller's job — the dynamic engine and bench binaries fold these
+/// tallies into their own counters — but the selectors optionally emit
+/// wall-time spans via the `*_traced` variants (e.g.
+/// [`greedy::GreedyCapacity::select_with_stats_traced`]) so profiles can
+/// attribute slot time to candidate scoring.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SelectionStats {
     /// Candidate links examined/scored across all rounds.

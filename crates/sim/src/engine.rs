@@ -188,10 +188,16 @@ where
     assert!(config.networks > 0, "need at least one network");
     let families = [PowerFamily::Uniform, PowerFamily::SquareRoot];
     let point_seconds = tele.map(|t| t.registry().histogram("rayfade_fig1_point_seconds"));
+    // Span ids interned once; per-network and per-point spans are chunky
+    // enough (many slots each) to trace unsampled.
+    let tracer = tele.and_then(Telemetry::tracer);
+    let network_span = tracer.map(|tr| tr.span_id("fig1/network"));
+    let point_span = tracer.map(|tr| tr.span_id("fig1/point"));
     // per_network[net] -> per (family, rayleigh?, q) mean successes.
     let per_network: Vec<Vec<f64>> = (0..config.networks)
         .into_par_iter()
         .map(|net_idx| {
+            let _net_span = rayfade_telemetry::trace::guard(tracer, network_span);
             let net = config.topology.generate(config.seed.wrapping_add(net_idx));
             let mut row = Vec::with_capacity(families.len() * 2 * config.q_grid.len());
             for family in families {
@@ -203,6 +209,7 @@ where
                         // old `seed*31 + net*10_007 + qi` arithmetic
                         // aliased across nearby seeds.
                         let seed_base = mix_seed2(config.seed, net_idx, qi as u64);
+                        let _point_span = rayfade_telemetry::trace::guard(tracer, point_span);
                         let start = point_seconds.as_ref().map(|_| Instant::now());
                         let v = if rayleigh {
                             rayleigh_success_curve_point(
@@ -457,9 +464,12 @@ where
         regret_ray: f64,
     }
     let network_seconds = tele.map(|t| t.registry().histogram("rayfade_fig2_network_seconds"));
+    let tracer = tele.and_then(Telemetry::tracer);
+    let network_span = tracer.map(|tr| tr.span_id("fig2/network"));
     let runs: Vec<PerNet> = (0..config.networks)
         .into_par_iter()
         .map(|net_idx| {
+            let _net_span = rayfade_telemetry::trace::guard(tracer, network_span);
             let net_start = network_seconds.as_ref().map(|_| Instant::now());
             let net = config.topology.generate(config.seed.wrapping_add(net_idx));
             let gain = GainMatrix::from_geometry(
@@ -677,7 +687,7 @@ mod tests {
         let dir = std::env::temp_dir().join("rayfade-sim-tests");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join(format!("fig1-{}.jsonl", std::process::id()));
-        let tele = Telemetry::with_journal(&path).unwrap();
+        let tele = Telemetry::with_journal(&path).unwrap().with_tracing();
         let instrumented = run_figure1_with_telemetry(&cfg1, |_| {}, Some(&tele));
         assert_eq!(run_figure1(&cfg1), instrumented);
         let reg = tele.registry();
@@ -685,6 +695,12 @@ mod tests {
         // 2 families × 2 models × 3 q values × 3 networks.
         assert_eq!(reg.counter("rayfade_fig1_points_total").get(), 36);
         assert_eq!(reg.histogram("rayfade_fig1_point_seconds").count(), 36);
+        let trace = tele.tracer().unwrap().snapshot();
+        let spans = |name: &str| trace.records.iter().filter(|r| r.name == name).count();
+        assert_eq!(spans("fig1/network"), 3);
+        assert_eq!(spans("fig1/point"), 36);
+        rayfade_telemetry::trace::validate_chrome_trace(&trace.to_chrome_json())
+            .expect("fig1 trace must validate");
         let events = rayfade_telemetry::read_jsonl(&path).unwrap();
         std::fs::remove_file(&path).ok();
         let count = |kind: &str| {
@@ -698,7 +714,7 @@ mod tests {
         assert_eq!(count("fig1_argmax"), 4);
 
         let cfg2 = Figure2Config::smoke();
-        let tele2 = Telemetry::new();
+        let tele2 = Telemetry::new().with_tracing();
         let instrumented2 = run_figure2_with_telemetry(&cfg2, |_| {}, Some(&tele2));
         assert_eq!(run_figure2(&cfg2), instrumented2);
         assert_eq!(
@@ -711,6 +727,15 @@ mod tests {
         assert_eq!(
             tele2.registry().counter("rayfade_fig2_games_total").get(),
             4
+        );
+        let trace2 = tele2.tracer().unwrap().snapshot();
+        assert_eq!(
+            trace2
+                .records
+                .iter()
+                .filter(|r| r.name == "fig2/network")
+                .count(),
+            2
         );
     }
 

@@ -13,6 +13,12 @@ use std::sync::Mutex;
 
 use crate::json::Json;
 
+/// Version of the journal file format. Stamped into the first record of
+/// every journal (`{"seq":0,"kind":"schema","schema_version":...}`) so
+/// readers can reject files written by an incompatible layout;
+/// `telemetry_lint` requires it.
+pub const SCHEMA_VERSION: u64 = 1;
+
 struct Inner {
     out: BufWriter<File>,
     seq: u64,
@@ -43,9 +49,10 @@ struct Inner {
 /// journal.flush();
 ///
 /// let events = rayfade_telemetry::read_jsonl(&path).unwrap();
-/// assert_eq!(events.len(), 1);
-/// assert_eq!(events[0].get("kind").and_then(|k| k.as_str()), Some("slot"));
-/// assert_eq!(events[0].get("backlog").and_then(|b| b.as_f64()), Some(3.0));
+/// assert_eq!(events.len(), 2, "schema header plus the slot event");
+/// assert_eq!(events[0].get("kind").and_then(|k| k.as_str()), Some("schema"));
+/// assert_eq!(events[1].get("kind").and_then(|k| k.as_str()), Some("slot"));
+/// assert_eq!(events[1].get("backlog").and_then(|b| b.as_f64()), Some(3.0));
 /// ```
 pub struct Journal {
     inner: Mutex<Inner>,
@@ -62,7 +69,8 @@ impl std::fmt::Debug for Journal {
 
 impl Journal {
     /// Creates (truncating) the journal file, making parent directories as
-    /// needed.
+    /// needed, and writes the schema header as its first record
+    /// (`kind: "schema"` carrying [`SCHEMA_VERSION`]).
     pub fn create<P: AsRef<Path>>(path: P) -> io::Result<Journal> {
         let path = path.as_ref();
         if let Some(parent) = path.parent() {
@@ -71,10 +79,15 @@ impl Journal {
             }
         }
         let out = BufWriter::new(File::create(path)?);
-        Ok(Journal {
+        let journal = Journal {
             inner: Mutex::new(Inner { out, seq: 0 }),
             write_errors: AtomicU64::new(0),
-        })
+        };
+        journal
+            .event("schema")
+            .int("schema_version", SCHEMA_VERSION as i64)
+            .write();
+        Ok(journal)
     }
 
     /// Starts building an event of the given kind.
@@ -206,19 +219,24 @@ mod tests {
         drop(journal);
 
         let events = read_jsonl(&path).unwrap();
-        assert_eq!(events.len(), 2);
+        assert_eq!(events.len(), 3, "schema header plus two events");
         for (k, ev) in events.iter().enumerate() {
             assert_eq!(ev.get("seq").and_then(Json::as_i64), Some(k as i64));
         }
-        assert_eq!(events[0].get("kind").and_then(Json::as_str), Some("cell"));
-        assert_eq!(events[0].get("lambda").and_then(Json::as_f64), Some(0.04));
-        assert_eq!(events[0].get("net").and_then(Json::as_i64), Some(2));
+        assert_eq!(events[0].get("kind").and_then(Json::as_str), Some("schema"));
         assert_eq!(
-            events[0].get("verdict").and_then(Json::as_str),
+            events[0].get("schema_version").and_then(Json::as_i64),
+            Some(SCHEMA_VERSION as i64)
+        );
+        assert_eq!(events[1].get("kind").and_then(Json::as_str), Some("cell"));
+        assert_eq!(events[1].get("lambda").and_then(Json::as_f64), Some(0.04));
+        assert_eq!(events[1].get("net").and_then(Json::as_i64), Some(2));
+        assert_eq!(
+            events[1].get("verdict").and_then(Json::as_str),
             Some("stable")
         );
-        assert_eq!(events[0].get("holds").and_then(Json::as_bool), Some(true));
-        assert_eq!(events[1].get("total").and_then(Json::as_i64), Some(1));
+        assert_eq!(events[1].get("holds").and_then(Json::as_bool), Some(true));
+        assert_eq!(events[2].get("total").and_then(Json::as_i64), Some(1));
         std::fs::remove_file(&path).ok();
     }
 

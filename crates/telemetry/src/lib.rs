@@ -15,6 +15,9 @@
 //!   produce byte-identical journals ([`journal`]).
 //! - [`Json`] — the minimal JSON value/parser backing the journal
 //!   ([`json`]).
+//! - [`Tracer`] — hierarchical RAII spans in per-thread ring buffers,
+//!   exported as Chrome Trace Event JSON and a self-profile table
+//!   ([`trace`]).
 //!
 //! Instrumented code takes an `Option<&Telemetry>`; `None` keeps the
 //! uninstrumented fast path (see `results/telemetry_overhead.csv` for
@@ -36,18 +39,20 @@ pub mod json;
 pub mod metrics;
 pub mod registry;
 pub mod timer;
+pub mod trace;
 
 use std::io;
 use std::path::Path;
 
-pub use journal::{read_jsonl, Event, Journal};
+pub use journal::{read_jsonl, Event, Journal, SCHEMA_VERSION};
 pub use json::{Json, JsonError};
 pub use metrics::{Counter, Gauge, Histogram, HISTOGRAM_BUCKETS};
 pub use registry::Registry;
 pub use timer::Timer;
+pub use trace::{SpanGuard, SpanId, Tracer};
 
-/// A run's telemetry context: a metric [`Registry`] plus an optional
-/// event [`Journal`].
+/// A run's telemetry context: a metric [`Registry`], an optional event
+/// [`Journal`], and an optional span [`Tracer`].
 ///
 /// All methods take `&self` and the internals are atomics or mutexes, so
 /// one `Telemetry` can be shared across rayon workers by reference.
@@ -55,6 +60,7 @@ pub use timer::Timer;
 pub struct Telemetry {
     registry: Registry,
     journal: Option<Journal>,
+    tracer: Option<Tracer>,
 }
 
 impl Telemetry {
@@ -68,7 +74,16 @@ impl Telemetry {
         Ok(Telemetry {
             registry: Registry::new(),
             journal: Some(Journal::create(path)?),
+            tracer: None,
         })
+    }
+
+    /// Attaches a span [`Tracer`] (builder-style):
+    /// `Telemetry::new().with_tracing()`.
+    #[must_use]
+    pub fn with_tracing(mut self) -> Self {
+        self.tracer = Some(Tracer::new());
+        self
     }
 
     /// The metric registry.
@@ -79,6 +94,11 @@ impl Telemetry {
     /// The journal, when one was attached.
     pub fn journal(&self) -> Option<&Journal> {
         self.journal.as_ref()
+    }
+
+    /// The span tracer, when tracing was enabled.
+    pub fn tracer(&self) -> Option<&Tracer> {
+        self.tracer.as_ref()
     }
 
     /// Starts a journal event of the given kind, if a journal is
@@ -129,9 +149,21 @@ mod tests {
     fn telemetry_without_journal_skips_events() {
         let tele = Telemetry::new();
         assert!(tele.journal().is_none());
+        assert!(tele.tracer().is_none());
         assert!(tele.event("noop").is_none());
         tele.registry().counter("c").inc();
         tele.flush();
+    }
+
+    #[test]
+    fn with_tracing_attaches_a_tracer() {
+        let tele = Telemetry::new().with_tracing();
+        let tracer = tele.tracer().expect("tracer attached");
+        let id = tracer.span_id("rayfade_test/span");
+        {
+            let _g = tracer.span(id);
+        }
+        assert_eq!(tracer.snapshot().records.len(), 1);
     }
 
     #[test]

@@ -212,6 +212,42 @@ impl Histogram {
     pub fn bucket_counts(&self) -> [u64; HISTOGRAM_BUCKETS] {
         std::array::from_fn(|k| self.counts[k].load(Ordering::Relaxed))
     }
+
+    /// The `q`-quantile (`q` in `[0, 1]`, clamped) estimated from the
+    /// bucket counts, Prometheus-style: the target rank's bucket is
+    /// located on the cumulative distribution and the value is linearly
+    /// interpolated between the bucket's bounds. An empty histogram
+    /// reports `0.0`; ranks landing in the unbounded last bucket report
+    /// its (finite) lower bound.
+    pub fn percentile(&self, q: f64) -> f64 {
+        let counts = self.bucket_counts();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let q = if q.is_nan() { 0.0 } else { q.clamp(0.0, 1.0) };
+        let target = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut cumulative = 0u64;
+        for (k, &c) in counts.iter().enumerate() {
+            let before = cumulative;
+            cumulative += c;
+            if cumulative >= target {
+                if k == HISTOGRAM_BUCKETS - 1 {
+                    // The +Inf bucket has no width to interpolate over.
+                    return Self::upper_bound(HISTOGRAM_BUCKETS - 2);
+                }
+                let lower = if k == 0 {
+                    0.0
+                } else {
+                    Self::upper_bound(k - 1)
+                };
+                let upper = Self::upper_bound(k);
+                let frac = (target - before) as f64 / c as f64;
+                return lower + (upper - lower) * frac;
+            }
+        }
+        unreachable!("target rank is at most the total count")
+    }
 }
 
 #[cfg(test)]
@@ -271,6 +307,61 @@ mod tests {
             );
         }
         assert!(Histogram::upper_bound(HISTOGRAM_BUCKETS - 1).is_infinite());
+    }
+
+    #[test]
+    fn percentile_of_empty_histogram_is_zero() {
+        let h = Histogram::new();
+        for q in [0.0, 0.5, 0.95, 1.0] {
+            assert_eq!(h.percentile(q), 0.0);
+        }
+    }
+
+    #[test]
+    fn percentile_interpolates_within_a_single_bucket() {
+        let h = Histogram::new();
+        // All observations land in one bucket: (upper/2, upper].
+        let k = Histogram::bucket_index(3e-9);
+        let (lower, upper) = (Histogram::upper_bound(k - 1), Histogram::upper_bound(k));
+        for _ in 0..100 {
+            h.observe(3e-9);
+        }
+        for q in [0.01, 0.5, 0.95, 0.99, 1.0] {
+            let p = h.percentile(q);
+            assert!(
+                p > lower && p <= upper,
+                "p{q} = {p} outside bucket ({lower}, {upper}]"
+            );
+        }
+        assert!(h.percentile(0.25) < h.percentile(0.75), "monotone in q");
+        assert_eq!(h.percentile(1.0), upper, "top rank hits the upper bound");
+        // Out-of-range and NaN quantiles clamp instead of panicking.
+        assert_eq!(h.percentile(-1.0), h.percentile(0.0));
+        assert_eq!(h.percentile(2.0), h.percentile(1.0));
+        assert_eq!(h.percentile(f64::NAN), h.percentile(0.0));
+    }
+
+    #[test]
+    fn percentile_of_saturated_histogram_is_finite() {
+        let h = Histogram::new();
+        for _ in 0..10 {
+            h.observe(1e300); // lands in the +Inf bucket
+        }
+        let p = h.percentile(0.99);
+        assert!(p.is_finite());
+        assert_eq!(p, Histogram::upper_bound(HISTOGRAM_BUCKETS - 2));
+    }
+
+    #[test]
+    fn percentile_splits_across_buckets() {
+        let h = Histogram::new();
+        // Half the mass in bucket of 1.5e-9, half in bucket of 100.0.
+        for _ in 0..50 {
+            h.observe(1.5e-9);
+            h.observe(100.0);
+        }
+        assert!(h.percentile(0.25) <= 2e-9);
+        assert!(h.percentile(0.75) > 64.0 && h.percentile(0.75) <= 128.0);
     }
 
     #[test]

@@ -1,0 +1,114 @@
+//! Property tests for trace export: arbitrary nested span forests
+//! round-trip through the Chrome Trace JSON writer, re-parse with
+//! balanced `B`/`E` pairs, and keep exclusive time ≤ inclusive time.
+
+use proptest::prelude::*;
+use rayfade_telemetry::trace::{parse_chrome_trace, validate_chrome_trace, SpanRecord, Trace};
+
+/// Builds a properly nested span forest for one thread by interpreting a
+/// random open/close program against a stack — exactly how RAII guards
+/// nest in real code, so every generated forest is reachable.
+fn build_forest(ops: &[u8], tid: u64) -> Vec<SpanRecord> {
+    const NAMES: [&str; 4] = ["alpha", "beta", "gamma", "delta"];
+    let mut now = 0u64;
+    let mut open: Vec<(usize, u64)> = Vec::new();
+    let mut records = Vec::new();
+    for &op in ops {
+        now += 1 + u64::from(op >> 3); // strictly advancing timestamps
+        if op % 2 == 0 {
+            open.push(((op as usize / 2) % NAMES.len(), now));
+        } else if let Some((name, start_ns)) = open.pop() {
+            records.push(SpanRecord {
+                name: NAMES[name].to_string(),
+                tid,
+                start_ns,
+                end_ns: now,
+            });
+        }
+    }
+    while let Some((name, start_ns)) = open.pop() {
+        now += 1;
+        records.push(SpanRecord {
+            name: NAMES[name].to_string(),
+            tid,
+            start_ns,
+            end_ns: now,
+        });
+    }
+    records
+}
+
+fn sort_key(r: &SpanRecord) -> (u64, u64, u64, String) {
+    (r.tid, r.start_ns, r.end_ns, r.name.clone())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn span_forests_round_trip_through_chrome_json(
+        ops_a in prop::collection::vec(0u8..=255, 0..60),
+        ops_b in prop::collection::vec(0u8..=255, 0..60),
+    ) {
+        let mut records = build_forest(&ops_a, 1);
+        records.extend(build_forest(&ops_b, 2));
+        let spans = records.len();
+        let trace = Trace { records, dropped: 0 };
+
+        let json = trace.to_chrome_json();
+
+        // The validator accepts the document and sees every span as one
+        // balanced B/E pair.
+        let stats = validate_chrome_trace(&json);
+        prop_assert!(stats.is_ok(), "validator rejected: {:?}", stats);
+        prop_assert_eq!(stats.unwrap().spans, spans);
+
+        // Raw event counts balance: one B and one E per span.
+        let b_events = json.matches("\"ph\":\"B\"").count();
+        let e_events = json.matches("\"ph\":\"E\"").count();
+        prop_assert_eq!(b_events, spans);
+        prop_assert_eq!(e_events, spans);
+
+        // Parsing recovers the exact span multiset.
+        let mut back = parse_chrome_trace(&json).unwrap();
+        back.sort_by_key(sort_key);
+        let mut want = trace.records.clone();
+        want.sort_by_key(sort_key);
+        prop_assert_eq!(back, want);
+    }
+
+    #[test]
+    fn exclusive_time_never_exceeds_inclusive_time(
+        ops in prop::collection::vec(0u8..=255, 0..80),
+    ) {
+        let records = build_forest(&ops, 7);
+        let trace = Trace { records, dropped: 0 };
+        let profile = trace.self_profile();
+        let mut total_exclusive = 0u64;
+        for row in &profile.rows {
+            prop_assert!(
+                row.exclusive_ns <= row.total_ns,
+                "{}: exclusive {} > inclusive {}",
+                row.name, row.exclusive_ns, row.total_ns
+            );
+            prop_assert!(row.count > 0);
+            total_exclusive += row.exclusive_ns;
+        }
+        // Exclusive time partitions the forest: summed over all names it
+        // equals the total time covered by root spans.
+        let roots: u64 = {
+            let mut spans: Vec<&SpanRecord> = trace.records.iter().collect();
+            spans.sort_by_key(|r| (r.start_ns, std::cmp::Reverse(r.end_ns)));
+            let mut end = 0u64;
+            let mut sum = 0u64;
+            for s in spans {
+                if s.start_ns >= end {
+                    sum += s.end_ns - s.start_ns;
+                    end = s.end_ns;
+                }
+            }
+            sum
+        };
+        prop_assert_eq!(total_exclusive, roots);
+    }
+}
