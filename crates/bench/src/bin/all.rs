@@ -32,6 +32,7 @@ const EXPERIMENTS: &[&str] = &[
     "stability_exp",
     "evaluator_bench",
     "telemetry_overhead",
+    "conformance",
 ];
 
 fn main() {

@@ -1,0 +1,179 @@
+//! C1 — differential-oracle conformance sweep (see TESTING.md).
+//!
+//! Fuzzes the optimized evaluation/selection paths against the
+//! independent brute-force oracles of `rayfade-conformance` across the
+//! adversarial regimes, shrinks any divergence to a 1-minimal link set
+//! and writes it as a replayable TOML repro file.
+//!
+//! ```console
+//! cargo run -p rayfade-bench --release --bin conformance -- --quick
+//! cargo run -p rayfade-bench --release --bin conformance -- --seed 7 --per-regime 500
+//! cargo run -p rayfade-bench --release --bin conformance -- --replay crates/conformance/repros/<case>.toml
+//! ```
+//!
+//! `--quick` runs the fixed-seed CI sweep (240 instances). Without it, a
+//! deeper sweep of 200 instances per regime runs, seeded by `--seed`
+//! (default 0). On any divergence the binary writes
+//! `repro_<check>_<seed>.toml` into the output directory, prints the
+//! shrunk case and exits nonzero. `--replay <file>` re-runs one committed
+//! case and exits zero iff the recorded check now passes.
+
+use rayfade_conformance::{fuzz, Check, FuzzConfig, ReproCase};
+use std::path::PathBuf;
+use std::time::Instant;
+
+struct Args {
+    quick: bool,
+    out: PathBuf,
+    seed: u64,
+    per_regime: Option<usize>,
+    replay: Option<PathBuf>,
+}
+
+/// Hand-rolled parsing: this binary takes sweep-specific options that the
+/// shared `rayfade_bench::Cli` (which panics on unknown flags) does not
+/// know; `--telemetry`/`--trace` are accepted for `all`-runner
+/// compatibility and ignored (the sweep is pure computation).
+fn parse_args() -> Args {
+    let mut args = Args {
+        quick: false,
+        out: PathBuf::from("results"),
+        seed: 0,
+        per_regime: None,
+        replay: None,
+    };
+    let mut argv = std::env::args().skip(1);
+    while let Some(a) = argv.next() {
+        let mut value = |flag: &str| {
+            argv.next()
+                .unwrap_or_else(|| panic!("{flag} requires an argument"))
+        };
+        match a.as_str() {
+            "--quick" => args.quick = true,
+            "--out" => args.out = PathBuf::from(value("--out")),
+            "--seed" => {
+                args.seed = value("--seed")
+                    .parse()
+                    .expect("--seed requires an unsigned integer")
+            }
+            "--per-regime" => {
+                args.per_regime = Some(
+                    value("--per-regime")
+                        .parse()
+                        .expect("--per-regime requires a positive integer"),
+                )
+            }
+            "--replay" => args.replay = Some(PathBuf::from(value("--replay"))),
+            "--telemetry" => {
+                let _ = value("--telemetry");
+            }
+            "--trace" => {}
+            other => panic!(
+                "unknown argument: {other} (expected --quick / --out <dir> / --seed <n> / \
+                 --per-regime <n> / --replay <file>)"
+            ),
+        }
+    }
+    args
+}
+
+fn replay(path: &PathBuf) -> ! {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    let case = ReproCase::from_toml(&text)
+        .unwrap_or_else(|e| panic!("cannot parse {}: {e}", path.display()));
+    eprintln!(
+        "replaying {}: check {} on {} links (regime {}, seed {})",
+        path.display(),
+        case.check.name(),
+        case.gain.len(),
+        case.regime,
+        case.seed
+    );
+    match case.replay() {
+        Ok(()) => {
+            eprintln!("PASS: the recorded check holds on this build");
+            std::process::exit(0);
+        }
+        Err(message) => {
+            eprintln!("FAIL: divergence reproduces:\n{message}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    if let Some(path) = &args.replay {
+        replay(path);
+    }
+
+    let mut config = if args.quick {
+        FuzzConfig::quick()
+    } else {
+        FuzzConfig::thorough(args.seed)
+    };
+    if let Some(per) = args.per_regime {
+        config.instances_per_regime = per;
+    }
+    eprintln!(
+        "conformance sweep: {} regimes x {} instances x {} checks (base seed {:#x}) ...",
+        fuzz::Regime::ALL.len(),
+        config.instances_per_regime,
+        Check::ALL.len(),
+        config.base_seed
+    );
+
+    let started = Instant::now();
+    let report = fuzz::run_sweep_with(&config, |regime, instances, failures| {
+        eprintln!(
+            "  {:<18} done ({instances} instances so far, {failures} failures)",
+            regime.name()
+        );
+    });
+    let elapsed = started.elapsed();
+
+    std::fs::create_dir_all(&args.out).expect("create output directory");
+    let mut csv = String::from("regimes,instances,checks,failures,seconds\n");
+    csv.push_str(&format!(
+        "{},{},{},{},{:.3}\n",
+        fuzz::Regime::ALL.len(),
+        report.instances,
+        report.checks_run,
+        report.failures.len(),
+        elapsed.as_secs_f64()
+    ));
+    let csv_path = args.out.join("conformance.csv");
+    std::fs::write(&csv_path, csv).expect("write CSV");
+
+    for failure in &report.failures {
+        let case = &failure.case;
+        let name = format!("repro_{}_{}.toml", case.check.name(), case.seed);
+        let path = args.out.join(&name);
+        std::fs::write(&path, case.to_toml()).expect("write repro file");
+        eprintln!(
+            "\nDIVERGENCE: check {} (regime {}, seed {}), shrunk {} -> {} links",
+            case.check.name(),
+            case.regime,
+            case.seed,
+            failure.original_links,
+            case.gain.len()
+        );
+        eprintln!("  {}", case.message.replace('\n', "\n  "));
+        eprintln!("  repro written to {}", path.display());
+    }
+
+    eprintln!(
+        "\n{} instances, {} check executions in {:.2}s; CSV at {}",
+        report.instances,
+        report.checks_run,
+        elapsed.as_secs_f64(),
+        csv_path.display()
+    );
+    if report.passed() {
+        eprintln!("status: OK (fast paths conform to the paper oracles)");
+    } else {
+        eprintln!("status: {} DIVERGENCES", report.failures.len());
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,279 @@
+//! Committed repro cases: a self-contained TOML snapshot of a failing
+//! instance.
+//!
+//! A [`ReproCase`] pins everything needed to replay one conformance check
+//! deterministically: the check name, the regime and seed that produced
+//! the instance (provenance), the SINR parameters and the raw gain
+//! matrix. Floats are serialized with Rust's shortest round-trip
+//! formatting (`{:?}`), so a parsed case is **bit-identical** to the one
+//! that failed.
+//!
+//! The build environment is hermetic (no registry crates), so this module
+//! hand-rolls the tiny TOML subset the format needs — comments,
+//! `key = value` scalars, `[section]` headers and single-line float
+//! arrays — rather than depending on a TOML crate. Files it writes are
+//! valid TOML; the parser rejects anything outside the subset loudly.
+
+use crate::checks::{Check, Instance};
+use rayfade_sinr::{GainMatrix, SinrParams};
+
+/// Format version written to every case; bumped on incompatible changes.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// A replayable minimal failing instance (see module docs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReproCase {
+    /// Which conformance check failed (see [`Check::name`]).
+    pub check: Check,
+    /// Name of the fuzz regime that generated the original instance.
+    pub regime: String,
+    /// Seed of the original instance; replays drive per-check randomness
+    /// (probability vectors, op sequences) from it.
+    pub seed: u64,
+    /// Human-readable divergence description, written as comments.
+    pub message: String,
+    /// Model parameters of the failing instance.
+    pub params: SinrParams,
+    /// The (shrunk) gain matrix of the failing instance.
+    pub gain: GainMatrix,
+}
+
+impl ReproCase {
+    /// The instance this case replays.
+    pub fn instance(&self) -> Instance {
+        Instance {
+            gain: self.gain.clone(),
+            params: self.params,
+            seed: self.seed,
+        }
+    }
+
+    /// Re-runs the recorded check on the recorded instance.
+    pub fn replay(&self) -> Result<(), String> {
+        self.check.run(&self.instance())
+    }
+
+    /// Serializes to the committed TOML format.
+    pub fn to_toml(&self) -> String {
+        let mut out = String::new();
+        out.push_str("# rayfade conformance repro case (replay: cargo run -p rayfade-bench \\\n");
+        out.push_str("#   --release --bin conformance -- --replay <this file>; see TESTING.md)\n");
+        for line in self.message.lines() {
+            out.push_str("# ");
+            out.push_str(line);
+            out.push('\n');
+        }
+        out.push_str(&format!("schema = {}\n", SCHEMA_VERSION));
+        out.push_str(&format!("check = \"{}\"\n", self.check.name()));
+        out.push_str(&format!("regime = \"{}\"\n", self.regime));
+        out.push_str(&format!("seed = {}\n", self.seed));
+        out.push_str(&format!("links = {}\n", self.gain.len()));
+        out.push_str("\n[params]\n");
+        out.push_str(&format!("alpha = {:?}\n", self.params.alpha));
+        out.push_str(&format!("beta = {:?}\n", self.params.beta));
+        out.push_str(&format!("noise = {:?}\n", self.params.noise));
+        out.push_str("\n[gain]\n");
+        for i in 0..self.gain.len() {
+            let row: Vec<String> = self
+                .gain
+                .at_receiver(i)
+                .iter()
+                .map(|v| format!("{v:?}"))
+                .collect();
+            out.push_str(&format!("row_{i} = [{}]\n", row.join(", ")));
+        }
+        out
+    }
+
+    /// Parses a case previously written by [`Self::to_toml`].
+    pub fn from_toml(text: &str) -> Result<ReproCase, String> {
+        let mut section = String::new();
+        let mut schema = None;
+        let mut check = None;
+        let mut regime = None;
+        let mut seed = None;
+        let mut links: Option<usize> = None;
+        let mut alpha = None;
+        let mut beta = None;
+        let mut noise = None;
+        let mut rows: Vec<(usize, Vec<f64>)> = Vec::new();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+                section = name.trim().to_string();
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| format!("line {}: expected `key = value`", lineno + 1))?;
+            let (key, value) = (key.trim(), value.trim());
+            let ctx = |e: String| format!("line {}: {e}", lineno + 1);
+            match (section.as_str(), key) {
+                ("", "schema") => schema = Some(parse_u64(value).map_err(ctx)?),
+                ("", "check") => {
+                    let name = parse_string(value).map_err(ctx)?;
+                    check =
+                        Some(Check::from_name(&name).ok_or_else(|| {
+                            format!("line {}: unknown check {name:?}", lineno + 1)
+                        })?);
+                }
+                ("", "regime") => regime = Some(parse_string(value).map_err(ctx)?),
+                ("", "seed") => seed = Some(parse_u64(value).map_err(ctx)?),
+                ("", "links") => links = Some(parse_u64(value).map_err(ctx)? as usize),
+                ("params", "alpha") => alpha = Some(parse_f64(value).map_err(ctx)?),
+                ("params", "beta") => beta = Some(parse_f64(value).map_err(ctx)?),
+                ("params", "noise") => noise = Some(parse_f64(value).map_err(ctx)?),
+                ("gain", k) if k.starts_with("row_") => {
+                    let idx: usize = k[4..]
+                        .parse()
+                        .map_err(|_| format!("line {}: bad row index {k:?}", lineno + 1))?;
+                    rows.push((idx, parse_f64_array(value).map_err(ctx)?));
+                }
+                (s, k) => {
+                    return Err(format!(
+                        "line {}: unexpected key {k:?} in section {s:?}",
+                        lineno + 1
+                    ))
+                }
+            }
+        }
+        let schema = schema.ok_or("missing `schema`")?;
+        if schema != SCHEMA_VERSION {
+            return Err(format!(
+                "unsupported schema {schema} (this build reads {SCHEMA_VERSION})"
+            ));
+        }
+        let n = links.ok_or("missing `links`")?;
+        if rows.len() != n {
+            return Err(format!("expected {n} gain rows, found {}", rows.len()));
+        }
+        rows.sort_by_key(|(i, _)| *i);
+        let mut g = Vec::with_capacity(n * n);
+        for (expect, (idx, row)) in rows.into_iter().enumerate() {
+            if idx != expect {
+                return Err(format!("missing or duplicate gain row_{expect}"));
+            }
+            if row.len() != n {
+                return Err(format!("row_{idx} has {} entries, expected {n}", row.len()));
+            }
+            g.extend(row);
+        }
+        Ok(ReproCase {
+            check: check.ok_or("missing `check`")?,
+            regime: regime.ok_or("missing `regime`")?,
+            seed: seed.ok_or("missing `seed`")?,
+            message: String::new(),
+            params: SinrParams::new(
+                alpha.ok_or("missing `params.alpha`")?,
+                beta.ok_or("missing `params.beta`")?,
+                noise.ok_or("missing `params.noise`")?,
+            ),
+            gain: GainMatrix::from_raw(n, g),
+        })
+    }
+}
+
+fn parse_u64(v: &str) -> Result<u64, String> {
+    v.parse()
+        .map_err(|_| format!("expected integer, got {v:?}"))
+}
+
+fn parse_f64(v: &str) -> Result<f64, String> {
+    v.parse().map_err(|_| format!("expected float, got {v:?}"))
+}
+
+fn parse_string(v: &str) -> Result<String, String> {
+    v.strip_prefix('"')
+        .and_then(|s| s.strip_suffix('"'))
+        .map(str::to_string)
+        .ok_or_else(|| format!("expected quoted string, got {v:?}"))
+}
+
+fn parse_f64_array(v: &str) -> Result<Vec<f64>, String> {
+    let inner = v
+        .strip_prefix('[')
+        .and_then(|s| s.strip_suffix(']'))
+        .ok_or_else(|| format!("expected [array], got {v:?}"))?;
+    let inner = inner.trim();
+    if inner.is_empty() {
+        return Ok(Vec::new());
+    }
+    inner.split(',').map(|e| parse_f64(e.trim())).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ReproCase {
+        ReproCase {
+            check: Check::EvaluatorSetProbs,
+            regime: "huge-dynamic-range".into(),
+            seed: 0xdead_beef,
+            message: "fast 0.5 vs oracle 0.25\nsecond line".into(),
+            params: SinrParams::new(2.75, 1.5, 1e-3),
+            gain: GainMatrix::from_raw(2, vec![1.0, 2.5e-30, 0.125, 9.9e200]),
+        }
+    }
+
+    #[test]
+    fn toml_round_trip_is_bit_exact() {
+        let case = sample();
+        let text = case.to_toml();
+        let back = ReproCase::from_toml(&text).unwrap();
+        assert_eq!(back.check, case.check);
+        assert_eq!(back.regime, case.regime);
+        assert_eq!(back.seed, case.seed);
+        assert_eq!(back.params, case.params);
+        assert_eq!(back.gain, case.gain); // bit-exact via {:?} round-trip
+                                          // Message is carried as comments and intentionally not parsed back.
+        assert!(back.message.is_empty());
+        assert!(text.contains("fast 0.5 vs oracle 0.25"));
+    }
+
+    #[test]
+    fn round_trip_survives_awkward_floats() {
+        for v in [
+            f64::MIN_POSITIVE,
+            5e-324, // smallest subnormal
+            0.1,
+            1.0 / 3.0,
+            1.7976931348623157e308,
+            0.0,
+        ] {
+            let case = ReproCase {
+                gain: GainMatrix::from_raw(1, vec![v]),
+                ..sample()
+            };
+            let back = ReproCase::from_toml(&case.to_toml()).unwrap();
+            assert_eq!(back.gain.signal(0).to_bits(), v.to_bits(), "{v:e}");
+        }
+    }
+
+    #[test]
+    fn parser_rejects_malformed_cases() {
+        assert!(ReproCase::from_toml("").is_err());
+        let text = sample().to_toml();
+        assert!(ReproCase::from_toml(&text.replace("schema = 1", "schema = 99")).is_err());
+        assert!(ReproCase::from_toml(&text.replace("row_1", "row_7")).is_err());
+        assert!(ReproCase::from_toml(&text.replace("links = 2", "links = 3")).is_err());
+        assert!(ReproCase::from_toml(&text.replace(
+            "check = \"evaluator-set-probs\"",
+            "check = \"no-such-check\""
+        ))
+        .is_err());
+    }
+
+    #[test]
+    fn empty_instance_round_trips() {
+        let case = ReproCase {
+            gain: GainMatrix::from_raw(0, vec![]),
+            ..sample()
+        };
+        let back = ReproCase::from_toml(&case.to_toml()).unwrap();
+        assert_eq!(back.gain.len(), 0);
+    }
+}

@@ -1,0 +1,443 @@
+//! Seeded differential fuzz loop.
+//!
+//! Draws instances from a catalogue of adversarial [`Regime`]s, runs the
+//! full [`Check`] catalogue on each, and — on any divergence — shrinks
+//! the instance with [`crate::shrink`] and packages it as a replayable
+//! [`ReproCase`]. Everything is driven by one base seed: re-running with
+//! the same seed reproduces the exact sweep, instance by instance.
+//!
+//! q→0/1 adversarial coverage lives inside the checks themselves (every
+//! per-check probability vector mixes exact 0/1 and `1e-12`-from-boundary
+//! draws, see `Instance::random_probs`); the regimes below stress the
+//! *instance* axes: geometry, gain dynamic range, sparsity and the
+//! placement of β relative to achieved SINRs.
+
+use crate::case::ReproCase;
+use crate::checks::{Check, Instance};
+use crate::shrink::shrink_instance;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rayfade_core::mix_seed2;
+use rayfade_geometry::{
+    ClusteredTopology, ExponentialChain, GridTopology, PaperTopology, RandomPairs,
+};
+use rayfade_sinr::{mask_from_set, sinr, GainMatrix, PowerAssignment, SinrParams};
+
+/// One adversarial instance-generation regime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Regime {
+    /// The paper's own experimental topology (uniform receivers, bounded
+    /// link lengths) with randomized parameters — the "normal" baseline.
+    Paper,
+    /// Receivers gathered in tight clusters: heavy mutual interference.
+    Clustered,
+    /// Unconstrained sender/receiver pairs, including very short and very
+    /// long links in one instance.
+    RandomPairs,
+    /// β planted at a link's achieved SINR times `1 ± 10^-u`, `u ≤ 12`:
+    /// feasibility decisions a hair from the boundary.
+    NearThreshold,
+    /// Raw gain matrices log-uniform over `10^±150`, noise likewise:
+    /// stresses overflow/underflow handling in products and logs.
+    HugeDynamicRange,
+    /// Sparse matrices where most entries — sometimes whole own-gain
+    /// diagonals — are exactly zero, with occasional zero noise.
+    ZeroGains,
+    /// Ordinary geometry under extreme parameters: β from `10^-6` to
+    /// `10^6`, noise from 0 to `10^6`.
+    ExtremeParams,
+    /// Degenerate shapes: `n ∈ {0, 1}`, all-equal gains, exact duplicate
+    /// links, grids and exponential chains.
+    Degenerate,
+}
+
+impl Regime {
+    /// All regimes, in sweep order.
+    pub const ALL: &'static [Regime] = &[
+        Regime::Paper,
+        Regime::Clustered,
+        Regime::RandomPairs,
+        Regime::NearThreshold,
+        Regime::HugeDynamicRange,
+        Regime::ZeroGains,
+        Regime::ExtremeParams,
+        Regime::Degenerate,
+    ];
+
+    /// Stable kebab-case name (used in repro files and reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            Regime::Paper => "paper",
+            Regime::Clustered => "clustered",
+            Regime::RandomPairs => "random-pairs",
+            Regime::NearThreshold => "near-threshold",
+            Regime::HugeDynamicRange => "huge-dynamic-range",
+            Regime::ZeroGains => "zero-gains",
+            Regime::ExtremeParams => "extreme-params",
+            Regime::Degenerate => "degenerate",
+        }
+    }
+
+    /// Generates the regime's instance for a seed. Deterministic: the
+    /// same `(regime, seed)` always yields the same instance.
+    pub fn instance(self, seed: u64) -> Instance {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xc0f0_44a7_9c58_21d3);
+        match self {
+            Regime::Paper => geometric_instance(self, seed, &mut rng),
+            Regime::Clustered => geometric_instance(self, seed, &mut rng),
+            Regime::RandomPairs => geometric_instance(self, seed, &mut rng),
+            Regime::NearThreshold => {
+                let base = geometric_instance(Regime::Paper, seed, &mut rng);
+                plant_near_threshold(base, &mut rng)
+            }
+            Regime::HugeDynamicRange => {
+                let n = rng.gen_range(1usize..=10);
+                let g: Vec<f64> = (0..n * n).map(|_| log_uniform(&mut rng, 150.0)).collect();
+                Instance {
+                    gain: GainMatrix::from_raw(n, g),
+                    params: SinrParams::new(
+                        rng.gen_range(2.0..4.0),
+                        log_uniform(&mut rng, 3.0),
+                        log_uniform(&mut rng, 150.0),
+                    ),
+                    seed,
+                }
+            }
+            Regime::ZeroGains => {
+                let n = rng.gen_range(1usize..=12);
+                let g: Vec<f64> = (0..n * n)
+                    .map(|_| {
+                        if rng.gen_range(0u32..2) == 0 {
+                            0.0
+                        } else {
+                            log_uniform(&mut rng, 20.0)
+                        }
+                    })
+                    .collect();
+                let noise = if rng.gen_range(0u32..4) == 0 {
+                    0.0
+                } else {
+                    log_uniform(&mut rng, 6.0)
+                };
+                Instance {
+                    gain: GainMatrix::from_raw(n, g),
+                    params: SinrParams::new(
+                        rng.gen_range(2.0..4.0),
+                        log_uniform(&mut rng, 2.0),
+                        noise,
+                    ),
+                    seed,
+                }
+            }
+            Regime::ExtremeParams => {
+                let base = geometric_instance(Regime::Paper, seed, &mut rng);
+                let beta = [1e-6, 1e-3, 1.0, 1e3, 1e6][rng.gen_range(0usize..5)];
+                let noise = [0.0, 1e-12, 1.0, 1e6][rng.gen_range(0usize..4)];
+                Instance {
+                    params: SinrParams::new(base.params.alpha, beta, noise),
+                    ..base
+                }
+            }
+            Regime::Degenerate => degenerate_instance(seed, &mut rng),
+        }
+    }
+}
+
+/// Log-uniform draw over `10^[-mag, mag]`.
+fn log_uniform(rng: &mut StdRng, mag: f64) -> f64 {
+    10f64.powf(rng.gen_range(-mag..=mag))
+}
+
+fn random_params(rng: &mut StdRng) -> SinrParams {
+    if rng.gen_range(0u32..4) == 0 {
+        SinrParams::figure1()
+    } else {
+        SinrParams::new(
+            rng.gen_range(2.1..4.0),
+            rng.gen_range(0.5..3.0),
+            log_uniform(rng, 6.0),
+        )
+    }
+}
+
+fn geometric_instance(regime: Regime, seed: u64, rng: &mut StdRng) -> Instance {
+    let n = rng.gen_range(2usize..=14);
+    let net = match regime {
+        Regime::Clustered => ClusteredTopology {
+            links: n,
+            clusters: rng.gen_range(1usize..=3),
+            side: rng.gen_range(200.0..1000.0),
+            spread: rng.gen_range(5.0..50.0),
+            min_length: 10.0,
+            max_length: 40.0,
+        }
+        .generate(seed),
+        Regime::RandomPairs => RandomPairs {
+            links: n,
+            side: rng.gen_range(100.0..2000.0),
+            min_length: 1e-3,
+        }
+        .generate(seed),
+        _ => {
+            let min_length = rng.gen_range(5.0..30.0);
+            PaperTopology {
+                links: n,
+                side: rng.gen_range(100.0..1000.0),
+                min_length,
+                max_length: min_length + rng.gen_range(1.0..40.0),
+            }
+            .generate(seed)
+        }
+    };
+    let params = random_params(rng);
+    let power = if rng.gen_range(0u32..2) == 0 {
+        PowerAssignment::figure1_uniform()
+    } else {
+        PowerAssignment::figure1_square_root()
+    };
+    Instance {
+        gain: GainMatrix::from_geometry(&net, &power, params.alpha),
+        params,
+        seed,
+    }
+}
+
+/// Moves β to a random link's achieved SINR under a random transmit set,
+/// within a factor `1 ± 10^-u` — so feasibility hangs on the last bits.
+fn plant_near_threshold(base: Instance, rng: &mut StdRng) -> Instance {
+    let n = base.gain.len();
+    let set: Vec<usize> = (0..n).filter(|_| rng.gen_range(0u32..2) == 0).collect();
+    if set.is_empty() {
+        return base;
+    }
+    let i = set[rng.gen_range(0..set.len())];
+    let mask = mask_from_set(n, &set);
+    let achieved = sinr(&base.gain, &base.params, &mask, i);
+    if !achieved.is_finite() || achieved <= 0.0 {
+        return base;
+    }
+    let u = rng.gen_range(3i32..=12);
+    let sign = if rng.gen_range(0u32..2) == 0 {
+        1.0
+    } else {
+        -1.0
+    };
+    let beta = achieved * (1.0 + sign * 10f64.powi(-u));
+    if !(beta.is_finite() && beta > 0.0) {
+        return base;
+    }
+    Instance {
+        params: SinrParams::new(base.params.alpha, beta, base.params.noise),
+        ..base
+    }
+}
+
+fn degenerate_instance(seed: u64, rng: &mut StdRng) -> Instance {
+    let params = random_params(rng);
+    let gain = match rng.gen_range(0u32..6) {
+        0 => GainMatrix::from_raw(0, Vec::new()),
+        1 => GainMatrix::from_raw(1, vec![log_uniform(rng, 6.0)]),
+        2 => {
+            // All entries identical: every link is every other link's twin.
+            let n = rng.gen_range(2usize..=8);
+            let v = log_uniform(rng, 6.0);
+            GainMatrix::from_raw(n, vec![v; n * n])
+        }
+        3 => {
+            // Exact duplicate block: links i and i+k are indistinguishable.
+            let k = rng.gen_range(2usize..=5);
+            let base: Vec<f64> = (0..k * k).map(|_| log_uniform(rng, 6.0)).collect();
+            let n = 2 * k;
+            let mut g = vec![0.0; n * n];
+            for i in 0..n {
+                for j in 0..n {
+                    g[i * n + j] = base[(i % k) * k + (j % k)];
+                }
+            }
+            GainMatrix::from_raw(n, g)
+        }
+        4 => {
+            let net = GridTopology {
+                rows: rng.gen_range(1usize..=3),
+                cols: rng.gen_range(1usize..=4),
+                spacing: rng.gen_range(10.0..100.0),
+                length: rng.gen_range(1.0..9.0),
+            }
+            .generate();
+            GainMatrix::from_geometry(&net, &PowerAssignment::figure1_uniform(), params.alpha)
+        }
+        _ => {
+            let net = ExponentialChain {
+                links: rng.gen_range(2usize..=12),
+                base: 1.0,
+                growth: 2.0,
+            }
+            .generate();
+            GainMatrix::from_geometry(&net, &PowerAssignment::figure1_uniform(), params.alpha)
+        }
+    };
+    Instance { gain, params, seed }
+}
+
+/// Configuration of one fuzz sweep.
+#[derive(Debug, Clone)]
+pub struct FuzzConfig {
+    /// Base seed; the per-instance seed is `mix_seed2(base, regime, k)`.
+    pub base_seed: u64,
+    /// Instances generated per regime.
+    pub instances_per_regime: usize,
+    /// Checks to run (defaults to the full catalogue).
+    pub checks: Vec<Check>,
+    /// Stop after this many failures (each failure costs a shrink).
+    pub max_failures: usize,
+}
+
+impl FuzzConfig {
+    /// The CI `--quick` sweep: fixed seed, 30 instances × 8 regimes = 240
+    /// instances (the acceptance floor is 200), full catalogue.
+    pub fn quick() -> Self {
+        FuzzConfig {
+            base_seed: 0xc04f_0420_2012_5a1d,
+            instances_per_regime: 30,
+            checks: Check::ALL.to_vec(),
+            max_failures: 8,
+        }
+    }
+
+    /// A deeper sweep for local soak runs.
+    pub fn thorough(base_seed: u64) -> Self {
+        FuzzConfig {
+            base_seed,
+            instances_per_regime: 200,
+            ..FuzzConfig::quick()
+        }
+    }
+}
+
+/// One divergence found by the sweep, already shrunk.
+#[derive(Debug, Clone)]
+pub struct FuzzFailure {
+    /// The shrunk, replayable case.
+    pub case: ReproCase,
+    /// Links in the instance before shrinking.
+    pub original_links: usize,
+}
+
+/// Outcome of a sweep.
+#[derive(Debug, Clone, Default)]
+pub struct FuzzReport {
+    /// Instances generated and checked.
+    pub instances: usize,
+    /// Individual check executions (instances × catalogue size).
+    pub checks_run: usize,
+    /// All divergences, shrunk and packaged.
+    pub failures: Vec<FuzzFailure>,
+}
+
+impl FuzzReport {
+    /// True when the sweep found no divergence.
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Runs a sweep; `progress` is called once per regime with
+/// `(regime, instances_done_so_far, failures_so_far)`.
+pub fn run_sweep_with(
+    config: &FuzzConfig,
+    mut progress: impl FnMut(Regime, usize, usize),
+) -> FuzzReport {
+    let mut report = FuzzReport::default();
+    'outer: for (r, &regime) in Regime::ALL.iter().enumerate() {
+        for k in 0..config.instances_per_regime {
+            let seed = mix_seed2(config.base_seed, r as u64, k as u64);
+            let inst = regime.instance(seed);
+            report.instances += 1;
+            for &check in &config.checks {
+                report.checks_run += 1;
+                if let Err(message) = check.run(&inst) {
+                    let original_links = inst.gain.len();
+                    let (shrunk, message) = shrink_instance(check, &inst, message);
+                    report.failures.push(FuzzFailure {
+                        case: ReproCase {
+                            check,
+                            regime: regime.name().to_string(),
+                            seed,
+                            message,
+                            params: shrunk.params,
+                            gain: shrunk.gain,
+                        },
+                        original_links,
+                    });
+                    if report.failures.len() >= config.max_failures {
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        progress(regime, report.instances, report.failures.len());
+    }
+    report
+}
+
+/// [`run_sweep_with`] without progress reporting.
+pub fn run_sweep(config: &FuzzConfig) -> FuzzReport {
+    run_sweep_with(config, |_, _, _| {})
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regimes_are_deterministic() {
+        for &regime in Regime::ALL {
+            let a = regime.instance(42);
+            let b = regime.instance(42);
+            assert_eq!(a, b, "{} not deterministic", regime.name());
+            assert!(a.gain.len() <= 14, "{} too large", regime.name());
+        }
+    }
+
+    #[test]
+    fn near_threshold_plants_beta_on_the_boundary() {
+        // At least one seed must land β within 10^-3 of an achieved SINR.
+        let mut planted = 0;
+        for seed in 0..20 {
+            let inst = Regime::NearThreshold.instance(seed);
+            let base = Regime::Paper.instance(seed);
+            if inst.params.beta != base.params.beta {
+                planted += 1;
+            }
+        }
+        assert!(planted > 10, "only {planted}/20 seeds planted a boundary β");
+    }
+
+    #[test]
+    fn zero_gains_regime_actually_produces_zeros() {
+        let inst = Regime::ZeroGains.instance(3);
+        let n = inst.gain.len();
+        let zeros = (0..n)
+            .flat_map(|i| inst.gain.at_receiver(i).iter())
+            .filter(|&&v| v == 0.0)
+            .count();
+        assert!(n == 0 || zeros > 0);
+    }
+
+    #[test]
+    fn tiny_sweep_runs_clean() {
+        let config = FuzzConfig {
+            base_seed: 7,
+            instances_per_regime: 2,
+            checks: Check::ALL.to_vec(),
+            max_failures: 1,
+        };
+        let report = run_sweep(&config);
+        assert_eq!(report.instances, 2 * Regime::ALL.len());
+        assert!(
+            report.passed(),
+            "sweep diverged: {}",
+            report.failures[0].case.message
+        );
+    }
+}

@@ -1,0 +1,41 @@
+//! Differential-oracle conformance harness for the rayfade workspace.
+//!
+//! The optimized paths in `rayfade-core`, `rayfade-sinr` and
+//! `rayfade-sched` (log-domain accumulation, cached interference ratios,
+//! incremental evaluators, branch-and-bound) are all *derived* from the
+//! formulas of Dams, Hoefer & Kesselheim (SPAA 2012). This crate checks
+//! them against oracles *re-derived independently from the paper alone*:
+//!
+//! - [`oracle`] — naive transcriptions of Theorem 1, affectance, the
+//!   non-fading SINR predicate, `O(2ⁿ)` exhaustive optima and a dense
+//!   matrix-squaring spectral radius. No code shared with the fast paths:
+//!   direct products instead of log-domain accumulation, re-summation
+//!   instead of caching, `O(n²)` per probability instead of `O(1)`.
+//! - [`checks`] — the check catalogue: differential comparisons (fast ≡
+//!   oracle within documented tolerances) plus metamorphic properties
+//!   that need no oracle at all (permutation invariance, link-removal
+//!   monotonicity, power-scaling invariance, duplicate-link degeneracy).
+//! - [`fuzz`] — a seeded sweep over adversarial regimes: near-threshold
+//!   β, zero and astronomically large gains, degenerate geometry.
+//! - [`shrink`] — a ddmin delta-debugger that cuts a failing instance to
+//!   a 1-minimal core.
+//! - [`case`] — replayable TOML repro files with bit-exact floats,
+//!   committed under `repros/` and replayed by
+//!   `cargo run -p rayfade-bench --release --bin conformance -- --replay`.
+//!
+//! See TESTING.md at the workspace root for the oracle catalogue, the
+//! tolerance table and operating instructions.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod case;
+pub mod checks;
+pub mod fuzz;
+pub mod oracle;
+pub mod shrink;
+
+pub use case::{ReproCase, SCHEMA_VERSION};
+pub use checks::{Check, Instance, ABS_TOL, EXHAUSTIVE_LIMIT, KNIFE_EDGE};
+pub use fuzz::{run_sweep, run_sweep_with, FuzzConfig, FuzzFailure, FuzzReport, Regime};
+pub use shrink::shrink_instance;

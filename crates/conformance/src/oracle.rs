@@ -1,0 +1,539 @@
+//! Independent brute-force oracles, transcribed from the paper's formulas.
+//!
+//! Every function here is a *deliberately naive* reimplementation of a
+//! quantity the fast paths in `rayfade-core` / `rayfade-sinr` compute with
+//! caches, log-domain accumulation, compensated summation, incremental
+//! updates or branch-and-bound. The oracles share **no code** with those
+//! paths: they read raw matrix entries through [`GainMatrix`]'s accessors
+//! (used purely as a data container) and evaluate each formula by direct
+//! products, plain `+=` summation and exhaustive enumeration. Their only
+//! job is to be obviously correct; the differential fuzz loop
+//! ([`crate::fuzz`]) then asserts fast ≡ oracle within the tolerances
+//! documented in TESTING.md.
+
+use rayfade_sinr::{GainMatrix, SinrParams};
+
+/// Theorem 1 success probability, by direct product:
+///
+/// ```text
+/// Q_i(q, β) = q_i · exp(−β·ν/S̄ii) · Π_{j≠i} (1 − β·q_j/(β + S̄ii/S̄ji))
+/// ```
+///
+/// No log-domain, no caching, no factor skipping: `S̄ji = 0` yields
+/// `S̄ii/S̄ji = ∞` and a factor of exactly 1, so the formula needs no
+/// special cases beyond a dead own-signal (probability 0).
+pub fn success_probability(gain: &GainMatrix, params: &SinrParams, probs: &[f64], i: usize) -> f64 {
+    assert_eq!(probs.len(), gain.len(), "one probability per link");
+    let s_ii = gain.signal(i);
+    if s_ii == 0.0 {
+        return 0.0;
+    }
+    let beta = params.beta;
+    let mut q = probs[i] * (-beta * params.noise / s_ii).exp();
+    for (j, &q_j) in probs.iter().enumerate() {
+        if j == i {
+            continue;
+        }
+        q *= 1.0 - beta * q_j / (beta + s_ii / gain.gain(j, i));
+    }
+    q
+}
+
+/// Expected successes `Σ_i Q_i` by direct (uncompensated) summation.
+pub fn expected_successes(gain: &GainMatrix, params: &SinrParams, probs: &[f64]) -> f64 {
+    let mut total = 0.0;
+    for i in 0..gain.len() {
+        total += success_probability(gain, params, probs, i);
+    }
+    total
+}
+
+/// Theorem 1 specialized to a deterministic transmit set (`q ∈ {0,1}ⁿ`):
+/// 0 when `i ∉ set`, else the direct product with `q_j = 1` for `j ∈ set`.
+pub fn success_probability_of_set(
+    gain: &GainMatrix,
+    params: &SinrParams,
+    set: &[usize],
+    i: usize,
+) -> f64 {
+    if !set.contains(&i) {
+        return 0.0;
+    }
+    let mut probs = vec![0.0; gain.len()];
+    for &j in set {
+        probs[j] = 1.0;
+    }
+    success_probability(gain, params, &probs, i)
+}
+
+/// Expected successes of a fixed transmit set, by direct summation.
+pub fn expected_successes_of_set(gain: &GainMatrix, params: &SinrParams, set: &[usize]) -> f64 {
+    let mut total = 0.0;
+    for &i in set {
+        total += success_probability_of_set(gain, params, set, i);
+    }
+    total
+}
+
+/// Unclipped affectance `a(j,i) = β·S̄ji / (S̄ii − β·ν)` (Lemma 6 / the
+/// Halldórsson–Wattenhofer normalization): `∞` when the noise margin is
+/// non-positive, 0 on the diagonal.
+pub fn affectance_unclipped(gain: &GainMatrix, params: &SinrParams, j: usize, i: usize) -> f64 {
+    if j == i {
+        return 0.0;
+    }
+    let margin = gain.signal(i) - params.beta * params.noise;
+    if margin <= 0.0 {
+        return f64::INFINITY;
+    }
+    params.beta * gain.gain(j, i) / margin
+}
+
+/// Clipped affectance `min{1, a(j,i)}` — the paper's form.
+pub fn affectance(gain: &GainMatrix, params: &SinrParams, j: usize, i: usize) -> f64 {
+    if j == i {
+        0.0
+    } else {
+        affectance_unclipped(gain, params, j, i).min(1.0)
+    }
+}
+
+/// Non-fading slack of link `i` inside `set`: `S̄ii − β·(I_i + ν)` with
+/// `I_i = Σ_{j∈set, j≠i} S̄ji` by plain summation. Positive means `i`
+/// meets its SINR constraint with margin; the magnitude tells a
+/// differential check how far the instance is from the decision boundary
+/// (knife-edge instances are skipped, see TESTING.md).
+pub fn nonfading_slack(gain: &GainMatrix, params: &SinrParams, set: &[usize], i: usize) -> f64 {
+    let mut interference = 0.0;
+    for &j in set {
+        if j != i {
+            interference += gain.gain(j, i);
+        }
+    }
+    gain.signal(i) - params.beta * (interference + params.noise)
+}
+
+/// Direct non-fading feasibility of a transmit set: every member's SINR
+/// constraint `S̄ii ≥ β·(I_i + ν)`, straight from the definition.
+pub fn set_is_feasible(gain: &GainMatrix, params: &SinrParams, set: &[usize]) -> bool {
+    set.iter()
+        .all(|&i| nonfading_slack(gain, params, set, i) >= 0.0)
+}
+
+/// Smallest absolute distance of any member's constraint from the
+/// feasible/infeasible boundary, scaled by that member's own signal
+/// (`∞` for the empty set). Checks use this to skip knife-edge sets.
+pub fn feasibility_margin(gain: &GainMatrix, params: &SinrParams, set: &[usize]) -> f64 {
+    set.iter()
+        .map(|&i| {
+            let scale = gain.signal(i).max(1e-300);
+            (nonfading_slack(gain, params, set, i) / scale).abs()
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// Exhaustive `O(2ⁿ)` Rayleigh capacity optimum by direct enumeration:
+/// the multilinearity of `E[#successes]` in `q` (see
+/// `rayfade-core::optimum`) makes the best *subset* the true optimum over
+/// `q ∈ [0,1]ⁿ`. Returns the best set and its oracle value.
+///
+/// # Panics
+/// If `gain.len() > limit` (enumeration guard).
+pub fn exhaustive_optimum(
+    gain: &GainMatrix,
+    params: &SinrParams,
+    limit: usize,
+) -> (Vec<usize>, f64) {
+    let n = gain.len();
+    assert!(n <= limit, "oracle enumeration limited to {limit} links");
+    let mut best_set = Vec::new();
+    let mut best_val = 0.0f64;
+    for mask in 0u64..(1u64 << n) {
+        let set: Vec<usize> = (0..n).filter(|i| mask & (1 << i) != 0).collect();
+        let v = expected_successes_of_set(gain, params, &set);
+        if v > best_val {
+            best_val = v;
+            best_set = set;
+        }
+    }
+    (best_set, best_val)
+}
+
+/// Exhaustive `O(2ⁿ)` non-fading capacity optimum (maximum-cardinality
+/// feasible set), with the feasibility test tightened or loosened by
+/// `slack`: a set counts as feasible iff every member's scaled slack is
+/// at least `slack` (pass a small negative value to loosen).
+///
+/// Comparing a fast solver's cardinality against the interval
+/// `[optimum(+ε), optimum(−ε)]` makes the differential check immune to
+/// knife-edge rounding differences in the feasibility predicate.
+///
+/// # Panics
+/// If `gain.len() > limit`.
+pub fn exhaustive_nonfading_optimum(
+    gain: &GainMatrix,
+    params: &SinrParams,
+    limit: usize,
+    slack: f64,
+) -> usize {
+    let n = gain.len();
+    assert!(n <= limit, "oracle enumeration limited to {limit} links");
+    let mut best = 0usize;
+    for mask in 0u64..(1u64 << n) {
+        let set: Vec<usize> = (0..n).filter(|i| mask & (1 << i) != 0).collect();
+        if set.len() <= best {
+            continue;
+        }
+        let ok = set.iter().all(|&i| {
+            let scale = gain.signal(i).max(1e-300);
+            nonfading_slack(gain, params, &set, i) / scale >= slack
+        });
+        if ok {
+            best = set.len();
+        }
+    }
+    best
+}
+
+/// Dense spectral radius of an `n×n` non-negative matrix by normalized
+/// matrix squaring (Gelfand's formula, `ρ = lim ‖A^{2ᵏ}‖^{1/2ᵏ}`):
+/// repeatedly set `s = ‖B‖_∞`, `B ← (B/s)²` and accumulate
+/// `Σ log(sᵢ)/2ⁱ`; the tail error decays like `2⁻ᵏ`, so 80 squarings
+/// reach far below 1e-12 relative. `O(n³)` per squaring, no eigensolver,
+/// no shift — nothing in common with the power iteration under test.
+///
+/// Extreme dynamic range (the fuzz regimes reach `10^±150` entries) is
+/// handled structurally rather than hoping the arithmetic survives:
+/// the spectrum of a non-negative matrix is the union over the strongly
+/// connected components of its support graph (the Frobenius normal form
+/// is block triangular, and inter-component couplings — the entries
+/// whose products overflow or underflow — contribute nothing to `ρ`),
+/// so each component block is extracted and Osborne-balanced with
+/// *exact* power-of-two diagonal similarities before squaring.
+///
+/// Entries are row-major: `f[i*n + j]` is the `(i,j)` entry.
+pub fn spectral_radius_dense(f: &[f64], n: usize) -> f64 {
+    assert_eq!(f.len(), n * n, "matrix must be n*n");
+    assert!(
+        f.iter().all(|v| v.is_finite() && *v >= 0.0),
+        "entries must be finite and non-negative"
+    );
+    let mut rho = 0.0f64;
+    for component in strongly_connected_components(f, n) {
+        let m = component.len();
+        if m == 1 {
+            let i = component[0];
+            rho = rho.max(f[i * n + i]);
+            continue;
+        }
+        let mut b: Vec<f64> = Vec::with_capacity(m * m);
+        for &i in &component {
+            for &j in &component {
+                b.push(f[i * n + j]);
+            }
+        }
+        balance(&mut b, m);
+        rho = rho.max(squared_norm_limit(b, m));
+    }
+    rho
+}
+
+/// Strongly connected components of the support graph (`i → j` when
+/// `f[i][j] > 0`), by Kosaraju's two-pass DFS. Singleton components
+/// without a self-loop are nilpotent blocks with `ρ = 0` — the caller's
+/// `f[i][i]` max handles them uniformly.
+fn strongly_connected_components(f: &[f64], n: usize) -> Vec<Vec<usize>> {
+    fn dfs(
+        adj: &dyn Fn(usize, usize) -> bool,
+        n: usize,
+        v: usize,
+        seen: &mut [bool],
+        out: &mut Vec<usize>,
+    ) {
+        // Iterative DFS: (node, next neighbour to try).
+        let mut stack = vec![(v, 0usize)];
+        seen[v] = true;
+        while let Some(&mut (u, ref mut next)) = stack.last_mut() {
+            if let Some(w) = (*next..n).find(|&w| adj(u, w) && !seen[w]) {
+                *next = w + 1;
+                seen[w] = true;
+                stack.push((w, 0));
+            } else {
+                out.push(u);
+                stack.pop();
+            }
+        }
+    }
+    let forward = |i: usize, j: usize| f[i * n + j] > 0.0;
+    let backward = |i: usize, j: usize| f[j * n + i] > 0.0;
+    let mut order = Vec::with_capacity(n);
+    let mut seen = vec![false; n];
+    for v in 0..n {
+        if !seen[v] {
+            dfs(&forward, n, v, &mut seen, &mut order);
+        }
+    }
+    let mut components = Vec::new();
+    let mut seen = vec![false; n];
+    for &v in order.iter().rev() {
+        if !seen[v] {
+            let mut comp = Vec::new();
+            dfs(&backward, n, v, &mut seen, &mut comp);
+            comp.sort_unstable();
+            components.push(comp);
+        }
+    }
+    components
+}
+
+/// Osborne balancing restricted to powers of two: repeatedly replaces
+/// `B` with `D⁻¹BD` (same spectrum) choosing `D` diagonal so each
+/// index's off-diagonal row and column sums roughly match. Power-of-two
+/// factors make every scaling exact, and on an irreducible block the
+/// result's dynamic range is tamed enough for plain squaring.
+fn balance(b: &mut [f64], m: usize) {
+    for _ in 0..100 {
+        let mut changed = false;
+        for i in 0..m {
+            let mut row = 0.0;
+            let mut col = 0.0;
+            for j in 0..m {
+                if j != i {
+                    row += b[i * m + j];
+                    col += b[j * m + i];
+                }
+            }
+            if row <= 0.0 || col <= 0.0 {
+                continue;
+            }
+            // Exact power of two nearest sqrt(row/col).
+            let exp = (0.5 * (row.log2() - col.log2())).round();
+            if exp == 0.0 || !exp.is_finite() {
+                continue;
+            }
+            let scale = 2.0f64.powi(exp.clamp(-500.0, 500.0) as i32);
+            for j in 0..m {
+                if j != i {
+                    b[i * m + j] /= scale;
+                    b[j * m + i] *= scale;
+                }
+            }
+            changed = true;
+        }
+        if !changed {
+            break;
+        }
+    }
+}
+
+/// The normalized-squaring loop of Gelfand's formula (see
+/// [`spectral_radius_dense`]), on an already-balanced block.
+fn squared_norm_limit(mut b: Vec<f64>, n: usize) -> f64 {
+    let mut log_rho = 0.0f64;
+    let mut weight = 1.0f64;
+    for _ in 0..80 {
+        let mut s = 0.0f64;
+        for i in 0..n {
+            let mut row = 0.0;
+            for j in 0..n {
+                row += b[i * n + j];
+            }
+            if row > s {
+                s = row;
+            }
+        }
+        if s == 0.0 {
+            // Nilpotent iterate: the true spectral radius is exactly 0.
+            return 0.0;
+        }
+        log_rho += weight * s.ln();
+        weight *= 0.5;
+        let mut next = vec![0.0; n * n];
+        for i in 0..n {
+            for k in 0..n {
+                let v = b[i * n + k] / s;
+                if v == 0.0 {
+                    continue;
+                }
+                for j in 0..n {
+                    next[i * n + j] += v * (b[k * n + j] / s);
+                }
+            }
+        }
+        b = next;
+    }
+    log_rho.exp()
+}
+
+/// The normalized interference matrix `F_ab = S̄(set[b] → set[a]) /
+/// S̄(set[a] → set[a])` (zero diagonal) the spectral feasibility theory is
+/// stated over, built by direct indexing. Panics if a member has zero
+/// own-gain (normalization undefined), matching the fast path's contract.
+pub fn normalized_interference_matrix(gain: &GainMatrix, set: &[usize]) -> Vec<f64> {
+    let m = set.len();
+    let mut f = vec![0.0; m * m];
+    for (a, &i) in set.iter().enumerate() {
+        let own = gain.signal(i);
+        assert!(own > 0.0, "link {i} has zero own-gain");
+        for (b, &j) in set.iter().enumerate() {
+            if a != b {
+                f[a * m + b] = gain.gain(j, i) / own;
+            }
+        }
+    }
+    f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gain2() -> GainMatrix {
+        GainMatrix::from_raw(2, vec![10.0, 2.0, 2.0, 10.0])
+    }
+
+    #[test]
+    fn lone_link_matches_hand_computation() {
+        let gm = GainMatrix::from_raw(1, vec![10.0]);
+        let params = SinrParams::new(2.0, 2.0, 1.0);
+        let q = success_probability(&gm, &params, &[0.7], 0);
+        assert!((q - 0.7 * (-0.2f64).exp()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn pair_interference_factor_by_hand() {
+        let params = SinrParams::new(2.0, 2.0, 0.0);
+        let q0 = success_probability(&gain2(), &params, &[1.0, 1.0], 0);
+        let expected = 1.0 - 2.0 / (2.0 + 10.0 / 2.0);
+        assert!((q0 - expected).abs() < 1e-15);
+    }
+
+    #[test]
+    fn zero_cross_gain_contributes_factor_one() {
+        let gm = GainMatrix::from_raw(2, vec![10.0, 0.0, 0.0, 10.0]);
+        let params = SinrParams::new(2.0, 2.0, 0.0);
+        assert_eq!(success_probability(&gm, &params, &[1.0, 1.0], 0), 1.0);
+    }
+
+    #[test]
+    fn dead_link_has_zero_probability_everywhere() {
+        let gm = GainMatrix::from_raw(2, vec![0.0, 1.0, 1.0, 1.0]);
+        let params = SinrParams::new(2.0, 2.0, 0.5);
+        assert_eq!(success_probability(&gm, &params, &[1.0, 1.0], 0), 0.0);
+        assert_eq!(success_probability_of_set(&gm, &params, &[0, 1], 0), 0.0);
+    }
+
+    #[test]
+    fn set_specialization_matches_general_form() {
+        let params = SinrParams::new(2.0, 1.5, 0.3);
+        let via_set = success_probability_of_set(&gain2(), &params, &[0, 1], 0);
+        let via_probs = success_probability(&gain2(), &params, &[1.0, 1.0], 0);
+        assert_eq!(via_set, via_probs);
+        assert_eq!(success_probability_of_set(&gain2(), &params, &[1], 0), 0.0);
+    }
+
+    #[test]
+    fn feasibility_from_the_definition() {
+        // Slack of link 0 in {0,1}: 10 - 2*(2 + 0) = 6 > 0.
+        let params = SinrParams::new(2.0, 2.0, 0.0);
+        assert!(set_is_feasible(&gain2(), &params, &[0, 1]));
+        assert!((nonfading_slack(&gain2(), &params, &[0, 1], 0) - 6.0).abs() < 1e-15);
+        // Raise beta until infeasible: beta = 6 gives 10 - 12 < 0.
+        let hard = SinrParams::new(2.0, 6.0, 0.0);
+        assert!(!set_is_feasible(&gain2(), &hard, &[0, 1]));
+        assert!(set_is_feasible(&gain2(), &hard, &[0]));
+    }
+
+    #[test]
+    fn exhaustive_optimum_finds_hand_checked_best() {
+        // Two nearly-independent links: both transmitting is best.
+        let gm = GainMatrix::from_raw(2, vec![10.0, 1e-9, 1e-9, 10.0]);
+        let params = SinrParams::new(2.0, 2.0, 0.0);
+        let (set, val) = exhaustive_optimum(&gm, &params, 10);
+        assert_eq!(set, vec![0, 1]);
+        assert!((val - 2.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn exhaustive_nonfading_interval_brackets() {
+        let params = SinrParams::new(2.0, 2.0, 0.0);
+        let tight = exhaustive_nonfading_optimum(&gain2(), &params, 10, 1e-9);
+        let loose = exhaustive_nonfading_optimum(&gain2(), &params, 10, -1e-9);
+        assert_eq!(tight, 2);
+        assert_eq!(loose, 2);
+    }
+
+    #[test]
+    fn dense_spectral_radius_known_cases() {
+        // Periodic 2-cycle [[0,1],[1,0]]: rho = 1.
+        let r = spectral_radius_dense(&[0.0, 1.0, 1.0, 0.0], 2);
+        assert!((r - 1.0).abs() < 1e-12, "{r}");
+        // Nilpotent [[0,1],[0,0]]: rho = 0.
+        assert_eq!(spectral_radius_dense(&[0.0, 1.0, 0.0, 0.0], 2), 0.0);
+        // Reducible diag(1, 2): rho = 2.
+        let r = spectral_radius_dense(&[1.0, 0.0, 0.0, 2.0], 2);
+        assert!((r - 2.0).abs() < 1e-12, "{r}");
+        // Defective [[1, 1000], [0, 1]]: rho = 1 despite huge norm.
+        let r = spectral_radius_dense(&[1.0, 1000.0, 0.0, 1.0], 2);
+        assert!((r - 1.0).abs() < 1e-10, "{r}");
+        // Asymmetric coupling: rho = sqrt(a*b).
+        let r = spectral_radius_dense(&[0.0, 0.4, 0.1, 0.0], 2);
+        assert!((r - (0.4f64 * 0.1).sqrt()).abs() < 1e-12, "{r}");
+        // Empty and 1x1.
+        assert_eq!(spectral_radius_dense(&[], 0), 0.0);
+        assert!((spectral_radius_dense(&[3.5], 1) - 3.5).abs() < 1e-12);
+        assert_eq!(spectral_radius_dense(&[0.0], 1), 0.0);
+    }
+
+    #[test]
+    fn dense_spectral_radius_survives_extreme_dynamic_range() {
+        // 2-cycle with gains spanning 290 orders of magnitude: the naive
+        // squaring of [[0, a],[b, 0]]/s underflows the product (a/s)(b/s)
+        // to zero and misreports nilpotency; balancing makes both entries
+        // sqrt(a·b) and the exact rho = sqrt(1e150 · 1e-140) = 1e5.
+        let r = spectral_radius_dense(&[0.0, 1e150, 1e-140, 0.0], 2);
+        assert!((r - 1e5).abs() < 1e-7, "{r:e}");
+        // Reducible coupling entry of 1e300 between two self-loops: the
+        // coupling is outside every strongly connected component and must
+        // not overflow the answer, rho = max(0.5, 0.25).
+        let r = spectral_radius_dense(&[0.5, 1e300, 0.0, 0.25], 2);
+        assert!((r - 0.5).abs() < 1e-12, "{r:e}");
+        // Three-cycle with wildly uneven arcs: rho = (abc)^(1/3).
+        let (a, b, c) = (1e120, 1e-90, 1e30);
+        let want = 1e20; // (a*b*c)^(1/3) computed in exponents
+        let f = [0.0, a, 0.0, 0.0, 0.0, b, c, 0.0, 0.0];
+        let r = spectral_radius_dense(&f, 3);
+        assert!((r - want).abs() < 1e8, "{r:e}");
+        // Two components at opposite extremes, plus an isolated link.
+        let f = [
+            0.0, 1e-120, 0.0, 0.0, 0.0, //
+            1e-121, 0.0, 0.0, 0.0, 0.0, //
+            0.0, 0.0, 0.0, 2e140, 0.0, //
+            0.0, 0.0, 3e139, 0.0, 0.0, //
+            0.0, 0.0, 0.0, 0.0, 0.0,
+        ];
+        let want = (2e140f64 * 3e139).sqrt();
+        let r = spectral_radius_dense(&f, 5);
+        assert!((r - want).abs() < want * 1e-10, "{r:e} vs {want:e}");
+    }
+
+    #[test]
+    fn scc_decomposition_matches_hand_analysis() {
+        // 0 <-> 1 cycle, 2 -> 0 coupling, 3 isolated.
+        let f = [
+            0.0, 1.0, 0.0, 0.0, //
+            1.0, 0.0, 0.0, 0.0, //
+            1.0, 0.0, 0.0, 0.0, //
+            0.0, 0.0, 0.0, 0.0,
+        ];
+        let mut sccs = strongly_connected_components(&f, 4);
+        sccs.sort();
+        assert_eq!(sccs, vec![vec![0, 1], vec![2], vec![3]]);
+    }
+
+    #[test]
+    fn normalized_matrix_by_hand() {
+        let f = normalized_interference_matrix(&gain2(), &[0, 1]);
+        assert_eq!(f, vec![0.0, 0.2, 0.2, 0.0]);
+    }
+}

@@ -1,0 +1,168 @@
+//! Delta-debugging shrinker for failing instances.
+//!
+//! Given a check that fails on an instance, [`shrink_instance`] removes
+//! links while the failure persists, using the classic ddmin strategy
+//! (try dropping large complements first, halve the granularity when
+//! stuck) followed by a 1-minimality pass that retries every single-link
+//! removal. The result is a *1-minimal* failing instance: removing any
+//! one further link makes the check pass. Shrinking only deletes links —
+//! it never perturbs gains or parameters — so the shrunk case stays
+//! inside the regime that produced it and replays with the original
+//! per-check randomness (the seed is preserved; `GainMatrix::submatrix`
+//! keeps relative order, so surviving links keep their roles).
+
+use crate::checks::{Check, Instance};
+
+/// Result of re-running the check on a candidate subset.
+fn failure(check: Check, inst: &Instance, keep: &[usize]) -> Option<String> {
+    let candidate = Instance {
+        gain: inst.gain.submatrix(keep),
+        params: inst.params,
+        seed: inst.seed,
+    };
+    check.run(&candidate).err()
+}
+
+/// Shrinks `inst` to a 1-minimal failing sub-instance of `check`.
+///
+/// `original_message` is the divergence report from the full instance;
+/// the returned message is the report from the *shrunk* instance (they
+/// can differ — shrinking keeps "some failure", not "that failure" —
+/// which is the standard ddmin trade-off and fine for a repro).
+/// If the check unexpectedly passes on the full instance (flaky inputs
+/// cannot happen here — checks are seed-deterministic — but defensive),
+/// the instance is returned unshrunk with the original message.
+pub fn shrink_instance(
+    check: Check,
+    inst: &Instance,
+    original_message: String,
+) -> (Instance, String) {
+    let mut keep: Vec<usize> = (0..inst.gain.len()).collect();
+    let mut message = match failure(check, inst, &keep) {
+        Some(m) => m,
+        None => return (inst.clone(), original_message),
+    };
+
+    // ddmin over the kept-link list.
+    let mut chunks = 2usize;
+    while keep.len() >= 2 {
+        chunks = chunks.min(keep.len());
+        let chunk_len = keep.len().div_ceil(chunks);
+        let mut reduced = false;
+        // Try each complement (drop one chunk) — the high-leverage moves.
+        let mut start = 0;
+        while start < keep.len() {
+            let end = (start + chunk_len).min(keep.len());
+            let candidate: Vec<usize> = keep[..start].iter().chain(&keep[end..]).copied().collect();
+            if !candidate.is_empty() || check_accepts_empty(check, inst) {
+                if let Some(m) = failure(check, inst, &candidate) {
+                    keep = candidate;
+                    message = m;
+                    chunks = (chunks - 1).max(2);
+                    reduced = true;
+                    break;
+                }
+            }
+            start = end;
+        }
+        if !reduced {
+            if chunks >= keep.len() {
+                break;
+            }
+            chunks = (2 * chunks).min(keep.len());
+        }
+    }
+
+    // 1-minimality: retry every single-link removal until none succeeds.
+    loop {
+        let mut removed = false;
+        for drop in 0..keep.len() {
+            let candidate: Vec<usize> = keep
+                .iter()
+                .enumerate()
+                .filter(|&(k, _)| k != drop)
+                .map(|(_, &i)| i)
+                .collect();
+            if candidate.is_empty() && !check_accepts_empty(check, inst) {
+                continue;
+            }
+            if let Some(m) = failure(check, inst, &candidate) {
+                keep = candidate;
+                message = m;
+                removed = true;
+                break;
+            }
+        }
+        if !removed {
+            break;
+        }
+    }
+
+    let shrunk = Instance {
+        gain: inst.gain.submatrix(&keep),
+        params: inst.params,
+        seed: inst.seed,
+    };
+    (shrunk, message)
+}
+
+/// Whether shrinking may try the empty instance at all (always true —
+/// every check accepts n = 0; kept as a function so a future
+/// size-constrained check can opt out in one place).
+fn check_accepts_empty(_check: Check, _inst: &Instance) -> bool {
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rayfade_sinr::{GainMatrix, SinrParams};
+
+    /// A stand-in failing predicate built from a real check would need a
+    /// real divergence; instead exercise the machinery with the
+    /// RemovalMonotonicity check on passing instances (no shrink happens)
+    /// and with a synthetic harness below.
+    #[test]
+    fn passing_instance_is_returned_unchanged() {
+        let inst = Instance {
+            gain: GainMatrix::from_raw(3, vec![1.0; 9]),
+            params: SinrParams::new(2.5, 1.5, 0.1),
+            seed: 11,
+        };
+        let (shrunk, msg) =
+            shrink_instance(Check::RemovalMonotonicity, &inst, "original".to_string());
+        assert_eq!(shrunk.gain.len(), 3);
+        assert_eq!(msg, "original");
+    }
+
+    /// ddmin itself, tested against a synthetic oracle: "fails iff links
+    /// {2, 5} both present". The production path shares `failure()` with
+    /// this logic via `shrink_instance`; here we mirror its loop shape on
+    /// the synthetic predicate to pin the 1-minimality contract.
+    #[test]
+    fn ddmin_logic_finds_a_minimal_core() {
+        let fails = |keep: &[usize]| keep.contains(&2) && keep.contains(&5);
+        let mut keep: Vec<usize> = (0..12).collect();
+        assert!(fails(&keep));
+        loop {
+            let mut removed = false;
+            for drop in 0..keep.len() {
+                let candidate: Vec<usize> = keep
+                    .iter()
+                    .enumerate()
+                    .filter(|&(k, _)| k != drop)
+                    .map(|(_, &i)| i)
+                    .collect();
+                if fails(&candidate) {
+                    keep = candidate;
+                    removed = true;
+                    break;
+                }
+            }
+            if !removed {
+                break;
+            }
+        }
+        assert_eq!(keep, vec![2, 5]);
+    }
+}

@@ -1,0 +1,26 @@
+//! Every committed repro case under `repros/` must parse and replay
+//! green on a normal (un-injected) build. Cases land there when the fuzz
+//! sweep catches a divergence — e.g. the `inject-bug` CI sentinel — and
+//! stay as regression tests once the underlying bug is fixed (or, for
+//! sentinel-generated cases, as proof the harness catches it).
+
+use rayfade_conformance::ReproCase;
+
+#[test]
+fn committed_repro_cases_replay_green() {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/repros");
+    let mut count = 0;
+    for entry in std::fs::read_dir(dir).expect("repros directory") {
+        let path = entry.expect("directory entry").path();
+        if path.extension().and_then(|e| e.to_str()) != Some("toml") {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path).expect("read repro case");
+        let case = ReproCase::from_toml(&text)
+            .unwrap_or_else(|e| panic!("{} does not parse: {e}", path.display()));
+        case.replay()
+            .unwrap_or_else(|e| panic!("{} regressed: {e}", path.display()));
+        count += 1;
+    }
+    assert!(count >= 1, "expected at least one committed repro case");
+}

@@ -108,6 +108,14 @@ pub fn compare_optima(
 ///
 /// Returns the maximum absolute deviation over a grid of `t` values —
 /// tests assert it is ~0.
+///
+/// An empty instance is trivially multilinear and returns `0.0` (there
+/// is no coordinate to sweep, so `j` is ignored); for non-empty
+/// instances `j` must index a link.
+///
+/// # Panics
+/// If `grid < 2`, or if the instance is non-empty and
+/// `j >= probs.len()`.
 pub fn multilinearity_deviation(
     gain: &GainMatrix,
     params: &SinrParams,
@@ -116,6 +124,14 @@ pub fn multilinearity_deviation(
     grid: usize,
 ) -> f64 {
     assert!(grid >= 2);
+    if probs.is_empty() && gain.is_empty() {
+        return 0.0;
+    }
+    assert!(
+        j < probs.len(),
+        "coordinate {j} out of range for {} links",
+        probs.len()
+    );
     let mut q = probs.to_vec();
     q[j] = 0.0;
     let at0 = crate::success::expected_successes(gain, params, &q);
@@ -222,5 +238,50 @@ mod tests {
     fn size_guard() {
         let (gm, params) = paper_gain(0, 10);
         let _ = rayleigh_optimum_exhaustive(&gm, &params, 8);
+    }
+
+    #[test]
+    fn multilinearity_deviation_empty_instance_is_zero() {
+        // Regression: this used to panic with a bare index-out-of-bounds
+        // instead of treating the empty objective as (trivially)
+        // multilinear.
+        let gm = GainMatrix::from_raw(0, vec![]);
+        let params = SinrParams::new(2.0, 1.0, 0.1);
+        let dev = multilinearity_deviation(&gm, &params, &[], 0, 4);
+        assert_eq!(dev, 0.0);
+        assert!(!dev.is_nan());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range for 3 links")]
+    fn multilinearity_deviation_rejects_bad_coordinate_clearly() {
+        let (gm, params) = paper_gain(3, 3);
+        let _ = multilinearity_deviation(&gm, &params, &[0.5; 3], 3, 4);
+    }
+
+    #[test]
+    fn multilinearity_deviation_all_zero_probs_is_finite_zero() {
+        let (gm, params) = paper_gain(4, 5);
+        for j in 0..5 {
+            let dev = multilinearity_deviation(&gm, &params, &[0.0; 5], j, 8);
+            assert!(dev.is_finite() && dev < 1e-10, "coordinate {j}: {dev}");
+        }
+    }
+
+    #[test]
+    fn dead_instance_optima_are_well_defined() {
+        // Every link has zero own-gain: both optima are empty/zero and
+        // the ratio must be the defined 1.0, never NaN.
+        let gm = GainMatrix::from_raw(3, vec![0.0; 9]);
+        let params = SinrParams::new(2.0, 1.0, 0.5);
+        let (set, val) = rayleigh_optimum_exhaustive(&gm, &params, 4);
+        assert!(set.is_empty());
+        assert_eq!(val, 0.0);
+        let cmp = compare_optima(&gm, &params, 4);
+        assert_eq!(cmp.nonfading_value, 0);
+        assert_eq!(cmp.ratio(), 1.0);
+        assert!(!cmp.ratio().is_nan());
+        let dev = multilinearity_deviation(&gm, &params, &[0.0; 3], 0, 4);
+        assert!(dev.is_finite() && dev == 0.0);
     }
 }

@@ -114,6 +114,15 @@ impl InterferenceRatios {
                 *slot = beta / (beta + s_ii / s_ji);
             }
         }
+        // A deliberately wrong fast path for validating the conformance
+        // harness end-to-end: every cached ratio is scaled by 0.999, so
+        // cached evaluation diverges from the Theorem 1 formulas at ~1e-3
+        // while the scratch (uncached) path stays correct. Never enabled
+        // in normal builds; see TESTING.md.
+        #[cfg(feature = "inject-bug")]
+        for r in rho.iter_mut() {
+            *r *= 0.999;
+        }
         InterferenceRatios {
             n,
             beta,
