@@ -30,6 +30,7 @@ const EXPERIMENTS: &[&str] = &[
     "threshold_sweep",
     "channels_exp",
     "stability_exp",
+    "sparse_smoke",
     "evaluator_bench",
     "telemetry_overhead",
     "conformance",

@@ -1,10 +1,11 @@
 //! O3 — the perf-regression sentinel: a fixed workload matrix timed
 //! against a committed baseline.
 //!
-//! Four workloads cover the workspace's hot paths — one Figure 1 curve
-//! point, the dynamic slot loop, a shared-cache evaluator batch, and a
-//! regret-learning game — plus a pure-CPU calibration spin that factors
-//! machine speed out of the comparison. Record mode writes
+//! Five workloads cover the workspace's hot paths — one Figure 1 curve
+//! point, the dynamic slot loop, a shared-cache evaluator batch, a
+//! regret-learning game, and the 100k-link ε-truncated sparse build —
+//! plus a pure-CPU calibration spin that factors machine speed out of
+//! the comparison. Record mode writes
 //! `BENCH_perf.json` (workload → median ns, span breakdown from one
 //! traced pass, a config hash, and the calibration time); `--check`
 //! re-times the same matrix and fails (exit 1) when any workload's
@@ -23,7 +24,8 @@ use rayfade_dynamic::{ArrivalProcess, DynamicConfig, DynamicEngine, PolicyKind, 
 use rayfade_geometry::PaperTopology;
 use rayfade_learning::{run_game_instrumented, GameConfig};
 use rayfade_sim::{run_figure1_with_telemetry, Figure1Config};
-use rayfade_sinr::{NonFadingModel, SinrParams};
+use rayfade_sinr::{NonFadingModel, PowerAssignment, SinrParams, SparseSuccessAccumulator};
+use rayfade_spatial::build_sparse_ratios;
 use rayfade_telemetry::{Json, Telemetry};
 use std::path::{Path, PathBuf};
 use std::time::Instant;
@@ -196,6 +198,50 @@ fn workloads() -> Vec<Workload> {
         run: Box::new(move |tele| {
             let mut model = NonFadingModel::new(gm2.clone(), params2);
             let _ = run_game_instrumented(&mut model, params2.beta, &game_cfg, tele);
+        }),
+    });
+
+    // The S1 acceptance gate: one ε-truncated sparse build plus a
+    // certified Theorem 1 evaluation at n = 100 000 links — the scale
+    // where the dense O(n²) mirror stops being an option (~80 GB for
+    // the ratio matrix alone). Sized (deployment density, δ) so one
+    // pass stays around a second; the network is generated once here
+    // so only the grid build, ring sweep, and evaluation are timed.
+    let sparse_topology = PaperTopology {
+        links: 100_000,
+        side: 316_228.0,
+        min_length: 20.0,
+        max_length: 40.0,
+    };
+    let sparse_params = SinrParams::new(4.0, 2.5, 4e-7);
+    let sparse_delta = 5e-2;
+    let sparse_seed = 0x51e5u64;
+    let sparse_net = sparse_topology.generate(sparse_seed);
+    list.push(Workload {
+        name: "sparse_100k",
+        descriptor: format!(
+            "sparse links={} side={:.0} lengths=[{},{}] alpha={} beta={} noise={:e} \
+             delta={} q=0.5 seed={sparse_seed:#x}",
+            sparse_topology.links,
+            sparse_topology.side,
+            sparse_topology.min_length,
+            sparse_topology.max_length,
+            sparse_params.alpha,
+            sparse_params.beta,
+            sparse_params.noise,
+            sparse_delta,
+        ),
+        run: Box::new(move |tele| {
+            let ratios = build_sparse_ratios(
+                &sparse_net,
+                &PowerAssignment::figure1_uniform(),
+                &sparse_params,
+                sparse_delta,
+                tele,
+            );
+            let mut acc = SparseSuccessAccumulator::new(ratios.len());
+            acc.set_uniform(&ratios, 0.5);
+            let _ = std::hint::black_box(acc.expected_successes_interval(&ratios));
         }),
     });
 

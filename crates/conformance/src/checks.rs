@@ -31,7 +31,10 @@ use rayfade_sched::{
     CapacityAlgorithm, CapacityInstance, ExactCapacity, GreedyCapacity, RayleighGreedy,
     RayleighLocalSearch,
 };
-use rayfade_sinr::{spectral_report, AccumMode, Affectance, GainMatrix, SinrParams};
+use rayfade_sinr::{
+    spectral_report, AccumMode, Affectance, GainMatrix, SinrParams, SparseInterferenceRatios,
+    SparseSuccessAccumulator,
+};
 
 /// Absolute tolerance floor of every comparison (see module docs).
 pub const ABS_TOL: f64 = 1e-12;
@@ -142,6 +145,11 @@ pub enum Check {
     TransferLogstar,
     /// `spectral_report` vs the dense Gelfand matrix-squaring oracle.
     SpectralRadius,
+    /// ε-truncated `SparseInterferenceRatios` vs the dense evaluator and
+    /// the oracle: at every `δ` the certified interval `[p·e^{−τᵢ}, p]`
+    /// must contain both, and at `δ = 0` the sparse value must agree
+    /// outright.
+    SparseTruncation,
     /// Metamorphic: relabeling links permutes success probabilities.
     Permutation,
     /// Metamorphic: removing a transmitter never hurts the others.
@@ -167,6 +175,7 @@ impl Check {
         Check::NonfadingFeasibility,
         Check::TransferLogstar,
         Check::SpectralRadius,
+        Check::SparseTruncation,
         Check::Permutation,
         Check::RemovalMonotonicity,
         Check::PowerScaling,
@@ -186,6 +195,7 @@ impl Check {
             Check::NonfadingFeasibility => "nonfading-feasibility",
             Check::TransferLogstar => "transfer-logstar",
             Check::SpectralRadius => "spectral-radius",
+            Check::SparseTruncation => "sparse-truncation",
             Check::Permutation => "permutation",
             Check::RemovalMonotonicity => "removal-monotonicity",
             Check::PowerScaling => "power-scaling",
@@ -211,6 +221,7 @@ impl Check {
             Check::NonfadingFeasibility => nonfading_feasibility(inst),
             Check::TransferLogstar => transfer_logstar(inst),
             Check::SpectralRadius => spectral_radius(inst),
+            Check::SparseTruncation => sparse_truncation(inst),
             Check::Permutation => permutation(inst),
             Check::RemovalMonotonicity => removal_monotonicity(inst),
             Check::PowerScaling => power_scaling(inst),
@@ -644,6 +655,73 @@ fn spectral_radius(inst: &Instance) -> Result<(), String> {
             "spectral radius of {set:?}: power iteration {:e} ({} iters) vs dense oracle {want:e}",
             rep.rho,
             rep.iterations
+        );
+    }
+    Ok(())
+}
+
+fn sparse_truncation(inst: &Instance) -> Result<(), String> {
+    let n = inst.gain.len();
+    let probs = inst.random_probs(20);
+    let oracle_q: Vec<f64> = (0..n)
+        .map(|i| oracle::success_probability(&inst.gain, &inst.params, &probs, i))
+        .collect();
+    let oracle_total = oracle::expected_successes(&inst.gain, &inst.params, &probs);
+    let mut dense = SuccessEvaluator::new(&inst.gain, &inst.params);
+    dense.set_probs(&probs);
+    for delta in [0.0, 1e-6, 0.5] {
+        let sparse = SparseInterferenceRatios::from_gain(&inst.gain, &inst.params, delta);
+        ensure!(
+            sparse.len() == n,
+            "delta {delta}: sparse cache has {} links, instance has {n}",
+            sparse.len()
+        );
+        let mut acc = SparseSuccessAccumulator::new(n);
+        acc.set_probs(&sparse, &probs);
+        for (i, &want) in oracle_q.iter().enumerate() {
+            let (lo, hi) = acc.success_interval(&sparse, i);
+            ensure!(
+                lo.is_finite() && hi.is_finite() && lo <= hi,
+                "delta {delta}: interval [{lo:e}, {hi:e}] of Q[{i}] is malformed"
+            );
+            // Certified containment of both references, up to the
+            // catalogue's evaluation-roundoff tolerance.
+            let slack = ABS_TOL + 1e-9 * want.abs();
+            ensure!(
+                lo - slack <= want && want <= hi + slack,
+                "delta {delta}: oracle Q[{i}] = {want:e} outside certified \
+                 interval [{lo:e}, {hi:e}] (probs {probs:?})"
+            );
+            let d = dense.success_probability(i);
+            let slack_d = ABS_TOL + 1e-9 * d.abs();
+            ensure!(
+                lo - slack_d <= d && d <= hi + slack_d,
+                "delta {delta}: dense Q[{i}] = {d:e} outside certified \
+                 interval [{lo:e}, {hi:e}]"
+            );
+            if delta == 0.0 {
+                ensure!(
+                    close(hi, want, 1e-9),
+                    "delta 0 must be exact: sparse Q[{i}] = {hi:e} vs oracle {want:e}"
+                );
+                ensure!(
+                    lo == hi,
+                    "delta 0: interval [{lo:e}, {hi:e}] of Q[{i}] did not collapse"
+                );
+            }
+        }
+        let (lo, hi) = acc.expected_successes_interval(&sparse);
+        let slack = ABS_TOL + 1e-9 * oracle_total.abs();
+        ensure!(
+            lo - slack <= oracle_total && oracle_total <= hi + slack,
+            "delta {delta}: oracle E[successes] = {oracle_total:e} outside \
+             certified interval [{lo:e}, {hi:e}]"
+        );
+        ensure!(
+            close(acc.expected_successes(&sparse), hi, 1e-12),
+            "delta {delta}: expected_successes {:e} disagrees with its own \
+             interval top {hi:e}",
+            acc.expected_successes(&sparse)
         );
     }
     Ok(())

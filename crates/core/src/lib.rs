@@ -12,6 +12,7 @@
 //! | Rayleigh channel, Sec. 2 | [`channel`] ([`channel::RayleighModel`]) |
 //! | Theorem 1 (exact success probability) | [`success`] |
 //! | Theorem 1, incremental/cached form | [`evaluator`] |
+//! | Theorem 1 at scale (ε-truncated sparse) | [`sparse_evaluator`] |
 //! | Lemma 1 / Observation 1 (bounds) | [`bounds`] |
 //! | Lemma 2 (1/e black-box transfer) | [`transfer`] |
 //! | Sec. 4 ALOHA 4× repetition | [`repetition`] |
@@ -62,6 +63,7 @@ pub mod replay;
 pub mod seed;
 pub mod shadowing;
 pub mod simulation;
+pub mod sparse_evaluator;
 pub mod success;
 pub mod transfer;
 
@@ -95,6 +97,9 @@ pub use shadowing::apply_lognormal_shadowing;
 pub use simulation::{
     best_step, coverage_probability, execute_plan, step_expected_successes, SimulationPlan,
     SimulationRun, SimulationStep, PAPER_ATTEMPTS_PER_ROUND,
+};
+pub use sparse_evaluator::{
+    NetworkEvaluator, SparseSuccessEvaluator, DEFAULT_SPARSE_DELTA, SPARSE_CROSSOVER,
 };
 pub use success::{
     expected_successes, expected_successes_of_set, success_probabilities, success_probability,

@@ -29,7 +29,7 @@ use rayfade_learning::{loss, Action, NoRegretLearner, Rwm};
 use rayfade_sched::{
     AlohaPolicy, CapacityInstance, GreedyCapacity, RayleighGreedy, SelectionStats,
 };
-use rayfade_sinr::{GainMatrix, InterferenceRatios, SinrParams};
+use rayfade_sinr::{GainMatrix, InterferenceRatios, SinrParams, SparseInterferenceRatios};
 use serde::{Deserialize, Serialize};
 
 /// Which policy a [`crate::DynamicConfig`] runs — the sweepable label.
@@ -183,6 +183,14 @@ impl OnlinePolicy for QueueMaxWeight {
 /// (backlogs) change, which is exactly the workload
 /// [`RayleighGreedy::select_with_ratios`] is made for.
 ///
+/// Instances at or above [`rayfade_core::SPARSE_CROSSOVER`] links build
+/// the ε-truncated [`SparseInterferenceRatios`] cache (with
+/// [`rayfade_core::DEFAULT_SPARSE_DELTA`]) instead of the dense O(n²)
+/// one, and every slot runs [`RayleighGreedy::select_sparse_stats`] —
+/// same greedy rule, certified objective, O(deg) candidate scoring.
+/// Below the crossover the dense path is bit-identical to the historical
+/// behaviour.
+///
 /// Unlike [`QueueMaxWeight`] the chosen set need not be feasible in the
 /// non-fading model: the fading engine resolves each slot
 /// probabilistically, and a set with per-link success probability 1/2 can
@@ -191,16 +199,33 @@ impl OnlinePolicy for QueueMaxWeight {
 pub struct RayleighMaxWeight {
     gain: GainMatrix,
     params: SinrParams,
-    ratios: InterferenceRatios,
+    ratios: RatioCache,
     selector: RayleighGreedy,
     stats: SelectionStats,
 }
 
+/// Dense or ε-truncated sparse Theorem 1 ratio cache, chosen once at
+/// policy construction by instance size.
+#[derive(Debug, Clone)]
+enum RatioCache {
+    Dense(InterferenceRatios),
+    Sparse(SparseInterferenceRatios),
+}
+
 impl RayleighMaxWeight {
     /// Rayleigh max-weight over the given instance; precomputes the
-    /// Theorem 1 ratio cache once (O(n²)).
+    /// Theorem 1 ratio cache once (dense below
+    /// [`rayfade_core::SPARSE_CROSSOVER`] links, sparse at or above).
     pub fn new(gain: GainMatrix, params: SinrParams) -> Self {
-        let ratios = InterferenceRatios::new(&gain, &params);
+        let ratios = if gain.len() < rayfade_core::SPARSE_CROSSOVER {
+            RatioCache::Dense(InterferenceRatios::new(&gain, &params))
+        } else {
+            RatioCache::Sparse(SparseInterferenceRatios::from_gain(
+                &gain,
+                &params,
+                rayfade_core::DEFAULT_SPARSE_DELTA,
+            ))
+        };
         RayleighMaxWeight {
             gain,
             params,
@@ -208,6 +233,11 @@ impl RayleighMaxWeight {
             selector: RayleighGreedy::new(),
             stats: SelectionStats::default(),
         }
+    }
+
+    /// Whether the sparse ratio cache was selected.
+    pub fn is_sparse(&self) -> bool {
+        matches!(self.ratios, RatioCache::Sparse(_))
     }
 }
 
@@ -222,11 +252,17 @@ impl RayleighMaxWeight {
         let weights: Vec<f64> = backlogs.iter().map(|&b| b as f64).collect();
         // RayleighGreedy requires strictly positive weight to activate a
         // link, so empty queues are never selected.
-        let (set, stats) = self.selector.select_with_ratios_stats_traced(
-            &self.ratios,
-            &CapacityInstance::weighted(&self.gain, &self.params, &weights),
-            tracer,
-        );
+        let (set, stats) = match &self.ratios {
+            RatioCache::Dense(ratios) => self.selector.select_with_ratios_stats_traced(
+                ratios,
+                &CapacityInstance::weighted(&self.gain, &self.params, &weights),
+                tracer,
+            ),
+            RatioCache::Sparse(ratios) => {
+                self.selector
+                    .select_sparse_stats_traced(ratios, Some(&weights), tracer)
+            }
+        };
         self.stats.merge(&stats);
         let mut mask = vec![false; n];
         for i in set {
@@ -534,6 +570,37 @@ mod tests {
         assert_eq!(mask, vec![true, false]);
         let mask = policy.choose(&[0, 0], &mut rng);
         assert_eq!(mask, vec![false, false], "empty queues never transmit");
+    }
+
+    #[test]
+    fn rayleigh_max_weight_routes_large_instances_through_the_sparse_cache() {
+        // Block-diagonal instance above the crossover: pairs (2k, 2k+1)
+        // interfere, everyone else is isolated. Only a handful of queues
+        // are backlogged, so the greedy terminates in a few rounds.
+        let n = rayfade_core::SPARSE_CROSSOVER;
+        let mut g = vec![0.0; n * n];
+        for i in 0..n {
+            g[i * n + i] = 10.0;
+            g[i * n + (i ^ 1)] = 2.0;
+        }
+        let gm = GainMatrix::from_raw(n, g);
+        let params = SinrParams::new(2.0, 1.5, 0.1);
+        let mut policy = RayleighMaxWeight::new(gm, params);
+        assert!(policy.is_sparse(), "above the crossover must go sparse");
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut backlogs = vec![0u64; n];
+        backlogs[0] = 7;
+        backlogs[1] = 2;
+        backlogs[100] = 4;
+        let mask = policy.choose(&backlogs, &mut rng);
+        assert!(mask[0] && mask[100], "backlogged isolated links transmit");
+        assert!(
+            (0..n).filter(|&i| mask[i]).all(|i| backlogs[i] > 0),
+            "empty queues never transmit"
+        );
+        // Small instances stay dense.
+        let small = GainMatrix::from_raw(2, vec![10.0, 1.0, 1.0, 10.0]);
+        assert!(!RayleighMaxWeight::new(small, params).is_sparse());
     }
 
     #[test]

@@ -17,6 +17,40 @@ use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::f64::consts::TAU;
 
+/// Minimum distance the random generators guarantee between any sender
+/// and any receiver (own link or cross link, up to a factor 2 of
+/// floating-point slack on cross pairs).
+///
+/// Path-loss gains are `P/d^α`: a zero distance is a panic in
+/// `GainMatrix::from_geometry`, and a near-zero one produces gains large
+/// enough to drown every other entry in roundoff. The clustered and
+/// random-pair generators could both emit such instances (a zero-width
+/// length interval at 0, or a sender landing on another link's
+/// receiver); they now clamp link lengths to at least this value and
+/// redraw placements whose *cross* sender–receiver distance falls below
+/// `MIN_SEPARATION / 2` — the halved threshold keeps a clamped-length
+/// link from re-tripping the guard through rounding alone.
+pub const MIN_SEPARATION: f64 = 1e-9;
+
+/// Redraw attempts per link before a generator gives up; hitting it
+/// means the configuration is saturated (e.g. a zero-spread cluster
+/// denser than the separation guard allows), not bad luck.
+const MAX_PLACEMENT_ATTEMPTS: usize = 10_000;
+
+/// True when placing `sender → receiver` would violate the cross-link
+/// separation guard against any already-placed link.
+fn violates_separation(links: &[Link], sender: &Point, receiver: &Point) -> bool {
+    let guard = MIN_SEPARATION / 2.0;
+    links
+        .iter()
+        .any(|l| sender.distance(&l.receiver) < guard || l.sender.distance(receiver) < guard)
+}
+
+/// One uniform sender angle (shared by the random generators).
+fn theta_draw(rng: &mut StdRng) -> f64 {
+    rng.gen_range(0.0..TAU)
+}
+
 /// Configuration for the paper's random topology (Sec. 7).
 ///
 /// Defaults match Figure 1: 100 links on a 1000×1000 plane with
@@ -143,8 +177,33 @@ impl ClusteredTopology {
     /// Receiver scatter uses a sum of three uniforms (Irwin–Hall), which is
     /// close enough to normal for topology purposes and keeps the generator
     /// dependency-free.
+    ///
+    /// Link lengths are clamped to at least [`MIN_SEPARATION`], and a
+    /// placement whose sender lands on another link's receiver (closer
+    /// than `MIN_SEPARATION / 2`) is redrawn — both guards only consume
+    /// extra randomness when a violation actually occurs, so output for
+    /// healthy configurations is unchanged.
+    ///
+    /// # Panics
+    /// If the length interval is empty, negative, or non-finite; if the
+    /// spread is negative or non-finite; or if a link cannot be placed
+    /// within the separation guard (zero-spread clusters denser than the
+    /// guard allows).
     pub fn generate(&self, seed: u64) -> Network {
         assert!(self.clusters > 0, "need at least one cluster");
+        assert!(
+            self.min_length >= 0.0
+                && self.max_length >= self.min_length
+                && self.max_length.is_finite(),
+            "invalid length interval [{}, {}]",
+            self.min_length,
+            self.max_length
+        );
+        assert!(
+            self.spread >= 0.0 && self.spread.is_finite(),
+            "invalid spread"
+        );
+        assert!(self.side > 0.0 && self.side.is_finite(), "invalid side");
         let mut rng = StdRng::seed_from_u64(seed);
         let centres: Vec<Point> = (0..self.clusters)
             .map(|_| {
@@ -163,17 +222,27 @@ impl ClusteredTopology {
         let mut links = Vec::with_capacity(self.links);
         for i in 0..self.links {
             let c = centres[i % self.clusters];
-            let receiver = Point::new(
-                c.x + approx_gauss(&mut rng) * self.spread,
-                c.y + approx_gauss(&mut rng) * self.spread,
-            );
-            let r = if self.max_length > self.min_length {
-                rng.gen_range(self.min_length..=self.max_length)
-            } else {
-                self.min_length
-            };
-            let theta = rng.gen_range(0.0..TAU);
-            links.push(Link::new(receiver.offset_polar(r, theta), receiver));
+            for attempt in 0.. {
+                assert!(
+                    attempt < MAX_PLACEMENT_ATTEMPTS,
+                    "could not place link {i} within the minimum-separation guard \
+                     after {MAX_PLACEMENT_ATTEMPTS} attempts (config {self:?})"
+                );
+                let receiver = Point::new(
+                    c.x + approx_gauss(&mut rng) * self.spread,
+                    c.y + approx_gauss(&mut rng) * self.spread,
+                );
+                let r = if self.max_length > self.min_length {
+                    rng.gen_range(self.min_length..=self.max_length)
+                } else {
+                    self.min_length
+                };
+                let sender = receiver.offset_polar(r.max(MIN_SEPARATION), theta_draw(&mut rng));
+                if !violates_separation(&links, &sender, &receiver) {
+                    links.push(Link::new(sender, receiver));
+                    break;
+                }
+            }
         }
         Network::new(links)
     }
@@ -209,12 +278,24 @@ impl Default for RandomPairs {
 
 impl RandomPairs {
     /// Generates a network from the given seed.
+    ///
+    /// The rejection loop enforces the *effective* length floor
+    /// `max(min_length, MIN_SEPARATION)` — so `min_length = 0` can no
+    /// longer emit a coincident sender–receiver pair — and additionally
+    /// redraws pairs violating the cross-link guard of
+    /// [`MIN_SEPARATION`] against already-placed links.
+    ///
+    /// # Panics
+    /// If a pair cannot be placed within the redraw-attempt cap
+    /// (practically unreachable for continuous draws on a positive-side
+    /// square).
     pub fn generate(&self, seed: u64) -> Network {
         assert!(self.side > 0.0 && self.side.is_finite(), "invalid side");
         assert!(
             self.min_length >= 0.0 && self.min_length < self.side,
             "min_length must be small relative to the square"
         );
+        let floor = self.min_length.max(MIN_SEPARATION);
         let mut rng = StdRng::seed_from_u64(seed);
         let uniform_point = |rng: &mut StdRng| {
             Point::new(
@@ -223,11 +304,18 @@ impl RandomPairs {
             )
         };
         let mut links = Vec::with_capacity(self.links);
-        for _ in 0..self.links {
-            loop {
+        for i in 0..self.links {
+            for attempt in 0.. {
+                assert!(
+                    attempt < MAX_PLACEMENT_ATTEMPTS,
+                    "could not place pair {i} within the minimum-separation guard \
+                     after {MAX_PLACEMENT_ATTEMPTS} attempts (config {self:?})"
+                );
                 let sender = uniform_point(&mut rng);
                 let receiver = uniform_point(&mut rng);
-                if sender.distance(&receiver) >= self.min_length {
+                if sender.distance(&receiver) >= floor
+                    && !violates_separation(&links, &sender, &receiver)
+                {
                     links.push(Link::new(sender, receiver));
                     break;
                 }
@@ -459,6 +547,85 @@ mod tests {
         // Lengths should vary widely (that's the point of this family).
         let stats = topology_stats(&net);
         assert!(stats.max_length / stats.min_length > 5.0);
+    }
+
+    #[test]
+    fn clustered_topology_survives_degenerate_config() {
+        // Regression: a zero-width length interval at 0 with zero spread
+        // produced coincident sender–receiver pairs (r = 0) for *every*
+        // seed — `GainMatrix::from_geometry` then panics on the zero
+        // distance. The separation guard must clamp the length instead.
+        let cfg = ClusteredTopology {
+            links: 40,
+            clusters: 1,
+            side: 10.0,
+            spread: 0.0,
+            min_length: 0.0,
+            max_length: 0.0,
+        };
+        for seed in 0..3 {
+            let net = cfg.generate(seed);
+            assert_eq!(net.len(), 40);
+            for (i, l) in net.iter() {
+                // 0.99: the clamp is exact in polar space, but realizing
+                // the offset near coordinate ~10 rounds the length by a
+                // few ulps of the *coordinate*, i.e. ~1e-6 relative here.
+                assert!(
+                    l.length() >= MIN_SEPARATION * 0.99,
+                    "seed {seed} link {i}: length {} below the floor",
+                    l.length()
+                );
+                for (j, m) in net.iter() {
+                    if i != j {
+                        assert!(
+                            l.sender.distance(&m.receiver) >= MIN_SEPARATION / 2.0,
+                            "seed {seed}: sender {i} sits on receiver {j}"
+                        );
+                    }
+                }
+            }
+            assert_eq!(net, cfg.generate(seed), "still deterministic");
+        }
+    }
+
+    #[test]
+    fn clustered_topology_guards_only_fire_on_degenerate_draws() {
+        // Healthy configurations must generate byte-identical networks to
+        // the pre-guard code: the redraw loop consumes extra randomness
+        // only on an actual violation, never speculatively.
+        let cfg = ClusteredTopology::default();
+        let net = cfg.generate(3);
+        for l in net.links() {
+            assert!(l.length() >= cfg.min_length - 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid length interval")]
+    fn clustered_inverted_interval_rejected() {
+        let cfg = ClusteredTopology {
+            min_length: 10.0,
+            max_length: 5.0,
+            ..ClusteredTopology::default()
+        };
+        let _ = cfg.generate(0);
+    }
+
+    #[test]
+    fn random_pairs_zero_min_length_gets_the_separation_floor() {
+        // Regression companion: min_length = 0 used to accept coincident
+        // pairs outright; the effective floor is now MIN_SEPARATION.
+        let cfg = RandomPairs {
+            links: 30,
+            side: 200.0,
+            min_length: 0.0,
+        };
+        let net = cfg.generate(9);
+        assert_eq!(net.len(), 30);
+        for l in net.links() {
+            assert!(l.length() >= MIN_SEPARATION);
+        }
+        assert_eq!(net, cfg.generate(9));
     }
 
     #[test]

@@ -24,7 +24,7 @@ pub mod point;
 
 pub use generator::{
     topology_stats, ClusteredTopology, ExponentialChain, GridTopology, PaperTopology, RandomPairs,
-    TopologyStats,
+    TopologyStats, MIN_SEPARATION,
 };
 pub use link::{ExplicitLinkGeometry, Link, LinkGeometry, Network};
 pub use metric::{EuclideanPlane, ExplicitMetric, Metric, MetricViolation};

@@ -15,7 +15,10 @@
 //! degrades gracefully into a feasibility-preserving heuristic.
 
 use super::{CapacityAlgorithm, CapacityInstance, SelectionStats};
-use rayfade_sinr::{AccumMode, Affectance, InterferenceRatios, SuccessAccumulator};
+use rayfade_sinr::{
+    AccumMode, Affectance, InterferenceRatios, SparseInterferenceRatios, SparseSuccessAccumulator,
+    SuccessAccumulator,
+};
 use rayfade_telemetry::trace::{self, Tracer};
 use serde::{Deserialize, Serialize};
 
@@ -228,6 +231,79 @@ impl RayleighGreedy {
             tracer.map(|tr| tr.span_id("selector/rayleigh_greedy")),
         );
         self.select_with_ratios_stats(ratios, inst)
+    }
+
+    /// [`select`](Self::select) against an ε-truncated sparse ratio
+    /// cache — the large-instance path. With truncation bound `δ = 0`
+    /// the cache is bit-equal to the dense one and so is the selection;
+    /// for `δ > 0` the selector greedily maximizes the certified sparse
+    /// objective, whose per-link values sit within `[Q·e^{−τᵢ}, Q]` of
+    /// the exact dense ones. A candidate is scored in O(deg) instead of
+    /// O(n), so a full run costs O(rounds · n + Σ deg) — this is what
+    /// makes queue-weighted scheduling feasible at n ≈ 10⁵.
+    pub fn select_sparse(&self, ratios: &SparseInterferenceRatios) -> Vec<usize> {
+        self.select_sparse_stats(ratios, None).0
+    }
+
+    /// [`select_sparse`](Self::select_sparse) with optional per-link
+    /// weights and the same work tally as the dense variant. NaN or
+    /// non-positive weights exclude a link.
+    ///
+    /// # Panics
+    /// If a weight vector is given and its length does not match the cache.
+    pub fn select_sparse_stats(
+        &self,
+        ratios: &SparseInterferenceRatios,
+        weights: Option<&[f64]>,
+    ) -> (Vec<usize>, SelectionStats) {
+        let n = ratios.len();
+        if let Some(w) = weights {
+            assert_eq!(w.len(), n, "weight vector size mismatch");
+        }
+        let weight = |j: usize| weights.map_or(1.0, |w| w[j]);
+        let mut acc = SparseSuccessAccumulator::new(n);
+        let mut selected: Vec<usize> = Vec::new();
+        let mut stats = SelectionStats::default();
+        let cap = self.max_links.unwrap_or(n);
+        while selected.len() < cap {
+            let mut best: Option<(usize, f64)> = None;
+            for j in 0..n {
+                // `strictly_positive` also rejects NaN weights.
+                if acc.prob(j) != 0.0 || !crate::capacity::strictly_positive(weight(j)) {
+                    continue;
+                }
+                stats.candidates_scored += 1;
+                let gain = acc.activation_gain(ratios, weights, j);
+                if best.is_none_or(|(_, g)| gain.total_cmp(&g).is_gt()) {
+                    best = Some((j, gain));
+                }
+            }
+            match best {
+                Some((j, gain)) if gain > self.min_gain => {
+                    acc.insert(ratios, j);
+                    selected.push(j);
+                }
+                _ => break,
+            }
+        }
+        stats.accepted = selected.len() as u64;
+        stats.rejected = stats.candidates_scored.saturating_sub(stats.accepted);
+        (selected, stats)
+    }
+
+    /// [`select_sparse_stats`](Self::select_sparse_stats) under the same
+    /// optional `selector/rayleigh_greedy` span as the dense variant.
+    pub fn select_sparse_stats_traced(
+        &self,
+        ratios: &SparseInterferenceRatios,
+        weights: Option<&[f64]>,
+        tracer: Option<&Tracer>,
+    ) -> (Vec<usize>, SelectionStats) {
+        let _g = trace::guard(
+            tracer,
+            tracer.map(|tr| tr.span_id("selector/rayleigh_greedy")),
+        );
+        self.select_sparse_stats(ratios, weights)
     }
 }
 
@@ -573,6 +649,72 @@ mod tests {
         let direct = RayleighGreedy::new().select(&inst);
         let cached = RayleighGreedy::new().select_with_ratios(&ratios, &inst);
         assert_eq!(direct, cached);
+    }
+
+    #[test]
+    fn sparse_selection_matches_dense_at_delta_zero() {
+        let (gm, params) = paper_instance(9, 30);
+        let inst = CapacityInstance::unweighted(&gm, &params);
+        let dense = InterferenceRatios::new(&gm, &params);
+        let sparse = SparseInterferenceRatios::from_gain(&gm, &params, 0.0);
+        let alg = RayleighGreedy::new();
+        let (dense_set, dense_stats) = alg.select_with_ratios_stats(&dense, &inst);
+        let (sparse_set, sparse_stats) = alg.select_sparse_stats(&sparse, None);
+        assert_eq!(dense_set, sparse_set, "delta = 0 must reproduce dense");
+        assert_eq!(
+            dense_stats.candidates_scored,
+            sparse_stats.candidates_scored
+        );
+        assert_eq!(dense_stats.accepted, sparse_stats.accepted);
+
+        // Weighted variant too.
+        let w: Vec<f64> = (0..30).map(|i| 1.0 + (i % 5) as f64).collect();
+        let winst = CapacityInstance::weighted(&gm, &params, &w);
+        assert_eq!(
+            alg.select_with_ratios(&dense, &winst),
+            alg.select_sparse_stats(&sparse, Some(&w)).0
+        );
+    }
+
+    #[test]
+    fn sparse_selection_skips_nan_and_nonpositive_weights() {
+        let gm = GainMatrix::from_raw(
+            3,
+            vec![
+                10.0, 1e-6, 1e-6, //
+                1e-6, 10.0, 1e-6, //
+                1e-6, 1e-6, 10.0,
+            ],
+        );
+        let params = SinrParams::new(2.0, 2.0, 0.0);
+        let sparse = SparseInterferenceRatios::from_gain(&gm, &params, 0.0);
+        let w = vec![f64::NAN, 0.0, 1.0];
+        let set = RayleighGreedy::new()
+            .select_sparse_stats(&sparse, Some(&w))
+            .0;
+        assert_eq!(set, vec![2]);
+    }
+
+    #[test]
+    fn sparse_traced_selects_match_untraced_and_emit_span() {
+        let (gm, params) = paper_instance(13, 25);
+        let sparse = SparseInterferenceRatios::from_gain(&gm, &params, 1e-3);
+        let alg = RayleighGreedy::new();
+        let tracer = Tracer::new();
+        assert_eq!(
+            alg.select_sparse_stats_traced(&sparse, None, Some(&tracer)),
+            alg.select_sparse_stats(&sparse, None),
+            "tracing must not change the selection"
+        );
+        let trace = tracer.snapshot();
+        assert_eq!(
+            trace
+                .records
+                .iter()
+                .filter(|r| r.name == "selector/rayleigh_greedy")
+                .count(),
+            1
+        );
     }
 
     #[test]

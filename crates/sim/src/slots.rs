@@ -9,7 +9,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use rayfade_core::{mix_seed, mix_seed2, RayleighModel, SuccessEvaluator};
+use rayfade_core::{mix_seed, mix_seed2, NetworkEvaluator, RayleighModel};
 use rayfade_sinr::{count_successes, GainMatrix, SinrParams};
 
 /// Draws one Bernoulli(q) activation mask.
@@ -75,12 +75,18 @@ pub fn rayleigh_expected_successes(gain: &GainMatrix, params: &SinrParams, q: f6
 /// transmission probabilities, sharing one interference-ratio cache
 /// across all grid points (the Figure 1 analytic sweep evaluates 50
 /// points per network; rebuilding the ratios per point is pure waste).
+///
+/// Routes through [`NetworkEvaluator`]: instances at or above
+/// [`rayfade_core::SPARSE_CROSSOVER`] links evaluate on the ε-truncated
+/// sparse cache (certified to `rayfade_core::DEFAULT_SPARSE_DELTA`
+/// relative error) instead of the dense O(n²) one; paper-scale
+/// instances stay on the exact dense path.
 pub fn rayleigh_expected_successes_grid(
     gain: &GainMatrix,
     params: &SinrParams,
     qs: &[f64],
 ) -> Vec<f64> {
-    let mut ev = SuccessEvaluator::new(gain, params);
+    let mut ev = NetworkEvaluator::from_gain(gain, params);
     qs.iter()
         .map(|&q| {
             ev.set_uniform(q);

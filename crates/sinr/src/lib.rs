@@ -16,6 +16,9 @@
 //!   machinery,
 //! * [`ratio`] — cached Theorem-1 interference ratios and the incremental
 //!   success-probability accumulator shared by the Rayleigh hot paths,
+//! * [`sparse`] — ε-truncated sparse mirror of the ratio cache with a
+//!   certified per-receiver error interval, for instances far beyond the
+//!   dense O(n²) limit,
 //! * [`utility`] — valid utility functions (Definition 1): binary,
 //!   weighted, Shannon.
 //!
@@ -33,6 +36,7 @@ pub mod params;
 pub mod power;
 pub mod power_iteration;
 pub mod ratio;
+pub mod sparse;
 pub mod spectral;
 pub mod utility;
 
@@ -47,6 +51,9 @@ pub use params::SinrParams;
 pub use power::PowerAssignment;
 pub use power_iteration::{solve_min_powers, PowerIterationConfig, PowerSolve};
 pub use ratio::{kahan_sum, AccumMode, InterferenceRatios, SuccessAccumulator};
+pub use sparse::{
+    sparse_spectral_report, truncation_budget, SparseInterferenceRatios, SparseSuccessAccumulator,
+};
 pub use spectral::{max_feasible_threshold, spectral_report, SpectralReport};
 pub use utility::{
     is_valid_utility, BinaryUtility, LogisticUtility, ShannonUtility, UtilityFunction,
