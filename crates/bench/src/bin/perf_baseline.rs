@@ -15,6 +15,23 @@
 //! `--quick` only reduces the repeat count. The committed baseline is
 //! refreshed by re-running record mode on an idle machine.
 //!
+//! Span accounting (schema 2): the breakdown comes from one extra
+//! *traced* pass per workload. For each span name the baseline records
+//! `count` (spans per pass), `cpu_ns` (summed span durations — under
+//! real parallelism this is thread-time and may legitimately exceed
+//! wall time), and `total_ns`: the wall-clock **union** of the span's
+//! open intervals across all threads, rescaled by
+//! `median_ns / traced_wall_ns` so breakdowns are directly comparable
+//! to the workload median. By construction no span's `total_ns` can
+//! exceed its workload's `median_ns` (schema 1 summed sibling spans
+//! into `total_ns`, which made `dynamic/replication` appear to cost
+//! more than the whole workload).
+//!
+//! Thread policy: the pool size (`rayon::current_num_threads()`, i.e.
+//! `RAYFADE_THREADS` when set) is recorded and folded into the config
+//! hash, so `--check` refuses to compare timings taken at different
+//! pool sizes. CI pins `RAYFADE_THREADS=4`.
+//!
 //! Usage:
 //!   `cargo run -p rayfade-bench --release --bin perf_baseline --
 //!   [--check] [--quick] [--baseline PATH] [--tolerance FRAC] [--out DIR]`
@@ -31,7 +48,10 @@ use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 /// Bumped whenever the workload matrix or the JSON layout changes.
-const PERF_SCHEMA_VERSION: i64 = 1;
+/// Schema 2: real thread pool; span breakdowns carry per-traced-pass
+/// `count`, wall-union `total_ns` normalized to the workload median,
+/// and raw `cpu_ns`; top-level `threads` and `repeats` recorded.
+const PERF_SCHEMA_VERSION: i64 = 2;
 /// Default relative slowdown tolerated before `--check` fails.
 const DEFAULT_TOLERANCE: f64 = 0.25;
 
@@ -250,7 +270,7 @@ fn workloads() -> Vec<Workload> {
 
 /// FNV-1a over the workload descriptors — changes whenever the matrix
 /// does, so `--check` refuses to compare against a stale baseline.
-fn config_hash(workloads: &[Workload]) -> String {
+fn config_hash(workloads: &[Workload], threads: usize) -> String {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     let mut eat = |bytes: &[u8]| {
         for &b in bytes {
@@ -259,6 +279,9 @@ fn config_hash(workloads: &[Workload]) -> String {
         }
     };
     eat(&PERF_SCHEMA_VERSION.to_le_bytes());
+    // Pool size is part of the configuration: medians taken at
+    // different thread counts are not comparable.
+    eat(&(threads as u64).to_le_bytes());
     for w in workloads {
         eat(w.name.as_bytes());
         eat(w.descriptor.as_bytes());
@@ -294,20 +317,90 @@ fn median_ns(repeats: usize, mut f: impl FnMut()) -> u64 {
     samples[samples.len() / 2]
 }
 
+/// One span row of the recorded breakdown (see the module docs).
+struct SpanRow {
+    name: String,
+    /// Spans recorded in the traced pass.
+    count: u64,
+    /// Wall-clock union of the span's open intervals, rescaled by
+    /// `median_ns / traced_wall_ns` — never exceeds the workload median.
+    total_ns: u64,
+    /// Raw summed span durations (thread-time under parallelism).
+    cpu_ns: u64,
+}
+
 struct Measured {
     name: &'static str,
     median_ns: u64,
-    /// Span name → (count, total_ns) from one traced pass.
-    spans: Vec<(String, u64, u64)>,
+    /// Wall time of the (untimed-for-medians) traced pass.
+    traced_wall_ns: u64,
+    spans: Vec<SpanRow>,
 }
 
-fn measure_all(quick: bool) -> (u64, Vec<Measured>, String) {
+/// Wall-clock union (in ns) of a set of `[start, end)` intervals.
+fn interval_union_ns(mut intervals: Vec<(u64, u64)>) -> u64 {
+    intervals.sort_unstable();
+    let mut total = 0u64;
+    let mut cur: Option<(u64, u64)> = None;
+    for (s, e) in intervals {
+        match &mut cur {
+            Some((_, ce)) if s <= *ce => *ce = (*ce).max(e),
+            _ => {
+                if let Some((cs, ce)) = cur {
+                    total += ce - cs;
+                }
+                cur = Some((s, e));
+            }
+        }
+    }
+    if let Some((cs, ce)) = cur {
+        total += ce - cs;
+    }
+    total
+}
+
+/// Aggregates one traced pass into [`SpanRow`]s: per span name, the
+/// count, the summed durations (`cpu_ns`), and the wall-union rescaled
+/// to the workload median (`total_ns`).
+fn span_breakdown(trace: &rayfade_telemetry::trace::Trace, median: u64, wall: u64) -> Vec<SpanRow> {
+    use std::collections::BTreeMap;
+    /// Per-name accumulator: (count, summed durations, open intervals).
+    type NameAcc = (u64, u64, Vec<(u64, u64)>);
+    let mut by_name: BTreeMap<&str, NameAcc> = BTreeMap::new();
+    for r in &trace.records {
+        let e = by_name.entry(&r.name).or_default();
+        e.0 += 1;
+        e.1 += r.duration_ns();
+        e.2.push((r.start_ns, r.end_ns));
+    }
+    by_name
+        .into_iter()
+        .map(|(name, (count, cpu_ns, intervals))| {
+            let union = interval_union_ns(intervals);
+            // Rescale so breakdowns are comparable to median_ns even
+            // though the traced pass itself runs a little slower; the
+            // union is capped at the pass wall, so the scaled total is
+            // capped at the median.
+            let scaled = (union.min(wall) as f64 * median as f64 / wall.max(1) as f64) as u64;
+            SpanRow {
+                name: name.to_string(),
+                count,
+                total_ns: scaled,
+                cpu_ns,
+            }
+        })
+        .collect()
+}
+
+fn measure_all(quick: bool) -> (u64, usize, usize, Vec<Measured>, String) {
     let workloads = workloads();
-    let hash = config_hash(&workloads);
+    let threads = rayon::current_num_threads();
+    let hash = config_hash(&workloads, threads);
     let repeats = if quick { 5 } else { 15 };
+    eprintln!("thread pool: {threads} worker(s) (RAYFADE_THREADS to pin)");
 
     // Warm-up: one untimed pass per workload (page-cache, allocator,
-    // rayon pool spin-up).
+    // thread spin-up).
     for w in &workloads {
         (w.run)(None);
     }
@@ -322,43 +415,55 @@ fn measure_all(quick: bool) -> (u64, Vec<Measured>, String) {
     let mut measured = Vec::new();
     for w in &workloads {
         let ns = median_ns(repeats, || (w.run)(None));
-        // One traced pass for the span breakdown; not timed, so the span
-        // overhead never touches the medians.
+        // One traced pass for the span breakdown; timed separately, so
+        // the span overhead never touches the medians but the pass wall
+        // is known for normalization.
         let tele = Telemetry::new().with_tracing();
+        let traced_start = Instant::now();
         (w.run)(Some(&tele));
-        let profile = tele
-            .tracer()
-            .expect("tracing enabled")
-            .snapshot()
-            .self_profile();
-        let spans = profile
-            .rows
-            .iter()
-            .map(|r| (r.name.clone(), r.count, r.total_ns))
-            .collect();
+        let traced_wall_ns = u64::try_from(traced_start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let trace = tele.tracer().expect("tracing enabled").snapshot();
+        let spans = span_breakdown(&trace, ns, traced_wall_ns);
+        for row in &spans {
+            assert!(
+                row.total_ns <= ns,
+                "span accounting bug: {} total {} exceeds workload median {}",
+                row.name,
+                row.total_ns,
+                ns
+            );
+        }
         eprintln!("  {}: {:.2} ms", w.name, ns as f64 / 1e6);
         measured.push(Measured {
             name: w.name,
             median_ns: ns,
+            traced_wall_ns,
             spans,
         });
     }
-    (calib_ns, measured, hash)
+    (calib_ns, threads, repeats, measured, hash)
 }
 
-fn to_json(calib_ns: u64, measured: &[Measured], hash: &str) -> Json {
+fn to_json(
+    calib_ns: u64,
+    threads: usize,
+    repeats: usize,
+    measured: &[Measured],
+    hash: &str,
+) -> Json {
     let workloads = measured
         .iter()
         .map(|m| {
             let spans = m
                 .spans
                 .iter()
-                .map(|(name, count, total)| {
+                .map(|row| {
                     (
-                        name.clone(),
+                        row.name.clone(),
                         Json::Obj(vec![
-                            ("count".into(), Json::Num(*count as f64)),
-                            ("total_ns".into(), Json::Num(*total as f64)),
+                            ("count".into(), Json::Num(row.count as f64)),
+                            ("total_ns".into(), Json::Num(row.total_ns as f64)),
+                            ("cpu_ns".into(), Json::Num(row.cpu_ns as f64)),
                         ]),
                     )
                 })
@@ -367,6 +472,7 @@ fn to_json(calib_ns: u64, measured: &[Measured], hash: &str) -> Json {
                 m.name.to_string(),
                 Json::Obj(vec![
                     ("median_ns".into(), Json::Num(m.median_ns as f64)),
+                    ("traced_wall_ns".into(), Json::Num(m.traced_wall_ns as f64)),
                     ("spans".into(), Json::Obj(spans)),
                 ]),
             )
@@ -378,6 +484,8 @@ fn to_json(calib_ns: u64, measured: &[Measured], hash: &str) -> Json {
             Json::Num(PERF_SCHEMA_VERSION as f64),
         ),
         ("config_hash".into(), Json::Str(hash.to_string())),
+        ("threads".into(), Json::Num(threads as f64)),
+        ("repeats".into(), Json::Num(repeats as f64)),
         ("calibration_ns".into(), Json::Num(calib_ns as f64)),
         ("workloads".into(), Json::Obj(workloads)),
     ])
@@ -428,10 +536,10 @@ fn write_check_artifacts(out: &Path) {
 
 fn main() {
     let args = parse_args();
-    let (calib_ns, measured, hash) = measure_all(args.quick);
+    let (calib_ns, threads, repeats, measured, hash) = measure_all(args.quick);
 
     if !args.check {
-        let json = to_json(calib_ns, &measured, &hash);
+        let json = to_json(calib_ns, threads, repeats, &measured, &hash);
         std::fs::write(&args.baseline, format!("{json}\n"))
             .unwrap_or_else(|e| panic!("cannot write {}: {e}", args.baseline.display()));
         eprintln!("recorded baseline {}", args.baseline.display());
@@ -450,8 +558,14 @@ fn main() {
         .and_then(Json::as_str)
         .expect("baseline is missing config_hash");
     assert_eq!(
-        base_hash, hash,
-        "workload matrix changed since the baseline was recorded — re-record it"
+        base_hash,
+        hash,
+        "workload matrix or thread count differs from the baseline (baseline threads: {}; \
+         this run: {threads}) — pin RAYFADE_THREADS to match or re-record",
+        baseline
+            .get("threads")
+            .and_then(Json::as_f64)
+            .map_or_else(|| "unknown".to_string(), |t| format!("{t}")),
     );
     let base_calib = baseline_num(&baseline, &["calibration_ns"]);
 

@@ -1,0 +1,116 @@
+//! Workspace-visible acceptance tests for the vendored work-stealing
+//! executor (`vendor/rayon`): the behaviors every consumer relies on,
+//! exercised through the same facade the crates use. The executor's own
+//! unit tests live in-crate (`cargo test --manifest-path
+//! vendor/rayon/Cargo.toml`); these run with the workspace suite so a
+//! regression fails ordinary CI.
+
+use rayon::prelude::*;
+use rayon::ThreadPoolBuilder;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+fn pool(n: usize) -> rayon::ThreadPool {
+    ThreadPoolBuilder::new().num_threads(n).build().unwrap()
+}
+
+#[test]
+fn map_collect_is_order_deterministic_across_pool_sizes() {
+    let reference: Vec<u64> = (0..1001u64).map(|x| x.wrapping_mul(x) ^ 0x9e37).collect();
+    for threads in [1, 2, 8, 32] {
+        let out: Vec<u64> = pool(threads).install(|| {
+            (0..1001u64)
+                .into_par_iter()
+                .map(|x| x.wrapping_mul(x) ^ 0x9e37)
+                .collect()
+        });
+        assert_eq!(out, reference, "pool size {threads} changed output order");
+    }
+}
+
+#[test]
+fn empty_single_and_odd_inputs() {
+    for n in [0usize, 1, 3, 7, 17] {
+        let out: Vec<usize> = pool(8).install(|| (0..n).into_par_iter().map(|x| x + 1).collect());
+        assert_eq!(out, (0..n).map(|x| x + 1).collect::<Vec<_>>());
+    }
+}
+
+#[test]
+fn single_thread_pool_matches_old_sequential_stub() {
+    let hits = AtomicUsize::new(0);
+    let out: Vec<usize> = pool(1).install(|| {
+        (0..500usize)
+            .into_par_iter()
+            .map(|x| {
+                hits.fetch_add(1, Ordering::Relaxed);
+                x * 3
+            })
+            .collect()
+    });
+    assert_eq!(out, (0..500).map(|x| x * 3).collect::<Vec<_>>());
+    assert_eq!(hits.load(Ordering::Relaxed), 500);
+}
+
+#[test]
+fn nested_par_iter_inside_worker_does_not_deadlock() {
+    let out: Vec<usize> = pool(4).install(|| {
+        (0..16usize)
+            .into_par_iter()
+            .map(|i| {
+                (0..8usize)
+                    .into_par_iter()
+                    .map(|j| i * 8 + j)
+                    .sum::<usize>()
+            })
+            .collect()
+    });
+    let want: Vec<usize> = (0..16).map(|i| (0..8).map(|j| i * 8 + j).sum()).collect();
+    assert_eq!(out, want);
+}
+
+#[test]
+fn worker_panic_propagates_and_pool_stays_usable() {
+    let caught = std::panic::catch_unwind(|| {
+        pool(4).install(|| {
+            (0..64usize)
+                .into_par_iter()
+                .map(|x| {
+                    assert!(x != 41, "worker panic on {x}");
+                    x
+                })
+                .collect::<Vec<_>>()
+        })
+    });
+    assert!(caught.is_err(), "worker panic must reach the caller");
+    let ok: usize = pool(4).install(|| (0..10usize).into_par_iter().map(|x| x).sum());
+    assert_eq!(ok, 45);
+}
+
+#[test]
+fn workers_run_genuinely_concurrently() {
+    // Eight 40 ms sleeps on eight workers must overlap even on one
+    // hardware core; sequential execution would take >= 320 ms.
+    let start = Instant::now();
+    pool(8).install(|| {
+        (0..8u32)
+            .into_par_iter()
+            .for_each(|_| std::thread::sleep(Duration::from_millis(40)))
+    });
+    let elapsed = start.elapsed();
+    assert!(
+        elapsed < Duration::from_millis(200),
+        "8x40 ms sleeps took {elapsed:?}; the pool is not parallel"
+    );
+}
+
+#[test]
+fn install_pins_thread_count_and_restores_on_exit() {
+    let outer = pool(3);
+    let inner = pool(5);
+    outer.install(|| {
+        assert_eq!(rayon::current_num_threads(), 3);
+        inner.install(|| assert_eq!(rayon::current_num_threads(), 5));
+        assert_eq!(rayon::current_num_threads(), 3);
+    });
+}

@@ -1,0 +1,179 @@
+//! The parallel-iterator API subset the workspace uses, executed on the
+//! work-stealing region executor in [`crate::pool`].
+//!
+//! [`Par`] holds its items eagerly (`Vec<T>`); each element-wise
+//! adaptor (`map`, `filter`, `flat_map`, `for_each`) is one parallel
+//! region whose outputs are reassembled **in input order**, so results
+//! are byte-identical to sequential execution at every thread count.
+//!
+//! Grouping-sensitive reductions — `sum`, `fold`, `reduce`, `max`,
+//! `min`, `count` — deliberately run sequentially over the (already
+//! parallel-computed) items: float addition is not associative, and the
+//! workspace's committed artifacts (`stability.csv`, journals) pin the
+//! sequential grouping. The heavy lifting in every consumer lives in
+//! the `map` closure, so this costs no measurable wall time; it buys
+//! bit-equal reductions at any pool size. `fold` therefore yields
+//! exactly one accumulator, as the old sequential stand-in did.
+
+use crate::pool;
+
+/// A parallel iterator over eagerly materialized items (see the module
+/// docs for the execution and determinism contract).
+#[derive(Debug, Clone)]
+pub struct Par<T> {
+    items: Vec<T>,
+}
+
+/// Conversion into a parallel iterator by value.
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item;
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> Par<Self::Item>;
+}
+
+impl<I: IntoIterator> IntoParallelIterator for I {
+    type Item = I::Item;
+    fn into_par_iter(self) -> Par<I::Item> {
+        Par {
+            items: self.into_iter().collect(),
+        }
+    }
+}
+
+/// Conversion into a parallel iterator over references.
+pub trait IntoParallelRefIterator<'a> {
+    /// Element type (a reference).
+    type Item: 'a;
+    /// Borrowing counterpart of
+    /// [`into_par_iter`](IntoParallelIterator::into_par_iter).
+    fn par_iter(&'a self) -> Par<Self::Item>;
+}
+
+impl<'a, C: 'a> IntoParallelRefIterator<'a> for C
+where
+    &'a C: IntoIterator,
+{
+    type Item = <&'a C as IntoIterator>::Item;
+    fn par_iter(&'a self) -> Par<Self::Item> {
+        Par {
+            items: self.into_iter().collect(),
+        }
+    }
+}
+
+impl<T> Par<T> {
+    /// Maps each element on the pool's workers; output order equals
+    /// input order regardless of thread count.
+    pub fn map<O, F>(self, f: F) -> Par<O>
+    where
+        T: Send,
+        O: Send,
+        F: Fn(T) -> O + Sync,
+    {
+        Par {
+            items: pool::parallel_map(self.items, f),
+        }
+    }
+
+    /// Keeps elements matching the predicate (predicate evaluated in
+    /// parallel, order preserved).
+    pub fn filter<F>(self, f: F) -> Par<T>
+    where
+        T: Send,
+        F: Fn(&T) -> bool + Sync,
+    {
+        let flagged = pool::parallel_map(self.items, |t| (f(&t), t));
+        Par {
+            items: flagged
+                .into_iter()
+                .filter_map(|(keep, t)| keep.then_some(t))
+                .collect(),
+        }
+    }
+
+    /// Maps then flattens (the map runs in parallel; flattening
+    /// preserves input order).
+    pub fn flat_map<U, F>(self, f: F) -> Par<U::Item>
+    where
+        T: Send,
+        U: IntoIterator,
+        U::Item: Send,
+        F: Fn(T) -> U + Sync,
+    {
+        let nested = pool::parallel_map(self.items, |t| f(t).into_iter().collect::<Vec<_>>());
+        Par {
+            items: nested.into_iter().flatten().collect(),
+        }
+    }
+
+    /// Runs `f` on every element on the pool's workers.
+    pub fn for_each<F>(self, f: F)
+    where
+        T: Send,
+        F: Fn(T) + Sync,
+    {
+        pool::parallel_map(self.items, |t| f(t));
+    }
+
+    /// Collects into any `FromIterator` container (items were already
+    /// produced in input order; this is a sequential move).
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+
+    /// Sums the elements — sequentially, left to right, so float totals
+    /// are bit-identical at every thread count (see module docs).
+    pub fn sum<S: std::iter::Sum<T>>(self) -> S {
+        self.items.into_iter().sum()
+    }
+
+    /// Counts the elements.
+    pub fn count(self) -> usize {
+        self.items.len()
+    }
+
+    /// Rayon-style fold producing per-"split" accumulators. This
+    /// implementation never splits the fold (one accumulator, built
+    /// left to right) so grouping-sensitive accumulations are
+    /// bit-identical at every thread count.
+    pub fn fold<A, ID, F>(self, identity: ID, fold_op: F) -> Par<A>
+    where
+        ID: Fn() -> A,
+        F: FnMut(A, T) -> A,
+    {
+        Par {
+            items: vec![self.items.into_iter().fold(identity(), fold_op)],
+        }
+    }
+
+    /// Rayon-style reduce with an identity constructor (sequential,
+    /// left to right — see module docs).
+    pub fn reduce<ID, F>(self, identity: ID, mut op: F) -> T
+    where
+        ID: Fn() -> T,
+        F: FnMut(T, T) -> T,
+    {
+        let mut acc = identity();
+        for item in self.items {
+            acc = op(acc, item);
+        }
+        acc
+    }
+
+    /// Maximum element.
+    pub fn max(self) -> Option<T>
+    where
+        T: Ord,
+    {
+        self.items.into_iter().max()
+    }
+
+    /// Minimum element.
+    pub fn min(self) -> Option<T>
+    where
+        T: Ord,
+    {
+        self.items.into_iter().min()
+    }
+}

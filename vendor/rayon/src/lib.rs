@@ -1,215 +1,125 @@
-//! Offline stand-in for the `rayon` crate.
+//! Offline stand-in for the `rayon` crate — with a **real** thread pool.
 //!
 //! Exposes the parallel-iterator API subset the workspace uses —
-//! `into_par_iter`, `par_iter`, `map`/`filter`/`flat_map`/`fold`/`reduce`/
-//! `sum`/`collect`/`for_each`, plus [`ThreadPoolBuilder`] — but executes
-//! everything **sequentially** on the calling thread. Every consumer in
-//! this workspace is written to be order-deterministic (indexed collects),
-//! so sequential execution produces bit-identical results; only wall-clock
-//! parallel speedup is lost. When a real crates.io mirror is available,
-//! deleting this stub and restoring the registry dependency restores
-//! parallelism with no source changes.
+//! `into_par_iter`, `par_iter`, `map`/`filter`/`flat_map`/`fold`/
+//! `reduce`/`sum`/`collect`/`for_each`, plus [`ThreadPoolBuilder`] — and
+//! executes element-wise work **in parallel** on a work-stealing region
+//! executor (scoped `std` threads, per-worker `Mutex`-deques, no
+//! unsafe; see [`pool`]). Every consumer in this workspace is written to
+//! be order-deterministic (indexed collects, post-collect journaling),
+//! and the executor reassembles outputs in input order while keeping
+//! grouping-sensitive reductions sequential, so results are
+//! **byte-identical at every thread count** — parallelism changes only
+//! wall-clock time.
+//!
+//! Thread-count policy, outermost first:
+//! 1. [`ThreadPool::install`] — a per-scope override from
+//!    `ThreadPoolBuilder::new().num_threads(n).build()`.
+//! 2. The `RAYFADE_THREADS` environment variable (a positive integer;
+//!    read once per process). CI pins this for reproducible timings.
+//! 3. `std::thread::available_parallelism()`.
+//!
+//! Nested parallel calls (a `par_iter` issued from inside a worker) run
+//! inline on that worker — no deadlock, no oversubscription. Worker
+//! panics abort the region and are re-thrown on the calling thread.
+//! `num_threads(1)` runs every region inline, which is exactly the old
+//! sequential stand-in's behavior.
+//!
+//! When a real crates.io mirror is available, deleting this stand-in and
+//! restoring the registry dependency requires no consumer source
+//! changes.
 
 #![forbid(unsafe_code)]
 
-/// The parallel-iterator traits and adaptors (sequential implementation).
-pub mod iter {
-    /// A "parallel" iterator: a thin wrapper over a sequential iterator.
-    #[derive(Debug, Clone)]
-    pub struct Par<I>(pub(crate) I);
-
-    /// Conversion into a parallel iterator by value.
-    pub trait IntoParallelIterator {
-        /// Element type.
-        type Item;
-        /// Concrete iterator type.
-        type Iter: Iterator<Item = Self::Item>;
-        /// Converts `self` into a parallel iterator.
-        fn into_par_iter(self) -> Par<Self::Iter>;
-    }
-
-    impl<I: IntoIterator> IntoParallelIterator for I {
-        type Item = I::Item;
-        type Iter = I::IntoIter;
-        fn into_par_iter(self) -> Par<I::IntoIter> {
-            Par(self.into_iter())
-        }
-    }
-
-    /// Conversion into a parallel iterator over references.
-    pub trait IntoParallelRefIterator<'a> {
-        /// Element type (a reference).
-        type Item: 'a;
-        /// Concrete iterator type.
-        type Iter: Iterator<Item = Self::Item>;
-        /// Borrowing counterpart of `into_par_iter`.
-        fn par_iter(&'a self) -> Par<Self::Iter>;
-    }
-
-    impl<'a, C: 'a> IntoParallelRefIterator<'a> for C
-    where
-        &'a C: IntoIterator,
-    {
-        type Item = <&'a C as IntoIterator>::Item;
-        type Iter = <&'a C as IntoIterator>::IntoIter;
-        fn par_iter(&'a self) -> Par<Self::Iter> {
-            Par(self.into_iter())
-        }
-    }
-
-    impl<I: Iterator> Par<I> {
-        /// Maps each element.
-        pub fn map<O, F: FnMut(I::Item) -> O>(self, f: F) -> Par<std::iter::Map<I, F>> {
-            Par(self.0.map(f))
-        }
-
-        /// Keeps elements matching the predicate.
-        pub fn filter<F: FnMut(&I::Item) -> bool>(self, f: F) -> Par<std::iter::Filter<I, F>> {
-            Par(self.0.filter(f))
-        }
-
-        /// Maps then flattens.
-        pub fn flat_map<O: IntoIterator, F: FnMut(I::Item) -> O>(
-            self,
-            f: F,
-        ) -> Par<std::iter::FlatMap<I, O, F>> {
-            Par(self.0.flat_map(f))
-        }
-
-        /// Collects into any `FromIterator` container.
-        pub fn collect<C: FromIterator<I::Item>>(self) -> C {
-            self.0.collect()
-        }
-
-        /// Runs `f` on every element.
-        pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
-            self.0.for_each(f)
-        }
-
-        /// Sums the elements.
-        pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
-            self.0.sum()
-        }
-
-        /// Counts the elements.
-        pub fn count(self) -> usize {
-            self.0.count()
-        }
-
-        /// Rayon-style fold: produces per-"thread" accumulators. The
-        /// sequential stub produces exactly one accumulator.
-        pub fn fold<T, ID: Fn() -> T, F: FnMut(T, I::Item) -> T>(
-            self,
-            identity: ID,
-            mut fold_op: F,
-        ) -> Par<std::iter::Once<T>> {
-            let mut acc = identity();
-            for item in self.0 {
-                acc = fold_op(acc, item);
-            }
-            Par(std::iter::once(acc))
-        }
-
-        /// Rayon-style reduce with an identity constructor.
-        pub fn reduce<ID: Fn() -> I::Item, F: FnMut(I::Item, I::Item) -> I::Item>(
-            self,
-            identity: ID,
-            mut op: F,
-        ) -> I::Item {
-            let mut acc = identity();
-            for item in self.0 {
-                acc = op(acc, item);
-            }
-            acc
-        }
-
-        /// Maximum element.
-        pub fn max(self) -> Option<I::Item>
-        where
-            I::Item: Ord,
-        {
-            self.0.max()
-        }
-
-        /// Minimum element.
-        pub fn min(self) -> Option<I::Item>
-        where
-            I::Item: Ord,
-        {
-            self.0.min()
-        }
-    }
-}
+pub mod iter;
+pub mod pool;
 
 /// Everything a `use rayon::prelude::*;` consumer expects in scope.
 pub mod prelude {
     pub use crate::iter::{IntoParallelIterator, IntoParallelRefIterator};
 }
 
-/// Builder for a (stub) thread pool.
-///
-/// `num_threads` is recorded but ignored: all work runs on the calling
-/// thread, which trivially satisfies "results must match across thread
-/// counts" determinism tests.
+/// Builder for a [`ThreadPool`].
 #[derive(Debug, Default)]
 pub struct ThreadPoolBuilder {
     num_threads: usize,
 }
 
-/// Error type of [`ThreadPoolBuilder::build`] (never produced).
+/// Error type of [`ThreadPoolBuilder::build`] (never produced: the
+/// executor spawns its scoped workers per region, so building a pool
+/// only records the requested size).
 #[derive(Debug)]
 pub struct ThreadPoolBuildError;
 
 impl std::fmt::Display for ThreadPoolBuildError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str("thread pool construction cannot fail in the sequential stub")
+        f.write_str("thread pool construction cannot fail in the vendored executor")
     }
 }
 
 impl std::error::Error for ThreadPoolBuildError {}
 
 impl ThreadPoolBuilder {
-    /// Creates a builder with default settings.
+    /// Creates a builder with default settings (thread count resolved
+    /// from `RAYFADE_THREADS` / available parallelism at install time).
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Records the requested thread count (ignored by the stub).
+    /// Requests `n` worker threads for regions run under this pool's
+    /// [`install`](ThreadPool::install); `0` means the process default.
     pub fn num_threads(mut self, n: usize) -> Self {
         self.num_threads = n;
         self
     }
 
-    /// Builds the (stub) pool.
+    /// Builds the pool handle.
     pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
         Ok(ThreadPool {
-            _threads: self.num_threads,
+            threads: self.num_threads,
         })
     }
 }
 
-/// A stub thread pool: `install` simply runs the closure inline.
+/// A pool handle: [`install`](Self::install) pins the thread count for
+/// every parallel region entered inside the closure (on this thread).
 #[derive(Debug)]
 pub struct ThreadPool {
-    _threads: usize,
+    threads: usize,
 }
 
 impl ThreadPool {
-    /// Runs `op` "inside" the pool (inline in the stub).
+    /// Runs `op` with this pool's thread count installed; parallel
+    /// regions inside use exactly that many workers (the caller
+    /// participates as one of them).
     pub fn install<R, F: FnOnce() -> R>(&self, op: F) -> R {
+        let _guard = pool::InstallGuard::new(self.threads);
         op()
+    }
+
+    /// The thread count regions under this pool use.
+    pub fn current_num_threads(&self) -> usize {
+        self.install(current_num_threads)
     }
 }
 
-/// Number of threads the stub executes on (always 1).
+/// The thread count the next parallel region on this thread would use:
+/// an installed pool's size inside [`ThreadPool::install`], else the
+/// `RAYFADE_THREADS` / hardware default.
 pub fn current_num_threads() -> usize {
-    1
+    pool::current_num_threads()
 }
 
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
     use super::ThreadPoolBuilder;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::{Duration, Instant};
+
+    fn pool(n: usize) -> super::ThreadPool {
+        ThreadPoolBuilder::new().num_threads(n).build().unwrap()
+    }
 
     #[test]
     fn map_collect_matches_sequential() {
@@ -234,8 +144,184 @@ mod tests {
     }
 
     #[test]
-    fn pool_install_runs_inline() {
-        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
-        assert_eq!(pool.install(|| 42), 42);
+    fn pool_install_runs_inline_and_reports_threads() {
+        let p = pool(4);
+        assert_eq!(p.install(|| 42), 42);
+        assert_eq!(p.current_num_threads(), 4);
+        assert_eq!(p.install(super::current_num_threads), 4);
+    }
+
+    #[test]
+    fn empty_single_and_odd_inputs() {
+        for n in [0usize, 1, 3, 7, 17] {
+            let out: Vec<usize> =
+                pool(8).install(|| (0..n).into_par_iter().map(|x| x + 1).collect());
+            assert_eq!(out, (0..n).map(|x| x + 1).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn one_thread_pool_matches_sequential_and_spawns_nothing() {
+        // num_threads(1) must behave exactly like the old sequential
+        // stand-in: results identical and the whole region inline.
+        let hits = AtomicUsize::new(0);
+        let out: Vec<usize> = pool(1).install(|| {
+            (0..1000usize)
+                .into_par_iter()
+                .map(|x| {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                    x * 3
+                })
+                .collect()
+        });
+        assert_eq!(out, (0..1000).map(|x| x * 3).collect::<Vec<_>>());
+        assert_eq!(hits.load(Ordering::Relaxed), 1000);
+    }
+
+    #[test]
+    fn results_are_identical_across_thread_counts() {
+        let reference: Vec<f64> = (0..997u64)
+            .into_par_iter()
+            .map(|x| (x as f64).sqrt().sin())
+            .collect();
+        for threads in [1, 2, 3, 8, 32] {
+            let out: Vec<f64> = pool(threads).install(|| {
+                (0..997u64)
+                    .into_par_iter()
+                    .map(|x| (x as f64).sqrt().sin())
+                    .collect()
+            });
+            assert_eq!(
+                out.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                reference.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "thread count {threads} changed map results"
+            );
+        }
+    }
+
+    #[test]
+    fn nested_par_iter_inside_worker_does_not_deadlock() {
+        let out: Vec<usize> = pool(4).install(|| {
+            (0..16usize)
+                .into_par_iter()
+                .map(|i| {
+                    // Nested region: must run inline on this worker.
+                    (0..8usize)
+                        .into_par_iter()
+                        .map(|j| i * 8 + j)
+                        .sum::<usize>()
+                })
+                .collect()
+        });
+        let want: Vec<usize> = (0..16).map(|i| (0..8).map(|j| i * 8 + j).sum()).collect();
+        assert_eq!(out, want);
+    }
+
+    #[test]
+    fn worker_panic_propagates_payload_to_caller() {
+        let caught = std::panic::catch_unwind(|| {
+            pool(4).install(|| {
+                (0..64usize)
+                    .into_par_iter()
+                    .map(|x| {
+                        if x == 33 {
+                            panic!("chunk worker exploded on {x}");
+                        }
+                        x
+                    })
+                    .collect::<Vec<_>>()
+            })
+        });
+        let payload = caught.expect_err("worker panic must propagate");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(
+            msg.contains("chunk worker exploded on 33"),
+            "original payload must survive: {msg:?}"
+        );
+        // The executor must still be usable after a panicked region.
+        let ok: usize = pool(4).install(|| (0..10usize).into_par_iter().map(|x| x).sum());
+        assert_eq!(ok, 45);
+    }
+
+    #[test]
+    fn for_each_runs_every_item_under_contention() {
+        let counter = AtomicUsize::new(0);
+        pool(8).install(|| {
+            (0..10_000usize).into_par_iter().for_each(|_| {
+                counter.fetch_add(1, Ordering::Relaxed);
+            })
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 10_000);
+    }
+
+    #[test]
+    fn filter_and_flat_map_preserve_order() {
+        let evens: Vec<u32> =
+            pool(4).install(|| (0..100u32).into_par_iter().filter(|x| x % 2 == 0).collect());
+        assert_eq!(
+            evens,
+            (0..100u32).filter(|x| x % 2 == 0).collect::<Vec<_>>()
+        );
+        let pairs: Vec<u32> = pool(4).install(|| {
+            (0..50u32)
+                .into_par_iter()
+                .flat_map(|x| [2 * x, 2 * x + 1])
+                .collect()
+        });
+        assert_eq!(pairs, (0..100u32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn regions_run_workers_genuinely_concurrently() {
+        // Eight 40 ms sleeps on eight workers must overlap: even on a
+        // single hardware core, sleeping threads overlap in wall time.
+        // Sequential execution would take >= 320 ms; require well under
+        // half that, with margin for a loaded machine.
+        let start = Instant::now();
+        pool(8).install(|| {
+            (0..8u32)
+                .into_par_iter()
+                .for_each(|_| std::thread::sleep(Duration::from_millis(40)))
+        });
+        let elapsed = start.elapsed();
+        assert!(
+            elapsed < Duration::from_millis(200),
+            "8x40 ms sleeps took {elapsed:?}; workers are not concurrent"
+        );
+    }
+
+    #[test]
+    fn install_overrides_nest_and_restore() {
+        let outer = pool(3);
+        let inner = pool(5);
+        outer.install(|| {
+            assert_eq!(super::current_num_threads(), 3);
+            inner.install(|| assert_eq!(super::current_num_threads(), 5));
+            assert_eq!(super::current_num_threads(), 3);
+        });
+    }
+
+    #[test]
+    fn uneven_work_is_stolen_and_completes() {
+        // One pathological item 100x costlier than the rest: stealing
+        // must still return the right (ordered) answer.
+        let out: Vec<u64> = pool(4).install(|| {
+            (0..257u64)
+                .into_par_iter()
+                .map(|x| {
+                    let spins = if x == 0 { 200_000 } else { 2_000 };
+                    let mut acc = x;
+                    for k in 0..spins {
+                        acc = acc.wrapping_mul(6364136223846793005).wrapping_add(k);
+                    }
+                    std::hint::black_box(acc);
+                    x * 2
+                })
+                .collect()
+        });
+        assert_eq!(out, (0..257u64).map(|x| x * 2).collect::<Vec<_>>());
     }
 }

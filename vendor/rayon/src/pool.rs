@@ -1,0 +1,286 @@
+//! The region executor behind the parallel iterators: scoped worker
+//! threads, per-worker chunk deques, and lock-based work stealing.
+//!
+//! A *region* is one terminal parallel operation (`map`, `for_each`,
+//! a `filter` predicate sweep, …). The items are split into ordered
+//! chunks (at most [`CHUNKS_PER_WORKER`] per worker), the chunk ids are
+//! dealt round-robin onto per-worker deques, and `threads - 1` scoped
+//! helper threads are spawned while the calling thread works too. A
+//! worker pops from the **back** of its own deque and, when empty,
+//! steals from the **front** of a victim's — classic work stealing, so
+//! an unlucky worker stuck on a slow chunk sheds the rest of its deque
+//! to its peers. All of it is `std` threads plus `Mutex`/`VecDeque`:
+//! no unsafe, no dependencies.
+//!
+//! Determinism: chunk `k` always holds the same contiguous input range
+//! and its outputs are reassembled in chunk order, so the result of a
+//! parallel `map` is byte-identical to the sequential one at every
+//! thread count — only wall-clock time changes. Reductions that would
+//! be sensitive to grouping (float `sum`/`fold`/`reduce`) deliberately
+//! stay sequential in [`crate::iter`].
+//!
+//! Nesting: a worker (or the caller while it participates) is marked
+//! in-region; parallel calls issued from inside run inline on that
+//! worker. Nested `par_iter` therefore cannot deadlock or oversubscribe
+//! — the outer region already owns the cores.
+//!
+//! Panics: a panicking chunk aborts the region (remaining chunks are
+//! abandoned), the first payload is captured, every worker is joined,
+//! and the payload is re-thrown on the calling thread.
+
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// Upper bound on chunks dealt per worker. Oversubscribing chunks (vs
+/// one chunk per worker) is what gives stealing room to balance uneven
+/// per-item cost; 4 keeps per-chunk bookkeeping negligible.
+const CHUNKS_PER_WORKER: usize = 4;
+
+thread_local! {
+    /// Thread count installed by [`crate::ThreadPool::install`] for the
+    /// current scope, if any.
+    static INSTALLED: Cell<Option<usize>> = const { Cell::new(None) };
+    /// Whether this thread is currently executing inside a parallel
+    /// region (worker or participating caller).
+    static IN_REGION: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Parses a `RAYFADE_THREADS`-style value: a positive integer wins,
+/// anything else (absent, empty, junk, `0`) falls through to the
+/// hardware default.
+pub(crate) fn parse_thread_env(raw: Option<&str>) -> Option<usize> {
+    raw.and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+}
+
+/// The process-wide default thread count: `RAYFADE_THREADS` if set to a
+/// positive integer, otherwise `std::thread::available_parallelism()`.
+/// Read once and cached — a fixed value keeps every region's chunk
+/// geometry stable within a run.
+pub(crate) fn default_threads() -> usize {
+    static DEFAULT: OnceLock<usize> = OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        parse_thread_env(std::env::var("RAYFADE_THREADS").ok().as_deref()).unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        })
+    })
+}
+
+/// The thread count the next parallel region would use on this thread:
+/// an installed pool's size if inside [`crate::ThreadPool::install`],
+/// the process default otherwise.
+pub fn current_num_threads() -> usize {
+    INSTALLED
+        .with(Cell::get)
+        .unwrap_or_else(default_threads)
+        .max(1)
+}
+
+/// Restores the previously installed thread count on drop (so
+/// `install` nests and unwinds correctly).
+pub(crate) struct InstallGuard {
+    prev: Option<usize>,
+}
+
+impl InstallGuard {
+    /// Installs `threads` (resolved: 0 means the process default) as
+    /// this thread's pool size until the guard drops.
+    pub(crate) fn new(threads: usize) -> InstallGuard {
+        let resolved = if threads == 0 {
+            default_threads()
+        } else {
+            threads
+        };
+        InstallGuard {
+            prev: INSTALLED.with(|c| c.replace(Some(resolved))),
+        }
+    }
+}
+
+impl Drop for InstallGuard {
+    fn drop(&mut self) {
+        let prev = self.prev;
+        INSTALLED.with(|c| c.set(prev));
+    }
+}
+
+/// Marks the current thread as executing inside a region; restores the
+/// previous mark on drop (exception-safe via RAII).
+struct RegionGuard {
+    prev: bool,
+}
+
+impl RegionGuard {
+    fn enter() -> RegionGuard {
+        RegionGuard {
+            prev: IN_REGION.with(|c| c.replace(true)),
+        }
+    }
+}
+
+impl Drop for RegionGuard {
+    fn drop(&mut self) {
+        let prev = self.prev;
+        IN_REGION.with(|c| c.set(prev));
+    }
+}
+
+/// A poisoned mutex only means another worker panicked mid-region; the
+/// protected data (taken inputs / stored outputs) is still consistent,
+/// and the region is about to re-throw that panic anyway.
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// One chunk's in-flight state: the owned input slice (taken by the
+/// claiming worker) and its output slot.
+struct ChunkCell<T, O> {
+    input: Mutex<Option<Vec<T>>>,
+    output: Mutex<Option<Vec<O>>>,
+}
+
+/// Applies `f` to every item on the region's workers and returns the
+/// outputs **in input order** — the indexed-collect determinism
+/// contract every consumer in the workspace relies on.
+///
+/// Runs inline (no threads, no chunking — exactly the old sequential
+/// stub) when the effective thread count is 1, the input has fewer than
+/// two items, or the calling thread is already inside a region.
+pub(crate) fn parallel_map<T, O, F>(items: Vec<T>, f: F) -> Vec<O>
+where
+    T: Send,
+    O: Send,
+    F: Fn(T) -> O + Sync,
+{
+    let n = items.len();
+    let in_region = IN_REGION.with(Cell::get);
+    let threads = if in_region { 1 } else { current_num_threads() }.min(n);
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    // Contiguous, order-preserving chunks; geometry depends only on
+    // (n, threads), never on scheduling.
+    let nchunks = n.min(threads * CHUNKS_PER_WORKER);
+    let mut rest = items;
+    let mut chunks: Vec<ChunkCell<T, O>> = Vec::with_capacity(nchunks);
+    for k in (0..nchunks).rev() {
+        let size = n / nchunks + usize::from(k < n % nchunks);
+        chunks.push(ChunkCell {
+            input: Mutex::new(Some(rest.split_off(rest.len() - size))),
+            output: Mutex::new(None),
+        });
+    }
+    chunks.reverse();
+    debug_assert!(rest.is_empty());
+
+    // Chunk ids dealt round-robin; each worker owns deque `w`.
+    let queues: Vec<Mutex<VecDeque<usize>>> = (0..threads)
+        .map(|w| Mutex::new((0..nchunks).filter(|c| c % threads == w).collect()))
+        .collect();
+    let aborted = AtomicBool::new(false);
+    let first_panic: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
+
+    let work = |w: usize| {
+        let _region = RegionGuard::enter();
+        loop {
+            if aborted.load(Ordering::Relaxed) {
+                break;
+            }
+            // Own deque from the back; steal victims' fronts.
+            let mut claimed = None;
+            for k in 0..threads {
+                let victim = (w + k) % threads;
+                let mut q = lock_unpoisoned(&queues[victim]);
+                claimed = if k == 0 { q.pop_back() } else { q.pop_front() };
+                if claimed.is_some() {
+                    break;
+                }
+            }
+            let Some(c) = claimed else {
+                break; // every deque empty: all chunks claimed
+            };
+            let Some(input) = lock_unpoisoned(&chunks[c].input).take() else {
+                continue;
+            };
+            let run = AssertUnwindSafe(|| input.into_iter().map(&f).collect::<Vec<O>>());
+            match catch_unwind(run) {
+                Ok(out) => *lock_unpoisoned(&chunks[c].output) = Some(out),
+                Err(payload) => {
+                    let mut slot = lock_unpoisoned(&first_panic);
+                    if slot.is_none() {
+                        *slot = Some(payload);
+                    }
+                    aborted.store(true, Ordering::Relaxed);
+                    break;
+                }
+            }
+        }
+    };
+
+    std::thread::scope(|s| {
+        let work = &work;
+        for w in 1..threads {
+            s.spawn(move || work(w));
+        }
+        work(0);
+    });
+
+    if let Some(payload) = lock_unpoisoned(&first_panic).take() {
+        resume_unwind(payload);
+    }
+    let mut out = Vec::with_capacity(n);
+    for cell in chunks {
+        out.extend(
+            cell.output
+                .into_inner()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .expect("region joined without panic, so every chunk completed"),
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_thread_env_accepts_positive_integers_only() {
+        assert_eq!(parse_thread_env(Some("4")), Some(4));
+        assert_eq!(parse_thread_env(Some(" 8 ")), Some(8));
+        assert_eq!(parse_thread_env(Some("0")), None);
+        assert_eq!(parse_thread_env(Some("-2")), None);
+        assert_eq!(parse_thread_env(Some("many")), None);
+        assert_eq!(parse_thread_env(Some("")), None);
+        assert_eq!(parse_thread_env(None), None);
+    }
+
+    #[test]
+    fn chunk_geometry_partitions_exactly() {
+        for n in [2usize, 3, 7, 16, 1000, 1001] {
+            let out = parallel_map((0..n).collect(), |x| x);
+            assert_eq!(out, (0..n).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn install_guard_nests_and_restores() {
+        assert!(INSTALLED.with(Cell::get).is_none());
+        {
+            let _a = InstallGuard::new(3);
+            assert_eq!(current_num_threads(), 3);
+            {
+                let _b = InstallGuard::new(7);
+                assert_eq!(current_num_threads(), 7);
+            }
+            assert_eq!(current_num_threads(), 3);
+        }
+        assert!(INSTALLED.with(Cell::get).is_none());
+    }
+}
