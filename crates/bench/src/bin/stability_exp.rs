@@ -17,10 +17,19 @@
 //! least one policy — fading randomizes interference, so the strongest
 //! blocker is not *always* present.
 //!
-//! Usage: `cargo run -p rayfade-bench --release --bin stability_exp [--quick] [--out dir] [--telemetry dir]`
+//! With `--monitor`, the sweep also runs the online health monitor
+//! (queue-drift, watermark, throughput-collapse, and delay-SLO
+//! detectors per network), cross-checks the live λ-stability verdicts
+//! against the post-hoc fits, and writes a `stability_health.jsonl`
+//! artifact. Monitoring never changes the schedule: the monitored
+//! report is bit-equal to the plain one.
+//!
+//! Usage: `cargo run -p rayfade-bench --release --bin stability_exp [--quick] [--out dir] [--telemetry dir] [--monitor]`
 
 use rayfade_bench::{telemetry_ref, Cli};
-use rayfade_dynamic::{ArrivalProcess, DynamicConfig, LambdaSweep, PolicyKind, SuccessModelKind};
+use rayfade_dynamic::{
+    ArrivalProcess, DynamicConfig, LambdaSweep, MonitorSpec, PolicyKind, SuccessModelKind,
+};
 use rayfade_geometry::PaperTopology;
 use rayfade_sim::{fmt_f, Table};
 use rayfade_sinr::SinrParams;
@@ -58,7 +67,23 @@ fn main() {
     };
     let tele = cli.experiment_telemetry("stability");
     let sweep = LambdaSweep::linear(base, max_lambda, steps);
-    let report = sweep.run_with_telemetry(telemetry_ref(&tele));
+    let report = if cli.monitor {
+        let monitored = sweep.run_monitored(telemetry_ref(&tele), &MonitorSpec::default());
+        let (agree, total) = monitored.verdict_agreement();
+        println!(
+            "claim: online drift verdict matches post-hoc fit on every cell — {} ({agree}/{total})",
+            if agree == total { "HOLDS" } else { "VIOLATED" }
+        );
+        let health_dir = cli.telemetry.clone().unwrap_or_else(|| cli.out.clone());
+        let health_path = health_dir.join("stability_health.jsonl");
+        monitored
+            .write_health_journal(&health_path)
+            .unwrap_or_else(|e| panic!("cannot write {}: {e}", health_path.display()));
+        eprintln!("wrote {}", health_path.display());
+        monitored.report
+    } else {
+        sweep.run_with_telemetry(telemetry_ref(&tele))
+    };
 
     let mut table = Table::new([
         "policy",

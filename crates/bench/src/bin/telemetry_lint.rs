@@ -6,13 +6,18 @@
 //! * `*.jsonl` — every line parses as a JSON object whose first field is
 //!   the monotonically increasing `seq` and whose second is a non-empty
 //!   `kind` string, and the first record is the `schema` header carrying
-//!   a `schema_version`;
+//!   a `schema_version`; every `health` event must carry non-empty
+//!   `detector` and `verdict` strings (schema v2 monitor records);
+//! * `*_health.jsonl` — all of the above, plus at least one `health`
+//!   event (an empty health journal means the monitor never reported);
 //! * `*_metrics.prom` — non-empty, every non-comment line is
 //!   `name value`, and at least one `rayfade_`-prefixed sample exists;
 //! * `*_metrics.csv` — non-empty with the `kind,name,value` header;
 //! * `*_trace.json` — a Chrome-trace JSON with balanced `B`/`E` events
 //!   and per-thread monotone timestamps
-//!   (via [`rayfade_telemetry::trace::validate_chrome_trace`]).
+//!   (via [`rayfade_telemetry::trace::validate_chrome_trace`]); a trace
+//!   whose `otherData.dropped_spans` is positive draws a warning (the
+//!   file is structurally valid but incomplete).
 //!
 //! Exits non-zero (after reporting every problem, not just the first) if
 //! anything fails, so CI can upload the artifacts and still go red.
@@ -21,11 +26,13 @@
 //! (falls back to `--out`'s directory when `--telemetry` is not given).
 
 use rayfade_bench::Cli;
-use rayfade_telemetry::read_jsonl;
+use rayfade_telemetry::{read_jsonl, Json};
 use std::path::Path;
 
-/// Validate one JSONL journal; returns human-readable problems.
-fn lint_journal(path: &Path) -> Vec<String> {
+/// Validate one JSONL journal; returns human-readable problems. When
+/// `require_health` is set (for `*_health.jsonl` monitor artifacts), the
+/// journal must contain at least one `health` event.
+fn lint_journal(path: &Path, require_health: bool) -> Vec<String> {
     let mut problems = Vec::new();
     let events = match read_jsonl(path) {
         Ok(events) => events,
@@ -34,6 +41,7 @@ fn lint_journal(path: &Path) -> Vec<String> {
     if events.is_empty() {
         problems.push(format!("{}: journal is empty", path.display()));
     }
+    let mut health_events = 0usize;
     if let Some(first) = events.first() {
         if first.get("kind").and_then(|v| v.as_str()) != Some("schema") {
             problems.push(format!(
@@ -70,6 +78,24 @@ fn lint_journal(path: &Path) -> Vec<String> {
                 path.display()
             )),
         }
+        if ev.get("kind").and_then(|v| v.as_str()) == Some("health") {
+            health_events += 1;
+            for field in ["detector", "verdict"] {
+                match ev.get(field).and_then(|v| v.as_str()) {
+                    Some(value) if !value.is_empty() => {}
+                    _ => problems.push(format!(
+                        "{}: health event {i} has no non-empty {field}",
+                        path.display()
+                    )),
+                }
+            }
+        }
+    }
+    if require_health && health_events == 0 {
+        problems.push(format!(
+            "{}: health journal contains no health events",
+            path.display()
+        ));
     }
     problems
 }
@@ -149,13 +175,27 @@ fn lint_trace(path: &Path) -> Vec<String> {
         Ok(text) => text,
         Err(e) => return vec![format!("{}: unreadable: {e}", path.display())],
     };
-    match rayfade_telemetry::trace::validate_chrome_trace(&text) {
+    let problems = match rayfade_telemetry::trace::validate_chrome_trace(&text) {
         Ok(stats) if stats.spans == 0 => {
             vec![format!("{}: trace contains no spans", path.display())]
         }
         Ok(_) => Vec::new(),
         Err(e) => vec![format!("{}: invalid trace: {e}", path.display())],
+    };
+    // A positive dropped-span count means the ring wrapped and the file
+    // is incomplete — warn loudly, but don't fail a structurally valid
+    // trace over it.
+    let dropped = Json::parse(&text)
+        .ok()
+        .and_then(|doc| doc.get("otherData")?.get("dropped_spans")?.as_i64())
+        .unwrap_or(0);
+    if dropped > 0 {
+        eprintln!(
+            "warn {}: trace reports {dropped} dropped span(s); profile is incomplete",
+            path.display()
+        );
     }
+    problems
 }
 
 fn main() {
@@ -172,7 +212,7 @@ fn main() {
     for path in &entries {
         let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
         let file_problems = if name.ends_with(".jsonl") {
-            lint_journal(path)
+            lint_journal(path, name.ends_with("_health.jsonl"))
         } else if name.ends_with("_metrics.prom") {
             lint_prom(path)
         } else if name.ends_with("_metrics.csv") {

@@ -1,18 +1,20 @@
 //! O1 — cost of the telemetry layer on the hottest loop we have: the
 //! dynamic engine's per-slot scheduling loop.
 //!
-//! Runs the identical `DynamicEngine` configuration three times — plain
+//! Runs the identical `DynamicEngine` configuration four times — plain
 //! (`run()`, telemetry compiled in but disabled via `None`), with a live
 //! metrics registry (`run_with_metrics(Some(_))`, which times every
-//! `policy.choose` call and tallies per-slot counters), and with metrics
+//! `policy.choose` call and tallies per-slot counters), with metrics
 //! plus span tracing (`with_tracing()`, sampled slot-phase spans and the
-//! always-on replication/selector spans) — and reports the wall-clock
-//! ratios. Outcomes are asserted bit-identical, so the only difference is
-//! instrumentation cost.
+//! always-on replication/selector spans), and with metrics plus the
+//! online health monitor (`run_monitored`, streaming drift/watermark/
+//! SLO detectors fed every sampled slot and every delivery) — and
+//! reports the wall-clock ratios. Outcomes are asserted bit-identical,
+//! so the only difference is instrumentation cost.
 //!
-//! Claim checked at the headline size (800 slots, paper-scale links):
-//! metrics + tracing combined stays within 5% of the uninstrumented
-//! baseline.
+//! Claims checked at the headline size (800 slots, paper-scale links):
+//! metrics + tracing stays within 5% of the uninstrumented baseline,
+//! and so does metrics + monitoring.
 //!
 //! Usage: `cargo run -p rayfade-bench --release --bin telemetry_overhead [--quick] [--out dir]`
 
@@ -21,7 +23,7 @@ use rayfade_dynamic::{ArrivalProcess, DynamicConfig, DynamicEngine, PolicyKind, 
 use rayfade_geometry::PaperTopology;
 use rayfade_sim::{fmt_f, Table};
 use rayfade_sinr::SinrParams;
-use rayfade_telemetry::Telemetry;
+use rayfade_telemetry::{MonitorConfig, Telemetry};
 use std::time::Instant;
 
 /// The slot-loop configuration under measurement: paper-scale links with
@@ -44,30 +46,22 @@ fn config(slots: u64) -> DynamicConfig {
     }
 }
 
-/// Best-of-`repeats` wall times for three alternatives, in milliseconds.
+/// Best-of-`repeats` wall times for four alternatives, in milliseconds.
 ///
-/// Interleaves the measurements (a, b, c, a, b, c, …) so slow phases of a
-/// shared machine hit every side equally instead of biasing whichever
-/// block ran during them; best-of then discards the slow iterations.
-fn best_ms_triple(
-    repeats: usize,
-    mut a: impl FnMut(),
-    mut b: impl FnMut(),
-    mut c: impl FnMut(),
-) -> (f64, f64, f64) {
-    let (mut best_a, mut best_b, mut best_c) = (f64::INFINITY, f64::INFINITY, f64::INFINITY);
+/// Interleaves the measurements (a, b, c, d, a, b, c, d, …) so slow
+/// phases of a shared machine hit every side equally instead of biasing
+/// whichever block ran during them; best-of then discards the slow
+/// iterations.
+fn best_ms_quad(repeats: usize, mut sides: [&mut dyn FnMut(); 4]) -> [f64; 4] {
+    let mut best = [f64::INFINITY; 4];
     for _ in 0..repeats {
-        let start = Instant::now();
-        a();
-        best_a = best_a.min(start.elapsed().as_secs_f64() * 1e3);
-        let start = Instant::now();
-        b();
-        best_b = best_b.min(start.elapsed().as_secs_f64() * 1e3);
-        let start = Instant::now();
-        c();
-        best_c = best_c.min(start.elapsed().as_secs_f64() * 1e3);
+        for (slot, side) in best.iter_mut().zip(sides.iter_mut()) {
+            let start = Instant::now();
+            side();
+            *slot = slot.min(start.elapsed().as_secs_f64() * 1e3);
+        }
     }
-    (best_a, best_b, best_c)
+    best
 }
 
 fn main() {
@@ -86,16 +80,20 @@ fn main() {
         "baseline_ms",
         "metrics_ms",
         "traced_ms",
+        "monitor_ms",
         "metrics_overhead_pct",
         "traced_overhead_pct",
+        "monitor_overhead_pct",
     ]);
-    let mut headline_overhead = f64::NAN;
+    let monitor_cfg = MonitorConfig::default();
+    let mut headline_traced = f64::NAN;
+    let mut headline_monitor = f64::NAN;
     for &slots in slot_counts {
         let cfg = config(slots);
         let repeats = if slots <= 4_000 { 60 } else { 25 };
 
-        // One warm-up + correctness pass: neither metrics nor span
-        // tracing may perturb the simulation.
+        // One warm-up + correctness pass: neither metrics, span tracing,
+        // nor the health monitor may perturb the simulation.
         let plain = DynamicEngine::new(cfg.clone()).run();
         let tele = Telemetry::new();
         let instrumented = DynamicEngine::new(cfg.clone()).run_with_metrics(Some(&tele));
@@ -109,6 +107,13 @@ fn main() {
             plain, traced,
             "slots={slots}: traced run diverged from baseline"
         );
+        let tele = Telemetry::new();
+        let (monitored, _health) =
+            DynamicEngine::new(cfg.clone()).run_monitored(Some(&tele), &monitor_cfg);
+        assert_eq!(
+            plain, monitored,
+            "slots={slots}: monitored run diverged from baseline"
+        );
 
         // Telemetry handles are constructed outside the timed closures:
         // the claim is about the per-slot cost of live instrumentation,
@@ -116,22 +121,31 @@ fn main() {
         // once per experiment, not once per replication).
         let metrics_tele = Telemetry::new();
         let traced_tele = Telemetry::new().with_tracing();
-        let (baseline_ms, metrics_ms, traced_ms) = best_ms_triple(
+        let monitor_tele = Telemetry::new();
+        let [baseline_ms, metrics_ms, traced_ms, monitor_ms] = best_ms_quad(
             repeats,
-            || {
-                let _ = DynamicEngine::new(cfg.clone()).run();
-            },
-            || {
-                let _ = DynamicEngine::new(cfg.clone()).run_with_metrics(Some(&metrics_tele));
-            },
-            || {
-                let _ = DynamicEngine::new(cfg.clone()).run_with_metrics(Some(&traced_tele));
-            },
+            [
+                &mut || {
+                    let _ = DynamicEngine::new(cfg.clone()).run();
+                },
+                &mut || {
+                    let _ = DynamicEngine::new(cfg.clone()).run_with_metrics(Some(&metrics_tele));
+                },
+                &mut || {
+                    let _ = DynamicEngine::new(cfg.clone()).run_with_metrics(Some(&traced_tele));
+                },
+                &mut || {
+                    let _ = DynamicEngine::new(cfg.clone())
+                        .run_monitored(Some(&monitor_tele), &monitor_cfg);
+                },
+            ],
         );
         let metrics_overhead_pct = (metrics_ms / baseline_ms - 1.0) * 100.0;
         let traced_overhead_pct = (traced_ms / baseline_ms - 1.0) * 100.0;
+        let monitor_overhead_pct = (monitor_ms / baseline_ms - 1.0) * 100.0;
         if slots == 800 {
-            headline_overhead = traced_overhead_pct;
+            headline_traced = traced_overhead_pct;
+            headline_monitor = monitor_overhead_pct;
         }
         table.push_row([
             slots.to_string(),
@@ -140,32 +154,48 @@ fn main() {
             fmt_f(baseline_ms, 2),
             fmt_f(metrics_ms, 2),
             fmt_f(traced_ms, 2),
+            fmt_f(monitor_ms, 2),
             fmt_f(metrics_overhead_pct, 2),
             fmt_f(traced_overhead_pct, 2),
+            fmt_f(monitor_overhead_pct, 2),
         ]);
         eprintln!(
             "  slots={slots}: baseline {baseline_ms:.2} ms, metrics {metrics_ms:.2} ms \
              ({metrics_overhead_pct:+.2}%), metrics+tracing {traced_ms:.2} ms \
-             ({traced_overhead_pct:+.2}%)"
+             ({traced_overhead_pct:+.2}%), metrics+monitor {monitor_ms:.2} ms \
+             ({monitor_overhead_pct:+.2}%)"
         );
     }
     print!("{}", table.to_console());
 
-    let verdict = if headline_overhead < 5.0 {
+    let traced_verdict = if headline_traced < 5.0 {
+        "HOLDS"
+    } else {
+        "FAILS"
+    };
+    let monitor_verdict = if headline_monitor < 5.0 {
         "HOLDS"
     } else {
         "FAILS"
     };
     println!(
-        "\nclaim: metrics + tracing slot loop within 5% of baseline at 800 slots: {verdict} \
-         ({headline_overhead:+.2}%)"
+        "\nclaim: metrics + tracing slot loop within 5% of baseline at 800 slots: \
+         {traced_verdict} ({headline_traced:+.2}%)"
+    );
+    println!(
+        "claim: metrics + monitor slot loop within 5% of baseline at 800 slots: \
+         {monitor_verdict} ({headline_monitor:+.2}%)"
     );
 
     let path = cli.csv_path("telemetry_overhead.csv");
     table.write_csv(&path).expect("write CSV");
     eprintln!("wrote {}", path.display());
     assert!(
-        headline_overhead < 5.0,
-        "telemetry overhead claim failed: {headline_overhead:+.2}% >= 5%"
+        headline_traced < 5.0,
+        "telemetry overhead claim failed: {headline_traced:+.2}% >= 5%"
+    );
+    assert!(
+        headline_monitor < 5.0,
+        "monitor overhead claim failed: {headline_monitor:+.2}% >= 5%"
     );
 }

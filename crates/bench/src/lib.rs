@@ -5,8 +5,9 @@
 //! All binaries accept `--quick` for a reduced smoke configuration,
 //! `--out <dir>` to choose where CSV files land (default `results/`),
 //! `--telemetry <dir>` to dump a metrics registry and JSONL journal on
-//! exit, and `--trace` (implies nothing without `--telemetry`) to also
-//! record spans and write a Chrome-trace JSON plus a self-profile table
+//! exit, `--trace` (implies nothing without `--telemetry`) to also
+//! record spans and write a Chrome-trace JSON plus a self-profile table,
+//! and `--monitor` to run the online health detectors where supported
 //! (see README's Observability section).
 
 #![warn(missing_docs)]
@@ -30,16 +31,21 @@ pub struct Cli {
     /// experiment's [`ExperimentTelemetry::finish`] additionally writes a
     /// Chrome-trace JSON and a self-profile CSV.
     pub trace: bool,
+    /// Run with online health monitoring: streaming detectors ride
+    /// along with the experiment and, for experiments that support it,
+    /// a `<name>_health.jsonl` artifact lands next to the journal.
+    pub monitor: bool,
 }
 
 impl Cli {
-    /// Parses `--quick`, `--out <dir>`, `--telemetry <dir>` and
-    /// `--trace` from `std::env::args`.
+    /// Parses `--quick`, `--out <dir>`, `--telemetry <dir>`, `--trace`
+    /// and `--monitor` from `std::env::args`.
     pub fn parse() -> Self {
         let mut quick = false;
         let mut out = PathBuf::from("results");
         let mut telemetry = None;
         let mut trace = false;
+        let mut monitor = false;
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
             match a.as_str() {
@@ -54,9 +60,10 @@ impl Cli {
                     ))
                 }
                 "--trace" => trace = true,
+                "--monitor" => monitor = true,
                 other => panic!(
                     "unknown argument: {other} (expected --quick / --out <dir> / \
-                     --telemetry <dir> / --trace)"
+                     --telemetry <dir> / --trace / --monitor)"
                 ),
             }
         }
@@ -68,6 +75,7 @@ impl Cli {
             out,
             telemetry,
             trace,
+            monitor,
         }
     }
 
@@ -228,6 +236,7 @@ mod tests {
             out: PathBuf::from("x"),
             telemetry: None,
             trace: false,
+            monitor: false,
         };
         assert_eq!(cli.csv_path("a.csv"), PathBuf::from("x/a.csv"));
         assert!(cli.experiment_telemetry("noop").is_none());
@@ -241,6 +250,7 @@ mod tests {
             out: PathBuf::from("x"),
             telemetry: Some(dir.clone()),
             trace: false,
+            monitor: false,
         };
         let tele = cli.experiment_telemetry("smoke").expect("enabled");
         telemetry_ref(&Some(tele))
@@ -280,6 +290,7 @@ mod tests {
             out: PathBuf::from("x"),
             telemetry: Some(dir.clone()),
             trace: true,
+            monitor: false,
         };
         let tele = cli.experiment_telemetry("traced").expect("enabled");
         {

@@ -10,7 +10,8 @@
 //! float reductions stay sequential.
 
 use rayfade_dynamic::{
-    ArrivalProcess, DynamicConfig, LambdaSweep, PolicyKind, StabilityReport, SuccessModelKind,
+    ArrivalProcess, DynamicConfig, LambdaSweep, MonitorSpec, MonitoredStabilityReport, PolicyKind,
+    StabilityReport, SuccessModelKind,
 };
 use rayfade_geometry::PaperTopology;
 use rayfade_sinr::{PowerAssignment, SinrParams};
@@ -107,6 +108,63 @@ fn stability_sweep_journal_and_csv_rows_identical_at_pool_sizes_1_2_8() {
             "stability report differs between pool size 1 and {threads}"
         );
         assert_eq!(csv_rows(report), ref_rows);
+    }
+}
+
+#[test]
+fn monitored_sweep_journal_and_health_identical_at_pool_sizes_1_4_8() {
+    const MONITOR_POOL_SIZES: [usize; 3] = [1, 4, 8];
+    let sweep = sweep();
+    let spec = MonitorSpec::default();
+    let mut journals: Vec<(usize, Vec<u8>)> = Vec::new();
+    let mut health_journals: Vec<(usize, Vec<u8>)> = Vec::new();
+    let mut reports: Vec<(usize, MonitoredStabilityReport)> = Vec::new();
+    for &threads in &MONITOR_POOL_SIZES {
+        let path = scratch(&format!("monitored-{threads}.jsonl"));
+        let health_path = scratch(&format!("monitored-health-{threads}.jsonl"));
+        let tele = Telemetry::with_journal(&path).expect("create journal");
+        let report = at_pool_size(threads, || sweep.run_monitored(Some(&tele), &spec));
+        tele.flush();
+        report
+            .write_health_journal(&health_path)
+            .expect("write health journal");
+        journals.push((threads, std::fs::read(&path).expect("read journal")));
+        health_journals.push((threads, std::fs::read(&health_path).expect("read health")));
+        reports.push((threads, report));
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&health_path);
+    }
+
+    let (_, ref_journal) = &journals[0];
+    assert!(
+        !ref_journal.is_empty(),
+        "monitored journal must not be empty"
+    );
+    for (threads, bytes) in &journals[1..] {
+        assert_eq!(
+            bytes, ref_journal,
+            "monitored journal bytes differ between pool size 1 and {threads}"
+        );
+    }
+    let (_, ref_health) = &health_journals[0];
+    assert!(!ref_health.is_empty(), "health journal must not be empty");
+    for (threads, bytes) in &health_journals[1..] {
+        assert_eq!(
+            bytes, ref_health,
+            "health journal bytes differ between pool size 1 and {threads}"
+        );
+    }
+
+    let (_, ref_report) = &reports[0];
+    let (agree, total) = ref_report.verdict_agreement();
+    assert_eq!(agree, total, "online verdicts disagree with post-hoc fits");
+    for (threads, report) in &reports[1..] {
+        // Full bitwise equality of the post-hoc cells *and* every
+        // online detector report (drift slopes, watermarks, SLO counts).
+        assert_eq!(
+            report, ref_report,
+            "monitored report differs between pool size 1 and {threads}"
+        );
     }
 }
 

@@ -30,7 +30,7 @@ use rayfade_core::{mix_seed, mix_seed2, RayleighModel};
 use rayfade_geometry::PaperTopology;
 use rayfade_sinr::{GainMatrix, NonFadingModel, PowerAssignment, SinrParams, SuccessModel};
 use rayfade_telemetry::trace::{self, SpanId};
-use rayfade_telemetry::Telemetry;
+use rayfade_telemetry::{HealthMonitor, HealthReport, MonitorConfig, Telemetry};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
@@ -192,18 +192,68 @@ impl DynamicEngine {
     pub fn run_with_metrics(&self, tele: Option<&Telemetry>) -> Vec<DynamicOutcome> {
         (0..self.config.networks as u64)
             .into_par_iter()
-            .map(|net| self.run_network_telemetry(net, tele))
+            .map(|net| self.run_network_full(net, tele, None).0)
             .collect()
+    }
+
+    /// Like [`run_with_telemetry`](Self::run_with_telemetry), but each
+    /// replication also feeds an online [`HealthMonitor`] and the
+    /// journal additionally carries the per-replication `health` events
+    /// (inserted after each `dyn_net`, leaving the rest of the event
+    /// stream identical to the unmonitored one). The monitor is pure
+    /// read-side state — outcomes are bit-equal to an unmonitored run's.
+    pub fn run_monitored(
+        &self,
+        tele: Option<&Telemetry>,
+        monitor: &MonitorConfig,
+    ) -> (Vec<DynamicOutcome>, Vec<HealthReport>) {
+        let (outcomes, health) = self.run_monitored_metrics(tele, monitor);
+        if let Some(t) = tele {
+            // Exported post-collect in network order, so float-valued
+            // monitor metrics never depend on rayon scheduling.
+            for report in &health {
+                report.export(t.registry());
+            }
+        }
+        self.journal_outcomes_with_health(tele, &outcomes, &health);
+        (outcomes, health)
+    }
+
+    /// The replication half of [`run_monitored`](Self::run_monitored):
+    /// runs tally engine registry metrics but nothing is journaled and
+    /// the monitor reports are *not* yet exported — callers (like
+    /// [`run_monitored`](Self::run_monitored) or a sweep) export and
+    /// journal them afterwards in deterministic order.
+    pub fn run_monitored_metrics(
+        &self,
+        tele: Option<&Telemetry>,
+        monitor: &MonitorConfig,
+    ) -> (Vec<DynamicOutcome>, Vec<HealthReport>) {
+        let pairs: Vec<(DynamicOutcome, HealthReport)> = (0..self.config.networks as u64)
+            .into_par_iter()
+            .map(|net| {
+                let (outcome, report) = self.run_network_full(net, tele, Some(monitor));
+                (outcome, report.expect("monitored replication has a report"))
+            })
+            .collect();
+        pairs.into_iter().unzip()
     }
 
     /// Runs one replication.
     pub fn run_network(&self, net: u64) -> DynamicOutcome {
-        self.run_network_telemetry(net, None)
+        self.run_network_full(net, None, None).0
     }
 
     /// Runs one replication, optionally tallying metrics (never journal
-    /// events — see [`journal_outcomes`](Self::journal_outcomes)).
-    fn run_network_telemetry(&self, net: u64, tele: Option<&Telemetry>) -> DynamicOutcome {
+    /// events — see [`journal_outcomes`](Self::journal_outcomes)) and
+    /// optionally feeding an online [`HealthMonitor`] whose end-of-run
+    /// [`HealthReport`] is returned alongside the outcome.
+    fn run_network_full(
+        &self,
+        net: u64,
+        tele: Option<&Telemetry>,
+        monitor: Option<&MonitorConfig>,
+    ) -> (DynamicOutcome, Option<HealthReport>) {
         let cfg = &self.config;
         let topology = PaperTopology {
             links: cfg.links,
@@ -272,6 +322,10 @@ impl DynamicEngine {
         let _replication_span = trace::guard(tracer, span_replication);
         let mut transmissions: u64 = 0;
         let mut deliveries: u64 = 0;
+        // The monitor observes simulated state only (it draws no
+        // randomness and feeds nothing back), so outcomes are bit-equal
+        // with or without it.
+        let mut mon = monitor.map(|cfg| HealthMonitor::new(cfg, n));
 
         for slot in 0..cfg.slots {
             let sampled = slot % cfg.sample_every == 0;
@@ -321,6 +375,9 @@ impl DynamicEngine {
                     if successes[i] {
                         let delivered = bank.queue_mut(i).dequeue(slot);
                         debug_assert!(delivered.is_some());
+                        if let (Some(m), Some(delay)) = (mon.as_mut(), delivered) {
+                            m.observe_delay(i, delay);
+                        }
                         deliveries += 1;
                     }
                 }
@@ -336,6 +393,16 @@ impl DynamicEngine {
                 trace.cum_departures.push(bank.total_departures());
                 if let Some(hist) = &sampled_backlog {
                     hist.observe(backlog as f64);
+                }
+                if let Some(m) = mon.as_mut() {
+                    // The monitor sees exactly the points the post-hoc
+                    // drift test fits — the agreement precondition.
+                    m.observe_sample(
+                        slot,
+                        backlog,
+                        bank.total_arrivals(),
+                        bank.total_departures(),
+                    );
                 }
             }
         }
@@ -366,14 +433,15 @@ impl DynamicEngine {
         }
 
         let slots = cfg.slots as f64;
-        DynamicOutcome {
+        let outcome = DynamicOutcome {
             throughput_per_link: bank.total_departures() as f64 / slots / n as f64,
             offered_per_link: bank.total_arrivals() as f64 / slots / n as f64,
             mean_delay: bank.mean_delay(),
             p95_delay: bank.delay_percentile(95.0),
             final_backlog_per_link: bank.total_backlog() as f64 / n as f64,
             trace,
-        }
+        };
+        (outcome, mon.map(|m| m.report()))
     }
 
     /// Journals a `dyn_run` header plus, per replication (in network
@@ -384,6 +452,21 @@ impl DynamicEngine {
     /// sweeps (e.g. [`crate::stability::LambdaSweep`]) can run cells
     /// metrics-only in parallel and journal afterwards.
     pub fn journal_outcomes(&self, tele: Option<&Telemetry>, outcomes: &[DynamicOutcome]) {
+        self.journal_outcomes_with_health(tele, outcomes, &[]);
+    }
+
+    /// Like [`journal_outcomes`](Self::journal_outcomes), but each
+    /// replication's [`HealthReport`] (indexed by network) journals its
+    /// `health` events directly after that replication's `dyn_net`
+    /// record. With `health` empty the event stream is exactly
+    /// [`journal_outcomes`](Self::journal_outcomes)' — the "bit-identical
+    /// modulo inserted health records" contract.
+    pub fn journal_outcomes_with_health(
+        &self,
+        tele: Option<&Telemetry>,
+        outcomes: &[DynamicOutcome],
+        health: &[HealthReport],
+    ) {
         let Some(journal) = tele.and_then(Telemetry::journal) else {
             return;
         };
@@ -439,6 +522,14 @@ impl DynamicEngine {
                 ev = ev.int("p95_delay", p as i64);
             }
             ev.write();
+            if let Some(report) = health.get(net) {
+                report.journal(journal, |e| {
+                    e.str("policy", policy)
+                        .str("model", model)
+                        .num("lambda", lambda)
+                        .int("net", net as i64)
+                });
+            }
         }
     }
 }
@@ -667,6 +758,62 @@ mod tests {
             reg.histogram("rayfade_dynamic_policy_seconds").count(),
             800,
             "one latency observation per slot"
+        );
+    }
+
+    #[test]
+    fn monitored_run_is_bit_equal_and_journals_health_after_each_net() {
+        let cfg = DynamicConfig {
+            slots: 400,
+            networks: 2,
+            ..DynamicConfig::smoke()
+        };
+        let engine = DynamicEngine::new(cfg);
+        let plain = engine.run();
+
+        let dir = std::env::temp_dir().join("rayfade-dynamic-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("monitored-{}.jsonl", std::process::id()));
+        let tele = Telemetry::with_journal(&path).unwrap();
+        let monitor = MonitorConfig {
+            drift_threshold: 1.0,
+            ..MonitorConfig::default()
+        };
+        let (outcomes, health) = engine.run_monitored(Some(&tele), &monitor);
+        tele.flush();
+        assert_eq!(plain, outcomes, "monitoring must not perturb outcomes");
+        assert_eq!(health.len(), 2, "one report per replication");
+        for report in &health {
+            assert_eq!(report.samples, 400 / 50);
+            assert!(report.slo.is_some());
+        }
+
+        // Health events appear directly after each replication's dyn_net,
+        // and stripping them (plus renumbering) recovers the unmonitored
+        // stream — checked end-to-end by the bench integration test; here
+        // check the ordering invariant.
+        let events = rayfade_telemetry::read_jsonl(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        let kinds: Vec<&str> = events
+            .iter()
+            .filter_map(|e| e.get("kind").and_then(|k| k.as_str()))
+            .collect();
+        let health_events = kinds.iter().filter(|&&k| k == "health").count();
+        assert_eq!(health_events, 2 * 4, "4 detectors per replication");
+        for (k, kind) in kinds.iter().enumerate() {
+            if *kind == "health" {
+                assert!(
+                    kinds[k - 1] == "dyn_net" || kinds[k - 1] == "health",
+                    "health events must directly follow their dyn_net"
+                );
+            }
+        }
+        // Registry export happened once per replication.
+        assert_eq!(
+            tele.registry()
+                .counter("rayfade_monitor_reports_total")
+                .get(),
+            2
         );
     }
 

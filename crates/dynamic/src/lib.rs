@@ -30,6 +30,6 @@ pub use policy::{
 };
 pub use queue::{LinkQueue, QueueBank};
 pub use stability::{
-    judge_cell, least_squares_slope, LambdaSweep, StabilityCell, StabilityReport, StabilityVerdict,
-    DRIFT_TOLERANCE,
+    judge_cell, least_squares_slope, CellHealth, LambdaSweep, MonitorSpec,
+    MonitoredStabilityReport, StabilityCell, StabilityReport, StabilityVerdict, DRIFT_TOLERANCE,
 };

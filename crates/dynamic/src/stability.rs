@@ -18,9 +18,11 @@
 
 use crate::engine::{DynamicConfig, DynamicEngine, DynamicOutcome, SuccessModelKind};
 use crate::policy::PolicyKind;
-use rayfade_telemetry::Telemetry;
+use rayfade_telemetry::{HealthReport, Journal, MonitorConfig, SloConfig, Telemetry};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+use std::io;
+use std::path::Path;
 
 /// Fraction of the offered load the backlog drift may reach before the
 /// cell is declared unstable.
@@ -182,6 +184,33 @@ impl LambdaSweep {
     /// `lambda_star` event per (policy, model) curve. The report is
     /// bit-identical to [`run`](Self::run)'s either way.
     pub fn run_with_telemetry(&self, tele: Option<&Telemetry>) -> StabilityReport {
+        self.run_inner(tele, None).report
+    }
+
+    /// Like [`run_with_telemetry`](Self::run_with_telemetry), but every
+    /// replication also feeds an online [`rayfade_telemetry::HealthMonitor`]
+    /// configured from `spec` (drift threshold derived per cell from its
+    /// λ, mirroring the post-hoc rule). The journal gains the inserted
+    /// `health` events — per replication after its `dyn_net`, plus one
+    /// `lambda_stability` summary per cell before its `stability_cell` —
+    /// and is otherwise identical to the unmonitored stream; the
+    /// [`StabilityReport`] is bit-equal to [`run`](Self::run)'s.
+    pub fn run_monitored(
+        &self,
+        tele: Option<&Telemetry>,
+        spec: &MonitorSpec,
+    ) -> MonitoredStabilityReport {
+        self.run_inner(tele, Some(spec))
+    }
+
+    /// Shared sweep driver: the monitored and unmonitored paths differ
+    /// only in whether replications carry a monitor and in the inserted
+    /// `health` journal events.
+    fn run_inner(
+        &self,
+        tele: Option<&Telemetry>,
+        spec: Option<&MonitorSpec>,
+    ) -> MonitoredStabilityReport {
         let mut configs = Vec::new();
         for policy in PolicyKind::all() {
             for model in SuccessModelKind::all() {
@@ -197,12 +226,19 @@ impl LambdaSweep {
         }
         let tracer = tele.and_then(Telemetry::tracer);
         let cell_span = tracer.map(|tr| tr.span_id("stability/cell"));
-        let runs: Vec<(DynamicConfig, Vec<DynamicOutcome>)> = configs
+        let runs: Vec<(DynamicConfig, Vec<DynamicOutcome>, Vec<HealthReport>)> = configs
             .into_par_iter()
             .map(|cfg| {
                 let _g = rayfade_telemetry::trace::guard(tracer, cell_span);
-                let outcomes = DynamicEngine::new(cfg.clone()).run_with_metrics(tele);
-                (cfg, outcomes)
+                let engine = DynamicEngine::new(cfg.clone());
+                let (outcomes, reports) = match spec {
+                    None => (engine.run_with_metrics(tele), Vec::new()),
+                    Some(spec) => {
+                        let mcfg = spec.monitor_config(cfg.arrival.rate(), cfg.links);
+                        engine.run_monitored_metrics(tele, &mcfg)
+                    }
+                };
+                (cfg, outcomes, reports)
             })
             .collect();
 
@@ -225,9 +261,18 @@ impl LambdaSweep {
         }
 
         let mut cells = Vec::with_capacity(runs.len());
-        for (cfg, outcomes) in &runs {
+        let mut health = Vec::new();
+        for (cfg, outcomes, reports) in &runs {
             let engine = DynamicEngine::new(cfg.clone());
-            engine.journal_outcomes(tele, outcomes);
+            if let Some(t) = tele {
+                // Monitor registry export happens here, post-collect in
+                // sweep order, so float-valued monitor metrics never
+                // depend on rayon scheduling.
+                for report in reports {
+                    report.export(t.registry());
+                }
+            }
+            engine.journal_outcomes_with_health(tele, outcomes, reports);
             let cell = judge_cell(
                 cfg.policy,
                 cfg.model,
@@ -235,6 +280,13 @@ impl LambdaSweep {
                 cfg.links,
                 outcomes,
             );
+            if let Some(spec) = spec {
+                let cell_health = CellHealth::from_reports(spec, &cell, cfg.links, reports);
+                if let Some(ev) = tele.and_then(|t| t.event("health")) {
+                    cell_health.summary_fields(ev).write();
+                }
+                health.push(cell_health);
+            }
             if let Some(ev) = tele.and_then(|t| t.event("stability_cell")) {
                 ev.str("policy", cell.policy.label())
                     .str("model", cell.model.label())
@@ -268,7 +320,7 @@ impl LambdaSweep {
             }
             t.flush();
         }
-        report
+        MonitoredStabilityReport { report, health }
     }
 }
 
@@ -304,6 +356,176 @@ impl StabilityReport {
             }
         }
         star
+    }
+}
+
+/// Configuration template for online monitoring of a sweep: everything a
+/// [`MonitorConfig`] needs except the drift threshold, which is derived
+/// per cell from its λ (`drift_tolerance · λ · links` — the post-hoc
+/// rule, so online and post-hoc verdicts test the same inequality).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MonitorSpec {
+    /// Fraction of the network-wide offered load the backlog drift may
+    /// reach before the online detector alerts.
+    pub drift_tolerance: f64,
+    /// Delay SLO tracked per cell (`None` disables the tracker).
+    pub slo: Option<SloConfig>,
+    /// Consecutive new-high-watermark samples before alerting.
+    pub watermark_streak_limit: u64,
+    /// EWMA smoothing factor for the rate estimators.
+    pub ewma_alpha: f64,
+    /// Departure/arrival ratio below which throughput counts collapsed.
+    pub collapse_ratio: f64,
+    /// Relative accuracy γ of the delay quantile sketch.
+    pub sketch_gamma: f64,
+}
+
+impl Default for MonitorSpec {
+    /// [`DRIFT_TOLERANCE`] plus [`MonitorConfig::default`]'s detector
+    /// settings.
+    fn default() -> Self {
+        let base = MonitorConfig::default();
+        MonitorSpec {
+            drift_tolerance: DRIFT_TOLERANCE,
+            slo: base.slo,
+            watermark_streak_limit: base.watermark_streak_limit,
+            ewma_alpha: base.ewma_alpha,
+            collapse_ratio: base.collapse_ratio,
+            sketch_gamma: base.sketch_gamma,
+        }
+    }
+}
+
+impl MonitorSpec {
+    /// The per-cell monitor configuration: the drift threshold scales
+    /// with this cell's offered load, everything else copies the spec.
+    pub fn monitor_config(&self, lambda: f64, links: usize) -> MonitorConfig {
+        MonitorConfig {
+            drift_threshold: self.drift_tolerance * lambda * links as f64,
+            slo: self.slo,
+            watermark_streak_limit: self.watermark_streak_limit,
+            ewma_alpha: self.ewma_alpha,
+            collapse_ratio: self.collapse_ratio,
+            sketch_gamma: self.sketch_gamma,
+        }
+    }
+}
+
+/// Online health summary of one sweep cell: the per-replication
+/// [`HealthReport`]s plus the live λ-stability verdict their drift slopes
+/// aggregate to.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellHealth {
+    /// The policy this cell ran.
+    pub policy: PolicyKind,
+    /// The success model this cell ran.
+    pub model: SuccessModelKind,
+    /// The cell's arrival rate λ.
+    pub lambda: f64,
+    /// The online drift-alert threshold (`tolerance · λ · links`).
+    pub drift_threshold: f64,
+    /// Mean of the per-replication online drift slopes.
+    pub online_drift: f64,
+    /// The live verdict: stable iff `online_drift ≤ drift_threshold` —
+    /// the same inequality, over the same sampled points, as the
+    /// post-hoc [`judge_cell`], so the verdicts agree up to
+    /// floating-point noise in the slope fit.
+    pub online_verdict: StabilityVerdict,
+    /// One report per replication, in network order.
+    pub reports: Vec<HealthReport>,
+}
+
+impl CellHealth {
+    fn from_reports(
+        spec: &MonitorSpec,
+        cell: &StabilityCell,
+        links: usize,
+        reports: &[HealthReport],
+    ) -> Self {
+        let online_drift =
+            reports.iter().map(|r| r.drift_slope).sum::<f64>() / reports.len().max(1) as f64;
+        let drift_threshold = spec.drift_tolerance * cell.lambda * links as f64;
+        let online_verdict = if online_drift <= drift_threshold {
+            StabilityVerdict::Stable
+        } else {
+            StabilityVerdict::Unstable
+        };
+        CellHealth {
+            policy: cell.policy,
+            model: cell.model,
+            lambda: cell.lambda,
+            drift_threshold,
+            online_drift,
+            online_verdict,
+            reports: reports.to_vec(),
+        }
+    }
+
+    /// Adds this cell's `lambda_stability` summary fields to a `health`
+    /// event under construction.
+    fn summary_fields<'a>(&self, ev: rayfade_telemetry::Event<'a>) -> rayfade_telemetry::Event<'a> {
+        ev.str("policy", self.policy.label())
+            .str("model", self.model.label())
+            .num("lambda", self.lambda)
+            .str("detector", "lambda_stability")
+            .num("drift", self.online_drift)
+            .num("threshold", self.drift_threshold)
+            .str("verdict", self.online_verdict.label())
+    }
+}
+
+/// A [`LambdaSweep::run_monitored`] result: the ordinary post-hoc report
+/// plus per-cell online health.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MonitoredStabilityReport {
+    /// The post-hoc report, bit-equal to [`LambdaSweep::run`]'s.
+    pub report: StabilityReport,
+    /// Online health per cell, in the same order as `report.cells`
+    /// (empty when the sweep ran unmonitored).
+    pub health: Vec<CellHealth>,
+}
+
+impl MonitoredStabilityReport {
+    /// Number of cells whose online verdict agrees with the post-hoc
+    /// one, over the total (cells compare index-aligned).
+    pub fn verdict_agreement(&self) -> (usize, usize) {
+        let agree = self
+            .report
+            .cells
+            .iter()
+            .zip(&self.health)
+            .filter(|(cell, health)| cell.verdict == health.online_verdict)
+            .count();
+        (agree, self.health.len())
+    }
+
+    /// Writes the standalone health journal (`stability_health.jsonl`):
+    /// a schema header, then per cell every replication's detector
+    /// `health` events followed by the cell's `lambda_stability` summary
+    /// carrying both the online and the post-hoc verdict. Deterministic:
+    /// every value derives from simulated state.
+    pub fn write_health_journal<P: AsRef<Path>>(&self, path: P) -> io::Result<()> {
+        let journal = Journal::create(path)?;
+        for (cell, health) in self.report.cells.iter().zip(&self.health) {
+            for (net, report) in health.reports.iter().enumerate() {
+                report.journal(&journal, |e| {
+                    e.str("policy", health.policy.label())
+                        .str("model", health.model.label())
+                        .num("lambda", health.lambda)
+                        .int("net", net as i64)
+                });
+            }
+            health
+                .summary_fields(journal.event("health"))
+                .num("posthoc_drift", cell.drift)
+                .str("posthoc_verdict", cell.verdict.label())
+                .write();
+        }
+        journal.flush();
+        if journal.write_errors() > 0 {
+            return Err(io::Error::other("health journal writes failed"));
+        }
+        Ok(())
     }
 }
 
@@ -496,6 +718,80 @@ mod tests {
     #[should_panic(expected = "need at least one sweep step")]
     fn empty_sweep_rejected() {
         let _ = LambdaSweep::linear(tiny_base(), 0.5, 0);
+    }
+
+    #[test]
+    fn monitored_sweep_matches_plain_and_verdicts_agree() {
+        let base = DynamicConfig {
+            slots: 600,
+            networks: 2,
+            ..tiny_base()
+        };
+        let sweep = LambdaSweep::linear(base, 0.3, 3);
+        let plain = sweep.run();
+        let monitored = sweep.run_monitored(None, &MonitorSpec::default());
+        assert_eq!(
+            plain, monitored.report,
+            "monitoring must not change the post-hoc report"
+        );
+        assert_eq!(monitored.health.len(), plain.cells.len());
+        // The online fit sees exactly the sampled points the post-hoc
+        // two-pass fit sees; slopes agree to FP noise, verdicts exactly.
+        let (agree, total) = monitored.verdict_agreement();
+        assert_eq!(agree, total, "online verdict must match post-hoc");
+        for (cell, health) in plain.cells.iter().zip(&monitored.health) {
+            assert!(
+                (cell.drift - health.online_drift).abs() <= 1e-9 * cell.drift.abs().max(1.0),
+                "online slope {} vs post-hoc {}",
+                health.online_drift,
+                cell.drift
+            );
+            assert_eq!(cell.lambda, health.lambda);
+        }
+    }
+
+    #[test]
+    fn health_journal_has_summary_and_detector_events_per_cell() {
+        let base = DynamicConfig {
+            slots: 300,
+            networks: 2,
+            ..tiny_base()
+        };
+        let sweep = LambdaSweep::linear(base, 0.2, 1);
+        let monitored = sweep.run_monitored(None, &MonitorSpec::default());
+
+        let dir = std::env::temp_dir().join("rayfade-dynamic-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("health-journal-{}.jsonl", std::process::id()));
+        monitored.write_health_journal(&path).unwrap();
+        let events = rayfade_telemetry::read_jsonl(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+
+        assert_eq!(
+            events[0].get("kind").and_then(|k| k.as_str()),
+            Some("schema")
+        );
+        let health: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("kind").and_then(|k| k.as_str()) == Some("health"))
+            .collect();
+        // Per cell: 4 detector events per replication + 1 summary.
+        let cells = monitored.health.len();
+        assert_eq!(health.len(), cells * (2 * 4 + 1));
+        let summaries: Vec<_> = health
+            .iter()
+            .filter(|e| e.get("detector").and_then(|d| d.as_str()) == Some("lambda_stability"))
+            .collect();
+        assert_eq!(summaries.len(), cells);
+        for s in &summaries {
+            // The summary pairs the online verdict with the post-hoc one
+            // so the committed artifact is self-checking.
+            let online = s.get("verdict").and_then(|v| v.as_str()).unwrap();
+            let posthoc = s.get("posthoc_verdict").and_then(|v| v.as_str()).unwrap();
+            assert_eq!(online, posthoc);
+            assert!(s.get("drift").and_then(|v| v.as_f64()).is_some());
+            assert!(s.get("threshold").and_then(|v| v.as_f64()).is_some());
+        }
     }
 
     #[test]

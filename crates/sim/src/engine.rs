@@ -12,9 +12,11 @@ use rayfade_geometry::PaperTopology;
 use rayfade_learning::{run_game_with_beta, GameConfig};
 use rayfade_sched::{CapacityAlgorithm, CapacityInstance, LocalSearchCapacity};
 use rayfade_sinr::{GainMatrix, NonFadingModel, PowerAssignment, SinrParams};
-use rayfade_telemetry::Telemetry;
+use rayfade_telemetry::monitor::export_duration_quantiles;
+use rayfade_telemetry::{QuantileSketch, Telemetry};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+use std::sync::Mutex;
 use std::time::Instant;
 
 /// Stream tags for [`mix_seed2`]-derived RNG streams. Topology seeds
@@ -188,6 +190,10 @@ where
     assert!(config.networks > 0, "need at least one network");
     let families = [PowerFamily::Uniform, PowerFamily::SquareRoot];
     let point_seconds = tele.map(|t| t.registry().histogram("rayfade_fig1_point_seconds"));
+    // γ-accurate latency quantiles alongside the coarse base-2 histogram:
+    // exported post-sweep as ns gauges (registry only — wall-clock values
+    // never enter journals).
+    let point_sketch = tele.map(|_| Mutex::new(QuantileSketch::new(0.01)));
     // Span ids interned once; per-network and per-point spans are chunky
     // enough (many slots each) to trace unsampled.
     let tracer = tele.and_then(Telemetry::tracer);
@@ -230,7 +236,14 @@ where
                             )
                         };
                         if let (Some(hist), Some(t0)) = (&point_seconds, start) {
-                            hist.observe_duration(t0.elapsed());
+                            let elapsed = t0.elapsed();
+                            hist.observe_duration(elapsed);
+                            if let Some(sketch) = &point_sketch {
+                                sketch
+                                    .lock()
+                                    .expect("sketch mutex poisoned")
+                                    .observe(elapsed.as_secs_f64());
+                            }
                         }
                         row.push(v);
                     }
@@ -267,6 +280,13 @@ where
             });
             col += config.q_grid.len();
         }
+    }
+    if let (Some(t), Some(sketch)) = (tele, &point_sketch) {
+        export_duration_quantiles(
+            t.registry(),
+            "rayfade_fig1_point",
+            &sketch.lock().expect("sketch mutex poisoned"),
+        );
     }
     let result = Figure1Result {
         config: config.clone(),
@@ -464,6 +484,7 @@ where
         regret_ray: f64,
     }
     let network_seconds = tele.map(|t| t.registry().histogram("rayfade_fig2_network_seconds"));
+    let network_sketch = tele.map(|_| Mutex::new(QuantileSketch::new(0.01)));
     let tracer = tele.and_then(Telemetry::tracer);
     let network_span = tracer.map(|tr| tr.span_id("fig2/network"));
     let runs: Vec<PerNet> = (0..config.networks)
@@ -499,7 +520,14 @@ where
                 .len()
             });
             if let (Some(hist), Some(t0)) = (&network_seconds, net_start) {
-                hist.observe_duration(t0.elapsed());
+                let elapsed = t0.elapsed();
+                hist.observe_duration(elapsed);
+                if let Some(sketch) = &network_sketch {
+                    sketch
+                        .lock()
+                        .expect("sketch mutex poisoned")
+                        .observe(elapsed.as_secs_f64());
+                }
             }
             if let Some(t) = tele {
                 let reg = t.registry();
@@ -521,6 +549,13 @@ where
         })
         .collect();
 
+    if let (Some(t), Some(sketch)) = (tele, &network_sketch) {
+        export_duration_quantiles(
+            t.registry(),
+            "rayfade_fig2_network",
+            &sketch.lock().expect("sketch mutex poisoned"),
+        );
+    }
     let rounds = config.rounds;
     let average_series = |select: &dyn Fn(&PerNet) -> &Vec<usize>| -> Vec<f64> {
         (0..rounds)

@@ -17,7 +17,10 @@ use crate::json::Json;
 /// every journal (`{"seq":0,"kind":"schema","schema_version":...}`) so
 /// readers can reject files written by an incompatible layout;
 /// `telemetry_lint` requires it.
-pub const SCHEMA_VERSION: u64 = 1;
+///
+/// History: 1 — initial layout; 2 — added `kind: "health"` monitor
+/// events (every health event carries `detector` and `verdict` fields).
+pub const SCHEMA_VERSION: u64 = 2;
 
 struct Inner {
     out: BufWriter<File>,

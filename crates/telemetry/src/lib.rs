@@ -18,6 +18,12 @@
 //! - [`Tracer`] — hierarchical RAII spans in per-thread ring buffers,
 //!   exported as Chrome Trace Event JSON and a self-profile table
 //!   ([`trace`]).
+//! - [`Ewma`] / [`SlidingWindow`] / [`QuantileSketch`] — streaming
+//!   estimators, including a mergeable γ-relative-error quantile sketch
+//!   ([`stream`]).
+//! - [`HealthMonitor`] — online drift / delay-SLO / watermark /
+//!   throughput detectors producing deterministic `health` journal
+//!   events and registry metrics ([`monitor`]).
 //!
 //! Instrumented code takes an `Option<&Telemetry>`; `None` keeps the
 //! uninstrumented fast path (see `results/telemetry_overhead.csv` for
@@ -37,7 +43,9 @@
 pub mod journal;
 pub mod json;
 pub mod metrics;
+pub mod monitor;
 pub mod registry;
+pub mod stream;
 pub mod timer;
 pub mod trace;
 
@@ -47,7 +55,12 @@ use std::path::Path;
 pub use journal::{read_jsonl, Event, Journal, SCHEMA_VERSION};
 pub use json::{Json, JsonError};
 pub use metrics::{Counter, Gauge, Histogram, HISTOGRAM_BUCKETS};
+pub use monitor::{
+    DelaySloTracker, HealthMonitor, HealthReport, HealthVerdict, MonitorConfig, QueueDriftDetector,
+    SloConfig, SloReport, WatermarkDetector,
+};
 pub use registry::Registry;
+pub use stream::{Ewma, OnlineSlope, QuantileSketch, SlidingWindow};
 pub use timer::Timer;
 pub use trace::{SpanGuard, SpanId, Tracer};
 

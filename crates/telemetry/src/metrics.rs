@@ -213,12 +213,54 @@ impl Histogram {
         std::array::from_fn(|k| self.counts[k].load(Ordering::Relaxed))
     }
 
-    /// The `q`-quantile (`q` in `[0, 1]`, clamped) estimated from the
-    /// bucket counts, Prometheus-style: the target rank's bucket is
-    /// located on the cumulative distribution and the value is linearly
-    /// interpolated between the bucket's bounds. An empty histogram
-    /// reports `0.0`; ranks landing in the unbounded last bucket report
-    /// its (finite) lower bound.
+    /// Folds `other`'s observations into `self` by pointwise bucket-count
+    /// addition (plus the total count and the running sum).
+    ///
+    /// Bucket bounds are fixed and identical across all histograms, so
+    /// the merge is exact on counts — merging per-shard histograms equals
+    /// observing the concatenated stream, up to float addition order in
+    /// `sum()`. Safe to call concurrently with writers; like every read
+    /// here, the copied snapshot is exact once `other`'s writers quiesce.
+    pub fn merge(&self, other: &Histogram) {
+        for (k, count) in other.bucket_counts().iter().enumerate() {
+            if *count > 0 {
+                self.counts[k].fetch_add(*count, Ordering::Relaxed);
+            }
+        }
+        self.count
+            .fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        let add = other.sum();
+        let mut cur = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let new = (f64::from_bits(cur) + add).to_bits();
+            match self.sum_bits.compare_exchange_weak(
+                cur,
+                new,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// The `q`-quantile estimated from the bucket counts,
+    /// Prometheus-style: the bucket holding the nearest-rank order
+    /// statistic `⌈q·n⌉` is located on the cumulative distribution and
+    /// the value is linearly interpolated between that bucket's bounds.
+    ///
+    /// Boundary behavior (pinned by regression tests):
+    /// - **empty histogram** → `0.0` for every `q`;
+    /// - **q = 0** → the *lower* bound of the first non-empty bucket — a
+    ///   guaranteed lower bound on the minimum observation, not an
+    ///   interpolated point that would drift with the bucket's count;
+    /// - **q = 1** → the *upper* bound of the last non-empty bucket — a
+    ///   guaranteed upper bound on the maximum (the interpolation reaches
+    ///   it exactly);
+    /// - ranks landing in the unbounded `+Inf` bucket → its finite lower
+    ///   bound (`upper_bound(HISTOGRAM_BUCKETS - 2)`);
+    /// - `q` outside `[0, 1]` clamps; NaN is treated as 0.
     pub fn percentile(&self, q: f64) -> f64 {
         let counts = self.bucket_counts();
         let total: u64 = counts.iter().sum();
@@ -241,6 +283,12 @@ impl Histogram {
                 } else {
                     Self::upper_bound(k - 1)
                 };
+                if q == 0.0 {
+                    // The minimum is somewhere in this bucket; report its
+                    // certain lower bound rather than a count-dependent
+                    // interpolation.
+                    return lower;
+                }
                 let upper = Self::upper_bound(k);
                 let frac = (target - before) as f64 / c as f64;
                 return lower + (upper - lower) * frac;
@@ -362,6 +410,51 @@ mod tests {
         }
         assert!(h.percentile(0.25) <= 2e-9);
         assert!(h.percentile(0.75) > 64.0 && h.percentile(0.75) <= 128.0);
+    }
+
+    #[test]
+    fn percentile_boundary_contract() {
+        let h = Histogram::new();
+        for _ in 0..10 {
+            h.observe(3e-9); // bucket (2e-9, 4e-9]
+        }
+        let top = Histogram::bucket_index(100.0);
+        for _ in 0..5 {
+            h.observe(100.0);
+        }
+        // q=0: the certain lower bound of the minimum's bucket, however
+        // many observations that bucket holds.
+        assert_eq!(h.percentile(0.0), 2e-9);
+        // q=1: the certain upper bound of the maximum's bucket.
+        assert_eq!(h.percentile(1.0), Histogram::upper_bound(top));
+        // The q=0 answer must not drift with the bucket's count.
+        let sparse = Histogram::new();
+        sparse.observe(3e-9);
+        sparse.observe(100.0);
+        assert_eq!(sparse.percentile(0.0), h.percentile(0.0));
+    }
+
+    #[test]
+    fn merge_equals_concatenated_observation() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        let all = Histogram::new();
+        for k in 0..200 {
+            let v = 10f64.powi(k % 13 - 6) * (1.0 + k as f64 / 200.0);
+            if k % 3 == 0 { &a } else { &b }.observe(v);
+            all.observe(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert_eq!(a.bucket_counts(), all.bucket_counts());
+        assert!((a.sum() - all.sum()).abs() < 1e-9 * all.sum().abs());
+        for q in [0.0, 0.25, 0.5, 0.95, 1.0] {
+            assert_eq!(a.percentile(q), all.percentile(q), "q={q}");
+        }
+        // Merging an empty histogram is a no-op.
+        let before = a.bucket_counts();
+        a.merge(&Histogram::new());
+        assert_eq!(a.bucket_counts(), before);
     }
 
     #[test]
