@@ -34,6 +34,7 @@ const EXPERIMENTS: &[&str] = &[
     "evaluator_bench",
     "telemetry_overhead",
     "conformance",
+    "inspect",
 ];
 
 fn main() {

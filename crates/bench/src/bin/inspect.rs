@@ -1,0 +1,420 @@
+//! O4 — `inspect`: post-hoc forensics over run artifacts.
+//!
+//! Two modes:
+//!
+//! **Subcommand mode** (the toolkit proper):
+//!
+//! ```console
+//! inspect query <journal> [--kind K]... [--seq A..B] [--cell P,M,L]
+//!         [--slot-range A..B] [--fields f,g,...] [--csv PATH] [--limit N]
+//! inspect timeline <journal> [--cell P,M,L] [--csv PATH]
+//! inspect diff <left> <right>
+//! inspect perf-diff <base> <current> [--tolerance F] [--csv PATH] [--json PATH]
+//! inspect flamegraph <trace> [--out PATH]
+//! inspect correlate <trace> <journal> [--top K] [--csv-prefix PATH]
+//! ```
+//!
+//! Exit codes: `0` success (diff: identical; perf-diff: no regression),
+//! `1` finding (diff: divergence; perf-diff: regression), `2` usage or
+//! unreadable/mismatched input.
+//!
+//! **Experiment mode** (no subcommand; the `all` runner invokes this
+//! with `--quick --out <dir>`): runs the toolkit against the committed
+//! artifacts as a self-check — journal self-diff must be
+//! byte-identical, `BENCH_perf.json` against itself must show zero
+//! regressions, the committed trace must fold into a non-empty
+//! flamegraph — and writes the derived timeline, flamegraph, and
+//! perf-diff reports into the output directory.
+
+use rayfade_bench::Cli;
+use rayfade_inspect::query::{project_csv_row, timeline_csv, QueryStats};
+use rayfade_inspect::{
+    correlate, derive_timeline, diff_files, flamegraph_from_chrome, parse_perf, perf_diff,
+    run_query, CellFilter, PerfDiff, Query, RangeFilter, DEFAULT_TOLERANCE,
+};
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::exit;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: inspect <query|timeline|diff|perf-diff|flamegraph|correlate> ... \n\
+         \n\
+         inspect query <journal> [--kind K]... [--seq A..B] [--cell P,M,L]\n\
+         \x20        [--slot-range A..B] [--fields f,g,...] [--csv PATH] [--limit N]\n\
+         inspect timeline <journal> [--cell P,M,L] [--csv PATH]\n\
+         inspect diff <left> <right>\n\
+         inspect perf-diff <base> <current> [--tolerance F] [--csv PATH] [--json PATH]\n\
+         inspect flamegraph <trace> [--out PATH]\n\
+         inspect correlate <trace> <journal> [--top K] [--csv-prefix PATH]\n\
+         \n\
+         or (experiment mode): inspect [--quick] [--out DIR] [--telemetry DIR]"
+    );
+    exit(2)
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("inspect: {msg}");
+    exit(2)
+}
+
+fn read(path: &str) -> String {
+    fs::read_to_string(path).unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")))
+}
+
+fn write_out(path: &str, content: &str) {
+    if let Some(parent) = Path::new(path).parent() {
+        if !parent.as_os_str().is_empty() {
+            let _ = fs::create_dir_all(parent);
+        }
+    }
+    fs::write(path, content).unwrap_or_else(|e| fail(&format!("cannot write {path}: {e}")));
+    eprintln!("inspect: wrote {path}");
+}
+
+/// One `--flag value` puller over a positional/flag argument list.
+struct Args {
+    positional: Vec<String>,
+    flags: Vec<(String, Option<String>)>,
+}
+
+impl Args {
+    /// Splits argv into positionals and `--flag [value]` pairs;
+    /// `value_flags` names the flags that consume a value.
+    fn parse(args: &[String], value_flags: &[&str], bare_flags: &[&str]) -> Args {
+        let mut positional = Vec::new();
+        let mut flags = Vec::new();
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            if let Some(name) = a.strip_prefix("--") {
+                if value_flags.contains(&name) {
+                    match it.next() {
+                        Some(v) => flags.push((name.to_string(), Some(v.clone()))),
+                        None => fail(&format!("--{name} requires a value")),
+                    }
+                } else if bare_flags.contains(&name) {
+                    flags.push((name.to_string(), None));
+                } else {
+                    fail(&format!("unknown flag --{name}"));
+                }
+            } else {
+                positional.push(a.clone());
+            }
+        }
+        Args { positional, flags }
+    }
+
+    fn value(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, v)| v.as_deref())
+    }
+
+    fn values(&self, name: &str) -> Vec<&str> {
+        self.flags
+            .iter()
+            .filter(|(n, _)| n == name)
+            .filter_map(|(_, v)| v.as_deref())
+            .collect()
+    }
+
+    fn positional(&self, n: usize, what: &str) -> &str {
+        self.positional
+            .get(n)
+            .map(String::as_str)
+            .unwrap_or_else(|| fail(&format!("missing {what} argument")))
+    }
+}
+
+fn build_query(args: &Args) -> Query {
+    let or_die = |r: Result<RangeFilter, String>| r.unwrap_or_else(|e| fail(&e));
+    Query {
+        kinds: args.values("kind").iter().map(|s| s.to_string()).collect(),
+        seq: args.value("seq").map(|s| or_die(RangeFilter::parse(s))),
+        cell: args
+            .value("cell")
+            .map(|s| CellFilter::parse(s).unwrap_or_else(|e| fail(&e))),
+        slot_range: args
+            .value("slot-range")
+            .map(|s| or_die(RangeFilter::parse(s))),
+    }
+}
+
+fn cmd_query(args: &[String]) -> i32 {
+    let args = Args::parse(
+        args,
+        &[
+            "kind",
+            "seq",
+            "cell",
+            "slot-range",
+            "fields",
+            "csv",
+            "limit",
+        ],
+        &[],
+    );
+    let journal = args.positional(0, "journal path");
+    let query = build_query(&args);
+    let fields: Vec<String> = args
+        .value("fields")
+        .map(|f| f.split(',').map(str::to_string).collect())
+        .unwrap_or_default();
+    let limit: usize = args
+        .value("limit")
+        .map(|l| l.parse().unwrap_or_else(|_| fail("invalid --limit")))
+        .unwrap_or(usize::MAX);
+    let mut rows = Vec::new();
+    let mut printed = 0usize;
+    let stats: QueryStats = run_query(journal, &query, |event| {
+        if printed >= limit {
+            return;
+        }
+        printed += 1;
+        if fields.is_empty() {
+            println!("{event}");
+        } else {
+            let row = project_csv_row(event, &fields);
+            println!("{row}");
+            rows.push(row);
+        }
+    })
+    .unwrap_or_else(|e| fail(&format!("{journal}: {e}")));
+    if let Some(csv) = args.value("csv") {
+        if fields.is_empty() {
+            fail("--csv requires --fields");
+        }
+        let mut out = fields.join(",");
+        out.push('\n');
+        for row in &rows {
+            out.push_str(row);
+            out.push('\n');
+        }
+        write_out(csv, &out);
+    }
+    eprintln!(
+        "inspect: {} of {} events matched{}",
+        stats.matched,
+        stats.scanned,
+        if (stats.matched as usize) > printed {
+            format!(" ({printed} shown)")
+        } else {
+            String::new()
+        }
+    );
+    0
+}
+
+fn cmd_timeline(args: &[String]) -> i32 {
+    let args = Args::parse(args, &["cell", "csv"], &[]);
+    let journal = args.positional(0, "journal path");
+    let query = Query {
+        cell: args
+            .value("cell")
+            .map(|s| CellFilter::parse(s).unwrap_or_else(|e| fail(&e))),
+        ..Query::default()
+    };
+    let rows =
+        derive_timeline(journal, &query).unwrap_or_else(|e| fail(&format!("{journal}: {e}")));
+    let csv = timeline_csv(&rows);
+    match args.value("csv") {
+        Some(path) => write_out(path, &csv),
+        None => print!("{csv}"),
+    }
+    eprintln!("inspect: {} timeline rows", rows.len());
+    0
+}
+
+fn cmd_diff(args: &[String]) -> i32 {
+    let args = Args::parse(args, &[], &[]);
+    let (left, right) = (
+        args.positional(0, "left journal"),
+        args.positional(1, "right journal"),
+    );
+    let report =
+        diff_files(left, right).unwrap_or_else(|e| fail(&format!("{left} vs {right}: {e}")));
+    print!("{}", report.to_console(left, right));
+    i32::from(!report.identical())
+}
+
+fn cmd_perf_diff(args: &[String]) -> i32 {
+    let args = Args::parse(args, &["tolerance", "csv", "json"], &[]);
+    let (base_path, cur_path) = (
+        args.positional(0, "base perf file"),
+        args.positional(1, "current perf file"),
+    );
+    let tolerance: f64 = args
+        .value("tolerance")
+        .map(|t| t.parse().unwrap_or_else(|_| fail("invalid --tolerance")))
+        .unwrap_or(DEFAULT_TOLERANCE);
+    let base = parse_perf(&read(base_path)).unwrap_or_else(|e| fail(&format!("{base_path}: {e}")));
+    let cur = parse_perf(&read(cur_path)).unwrap_or_else(|e| fail(&format!("{cur_path}: {e}")));
+    let diff: PerfDiff = perf_diff(&base, &cur, tolerance).unwrap_or_else(|e| fail(&e));
+    print!("{}", diff.to_console());
+    if let Some(path) = args.value("csv") {
+        write_out(path, &diff.to_csv());
+    }
+    if let Some(path) = args.value("json") {
+        write_out(path, &format!("{}\n", diff.to_json()));
+    }
+    i32::from(!diff.clean())
+}
+
+fn cmd_flamegraph(args: &[String]) -> i32 {
+    let args = Args::parse(args, &["out"], &[]);
+    let trace = args.positional(0, "trace path");
+    let flame =
+        flamegraph_from_chrome(&read(trace)).unwrap_or_else(|e| fail(&format!("{trace}: {e}")));
+    match args.value("out") {
+        Some(path) => write_out(path, &flame),
+        None => print!("{flame}"),
+    }
+    eprintln!("inspect: {} collapsed stacks", flame.lines().count());
+    0
+}
+
+fn cmd_correlate(args: &[String]) -> i32 {
+    let args = Args::parse(args, &["top", "csv-prefix"], &[]);
+    let (trace, journal) = (
+        args.positional(0, "trace path"),
+        args.positional(1, "journal path"),
+    );
+    let top: usize = args
+        .value("top")
+        .map(|t| t.parse().unwrap_or_else(|_| fail("invalid --top")))
+        .unwrap_or(10);
+    let corr = correlate(&read(trace), journal)
+        .unwrap_or_else(|e| fail(&format!("{trace} vs {journal}: {e}")));
+    print!("{}", corr.to_console(top));
+    if let Some(prefix) = args.value("csv-prefix") {
+        write_out(
+            &format!("{prefix}_replications.csv"),
+            &corr.replications_csv(),
+        );
+        write_out(&format!("{prefix}_slots.csv"), &corr.slots_csv());
+    }
+    0
+}
+
+/// Experiment mode: self-checks over the committed artifacts, with
+/// reports written into `--out`.
+fn experiment_mode(cli: &Cli) -> i32 {
+    let journal = PathBuf::from("results/stability_journal.jsonl");
+    let perf = PathBuf::from("BENCH_perf.json");
+    let trace = PathBuf::from("results/stability_trace.json");
+    let mut failures = 0;
+    let mut check = |name: &str, ok: bool, detail: String| {
+        eprintln!("  {name}: {} ({detail})", if ok { "ok" } else { "FAIL" });
+        if !ok {
+            failures += 1;
+        }
+    };
+
+    if journal.exists() {
+        match diff_files(&journal, &journal) {
+            Ok(report) => check(
+                "journal self-diff",
+                report.byte_identical && report.identical(),
+                format!("{} lines", report.lines_compared),
+            ),
+            Err(e) => check("journal self-diff", false, e.to_string()),
+        }
+        match derive_timeline(&journal, &Query::default()) {
+            Ok(rows) => {
+                let consistent = rows.iter().all(|r| r.backlog == r.derived_backlog());
+                check(
+                    "derived timeline",
+                    !rows.is_empty() && consistent,
+                    format!("{} rows, conservation law holds: {consistent}", rows.len()),
+                );
+                fs::create_dir_all(&cli.out).ok();
+                let path = cli.out.join("inspect_timeline.csv");
+                if let Err(e) = fs::write(&path, timeline_csv(&rows)) {
+                    check("write timeline csv", false, e.to_string());
+                } else {
+                    eprintln!("    wrote {}", path.display());
+                }
+            }
+            Err(e) => check("derived timeline", false, e.to_string()),
+        }
+    } else {
+        eprintln!(
+            "  journal self-diff: skipped ({} not found)",
+            journal.display()
+        );
+    }
+
+    if perf.exists() {
+        let text = fs::read_to_string(&perf).unwrap_or_default();
+        match parse_perf(&text).and_then(|b| perf_diff(&b, &b, DEFAULT_TOLERANCE)) {
+            Ok(diff) => {
+                check(
+                    "perf self-diff",
+                    diff.clean() && diff.improvements() == 0,
+                    format!(
+                        "{} workloads, {} regressions",
+                        diff.deltas.len(),
+                        diff.regressions()
+                    ),
+                );
+                fs::create_dir_all(&cli.out).ok();
+                let csv = cli.out.join("inspect_perfdiff.csv");
+                let json = cli.out.join("inspect_perfdiff.json");
+                fs::write(&csv, diff.to_csv()).ok();
+                fs::write(&json, format!("{}\n", diff.to_json())).ok();
+                eprintln!("    wrote {} and {}", csv.display(), json.display());
+            }
+            Err(e) => check("perf self-diff", false, e),
+        }
+    } else {
+        eprintln!("  perf self-diff: skipped ({} not found)", perf.display());
+    }
+
+    if trace.exists() {
+        let text = fs::read_to_string(&trace).unwrap_or_default();
+        match flamegraph_from_chrome(&text) {
+            Ok(flame) => {
+                check(
+                    "flamegraph export",
+                    !flame.is_empty(),
+                    format!("{} collapsed stacks", flame.lines().count()),
+                );
+                fs::create_dir_all(&cli.out).ok();
+                let path = cli.out.join("inspect_flame.txt");
+                fs::write(&path, &flame).ok();
+                eprintln!("    wrote {}", path.display());
+            }
+            Err(e) => check("flamegraph export", false, e),
+        }
+    } else {
+        eprintln!(
+            "  flamegraph export: skipped ({} not found)",
+            trace.display()
+        );
+    }
+
+    if failures == 0 {
+        eprintln!("inspect: self-checks OK");
+        0
+    } else {
+        eprintln!("inspect: {failures} self-checks FAILED");
+        1
+    }
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let code = match argv.first().map(String::as_str) {
+        Some("query") => cmd_query(&argv[1..]),
+        Some("timeline") => cmd_timeline(&argv[1..]),
+        Some("diff") => cmd_diff(&argv[1..]),
+        Some("perf-diff") => cmd_perf_diff(&argv[1..]),
+        Some("flamegraph") => cmd_flamegraph(&argv[1..]),
+        Some("correlate") => cmd_correlate(&argv[1..]),
+        Some("--help" | "-h" | "help") => usage(),
+        _ => experiment_mode(&Cli::parse()),
+    };
+    exit(code)
+}

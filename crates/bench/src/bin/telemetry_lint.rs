@@ -7,7 +7,10 @@
 //!   the monotonically increasing `seq` and whose second is a non-empty
 //!   `kind` string, and the first record is the `schema` header carrying
 //!   a `schema_version`; every `health` event must carry non-empty
-//!   `detector` and `verdict` strings (schema v2 monitor records);
+//!   `detector` and `verdict` strings (schema v2 monitor records).
+//!   Journals are streamed through
+//!   [`rayfade_telemetry::JournalReader`], so linting a 100 MB journal
+//!   needs memory for one line, not the file;
 //! * `*_health.jsonl` — all of the above, plus at least one `health`
 //!   event (an empty health journal means the monitor never reported);
 //! * `*_metrics.prom` — non-empty, every non-comment line is
@@ -19,83 +22,85 @@
 //!   whose `otherData.dropped_spans` is positive draws a warning (the
 //!   file is structurally valid but incomplete).
 //!
-//! Exits non-zero (after reporting every problem, not just the first) if
-//! anything fails, so CI can upload the artifacts and still go red.
+//! All problems are reported, not just the first. With `--json` the
+//! report is a single machine-readable JSON document on stdout
+//! (`problems` and `warnings` arrays with `file` / `message` fields)
+//! instead of human-readable lines on stderr.
 //!
-//! Usage: `cargo run -p rayfade-bench --release --bin telemetry_lint -- --telemetry dir`
-//! (falls back to `--out`'s directory when `--telemetry` is not given).
+//! Exit codes: `0` all artifacts clean, `1` violations found (or no
+//! artifacts at all), `2` usage error.
+//!
+//! Usage: `telemetry_lint --telemetry <dir> [--json]`
+//! (falls back to `--out <dir>`, default `results`).
 
-use rayfade_bench::Cli;
-use rayfade_telemetry::{read_jsonl, Json};
-use std::path::Path;
+use rayfade_telemetry::{JournalReader, Json};
+use std::path::{Path, PathBuf};
 
-/// Validate one JSONL journal; returns human-readable problems. When
-/// `require_health` is set (for `*_health.jsonl` monitor artifacts), the
-/// journal must contain at least one `health` event.
+/// A machine-readable non-fatal warning.
+struct Warning {
+    file: String,
+    kind: &'static str,
+    message: String,
+    value: i64,
+}
+
+/// Validate one JSONL journal in a single streaming pass; returns
+/// problem messages (without the path prefix). When `require_health` is
+/// set (for `*_health.jsonl` monitor artifacts), the journal must
+/// contain at least one `health` event.
 fn lint_journal(path: &Path, require_health: bool) -> Vec<String> {
     let mut problems = Vec::new();
-    let events = match read_jsonl(path) {
-        Ok(events) => events,
-        Err(e) => return vec![format!("{}: unreadable journal: {e}", path.display())],
+    let reader = match JournalReader::open(path) {
+        Ok(reader) => reader,
+        Err(e) => return vec![format!("unreadable journal: {e}")],
     };
-    if events.is_empty() {
-        problems.push(format!("{}: journal is empty", path.display()));
-    }
     let mut health_events = 0usize;
-    if let Some(first) = events.first() {
-        if first.get("kind").and_then(|v| v.as_str()) != Some("schema") {
-            problems.push(format!(
-                "{}: first record is not the schema header",
-                path.display()
-            ));
-        } else {
-            match first.get("schema_version").and_then(|v| v.as_i64()) {
-                Some(v) if v >= 1 => {}
-                _ => problems.push(format!(
-                    "{}: schema header has no positive integer schema_version",
-                    path.display()
-                )),
+    let mut count = 0usize;
+    for (i, event) in reader.enumerate() {
+        let ev = match event {
+            Ok(ev) => ev,
+            Err(e) => {
+                // A malformed line poisons everything after it; stop.
+                problems.push(format!("unreadable journal: {e}"));
+                break;
+            }
+        };
+        count += 1;
+        if i == 0 {
+            if ev.get("kind").and_then(|v| v.as_str()) != Some("schema") {
+                problems.push("first record is not the schema header".to_string());
+            } else {
+                match ev.get("schema_version").and_then(|v| v.as_i64()) {
+                    Some(v) if v >= 1 => {}
+                    _ => problems
+                        .push("schema header has no positive integer schema_version".to_string()),
+                }
             }
         }
-    }
-    for (i, ev) in events.iter().enumerate() {
         match ev.get("seq").and_then(|v| v.as_i64()) {
             Some(seq) if seq == i as i64 => {}
-            Some(seq) => {
-                problems.push(format!(
-                    "{}: event {i} has seq {seq}, expected {i}",
-                    path.display()
-                ));
-            }
-            None => {
-                problems.push(format!("{}: event {i} has no integer seq", path.display()));
-            }
+            Some(seq) => problems.push(format!("event {i} has seq {seq}, expected {i}")),
+            None => problems.push(format!("event {i} has no integer seq")),
         }
         match ev.get("kind").and_then(|v| v.as_str()) {
             Some(kind) if !kind.is_empty() => {}
-            _ => problems.push(format!(
-                "{}: event {i} has no non-empty kind",
-                path.display()
-            )),
+            _ => problems.push(format!("event {i} has no non-empty kind")),
         }
         if ev.get("kind").and_then(|v| v.as_str()) == Some("health") {
             health_events += 1;
             for field in ["detector", "verdict"] {
                 match ev.get(field).and_then(|v| v.as_str()) {
                     Some(value) if !value.is_empty() => {}
-                    _ => problems.push(format!(
-                        "{}: health event {i} has no non-empty {field}",
-                        path.display()
-                    )),
+                    _ => problems.push(format!("health event {i} has no non-empty {field}")),
                 }
             }
         }
     }
+    if count == 0 && problems.is_empty() {
+        problems.push("journal is empty".to_string());
+    }
     if require_health && health_events == 0 {
-        problems.push(format!(
-            "{}: health journal contains no health events",
-            path.display()
-        ));
+        problems.push("health journal contains no health events".to_string());
     }
     problems
 }
@@ -105,7 +110,7 @@ fn lint_prom(path: &Path) -> Vec<String> {
     let mut problems = Vec::new();
     let text = match std::fs::read_to_string(path) {
         Ok(text) => text,
-        Err(e) => return vec![format!("{}: unreadable: {e}", path.display())],
+        Err(e) => return vec![format!("unreadable: {e}")],
     };
     let mut samples = 0usize;
     let mut rayfade_samples = 0usize;
@@ -117,16 +122,14 @@ fn lint_prom(path: &Path) -> Vec<String> {
         // Sample lines are `name[{labels}] value`.
         let Some((name, value)) = line.rsplit_once(' ') else {
             problems.push(format!(
-                "{}:{}: not a `name value` sample: {line:?}",
-                path.display(),
+                "line {}: not a `name value` sample: {line:?}",
                 lineno + 1
             ));
             continue;
         };
         if value.parse::<f64>().is_err() {
             problems.push(format!(
-                "{}:{}: non-numeric sample value {value:?}",
-                path.display(),
+                "line {}: non-numeric sample value {value:?}",
                 lineno + 1
             ));
         }
@@ -136,12 +139,9 @@ fn lint_prom(path: &Path) -> Vec<String> {
         }
     }
     if samples == 0 {
-        problems.push(format!("{}: no metric samples", path.display()));
+        problems.push("no metric samples".to_string());
     } else if rayfade_samples == 0 {
-        problems.push(format!(
-            "{}: no rayfade_-prefixed samples among {samples}",
-            path.display()
-        ));
+        problems.push(format!("no rayfade_-prefixed samples among {samples}"));
     }
     problems
 }
@@ -154,60 +154,100 @@ fn lint_csv(path: &Path) -> Vec<String> {
             match lines.next() {
                 Some("kind,name,value") => {
                     if lines.next().is_none() {
-                        vec![format!("{}: header but no metric rows", path.display())]
+                        vec!["header but no metric rows".to_string()]
                     } else {
                         Vec::new()
                     }
                 }
-                _ => vec![format!(
-                    "{}: missing `kind,name,value` header",
-                    path.display()
-                )],
+                _ => vec!["missing `kind,name,value` header".to_string()],
             }
         }
-        Err(e) => vec![format!("{}: unreadable: {e}", path.display())],
+        Err(e) => vec![format!("unreadable: {e}")],
     }
 }
 
-/// Validate one Chrome-trace JSON export.
-fn lint_trace(path: &Path) -> Vec<String> {
+/// Validate one Chrome-trace JSON export; dropped spans are a warning,
+/// not a problem (the file is valid but the profile is incomplete).
+fn lint_trace(path: &Path, warnings: &mut Vec<Warning>) -> Vec<String> {
     let text = match std::fs::read_to_string(path) {
         Ok(text) => text,
-        Err(e) => return vec![format!("{}: unreadable: {e}", path.display())],
+        Err(e) => return vec![format!("unreadable: {e}")],
     };
     let problems = match rayfade_telemetry::trace::validate_chrome_trace(&text) {
-        Ok(stats) if stats.spans == 0 => {
-            vec![format!("{}: trace contains no spans", path.display())]
-        }
+        Ok(stats) if stats.spans == 0 => vec!["trace contains no spans".to_string()],
         Ok(_) => Vec::new(),
-        Err(e) => vec![format!("{}: invalid trace: {e}", path.display())],
+        Err(e) => vec![format!("invalid trace: {e}")],
     };
-    // A positive dropped-span count means the ring wrapped and the file
-    // is incomplete — warn loudly, but don't fail a structurally valid
-    // trace over it.
     let dropped = Json::parse(&text)
         .ok()
         .and_then(|doc| doc.get("otherData")?.get("dropped_spans")?.as_i64())
         .unwrap_or(0);
     if dropped > 0 {
-        eprintln!(
-            "warn {}: trace reports {dropped} dropped span(s); profile is incomplete",
-            path.display()
-        );
+        warnings.push(Warning {
+            file: path.display().to_string(),
+            kind: "dropped_spans",
+            message: format!("trace reports {dropped} dropped span(s); profile is incomplete"),
+            value: dropped,
+        });
     }
     problems
 }
 
+fn usage() -> ! {
+    eprintln!("usage: telemetry_lint [--telemetry <dir>] [--out <dir>] [--json]");
+    std::process::exit(2)
+}
+
+/// Parsed options: the directory to lint and the output format.
+struct Options {
+    dir: PathBuf,
+    json: bool,
+}
+
+fn parse_args() -> Options {
+    let mut telemetry: Option<PathBuf> = None;
+    let mut out = PathBuf::from("results");
+    let mut json = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--telemetry" => match args.next() {
+                Some(dir) => telemetry = Some(PathBuf::from(dir)),
+                None => usage(),
+            },
+            "--out" => match args.next() {
+                Some(dir) => out = PathBuf::from(dir),
+                None => usage(),
+            },
+            "--json" => json = true,
+            // Accepted for `all`-runner compatibility; no effect here.
+            "--quick" => {}
+            _ => usage(),
+        }
+    }
+    Options {
+        dir: telemetry.unwrap_or(out),
+        json,
+    }
+}
+
 fn main() {
-    let cli = Cli::parse();
-    let dir = cli.telemetry.clone().unwrap_or_else(|| cli.out.clone());
-    let mut entries: Vec<_> = std::fs::read_dir(&dir)
-        .unwrap_or_else(|e| panic!("cannot read {}: {e}", dir.display()))
-        .map(|entry| entry.expect("directory entry").path())
-        .collect();
+    let opts = parse_args();
+    let dir = &opts.dir;
+    let mut entries: Vec<_> = match std::fs::read_dir(dir) {
+        Ok(entries) => entries
+            .map(|entry| entry.expect("directory entry").path())
+            .collect(),
+        Err(e) => {
+            eprintln!("telemetry_lint: cannot read {}: {e}", dir.display());
+            std::process::exit(2);
+        }
+    };
     entries.sort();
 
-    let mut problems = Vec::new();
+    // (file, message) pairs so the JSON report can attribute cleanly.
+    let mut problems: Vec<(String, String)> = Vec::new();
+    let mut warnings: Vec<Warning> = Vec::new();
     let mut checked = 0usize;
     for path in &entries {
         let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
@@ -218,38 +258,80 @@ fn main() {
         } else if name.ends_with("_metrics.csv") {
             lint_csv(path)
         } else if name.ends_with("_trace.json") {
-            lint_trace(path)
+            lint_trace(path, &mut warnings)
         } else {
             continue;
         };
         checked += 1;
-        if file_problems.is_empty() {
-            eprintln!("ok   {}", path.display());
-        } else {
-            for p in &file_problems {
-                eprintln!("FAIL {p}");
+        if !opts.json {
+            if file_problems.is_empty() {
+                eprintln!("ok   {}", path.display());
+            } else {
+                for p in &file_problems {
+                    eprintln!("FAIL {}: {p}", path.display());
+                }
             }
-            problems.extend(file_problems);
         }
+        let file = path.display().to_string();
+        problems.extend(file_problems.into_iter().map(|p| (file.clone(), p)));
     }
 
     if checked == 0 {
-        eprintln!(
-            "FAIL {}: no telemetry artifacts (*.jsonl, *_metrics.prom, *_metrics.csv, \
-             *_trace.json) found",
-            dir.display()
-        );
-        std::process::exit(1);
+        problems.push((
+            dir.display().to_string(),
+            "no telemetry artifacts (*.jsonl, *_metrics.prom, *_metrics.csv, *_trace.json) found"
+                .to_string(),
+        ));
     }
-    eprintln!(
-        "\nchecked {checked} telemetry artifact(s) in {}: {}",
-        dir.display(),
-        if problems.is_empty() {
-            "all clean".to_string()
-        } else {
-            format!("{} problem(s)", problems.len())
+
+    if opts.json {
+        let entry = |file: &str, message: &str| {
+            Json::Obj(vec![
+                ("file".to_string(), Json::Str(file.to_string())),
+                ("message".to_string(), Json::Str(message.to_string())),
+            ])
+        };
+        let doc = Json::Obj(vec![
+            ("schema_version".to_string(), Json::Num(1.0)),
+            ("dir".to_string(), Json::Str(dir.display().to_string())),
+            ("checked".to_string(), Json::Num(checked as f64)),
+            ("clean".to_string(), Json::Bool(problems.is_empty())),
+            (
+                "problems".to_string(),
+                Json::Arr(problems.iter().map(|(f, m)| entry(f, m)).collect()),
+            ),
+            (
+                "warnings".to_string(),
+                Json::Arr(
+                    warnings
+                        .iter()
+                        .map(|w| {
+                            Json::Obj(vec![
+                                ("file".to_string(), Json::Str(w.file.clone())),
+                                ("kind".to_string(), Json::Str(w.kind.to_string())),
+                                ("message".to_string(), Json::Str(w.message.clone())),
+                                ("value".to_string(), Json::Num(w.value as f64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]);
+        println!("{doc}");
+    } else {
+        for w in &warnings {
+            eprintln!("warn {}: {}", w.file, w.message);
         }
-    );
+        eprintln!(
+            "\nchecked {checked} telemetry artifact(s) in {}: {}",
+            dir.display(),
+            if problems.is_empty() {
+                "all clean".to_string()
+            } else {
+                format!("{} problem(s)", problems.len())
+            }
+        );
+    }
     if !problems.is_empty() {
         std::process::exit(1);
     }

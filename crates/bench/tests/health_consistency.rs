@@ -20,7 +20,7 @@ use rayfade_dynamic::{
 };
 use rayfade_geometry::PaperTopology;
 use rayfade_sinr::SinrParams;
-use rayfade_telemetry::{read_jsonl, Json, Telemetry};
+use rayfade_telemetry::{JournalReader, Json, Telemetry};
 use std::collections::BTreeMap;
 use std::path::PathBuf;
 
@@ -55,30 +55,35 @@ fn committed_health_journal_agrees_with_committed_stability_csv() {
     let dir = results_dir();
     let health_path = dir.join("stability_health.jsonl");
     let csv_path = dir.join("stability.csv");
-    let events = read_jsonl(&health_path)
+    // -- One streaming pass: check the header, keep only the per-cell
+    //    lambda_stability summaries (memory independent of journal size).
+    let reader = JournalReader::open(&health_path)
         .unwrap_or_else(|e| panic!("cannot read {}: {e}", health_path.display()));
-    assert_eq!(
-        events.first().map(|e| str_field(e, "kind")),
-        Some("schema"),
-        "health journal starts with the schema header"
-    );
-
-    // -- One lambda_stability summary per cell, online verdict attached.
     let mut summaries: BTreeMap<CellKey, (String, String)> = BTreeMap::new();
-    for ev in events.iter().filter(|e| {
-        str_field(e, "kind") == "health"
-            && e.get("detector").and_then(|d| d.as_str()) == Some("lambda_stability")
-    }) {
+    for (i, event) in reader.enumerate() {
+        let ev = event.unwrap_or_else(|e| panic!("{}: {e}", health_path.display()));
+        if i == 0 {
+            assert_eq!(
+                str_field(&ev, "kind"),
+                "schema",
+                "health journal starts with the schema header"
+            );
+        }
+        if str_field(&ev, "kind") != "health"
+            || ev.get("detector").and_then(|d| d.as_str()) != Some("lambda_stability")
+        {
+            continue;
+        }
         let key = (
-            str_field(ev, "policy").to_string(),
-            str_field(ev, "model").to_string(),
-            lambda_key(num_field(ev, "lambda")),
+            str_field(&ev, "policy").to_string(),
+            str_field(&ev, "model").to_string(),
+            lambda_key(num_field(&ev, "lambda")),
         );
-        let online = str_field(ev, "verdict").to_string();
-        let posthoc = str_field(ev, "posthoc_verdict").to_string();
+        let online = str_field(&ev, "verdict").to_string();
+        let posthoc = str_field(&ev, "posthoc_verdict").to_string();
         // The online drift must respect the recorded threshold rule.
-        let drift = num_field(ev, "drift");
-        let threshold = num_field(ev, "threshold");
+        let drift = num_field(&ev, "drift");
+        let threshold = num_field(&ev, "threshold");
         assert_eq!(
             online == "stable",
             drift <= threshold,

@@ -11,9 +11,13 @@
 //! `lambda_star` events *and* with the committed CSV. If either artifact
 //! is regenerated without the other, or the drift-test semantics drift
 //! (pun intended) from what the journal records, this fails.
+//!
+//! The journal is consumed in one streaming pass through
+//! [`JournalReader`] — only the per-cell aggregates are retained, so the
+//! test's memory footprint is independent of journal length.
 
 use rayfade_dynamic::{least_squares_slope, DRIFT_TOLERANCE};
-use rayfade_telemetry::{read_jsonl, Json};
+use rayfade_telemetry::{JournalReader, Json};
 use std::collections::BTreeMap;
 use std::path::PathBuf;
 
@@ -45,42 +49,89 @@ type CellKey = (String, String, i64);
 /// Per-cell replication traces: net index → (slot xs, backlog ys).
 type CellTraces = BTreeMap<i64, (Vec<f64>, Vec<f64>)>;
 
+/// What the single streaming pass over the journal retains.
+#[derive(Default)]
+struct JournalSummary {
+    links: Option<f64>,
+    traces: BTreeMap<CellKey, CellTraces>,
+    /// (cell key, journaled drift, journaled verdict == "stable").
+    cells: Vec<(CellKey, f64, bool)>,
+    /// (policy, model, λ* key when claimed, `none: true` flag).
+    stars: Vec<(String, String, Option<i64>, bool)>,
+}
+
+fn cell_key(ev: &Json) -> CellKey {
+    (
+        str_field(ev, "policy").to_string(),
+        str_field(ev, "model").to_string(),
+        lambda_key(num_field(ev, "lambda")),
+    )
+}
+
+fn scan_journal(path: &std::path::Path) -> JournalSummary {
+    let reader =
+        JournalReader::open(path).unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    let mut summary = JournalSummary::default();
+    let mut count = 0usize;
+    for event in reader {
+        let ev = event.unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        count += 1;
+        match str_field(&ev, "kind") {
+            "stability_config" => {
+                assert!(summary.links.is_none(), "duplicate stability_config header");
+                summary.links = Some(num_field(&ev, "links"));
+            }
+            "dyn_slot" => {
+                let net = num_field(&ev, "net") as i64;
+                let (slots, backlogs) = summary
+                    .traces
+                    .entry(cell_key(&ev))
+                    .or_default()
+                    .entry(net)
+                    .or_default();
+                slots.push(num_field(&ev, "slot"));
+                backlogs.push(num_field(&ev, "backlog"));
+            }
+            "stability_cell" => summary.cells.push((
+                cell_key(&ev),
+                num_field(&ev, "drift"),
+                str_field(&ev, "verdict") == "stable",
+            )),
+            "lambda_star" => summary.stars.push((
+                str_field(&ev, "policy").to_string(),
+                str_field(&ev, "model").to_string(),
+                ev.get("lambda_star")
+                    .and_then(|v| v.as_f64())
+                    .map(lambda_key),
+                ev.get("none").and_then(|v| v.as_bool()) == Some(true),
+            )),
+            _ => {}
+        }
+    }
+    assert!(count > 0, "committed journal is empty");
+    summary
+}
+
 #[test]
 fn committed_journal_reproduces_committed_stability_verdicts() {
     let dir = results_dir();
     let journal_path = dir.join("stability_journal.jsonl");
     let csv_path = dir.join("stability.csv");
-    let events = read_jsonl(&journal_path)
-        .unwrap_or_else(|e| panic!("cannot read {}: {e}", journal_path.display()));
-    assert!(!events.is_empty(), "committed journal is empty");
+    let summary = scan_journal(&journal_path);
 
     // -- Header: the sweep's shape.
-    let header = events
-        .iter()
-        .find(|e| str_field(e, "kind") == "stability_config")
+    let links = summary
+        .links
         .expect("journal has a stability_config header");
-    let links = num_field(header, "links");
     assert!(links > 0.0, "header links must be positive");
-
-    // -- Collect per-replication backlog traces from dyn_slot records.
-    // Key: (policy, model, λ) cell → net index → (slots, backlogs).
-    let mut traces: BTreeMap<CellKey, CellTraces> = BTreeMap::new();
-    for ev in events.iter().filter(|e| str_field(e, "kind") == "dyn_slot") {
-        let key = (
-            str_field(ev, "policy").to_string(),
-            str_field(ev, "model").to_string(),
-            lambda_key(num_field(ev, "lambda")),
-        );
-        let net = num_field(ev, "net") as i64;
-        let (slots, backlogs) = traces.entry(key).or_default().entry(net).or_default();
-        slots.push(num_field(ev, "slot"));
-        backlogs.push(num_field(ev, "backlog"));
-    }
-    assert!(!traces.is_empty(), "journal has no dyn_slot records");
+    assert!(
+        !summary.traces.is_empty(),
+        "journal has no dyn_slot records"
+    );
 
     // -- Recompute each cell's drift and verdict from the traces alone.
     let mut recomputed: BTreeMap<CellKey, (f64, bool)> = BTreeMap::new();
-    for (key, nets) in &traces {
+    for (key, nets) in &summary.traces {
         let drift = nets
             .values()
             .map(|(xs, ys)| least_squares_slope(xs, ys))
@@ -92,32 +143,21 @@ fn committed_journal_reproduces_committed_stability_verdicts() {
     }
 
     // -- The journal's own stability_cell events must agree exactly.
-    let cell_events: Vec<&Json> = events
-        .iter()
-        .filter(|e| str_field(e, "kind") == "stability_cell")
-        .collect();
     assert_eq!(
-        cell_events.len(),
+        summary.cells.len(),
         recomputed.len(),
         "one stability_cell event per traced cell"
     );
-    for ev in &cell_events {
-        let key = (
-            str_field(ev, "policy").to_string(),
-            str_field(ev, "model").to_string(),
-            lambda_key(num_field(ev, "lambda")),
-        );
+    for (key, journaled_drift, journaled_stable) in &summary.cells {
         let (drift, stable) = recomputed
-            .get(&key)
+            .get(key)
             .unwrap_or_else(|| panic!("stability_cell {key:?} has no dyn_slot trace"));
         assert!(
-            (num_field(ev, "drift") - drift).abs() <= 1e-9 * drift.abs().max(1.0),
-            "{key:?}: journaled drift {} != recomputed {drift}",
-            num_field(ev, "drift")
+            (journaled_drift - drift).abs() <= 1e-9 * drift.abs().max(1.0),
+            "{key:?}: journaled drift {journaled_drift} != recomputed {drift}"
         );
-        let journaled_stable = str_field(ev, "verdict") == "stable";
         assert_eq!(
-            journaled_stable, *stable,
+            journaled_stable, stable,
             "{key:?}: journaled verdict disagrees with recomputed drift test"
         );
     }
@@ -174,17 +214,10 @@ fn committed_journal_reproduces_committed_stability_verdicts() {
             .or_default()
             .push((key.2, *stable));
     }
-    let star_events: Vec<&Json> = events
-        .iter()
-        .filter(|e| str_field(e, "kind") == "lambda_star")
-        .collect();
-    assert_eq!(star_events.len(), curves.len(), "one λ* event per curve");
-    for ev in &star_events {
+    assert_eq!(summary.stars.len(), curves.len(), "one λ* event per curve");
+    for (policy, model, claimed, none) in &summary.stars {
         let curve = curves
-            .get(&(
-                str_field(ev, "policy").to_string(),
-                str_field(ev, "model").to_string(),
-            ))
+            .get(&(policy.clone(), model.clone()))
             .expect("λ* event for a traced curve");
         let mut sorted = curve.clone();
         sorted.sort_unstable();
@@ -197,18 +230,8 @@ fn committed_journal_reproduces_committed_stability_verdicts() {
             }
         }
         match star {
-            Some(lk) => assert_eq!(
-                lambda_key(num_field(ev, "lambda_star")),
-                lk,
-                "λ* mismatch for {}/{}",
-                str_field(ev, "policy"),
-                str_field(ev, "model")
-            ),
-            None => assert_eq!(
-                ev.get("none").and_then(|v| v.as_bool()),
-                Some(true),
-                "journal claims a λ* where recomputation finds none"
-            ),
+            Some(lk) => assert_eq!(*claimed, Some(lk), "λ* mismatch for {policy}/{model}"),
+            None => assert!(*none, "journal claims a λ* where recomputation finds none"),
         }
     }
 }

@@ -1,0 +1,463 @@
+//! Structural cross-run diff with first-divergence attribution.
+//!
+//! Two runs of the same build must produce byte-identical journals;
+//! when they do not, "the files differ" is useless and a unified diff
+//! of 25 000-line JSONL is hostile. This module answers the question a
+//! determinism bug actually raises: *which event diverged first, and in
+//! which field?*
+//!
+//! Journals are aligned line-by-line, which aligns them seq-by-seq for
+//! well-formed journals (`seq` is dense from 0). Each aligned pair is
+//! byte-compared first — the fast path touches no parser — and only a
+//! byte mismatch triggers a structural comparison. Lines that differ in
+//! bytes but parse to the same JSON value (e.g. whitespace) are noted
+//! via [`DiffReport::byte_identical`] but do not count as divergence;
+//! the scan continues. The first *structural* mismatch stops the scan
+//! and is attributed down to JSON paths rooted at the event kind, e.g.
+//! `dyn_net.departures: 3 ≠ 4`, together with the shared `seq` and a
+//! window of preceding common lines for context.
+
+use rayfade_telemetry::Json;
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::{self, BufRead, BufReader};
+use std::path::Path;
+
+/// Number of preceding common lines captured around a divergence.
+pub const CONTEXT_WINDOW: usize = 3;
+
+/// One differing JSON path between two aligned events.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FieldDiff {
+    /// Kind-rooted JSON path, e.g. `dyn_net.departures` or
+    /// `stability_cell.drift`.
+    pub path: String,
+    /// Rendered left value (`None` when the path is absent on the left).
+    pub left: Option<String>,
+    /// Rendered right value (`None` when absent on the right).
+    pub right: Option<String>,
+}
+
+impl std::fmt::Display for FieldDiff {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let render = |v: &Option<String>| v.clone().unwrap_or_else(|| "<absent>".to_string());
+        write!(
+            f,
+            "{}: {} \u{2260} {}",
+            self.path,
+            render(&self.left),
+            render(&self.right)
+        )
+    }
+}
+
+/// The first structurally differing event between two journals.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Divergence {
+    /// 1-based line number of the divergent pair.
+    pub line: usize,
+    /// The shared `seq` of the aligned events, when present.
+    pub seq: Option<i64>,
+    /// The event `kind` (left side's, falling back to the right's).
+    pub kind: Option<String>,
+    /// Field-level differences, one per divergent JSON path.
+    pub fields: Vec<FieldDiff>,
+    /// Raw left line (`None` when the left journal ended early).
+    pub left_line: Option<String>,
+    /// Raw right line (`None` when the right journal ended early).
+    pub right_line: Option<String>,
+    /// Up to [`CONTEXT_WINDOW`] common lines preceding the divergence.
+    pub context: Vec<String>,
+}
+
+/// Outcome of diffing two journals.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DiffReport {
+    /// Aligned line pairs examined (including the divergent one).
+    pub lines_compared: usize,
+    /// Whether every compared pair was byte-equal. Can be `false` while
+    /// [`DiffReport::divergence`] is `None` (byte noise that parses to
+    /// equal values).
+    pub byte_identical: bool,
+    /// The first structural divergence, or `None` if the journals are
+    /// structurally identical.
+    pub divergence: Option<Divergence>,
+}
+
+impl DiffReport {
+    /// Whether the journals are structurally identical.
+    pub fn identical(&self) -> bool {
+        self.divergence.is_none()
+    }
+
+    /// Human-readable report.
+    pub fn to_console(&self, left_name: &str, right_name: &str) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "diff {left_name} {right_name}");
+        match &self.divergence {
+            None => {
+                let quality = if self.byte_identical {
+                    "byte-identical"
+                } else {
+                    "structurally identical (byte differences only)"
+                };
+                let _ = writeln!(out, "  {} lines: {quality}", self.lines_compared);
+            }
+            Some(d) => {
+                for line in &d.context {
+                    let _ = writeln!(out, "    = {line}");
+                }
+                let seq = d.seq.map_or("?".to_string(), |s| s.to_string());
+                let kind = d.kind.as_deref().unwrap_or("?");
+                let _ = writeln!(
+                    out,
+                    "  first divergence at line {} (seq={seq}, kind={kind}):",
+                    d.line
+                );
+                match (&d.left_line, &d.right_line) {
+                    (Some(l), Some(r)) => {
+                        let _ = writeln!(out, "    < {l}");
+                        let _ = writeln!(out, "    > {r}");
+                    }
+                    (Some(l), None) => {
+                        let _ = writeln!(out, "    < {l}");
+                        let _ = writeln!(out, "    > <end of {right_name}>");
+                    }
+                    (None, Some(r)) => {
+                        let _ = writeln!(out, "    < <end of {left_name}>");
+                        let _ = writeln!(out, "    > {r}");
+                    }
+                    (None, None) => {}
+                }
+                for field in &d.fields {
+                    let _ = writeln!(out, "    seq={seq} {field}");
+                }
+            }
+        }
+        out
+    }
+
+    /// Machine-readable report as a [`Json`] value.
+    pub fn to_json(&self) -> Json {
+        let mut obj = vec![
+            (
+                "lines_compared".to_string(),
+                Json::Num(self.lines_compared as f64),
+            ),
+            (
+                "byte_identical".to_string(),
+                Json::Bool(self.byte_identical),
+            ),
+            ("identical".to_string(), Json::Bool(self.identical())),
+        ];
+        if let Some(d) = &self.divergence {
+            let fields = d
+                .fields
+                .iter()
+                .map(|f| {
+                    let opt = |v: &Option<String>| {
+                        v.as_ref().map_or(Json::Null, |s| Json::Str(s.clone()))
+                    };
+                    Json::Obj(vec![
+                        ("path".to_string(), Json::Str(f.path.clone())),
+                        ("left".to_string(), opt(&f.left)),
+                        ("right".to_string(), opt(&f.right)),
+                    ])
+                })
+                .collect();
+            obj.push((
+                "divergence".to_string(),
+                Json::Obj(vec![
+                    ("line".to_string(), Json::Num(d.line as f64)),
+                    (
+                        "seq".to_string(),
+                        d.seq.map_or(Json::Null, |s| Json::Num(s as f64)),
+                    ),
+                    (
+                        "kind".to_string(),
+                        d.kind.as_ref().map_or(Json::Null, |k| Json::Str(k.clone())),
+                    ),
+                    ("fields".to_string(), Json::Arr(fields)),
+                ]),
+            ));
+        }
+        Json::Obj(obj)
+    }
+}
+
+/// Recursively collects the JSON paths at which `left` and `right`
+/// differ, appending `FieldDiff`s to `out`. `prefix` roots the paths
+/// (the caller passes the event kind).
+pub fn json_field_diffs(prefix: &str, left: &Json, right: &Json, out: &mut Vec<FieldDiff>) {
+    let join = |key: &str| {
+        if prefix.is_empty() {
+            key.to_string()
+        } else {
+            format!("{prefix}.{key}")
+        }
+    };
+    match (left, right) {
+        (Json::Obj(lf), Json::Obj(rf)) => {
+            // Left-side key order first, then right-only keys; `get` is
+            // last-wins so duplicate keys compare by effective value.
+            let mut keys: Vec<&str> = Vec::new();
+            for (k, _) in lf.iter().chain(rf.iter()) {
+                if !keys.contains(&k.as_str()) {
+                    keys.push(k);
+                }
+            }
+            for key in keys {
+                match (left.get(key), right.get(key)) {
+                    (Some(l), Some(r)) => json_field_diffs(&join(key), l, r, out),
+                    (Some(l), None) => out.push(FieldDiff {
+                        path: join(key),
+                        left: Some(l.to_string()),
+                        right: None,
+                    }),
+                    (None, Some(r)) => out.push(FieldDiff {
+                        path: join(key),
+                        left: None,
+                        right: Some(r.to_string()),
+                    }),
+                    (None, None) => unreachable!("key came from one side"),
+                }
+            }
+        }
+        (Json::Arr(la), Json::Arr(ra)) => {
+            for i in 0..la.len().max(ra.len()) {
+                let path = format!("{prefix}[{i}]");
+                match (la.get(i), ra.get(i)) {
+                    (Some(l), Some(r)) => json_field_diffs(&path, l, r, out),
+                    (Some(l), None) => out.push(FieldDiff {
+                        path,
+                        left: Some(l.to_string()),
+                        right: None,
+                    }),
+                    (None, Some(r)) => out.push(FieldDiff {
+                        path,
+                        left: None,
+                        right: Some(r.to_string()),
+                    }),
+                    (None, None) => {}
+                }
+            }
+        }
+        (l, r) => {
+            if l != r {
+                out.push(FieldDiff {
+                    path: prefix.to_string(),
+                    left: Some(l.to_string()),
+                    right: Some(r.to_string()),
+                });
+            }
+        }
+    }
+}
+
+/// Diffs two journal files; see the module docs for semantics.
+pub fn diff_files<P: AsRef<Path>, Q: AsRef<Path>>(left: P, right: Q) -> io::Result<DiffReport> {
+    let open = |p: &Path| -> io::Result<_> { Ok(BufReader::new(File::open(p)?).lines()) };
+    diff_lines(open(left.as_ref())?, open(right.as_ref())?)
+}
+
+/// Diffs two streams of lines (the file-free core of [`diff_files`]).
+pub fn diff_lines<L, R>(left: L, right: R) -> io::Result<DiffReport>
+where
+    L: Iterator<Item = io::Result<String>>,
+    R: Iterator<Item = io::Result<String>>,
+{
+    let mut left = left.peekable();
+    let mut right = right.peekable();
+    let mut context: VecDeque<String> = VecDeque::with_capacity(CONTEXT_WINDOW + 1);
+    let mut report = DiffReport {
+        lines_compared: 0,
+        byte_identical: true,
+        divergence: None,
+    };
+    let mut line = 0usize;
+    loop {
+        let (l, r) = match (left.next(), right.next()) {
+            (None, None) => return Ok(report),
+            (Some(l), Some(r)) => (Some(l?), Some(r?)),
+            (Some(l), None) => (Some(l?), None),
+            (None, Some(r)) => (None, Some(r?)),
+        };
+        line += 1;
+        report.lines_compared = line;
+        if let (Some(l), Some(r)) = (&l, &r) {
+            if l == r {
+                context.push_back(l.clone());
+                if context.len() > CONTEXT_WINDOW {
+                    context.pop_front();
+                }
+                continue;
+            }
+            report.byte_identical = false;
+            // Structural comparison; unparseable lines fall through to a
+            // raw divergence below.
+            if let (Ok(lj), Ok(rj)) = (Json::parse(l), Json::parse(r)) {
+                if lj == rj {
+                    context.push_back(l.clone());
+                    if context.len() > CONTEXT_WINDOW {
+                        context.pop_front();
+                    }
+                    continue;
+                }
+                let kind = lj
+                    .get("kind")
+                    .or_else(|| rj.get("kind"))
+                    .and_then(Json::as_str)
+                    .map(str::to_string);
+                let seq = lj
+                    .get("seq")
+                    .and_then(Json::as_i64)
+                    .or_else(|| rj.get("seq").and_then(Json::as_i64));
+                let mut fields = Vec::new();
+                json_field_diffs(kind.as_deref().unwrap_or(""), &lj, &rj, &mut fields);
+                report.divergence = Some(Divergence {
+                    line,
+                    seq,
+                    kind,
+                    fields,
+                    left_line: Some(l.clone()),
+                    right_line: Some(r.clone()),
+                    context: context.iter().cloned().collect(),
+                });
+                return Ok(report);
+            }
+        }
+        // One side ended, or a side failed to parse: raw divergence.
+        report.byte_identical = false;
+        let event = |s: &Option<String>| s.as_deref().and_then(|s| Json::parse(s).ok());
+        let (lj, rj) = (event(&l), event(&r));
+        let field = |j: &Option<Json>, key: &str| {
+            j.as_ref()
+                .and_then(|j| j.get(key).and_then(Json::as_str).map(str::to_string))
+        };
+        report.divergence = Some(Divergence {
+            line,
+            seq: lj
+                .as_ref()
+                .or(rj.as_ref())
+                .and_then(|j| j.get("seq").and_then(Json::as_i64)),
+            kind: field(&lj, "kind").or_else(|| field(&rj, "kind")),
+            fields: vec![FieldDiff {
+                path: match (&l, &r) {
+                    (Some(_), None) | (None, Some(_)) => "<length>".to_string(),
+                    _ => "<unparseable>".to_string(),
+                },
+                left: l.clone(),
+                right: r.clone(),
+            }],
+            left_line: l,
+            right_line: r,
+            context: context.iter().cloned().collect(),
+        });
+        return Ok(report);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lines(text: &str) -> impl Iterator<Item = io::Result<String>> + '_ {
+        text.lines().map(|l| Ok(l.to_string()))
+    }
+
+    #[test]
+    fn identical_streams_report_byte_identical() {
+        let text = "{\"seq\":0,\"kind\":\"schema\"}\n{\"seq\":1,\"kind\":\"dyn_run\"}";
+        let report = diff_lines(lines(text), lines(text)).unwrap();
+        assert!(report.byte_identical);
+        assert!(report.identical());
+        assert_eq!(report.lines_compared, 2);
+    }
+
+    #[test]
+    fn byte_noise_with_equal_structure_is_not_divergence() {
+        let a = "{\"seq\":0,\"kind\":\"schema\",\"x\":1}";
+        let b = "{\"seq\":0, \"kind\":\"schema\", \"x\":1}";
+        let report = diff_lines(lines(a), lines(b)).unwrap();
+        assert!(!report.byte_identical);
+        assert!(report.identical(), "whitespace-only must not diverge");
+    }
+
+    #[test]
+    fn first_divergence_names_seq_kind_and_path() {
+        let a = "{\"seq\":0,\"kind\":\"schema\"}\n\
+                 {\"seq\":1,\"kind\":\"dyn_net\",\"net\":0,\"departures\":3}\n\
+                 {\"seq\":2,\"kind\":\"dyn_net\",\"net\":1,\"departures\":9}";
+        let b = "{\"seq\":0,\"kind\":\"schema\"}\n\
+                 {\"seq\":1,\"kind\":\"dyn_net\",\"net\":0,\"departures\":4}\n\
+                 {\"seq\":2,\"kind\":\"dyn_net\",\"net\":1,\"departures\":8}";
+        let report = diff_lines(lines(a), lines(b)).unwrap();
+        let d = report.divergence.clone().expect("must diverge");
+        assert_eq!(d.line, 2, "scan must stop at the FIRST divergence");
+        assert_eq!(d.seq, Some(1));
+        assert_eq!(d.kind.as_deref(), Some("dyn_net"));
+        assert_eq!(d.fields.len(), 1);
+        assert_eq!(d.fields[0].path, "dyn_net.departures");
+        assert_eq!(d.fields[0].left.as_deref(), Some("3"));
+        assert_eq!(d.fields[0].right.as_deref(), Some("4"));
+        assert_eq!(
+            d.context,
+            vec!["{\"seq\":0,\"kind\":\"schema\"}".to_string()]
+        );
+        let console = report.to_console("a", "b");
+        assert!(console.contains("seq=1"), "{console}");
+        assert!(
+            console.contains("dyn_net.departures: 3 \u{2260} 4"),
+            "{console}"
+        );
+    }
+
+    #[test]
+    fn missing_and_extra_keys_are_attributed() {
+        let a = "{\"seq\":5,\"kind\":\"health\",\"drift\":0.5}";
+        let b = "{\"seq\":5,\"kind\":\"health\",\"slope\":0.5}";
+        let d = diff_lines(lines(a), lines(b)).unwrap().divergence.unwrap();
+        let paths: Vec<&str> = d.fields.iter().map(|f| f.path.as_str()).collect();
+        assert_eq!(paths, vec!["health.drift", "health.slope"]);
+        assert_eq!(d.fields[0].right, None);
+        assert_eq!(d.fields[1].left, None);
+    }
+
+    #[test]
+    fn nested_paths_and_arrays_are_walked() {
+        let a = "{\"seq\":0,\"kind\":\"k\",\"inner\":{\"xs\":[1,2,3]}}";
+        let b = "{\"seq\":0,\"kind\":\"k\",\"inner\":{\"xs\":[1,9,3,4]}}";
+        let d = diff_lines(lines(a), lines(b)).unwrap().divergence.unwrap();
+        let paths: Vec<&str> = d.fields.iter().map(|f| f.path.as_str()).collect();
+        assert_eq!(paths, vec!["k.inner.xs[1]", "k.inner.xs[3]"]);
+        assert_eq!(d.fields[1].left, None);
+        assert_eq!(d.fields[1].right.as_deref(), Some("4"));
+    }
+
+    #[test]
+    fn truncated_journal_reports_length_divergence() {
+        let a = "{\"seq\":0,\"kind\":\"schema\"}\n{\"seq\":1,\"kind\":\"dyn_run\"}";
+        let b = "{\"seq\":0,\"kind\":\"schema\"}";
+        let report = diff_lines(lines(a), lines(b)).unwrap();
+        let d = report.divergence.clone().unwrap();
+        assert_eq!(d.line, 2);
+        assert_eq!(d.seq, Some(1));
+        assert_eq!(d.kind.as_deref(), Some("dyn_run"));
+        assert_eq!(d.fields[0].path, "<length>");
+        assert!(d.right_line.is_none());
+        assert!(report.to_console("a", "b").contains("<end of b>"));
+    }
+
+    #[test]
+    fn json_report_round_trips_through_the_parser() {
+        let a = "{\"seq\":1,\"kind\":\"dyn_net\",\"departures\":3}";
+        let b = "{\"seq\":1,\"kind\":\"dyn_net\",\"departures\":4}";
+        let report = diff_lines(lines(a), lines(b)).unwrap();
+        let json = report.to_json().to_string();
+        let back = Json::parse(&json).unwrap();
+        assert_eq!(back.get("identical").and_then(Json::as_bool), Some(false));
+        let div = back.get("divergence").unwrap();
+        assert_eq!(div.get("seq").and_then(Json::as_i64), Some(1));
+    }
+}

@@ -1,0 +1,561 @@
+//! Flamegraph export and trace↔journal correlation.
+//!
+//! Traces and journals describe the same run from two angles — spans
+//! say *how long*, journal records say *what happened*. This module
+//! folds a Chrome trace into collapsed-stack lines (`a;b;c 1234`, the
+//! input format of inferno / `flamegraph.pl`, value = self-time in
+//! nanoseconds) and joins span intervals onto journal records to rank
+//! the slowest replications and sampled slots of a dynamic sweep.
+//!
+//! The join is *positional*: the engine journals replications in
+//! network order after the run, and a single-threaded trace records
+//! replication spans in that same execution order, so the k-th
+//! `dynamic/replication` span corresponds to the k-th `dyn_net` record,
+//! and the j-th sampled-slot phase group inside it (each group starts
+//! at `dynamic/transmission`) to the j-th `dyn_slot` record of that
+//! replication. [`correlate`] therefore *requires* a lossless
+//! (`dropped_spans == 0`) trace whose `dynamic/replication` spans all
+//! live on one thread — run with `RAYFADE_THREADS=1` — and refuses
+//! anything else rather than produce a silently wrong join.
+
+use rayfade_telemetry::trace::{parse_chrome_trace, SpanRecord};
+use rayfade_telemetry::{JournalReader, Json};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Sorts span indices into tree order: by thread, then start ascending,
+/// then end *descending* so a parent precedes children sharing its
+/// start timestamp.
+fn tree_order(records: &[SpanRecord]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..records.len()).collect();
+    order.sort_by(|&a, &b| {
+        let (ra, rb) = (&records[a], &records[b]);
+        (ra.tid, ra.start_ns, rb.end_ns, &ra.name).cmp(&(rb.tid, rb.start_ns, ra.end_ns, &rb.name))
+    });
+    order
+}
+
+/// Folds span records into collapsed stacks: one `(stack, self_ns)`
+/// entry per distinct root-to-leaf path, summed over occurrences and
+/// threads, sorted by stack name. Self time excludes time spent in
+/// child spans, so the values of a stack and its descendants sum to the
+/// stack's total wall time.
+pub fn collapsed_stacks(records: &[SpanRecord]) -> Vec<(String, u64)> {
+    let mut totals: BTreeMap<String, i128> = BTreeMap::new();
+    // (end_ns, path) of currently open ancestors on the walk's thread.
+    let mut stack: Vec<(u64, String)> = Vec::new();
+    let mut current_tid = None;
+    for &k in &tree_order(records) {
+        let r = &records[k];
+        if current_tid != Some(r.tid) {
+            current_tid = Some(r.tid);
+            stack.clear();
+        }
+        while let Some((end, _)) = stack.last() {
+            if r.start_ns >= *end {
+                stack.pop();
+            } else {
+                break;
+            }
+        }
+        let path = match stack.last() {
+            Some((_, parent)) => format!("{parent};{}", r.name),
+            None => r.name.clone(),
+        };
+        let dur = i128::from(r.end_ns.saturating_sub(r.start_ns));
+        *totals.entry(path.clone()).or_insert(0) += dur;
+        if let Some((_, parent)) = stack.last() {
+            // Self time: a child's wall time is not the parent's.
+            *totals.entry(parent.clone()).or_insert(0) -= dur;
+        }
+        stack.push((r.end_ns, path));
+    }
+    totals
+        .into_iter()
+        .filter(|&(_, v)| v > 0)
+        .map(|(k, v)| (k, v as u64))
+        .collect()
+}
+
+/// Renders a Chrome trace as collapsed-stack flamegraph lines
+/// (newline-terminated). Fails on malformed traces and on traces with
+/// no spans at all.
+pub fn flamegraph_from_chrome(text: &str) -> Result<String, String> {
+    let records = parse_chrome_trace(text)?;
+    let stacks = collapsed_stacks(&records);
+    if stacks.is_empty() {
+        return Err("trace contains no spans with positive self time".to_string());
+    }
+    let mut out = String::new();
+    for (stack, self_ns) in &stacks {
+        let _ = writeln!(out, "{stack} {self_ns}");
+    }
+    Ok(out)
+}
+
+/// One replication's joined view: journal outcome + span wall time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplicationRow {
+    /// Policy label of the cell.
+    pub policy: String,
+    /// Success-model label of the cell.
+    pub model: String,
+    /// Arrival rate λ of the cell.
+    pub lambda: f64,
+    /// Replication (network) index within the cell.
+    pub net: i64,
+    /// Wall time of the `dynamic/replication` span, milliseconds.
+    pub wall_ms: f64,
+    /// Journaled per-link throughput of the replication.
+    pub throughput_per_link: f64,
+    /// Journaled mean packet delay of the replication.
+    pub mean_delay: f64,
+}
+
+/// One sampled slot's joined view: journal record + phase-group wall.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlotRow {
+    /// Policy label of the cell.
+    pub policy: String,
+    /// Success-model label of the cell.
+    pub model: String,
+    /// Arrival rate λ of the cell.
+    pub lambda: f64,
+    /// Replication (network) index within the cell.
+    pub net: i64,
+    /// Slot index.
+    pub slot: i64,
+    /// Wall time of the slot's traced phases, microseconds.
+    pub wall_us: f64,
+    /// Journaled backlog at the slot.
+    pub backlog: i64,
+}
+
+/// The joined trace↔journal view of one run.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Correlation {
+    /// Every replication, in journal (execution) order.
+    pub replications: Vec<ReplicationRow>,
+    /// Every sampled slot, in journal order.
+    pub slots: Vec<SlotRow>,
+}
+
+impl Correlation {
+    /// The `k` slowest replications by span wall time.
+    pub fn slowest_replications(&self, k: usize) -> Vec<&ReplicationRow> {
+        let mut rows: Vec<&ReplicationRow> = self.replications.iter().collect();
+        rows.sort_by(|a, b| b.wall_ms.total_cmp(&a.wall_ms));
+        rows.truncate(k);
+        rows
+    }
+
+    /// The `k` slowest sampled slots by phase wall time.
+    pub fn slowest_slots(&self, k: usize) -> Vec<&SlotRow> {
+        let mut rows: Vec<&SlotRow> = self.slots.iter().collect();
+        rows.sort_by(|a, b| b.wall_us.total_cmp(&a.wall_us));
+        rows.truncate(k);
+        rows
+    }
+
+    /// Top-`k` tables for the console.
+    pub fn to_console(&self, k: usize) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "correlated {} replications, {} sampled slots",
+            self.replications.len(),
+            self.slots.len()
+        );
+        let _ = writeln!(out, "  slowest replications:");
+        for r in self.slowest_replications(k) {
+            let _ = writeln!(
+                out,
+                "    {:>9.3} ms  {}/{} \u{03bb}={} net={}  thr={:.4} delay={:.2}",
+                r.wall_ms, r.policy, r.model, r.lambda, r.net, r.throughput_per_link, r.mean_delay
+            );
+        }
+        let _ = writeln!(out, "  slowest sampled slots:");
+        for s in self.slowest_slots(k) {
+            let _ = writeln!(
+                out,
+                "    {:>9.1} us  {}/{} \u{03bb}={} net={} slot={}  backlog={}",
+                s.wall_us, s.policy, s.model, s.lambda, s.net, s.slot, s.backlog
+            );
+        }
+        out
+    }
+
+    /// CSV of every replication row.
+    pub fn replications_csv(&self) -> String {
+        let mut out =
+            String::from("policy,model,lambda,net,wall_ms,throughput_per_link,mean_delay\n");
+        for r in &self.replications {
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{},{},{}",
+                r.policy, r.model, r.lambda, r.net, r.wall_ms, r.throughput_per_link, r.mean_delay
+            );
+        }
+        out
+    }
+
+    /// CSV of every sampled-slot row.
+    pub fn slots_csv(&self) -> String {
+        let mut out = String::from("policy,model,lambda,net,slot,wall_us,backlog\n");
+        for s in &self.slots {
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{},{},{}",
+                s.policy, s.model, s.lambda, s.net, s.slot, s.wall_us, s.backlog
+            );
+        }
+        out
+    }
+}
+
+/// A replication span plus its sampled-slot phase groups, from the
+/// trace side of the join.
+struct TraceReplication {
+    start_ns: u64,
+    end_ns: u64,
+    /// Per sampled slot: (group start, group end).
+    groups: Vec<(u64, u64)>,
+}
+
+/// The journal side of the join: one `dyn_net` plus its `dyn_slot`s.
+struct JournalReplication {
+    policy: String,
+    model: String,
+    lambda: f64,
+    net: i64,
+    throughput_per_link: f64,
+    mean_delay: f64,
+    /// Per sampled slot: (slot index, backlog).
+    slots: Vec<(i64, i64)>,
+}
+
+fn trace_replications(text: &str) -> Result<Vec<TraceReplication>, String> {
+    let doc = Json::parse(text).map_err(|e| format!("not valid JSON: {e}"))?;
+    let dropped = doc
+        .get("otherData")
+        .and_then(|o| o.get("dropped_spans"))
+        .and_then(Json::as_i64)
+        .unwrap_or(0);
+    if dropped > 0 {
+        return Err(format!(
+            "trace dropped {dropped} spans; correlation needs a lossless trace \
+             (raise the tracer capacity or shorten the run)"
+        ));
+    }
+    let records = parse_chrome_trace(text)?;
+    let mut tids: Vec<u64> = records
+        .iter()
+        .filter(|r| r.name == "dynamic/replication")
+        .map(|r| r.tid)
+        .collect();
+    tids.sort_unstable();
+    tids.dedup();
+    if tids.is_empty() {
+        return Err("trace has no dynamic/replication spans".to_string());
+    }
+    if tids.len() > 1 {
+        return Err(format!(
+            "replication spans on {} threads; the positional join needs a \
+             single-threaded trace (rerun with RAYFADE_THREADS=1)",
+            tids.len()
+        ));
+    }
+    let mut reps: Vec<TraceReplication> = Vec::new();
+    for &k in &tree_order(&records) {
+        let r = &records[k];
+        if r.tid != tids[0] {
+            continue;
+        }
+        if r.name == "dynamic/replication" {
+            reps.push(TraceReplication {
+                start_ns: r.start_ns,
+                end_ns: r.end_ns,
+                groups: Vec::new(),
+            });
+            continue;
+        }
+        // Phase spans belong to the innermost replication; replications
+        // never nest, so that is the last one opened (when it encloses
+        // this span).
+        let Some(rep) = reps.last_mut() else { continue };
+        if r.start_ns < rep.start_ns || r.end_ns > rep.end_ns {
+            continue;
+        }
+        if r.name == "dynamic/transmission" {
+            rep.groups.push((r.start_ns, r.end_ns));
+        } else if let Some(group) = rep.groups.last_mut() {
+            group.1 = group.1.max(r.end_ns);
+        }
+    }
+    Ok(reps)
+}
+
+fn journal_replications<P: AsRef<Path>>(path: P) -> Result<Vec<JournalReplication>, String> {
+    let reader = JournalReader::open(path).map_err(|e| format!("journal: {e}"))?;
+    let mut reps: Vec<JournalReplication> = Vec::new();
+    let mut pending: Vec<(i64, i64)> = Vec::new();
+    for event in reader {
+        let event = event.map_err(|e| format!("journal: {e}"))?;
+        let kind = event.get("kind").and_then(Json::as_str).unwrap_or("");
+        let int = |key: &str| event.get(key).and_then(Json::as_i64);
+        let num = |key: &str| event.get(key).and_then(Json::as_f64);
+        let text = |key: &str| {
+            event
+                .get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .unwrap_or_default()
+        };
+        match kind {
+            "dyn_slot" => {
+                let (Some(slot), Some(backlog)) = (int("slot"), int("backlog")) else {
+                    return Err("dyn_slot record lacks slot/backlog".to_string());
+                };
+                pending.push((slot, backlog));
+            }
+            "dyn_net" => {
+                reps.push(JournalReplication {
+                    policy: text("policy"),
+                    model: text("model"),
+                    lambda: num("lambda").unwrap_or(f64::NAN),
+                    net: int("net").unwrap_or(-1),
+                    throughput_per_link: num("throughput_per_link").unwrap_or(f64::NAN),
+                    mean_delay: num("mean_delay").unwrap_or(f64::NAN),
+                    slots: std::mem::take(&mut pending),
+                });
+            }
+            _ => {}
+        }
+    }
+    if !pending.is_empty() {
+        return Err(format!(
+            "{} trailing dyn_slot records with no dyn_net summary",
+            pending.len()
+        ));
+    }
+    Ok(reps)
+}
+
+/// Joins the spans of a lossless single-threaded Chrome trace onto the
+/// `dyn_net` / `dyn_slot` records of the journal at `journal_path`. See
+/// the module docs for the positional-join preconditions; any mismatch
+/// (span/record counts, multi-threaded trace, dropped spans) is an
+/// error, never a silent misattribution.
+pub fn correlate<P: AsRef<Path>>(trace_text: &str, journal_path: P) -> Result<Correlation, String> {
+    let trace_reps = trace_replications(trace_text)?;
+    let journal_reps = journal_replications(journal_path)?;
+    if trace_reps.len() != journal_reps.len() {
+        return Err(format!(
+            "{} replication spans vs {} dyn_net records — trace and journal \
+             are from different runs",
+            trace_reps.len(),
+            journal_reps.len()
+        ));
+    }
+    let mut corr = Correlation::default();
+    for (t, j) in trace_reps.iter().zip(&journal_reps) {
+        if t.groups.len() != j.slots.len() {
+            return Err(format!(
+                "replication {} ({}/{} \u{03bb}={}): {} traced slot groups vs {} \
+                 dyn_slot records — sampling cadences disagree",
+                j.net,
+                j.policy,
+                j.model,
+                j.lambda,
+                t.groups.len(),
+                j.slots.len()
+            ));
+        }
+        corr.replications.push(ReplicationRow {
+            policy: j.policy.clone(),
+            model: j.model.clone(),
+            lambda: j.lambda,
+            net: j.net,
+            wall_ms: (t.end_ns - t.start_ns) as f64 / 1e6,
+            throughput_per_link: j.throughput_per_link,
+            mean_delay: j.mean_delay,
+        });
+        for (&(gstart, gend), &(slot, backlog)) in t.groups.iter().zip(&j.slots) {
+            corr.slots.push(SlotRow {
+                policy: j.policy.clone(),
+                model: j.model.clone(),
+                lambda: j.lambda,
+                net: j.net,
+                slot,
+                wall_us: (gend - gstart) as f64 / 1e3,
+                backlog,
+            });
+        }
+    }
+    Ok(corr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs;
+
+    fn rec(name: &str, tid: u64, start_ns: u64, end_ns: u64) -> SpanRecord {
+        SpanRecord {
+            name: name.to_string(),
+            tid,
+            start_ns,
+            end_ns,
+        }
+    }
+
+    #[test]
+    fn collapsed_stacks_compute_self_time() {
+        let records = vec![
+            rec("root", 1, 0, 100),
+            rec("child", 1, 10, 40),
+            rec("grand", 1, 20, 25),
+            rec("child", 1, 50, 60),
+        ];
+        let stacks = collapsed_stacks(&records);
+        let get = |name: &str| stacks.iter().find(|(s, _)| s == name).map(|&(_, v)| v);
+        assert_eq!(get("root"), Some(60), "100 - 30 - 10 child time");
+        assert_eq!(get("root;child"), Some(35), "30 + 10 - 5 grandchild");
+        assert_eq!(get("root;child;grand"), Some(5));
+        // Total self time equals the root's wall time.
+        let total: u64 = stacks.iter().map(|&(_, v)| v).sum();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn collapsed_stacks_keep_threads_separate() {
+        let records = vec![rec("a", 1, 0, 10), rec("a", 2, 0, 10), rec("b", 2, 2, 4)];
+        let stacks = collapsed_stacks(&records);
+        assert_eq!(
+            stacks,
+            vec![("a".to_string(), 18), ("a;b".to_string(), 2)],
+            "same stack on two threads merges; nesting only within a thread"
+        );
+    }
+
+    /// A minimal but realistic traced+journaled run: one cell, two
+    /// replications, two sampled slots each.
+    fn synthetic_pair() -> (String, std::path::PathBuf) {
+        let mut events = String::new();
+        let mut push = |name: &str, ph: &str, ts_us: f64| {
+            if !events.is_empty() {
+                events.push(',');
+            }
+            let _ = write!(
+                events,
+                r#"{{"name":"{name}","ph":"{ph}","ts":{ts_us},"pid":1,"tid":1}}"#
+            );
+        };
+        push("stability/cell", "B", 0.0);
+        // Replication 0: slot groups at [10,14] and [20,26].
+        push("dynamic/replication", "B", 5.0);
+        for (t0, t1) in [(10.0, 14.0), (20.0, 26.0)] {
+            push("dynamic/transmission", "B", t0);
+            push("dynamic/transmission", "E", t0 + 1.0);
+            push("dynamic/policy", "B", t0 + 2.0);
+            push("dynamic/policy", "E", t1);
+        }
+        push("dynamic/replication", "E", 30.0);
+        // Replication 1: slot groups at [40,43] and [50,59].
+        push("dynamic/replication", "B", 35.0);
+        for (t0, t1) in [(40.0, 43.0), (50.0, 59.0)] {
+            push("dynamic/transmission", "B", t0);
+            push("dynamic/transmission", "E", t0 + 1.0);
+            push("dynamic/policy", "B", t0 + 2.0);
+            push("dynamic/policy", "E", t1);
+        }
+        push("dynamic/replication", "E", 70.0);
+        push("stability/cell", "E", 75.0);
+        let trace = format!(
+            r#"{{"traceEvents":[{events}],"displayTimeUnit":"ms","otherData":{{"schema_version":1,"dropped_spans":0}}}}"#
+        );
+        let journal = [
+            r#"{"seq":0,"kind":"schema","schema_version":2}"#,
+            r#"{"seq":1,"kind":"dyn_run","policy":"p","model":"m","lambda":0.1}"#,
+            r#"{"seq":2,"kind":"dyn_slot","policy":"p","model":"m","lambda":0.1,"net":0,"slot":0,"backlog":1,"cum_arrivals":1,"cum_departures":0}"#,
+            r#"{"seq":3,"kind":"dyn_slot","policy":"p","model":"m","lambda":0.1,"net":0,"slot":50,"backlog":2,"cum_arrivals":4,"cum_departures":2}"#,
+            r#"{"seq":4,"kind":"dyn_net","policy":"p","model":"m","lambda":0.1,"net":0,"throughput_per_link":0.09,"mean_delay":1.5}"#,
+            r#"{"seq":5,"kind":"dyn_slot","policy":"p","model":"m","lambda":0.1,"net":1,"slot":0,"backlog":0,"cum_arrivals":1,"cum_departures":1}"#,
+            r#"{"seq":6,"kind":"dyn_slot","policy":"p","model":"m","lambda":0.1,"net":1,"slot":50,"backlog":5,"cum_arrivals":9,"cum_departures":4}"#,
+            r#"{"seq":7,"kind":"dyn_net","policy":"p","model":"m","lambda":0.1,"net":1,"throughput_per_link":0.08,"mean_delay":2.5}"#,
+        ]
+        .join("\n");
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static NEXT: AtomicUsize = AtomicUsize::new(0);
+        let path = std::env::temp_dir().join(format!(
+            "rayfade_flame_test_{}_{}.jsonl",
+            std::process::id(),
+            NEXT.fetch_add(1, Ordering::Relaxed)
+        ));
+        fs::write(&path, journal).unwrap();
+        (trace, path)
+    }
+
+    #[test]
+    fn correlate_joins_positionally_and_ranks() {
+        let (trace, journal) = synthetic_pair();
+        let corr = correlate(&trace, &journal).unwrap();
+        assert_eq!(corr.replications.len(), 2);
+        assert_eq!(corr.slots.len(), 4);
+        assert_eq!(corr.replications[0].net, 0);
+        assert!((corr.replications[0].wall_ms - 0.025).abs() < 1e-9);
+        assert!((corr.replications[1].wall_ms - 0.035).abs() < 1e-9);
+        // Slot groups: [10,14]→4us, [20,26]→6us, [40,43]→3us, [50,59]→9us.
+        let slow = corr.slowest_slots(1);
+        assert_eq!((slow[0].net, slow[0].slot, slow[0].backlog), (1, 50, 5));
+        assert!((slow[0].wall_us - 9.0).abs() < 1e-9);
+        let reps = corr.slowest_replications(1);
+        assert_eq!(reps[0].net, 1);
+        let console = corr.to_console(2);
+        assert!(console.contains("slowest replications"), "{console}");
+        assert!(corr.slots_csv().contains("p,m,0.1,1,50,9,5"));
+        fs::remove_file(&journal).unwrap();
+    }
+
+    #[test]
+    fn correlate_refuses_lossy_and_mismatched_inputs() {
+        let (trace, journal) = synthetic_pair();
+        let lossy = trace.replace("\"dropped_spans\":0", "\"dropped_spans\":7");
+        assert!(correlate(&lossy, &journal).unwrap_err().contains("dropped"));
+        let multi = concat!(
+            r#"{"traceEvents":["#,
+            r#"{"name":"dynamic/replication","ph":"B","ts":0,"pid":1,"tid":1},"#,
+            r#"{"name":"dynamic/replication","ph":"E","ts":5,"pid":1,"tid":1},"#,
+            r#"{"name":"dynamic/replication","ph":"B","ts":0,"pid":1,"tid":2},"#,
+            r#"{"name":"dynamic/replication","ph":"E","ts":5,"pid":1,"tid":2}"#,
+            r#"],"displayTimeUnit":"ms","otherData":{"schema_version":1,"dropped_spans":0}}"#
+        );
+        let err = correlate(multi, &journal).unwrap_err();
+        assert!(err.contains("single-threaded"), "{err}");
+        // Truncate the journal: replication counts disagree.
+        let text = fs::read_to_string(&journal).unwrap();
+        let short: Vec<&str> = text.lines().take(5).collect();
+        fs::write(&journal, short.join("\n")).unwrap();
+        let err = correlate(&trace, &journal).unwrap_err();
+        assert!(err.contains("2 replication spans vs 1"), "{err}");
+        fs::remove_file(&journal).unwrap();
+    }
+
+    #[test]
+    fn flamegraph_renders_collapsed_lines() {
+        let (trace, journal) = synthetic_pair();
+        let flame = flamegraph_from_chrome(&trace).unwrap();
+        for line in flame.lines() {
+            let (stack, value) = line.rsplit_once(' ').expect("stack value");
+            assert!(!stack.is_empty());
+            assert!(value.parse::<u64>().unwrap() > 0);
+        }
+        assert!(
+            flame.contains("stability/cell;dynamic/replication;dynamic/transmission "),
+            "{flame}"
+        );
+        assert!(flamegraph_from_chrome("{}").is_err());
+        fs::remove_file(&journal).unwrap();
+    }
+}

@@ -1,0 +1,47 @@
+//! Post-hoc forensics over the artifacts a rayfade run leaves behind.
+//!
+//! Every experiment in this workspace is deterministic: journals are
+//! byte-identical across runs of the same build, perf baselines carry a
+//! config hash, and traces are exact Chrome Trace Event JSON. That
+//! determinism is only useful if the artifacts can be *interrogated*
+//! after the fact — this crate is the toolkit for doing so, consuming
+//! exactly the formats `rayfade-telemetry` produces and nothing else
+//! (zero dependencies beyond that crate, like the rest of the
+//! workspace).
+//!
+//! Four capabilities, one module each:
+//!
+//! - [`query`] — a constant-memory streaming query engine over JSONL
+//!   journals: filter by `kind` / `seq` range / cell (policy, model, λ)
+//!   / slot range, project fields to CSV, and derive per-cell backlog
+//!   timelines from `dyn_slot` records.
+//! - [`diff`] — structural cross-run diff with *first-divergence
+//!   attribution*: align two journals line-by-line (which is seq-by-seq
+//!   for well-formed journals), byte-compare on the fast path, and on
+//!   the first structural mismatch report the exact `seq`, `kind`, and
+//!   field-level JSON path that differs, with surrounding context.
+//! - [`perf`] — compare two `BENCH_perf.json` baselines (schema 2,
+//!   config-hash guarded), normalizing by each side's calibration
+//!   constant, and classify every workload and span delta against a
+//!   tolerance as regressed / improved / within noise.
+//! - [`flame`] — rebuild the span forest of a Chrome trace into
+//!   collapsed-stack flamegraph lines (inferno / `flamegraph.pl`
+//!   compatible), and join span intervals onto journal records to rank
+//!   the slowest replications and sampled slots of a run.
+//!
+//! The `inspect` binary in `rayfade-bench` fronts all four as
+//! subcommands; this crate holds the logic so it can be unit-tested and
+//! reused.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod diff;
+pub mod flame;
+pub mod perf;
+pub mod query;
+
+pub use diff::{diff_files, DiffReport, Divergence, FieldDiff};
+pub use flame::{collapsed_stacks, correlate, flamegraph_from_chrome, Correlation};
+pub use perf::{parse_perf, perf_diff, PerfBaseline, PerfDiff, Verdict, DEFAULT_TOLERANCE};
+pub use query::{derive_timeline, run_query, CellFilter, Query, RangeFilter, TimelineRow};

@@ -1,0 +1,610 @@
+//! Perf-baseline comparison (`BENCH_perf.json` schema 2).
+//!
+//! The pinned perf sentinel already guards CI against regressions on
+//! one machine; this module answers the offline question "what moved
+//! between these two baselines, and by how much?". Both files carry a
+//! `calibration_ns` constant (the spin-loop calibration measured on the
+//! machine that produced them), so comparisons are done on
+//! *calibration-normalized* times — `median_ns / calibration_ns` — the
+//! same machine-speed normalization the sentinel uses. A config-hash
+//! guard refuses to compare baselines produced by different workload
+//! matrices, where per-name comparison would be meaningless.
+//!
+//! Every workload (and every span within it) is classified against a
+//! relative tolerance: ratio above `1 + tol` is a regression, below
+//! `1 − tol` an improvement, otherwise noise. Only *workload-level*
+//! regressions fail the comparison; span rows are attribution detail.
+
+use rayfade_telemetry::Json;
+use std::fmt::Write as _;
+
+/// Default relative tolerance, matching the CI perf sentinel.
+pub const DEFAULT_TOLERANCE: f64 = 0.25;
+
+/// The schema version this module understands.
+pub const PERF_SCHEMA_VERSION: i64 = 2;
+
+/// One span's aggregate within a workload's traced run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanPerf {
+    /// Span name, e.g. `dynamic/replication`.
+    pub name: String,
+    /// Number of recorded spans.
+    pub count: i64,
+    /// Wall-clock nanoseconds summed over records.
+    pub total_ns: f64,
+    /// CPU-side nanoseconds summed over records.
+    pub cpu_ns: f64,
+}
+
+/// One workload's timings.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadPerf {
+    /// Workload name, e.g. `stability_slots`.
+    pub name: String,
+    /// Median untraced wall time (ns) over the repeat set.
+    pub median_ns: f64,
+    /// Wall time (ns) of the single traced run.
+    pub traced_wall_ns: f64,
+    /// Per-span aggregates from the traced run.
+    pub spans: Vec<SpanPerf>,
+}
+
+/// A parsed `BENCH_perf.json`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfBaseline {
+    /// Schema version (always [`PERF_SCHEMA_VERSION`]).
+    pub schema_version: i64,
+    /// FNV-1a hash of the workload matrix and thread count.
+    pub config_hash: String,
+    /// Worker threads the baseline was recorded with.
+    pub threads: i64,
+    /// Untraced repeats per workload.
+    pub repeats: i64,
+    /// Spin-loop calibration constant (ns) of the recording machine.
+    pub calibration_ns: f64,
+    /// Workloads in file order.
+    pub workloads: Vec<WorkloadPerf>,
+}
+
+fn num(obj: &Json, key: &str) -> Result<f64, String> {
+    obj.get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("missing numeric field {key:?}"))
+}
+
+/// Parses a `BENCH_perf.json` document, rejecting unknown schemas.
+pub fn parse_perf(text: &str) -> Result<PerfBaseline, String> {
+    let doc = Json::parse(text).map_err(|e| format!("perf baseline: {e}"))?;
+    let schema_version = doc
+        .get("schema_version")
+        .and_then(Json::as_i64)
+        .ok_or("missing schema_version")?;
+    if schema_version != PERF_SCHEMA_VERSION {
+        return Err(format!(
+            "unsupported perf schema {schema_version} (want {PERF_SCHEMA_VERSION})"
+        ));
+    }
+    let config_hash = doc
+        .get("config_hash")
+        .and_then(Json::as_str)
+        .ok_or("missing config_hash")?
+        .to_string();
+    let workloads_obj = match doc.get("workloads") {
+        Some(Json::Obj(fields)) => fields,
+        _ => return Err("missing workloads object".to_string()),
+    };
+    let mut workloads = Vec::new();
+    for (name, w) in workloads_obj {
+        let mut spans = Vec::new();
+        if let Some(Json::Obj(span_fields)) = w.get("spans") {
+            for (sname, s) in span_fields {
+                spans.push(SpanPerf {
+                    name: sname.clone(),
+                    count: s
+                        .get("count")
+                        .and_then(Json::as_i64)
+                        .ok_or_else(|| format!("span {sname:?}: missing count"))?,
+                    total_ns: num(s, "total_ns").map_err(|e| format!("span {sname:?}: {e}"))?,
+                    cpu_ns: num(s, "cpu_ns").map_err(|e| format!("span {sname:?}: {e}"))?,
+                });
+            }
+        }
+        workloads.push(WorkloadPerf {
+            name: name.clone(),
+            median_ns: num(w, "median_ns").map_err(|e| format!("workload {name:?}: {e}"))?,
+            traced_wall_ns: num(w, "traced_wall_ns")
+                .map_err(|e| format!("workload {name:?}: {e}"))?,
+            spans,
+        });
+    }
+    Ok(PerfBaseline {
+        schema_version,
+        config_hash,
+        threads: doc.get("threads").and_then(Json::as_i64).unwrap_or(0),
+        repeats: doc.get("repeats").and_then(Json::as_i64).unwrap_or(0),
+        calibration_ns: num(&doc, "calibration_ns")?,
+        workloads,
+    })
+}
+
+/// Classification of one timing ratio against the tolerance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Within tolerance of the baseline.
+    Ok,
+    /// Slower than `1 + tolerance` times the baseline.
+    Regressed,
+    /// Faster than `1 − tolerance` times the baseline.
+    Improved,
+    /// Present only in the current baseline.
+    Added,
+    /// Present only in the base baseline.
+    Removed,
+}
+
+impl Verdict {
+    /// Lower-case label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Verdict::Ok => "ok",
+            Verdict::Regressed => "REGRESSED",
+            Verdict::Improved => "improved",
+            Verdict::Added => "added",
+            Verdict::Removed => "removed",
+        }
+    }
+
+    fn classify(ratio: f64, tolerance: f64) -> Verdict {
+        if ratio > 1.0 + tolerance {
+            Verdict::Regressed
+        } else if ratio < 1.0 - tolerance {
+            Verdict::Improved
+        } else {
+            Verdict::Ok
+        }
+    }
+}
+
+/// One span's delta between baselines (calibration-normalized).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanDelta {
+    /// Span name.
+    pub name: String,
+    /// Normalized base total (`total_ns / base calibration_ns`), when
+    /// present in the base.
+    pub base_norm: Option<f64>,
+    /// Normalized current total, when present in the current baseline.
+    pub cur_norm: Option<f64>,
+    /// `cur_norm / base_norm`, when both sides are present.
+    pub ratio: Option<f64>,
+    /// Classification.
+    pub verdict: Verdict,
+}
+
+/// One workload's delta between baselines.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadDelta {
+    /// Workload name.
+    pub name: String,
+    /// Normalized base median, when present.
+    pub base_norm: Option<f64>,
+    /// Normalized current median, when present.
+    pub cur_norm: Option<f64>,
+    /// `cur_norm / base_norm`, when both sides are present.
+    pub ratio: Option<f64>,
+    /// Classification.
+    pub verdict: Verdict,
+    /// Span-level attribution detail.
+    pub spans: Vec<SpanDelta>,
+}
+
+/// The full comparison of two baselines.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfDiff {
+    /// Relative tolerance the verdicts were classified against.
+    pub tolerance: f64,
+    /// Shared config hash.
+    pub config_hash: String,
+    /// Per-workload deltas, in base-file order (added workloads last).
+    pub deltas: Vec<WorkloadDelta>,
+}
+
+impl PerfDiff {
+    /// Workload-level regressions.
+    pub fn regressions(&self) -> usize {
+        self.deltas
+            .iter()
+            .filter(|d| d.verdict == Verdict::Regressed)
+            .count()
+    }
+
+    /// Workload-level improvements.
+    pub fn improvements(&self) -> usize {
+        self.deltas
+            .iter()
+            .filter(|d| d.verdict == Verdict::Improved)
+            .count()
+    }
+
+    /// Whether no workload regressed.
+    pub fn clean(&self) -> bool {
+        self.regressions() == 0
+    }
+
+    /// Human-readable delta table.
+    pub fn to_console(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "perf-diff (config {}, tolerance \u{00b1}{:.0}%)",
+            self.config_hash,
+            self.tolerance * 100.0
+        );
+        let _ = writeln!(
+            out,
+            "  {:<28} {:>12} {:>12} {:>8}  verdict",
+            "workload/span", "base", "current", "ratio"
+        );
+        let fmt_norm = |v: Option<f64>| v.map_or("-".to_string(), |x| format!("{x:.5}"));
+        let fmt_ratio = |v: Option<f64>| v.map_or("-".to_string(), |x| format!("{x:.3}"));
+        for d in &self.deltas {
+            let _ = writeln!(
+                out,
+                "  {:<28} {:>12} {:>12} {:>8}  {}",
+                d.name,
+                fmt_norm(d.base_norm),
+                fmt_norm(d.cur_norm),
+                fmt_ratio(d.ratio),
+                d.verdict.label()
+            );
+            for s in &d.spans {
+                let _ = writeln!(
+                    out,
+                    "    {:<26} {:>12} {:>12} {:>8}  {}",
+                    s.name,
+                    fmt_norm(s.base_norm),
+                    fmt_norm(s.cur_norm),
+                    fmt_ratio(s.ratio),
+                    s.verdict.label()
+                );
+            }
+        }
+        let _ = writeln!(
+            out,
+            "  {} workloads: {} regressed, {} improved -> {}",
+            self.deltas.len(),
+            self.regressions(),
+            self.improvements(),
+            if self.clean() { "OK" } else { "REGRESSION" }
+        );
+        out
+    }
+
+    /// CSV rendering: one row per workload and per span.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("workload,span,base_norm,cur_norm,ratio,verdict\n");
+        let opt = |v: Option<f64>| v.map_or(String::new(), |x| format!("{x}"));
+        for d in &self.deltas {
+            let _ = writeln!(
+                out,
+                "{},,{},{},{},{}",
+                d.name,
+                opt(d.base_norm),
+                opt(d.cur_norm),
+                opt(d.ratio),
+                d.verdict.label()
+            );
+            for s in &d.spans {
+                let _ = writeln!(
+                    out,
+                    "{},{},{},{},{},{}",
+                    d.name,
+                    s.name,
+                    opt(s.base_norm),
+                    opt(s.cur_norm),
+                    opt(s.ratio),
+                    s.verdict.label()
+                );
+            }
+        }
+        out
+    }
+
+    /// Machine-readable verdict document.
+    pub fn to_json(&self) -> Json {
+        let workloads = self
+            .deltas
+            .iter()
+            .map(|d| {
+                let spans = d
+                    .spans
+                    .iter()
+                    .map(|s| {
+                        (
+                            s.name.clone(),
+                            Json::Obj(vec![
+                                ("ratio".to_string(), s.ratio.map_or(Json::Null, Json::Num)),
+                                (
+                                    "verdict".to_string(),
+                                    Json::Str(s.verdict.label().to_string()),
+                                ),
+                            ]),
+                        )
+                    })
+                    .collect();
+                (
+                    d.name.clone(),
+                    Json::Obj(vec![
+                        ("ratio".to_string(), d.ratio.map_or(Json::Null, Json::Num)),
+                        (
+                            "verdict".to_string(),
+                            Json::Str(d.verdict.label().to_string()),
+                        ),
+                        ("spans".to_string(), Json::Obj(spans)),
+                    ]),
+                )
+            })
+            .collect();
+        Json::Obj(vec![
+            ("schema_version".to_string(), Json::Num(1.0)),
+            ("tolerance".to_string(), Json::Num(self.tolerance)),
+            (
+                "config_hash".to_string(),
+                Json::Str(self.config_hash.clone()),
+            ),
+            (
+                "regressions".to_string(),
+                Json::Num(self.regressions() as f64),
+            ),
+            (
+                "improvements".to_string(),
+                Json::Num(self.improvements() as f64),
+            ),
+            (
+                "verdict".to_string(),
+                Json::Str(if self.clean() { "ok" } else { "regression" }.to_string()),
+            ),
+            ("workloads".to_string(), Json::Obj(workloads)),
+        ])
+    }
+}
+
+/// Compares `cur` against `base` under `tolerance`. Fails when the
+/// schemas differ or the config hashes do not match (different workload
+/// matrices are not comparable name-by-name).
+pub fn perf_diff(
+    base: &PerfBaseline,
+    cur: &PerfBaseline,
+    tolerance: f64,
+) -> Result<PerfDiff, String> {
+    if base.config_hash != cur.config_hash {
+        return Err(format!(
+            "config hash mismatch: base {} vs current {} — baselines cover different workload matrices",
+            base.config_hash, cur.config_hash
+        ));
+    }
+    if base.calibration_ns <= 0.0 || cur.calibration_ns <= 0.0 {
+        return Err("non-positive calibration_ns".to_string());
+    }
+    let mut deltas = Vec::new();
+    for bw in &base.workloads {
+        let cw = cur.workloads.iter().find(|w| w.name == bw.name);
+        deltas.push(workload_delta(Some(bw), cw, base, cur, tolerance));
+    }
+    for cw in &cur.workloads {
+        if !base.workloads.iter().any(|w| w.name == cw.name) {
+            deltas.push(workload_delta(None, Some(cw), base, cur, tolerance));
+        }
+    }
+    Ok(PerfDiff {
+        tolerance,
+        config_hash: base.config_hash.clone(),
+        deltas,
+    })
+}
+
+fn workload_delta(
+    base: Option<&WorkloadPerf>,
+    cur: Option<&WorkloadPerf>,
+    base_file: &PerfBaseline,
+    cur_file: &PerfBaseline,
+    tolerance: f64,
+) -> WorkloadDelta {
+    let base_norm = base.map(|w| w.median_ns / base_file.calibration_ns);
+    let cur_norm = cur.map(|w| w.median_ns / cur_file.calibration_ns);
+    let (ratio, verdict) = ratio_verdict(base_norm, cur_norm, tolerance);
+    let mut spans = Vec::new();
+    let base_spans = base.map(|w| w.spans.as_slice()).unwrap_or(&[]);
+    let cur_spans = cur.map(|w| w.spans.as_slice()).unwrap_or(&[]);
+    for bs in base_spans {
+        let cs = cur_spans.iter().find(|s| s.name == bs.name);
+        spans.push(span_delta(Some(bs), cs, base_file, cur_file, tolerance));
+    }
+    for cs in cur_spans {
+        if !base_spans.iter().any(|s| s.name == cs.name) {
+            spans.push(span_delta(None, Some(cs), base_file, cur_file, tolerance));
+        }
+    }
+    WorkloadDelta {
+        name: base.or(cur).map(|w| w.name.clone()).unwrap_or_default(),
+        base_norm,
+        cur_norm,
+        ratio,
+        verdict,
+        spans,
+    }
+}
+
+fn span_delta(
+    base: Option<&SpanPerf>,
+    cur: Option<&SpanPerf>,
+    base_file: &PerfBaseline,
+    cur_file: &PerfBaseline,
+    tolerance: f64,
+) -> SpanDelta {
+    let base_norm = base.map(|s| s.total_ns / base_file.calibration_ns);
+    let cur_norm = cur.map(|s| s.total_ns / cur_file.calibration_ns);
+    let (ratio, verdict) = ratio_verdict(base_norm, cur_norm, tolerance);
+    SpanDelta {
+        name: base.or(cur).map(|s| s.name.clone()).unwrap_or_default(),
+        base_norm,
+        cur_norm,
+        ratio,
+        verdict,
+    }
+}
+
+fn ratio_verdict(
+    base_norm: Option<f64>,
+    cur_norm: Option<f64>,
+    tolerance: f64,
+) -> (Option<f64>, Verdict) {
+    match (base_norm, cur_norm) {
+        (Some(b), Some(c)) if b > 0.0 => {
+            let ratio = c / b;
+            (Some(ratio), Verdict::classify(ratio, tolerance))
+        }
+        (Some(_), Some(_)) => (None, Verdict::Ok),
+        (None, Some(_)) => (None, Verdict::Added),
+        (Some(_), None) => (None, Verdict::Removed),
+        (None, None) => (None, Verdict::Ok),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn baseline(calibration: f64, medians: &[(&str, f64)]) -> PerfBaseline {
+        PerfBaseline {
+            schema_version: PERF_SCHEMA_VERSION,
+            config_hash: "cafebabe".to_string(),
+            threads: 4,
+            repeats: 15,
+            calibration_ns: calibration,
+            workloads: medians
+                .iter()
+                .map(|(name, median_ns)| WorkloadPerf {
+                    name: name.to_string(),
+                    median_ns: *median_ns,
+                    traced_wall_ns: *median_ns * 1.5,
+                    spans: vec![SpanPerf {
+                        name: "phase/a".to_string(),
+                        count: 4,
+                        total_ns: *median_ns / 2.0,
+                        cpu_ns: *median_ns,
+                    }],
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn parse_rejects_wrong_schema_and_missing_fields() {
+        assert!(parse_perf("{\"schema_version\":1}")
+            .unwrap_err()
+            .contains("schema"));
+        assert!(parse_perf("not json").is_err());
+        assert!(parse_perf("{\"schema_version\":2,\"config_hash\":\"x\"}")
+            .unwrap_err()
+            .contains("workloads"));
+    }
+
+    #[test]
+    fn parse_reads_the_committed_shape() {
+        let text = r#"{"schema_version":2,"config_hash":"abc","threads":4,"repeats":15,
+            "calibration_ns":1000,"workloads":{"w":{"median_ns":500,"traced_wall_ns":700,
+            "spans":{"s":{"count":2,"total_ns":300,"cpu_ns":600}}}}}"#;
+        let b = parse_perf(text).unwrap();
+        assert_eq!(b.config_hash, "abc");
+        assert_eq!(b.workloads.len(), 1);
+        assert_eq!(b.workloads[0].spans[0].count, 2);
+    }
+
+    #[test]
+    fn self_diff_is_exactly_clean() {
+        let b = baseline(1000.0, &[("w1", 500.0), ("w2", 900.0)]);
+        let diff = perf_diff(&b, &b, DEFAULT_TOLERANCE).unwrap();
+        assert!(diff.clean());
+        assert_eq!(diff.regressions(), 0);
+        assert_eq!(diff.improvements(), 0);
+        for d in &diff.deltas {
+            assert_eq!(d.ratio, Some(1.0));
+            assert_eq!(d.verdict, Verdict::Ok);
+        }
+    }
+
+    #[test]
+    fn calibration_normalization_cancels_machine_speed() {
+        // Same workload is 2x slower in raw ns on a machine whose
+        // calibration constant is also 2x larger: not a regression.
+        let base = baseline(1000.0, &[("w", 500.0)]);
+        let cur = baseline(2000.0, &[("w", 1000.0)]);
+        let diff = perf_diff(&base, &cur, 0.05).unwrap();
+        assert_eq!(diff.deltas[0].ratio, Some(1.0));
+        assert_eq!(diff.deltas[0].verdict, Verdict::Ok);
+    }
+
+    #[test]
+    fn regressions_and_improvements_classify_against_tolerance() {
+        let base = baseline(1000.0, &[("slow", 500.0), ("fast", 500.0), ("same", 500.0)]);
+        let mut cur = baseline(1000.0, &[("slow", 700.0), ("fast", 300.0), ("same", 510.0)]);
+        cur.workloads[0].spans[0].total_ns = 900.0;
+        let diff = perf_diff(&base, &cur, DEFAULT_TOLERANCE).unwrap();
+        assert_eq!(diff.regressions(), 1);
+        assert_eq!(diff.improvements(), 1);
+        assert!(!diff.clean());
+        assert_eq!(diff.deltas[0].verdict, Verdict::Regressed);
+        assert_eq!(diff.deltas[0].spans[0].verdict, Verdict::Regressed);
+        assert_eq!(diff.deltas[1].verdict, Verdict::Improved);
+        assert_eq!(diff.deltas[2].verdict, Verdict::Ok);
+        let console = diff.to_console();
+        assert!(console.contains("REGRESSION"), "{console}");
+        let csv = diff.to_csv();
+        assert!(csv.lines().count() > 4);
+    }
+
+    #[test]
+    fn config_hash_mismatch_is_refused() {
+        let base = baseline(1000.0, &[("w", 500.0)]);
+        let mut cur = base.clone();
+        cur.config_hash = "deadbeef".to_string();
+        assert!(perf_diff(&base, &cur, 0.25)
+            .unwrap_err()
+            .contains("config hash"));
+    }
+
+    #[test]
+    fn added_and_removed_workloads_are_reported_not_fatal() {
+        // Same config hash but asymmetric names (possible across
+        // schema-compatible edits): report as added/removed.
+        let base = baseline(1000.0, &[("old", 500.0), ("both", 500.0)]);
+        let cur = baseline(1000.0, &[("both", 500.0), ("new", 400.0)]);
+        let diff = perf_diff(&base, &cur, 0.25).unwrap();
+        let verdicts: Vec<(&str, Verdict)> = diff
+            .deltas
+            .iter()
+            .map(|d| (d.name.as_str(), d.verdict))
+            .collect();
+        assert_eq!(
+            verdicts,
+            vec![
+                ("old", Verdict::Removed),
+                ("both", Verdict::Ok),
+                ("new", Verdict::Added)
+            ]
+        );
+        assert!(diff.clean());
+    }
+
+    #[test]
+    fn json_verdict_is_parseable_and_complete() {
+        let b = baseline(1000.0, &[("w", 500.0)]);
+        let diff = perf_diff(&b, &b, 0.25).unwrap();
+        let doc = Json::parse(&diff.to_json().to_string()).unwrap();
+        assert_eq!(doc.get("verdict").and_then(Json::as_str), Some("ok"));
+        assert_eq!(doc.get("regressions").and_then(Json::as_i64), Some(0));
+        assert!(doc.get("workloads").unwrap().get("w").is_some());
+    }
+}

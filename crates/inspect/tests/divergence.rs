@@ -1,0 +1,94 @@
+//! Golden-pair divergence tests: synthetic journal pairs with a known
+//! single-field difference must be attributed to exactly that seq and
+//! JSON path, and identical pairs must report byte-identical.
+
+use rayfade_inspect::{diff_files, Divergence};
+use std::fs;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static NEXT: AtomicUsize = AtomicUsize::new(0);
+
+fn write_pair(left: &str, right: &str) -> (PathBuf, PathBuf) {
+    let id = NEXT.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir();
+    let a = dir.join(format!("rayfade_div_{}_{id}_a.jsonl", std::process::id()));
+    let b = dir.join(format!("rayfade_div_{}_{id}_b.jsonl", std::process::id()));
+    fs::write(&a, left).unwrap();
+    fs::write(&b, right).unwrap();
+    (a, b)
+}
+
+/// A small but structurally faithful journal: schema header, run
+/// header, slot records, and a net summary.
+fn golden_journal() -> String {
+    [
+        r#"{"seq":0,"kind":"schema","schema_version":2}"#,
+        r#"{"seq":1,"kind":"dyn_run","policy":"max_weight","model":"rayleigh","lambda":0.04,"links":10,"networks":1,"slots":100,"sample_every":50,"seed":"0x8ea1","config_hash":"0123456789abcdef"}"#,
+        r#"{"seq":2,"kind":"dyn_slot","policy":"max_weight","model":"rayleigh","lambda":0.04,"net":0,"slot":0,"backlog":0,"cum_arrivals":1,"cum_departures":1}"#,
+        r#"{"seq":3,"kind":"dyn_slot","policy":"max_weight","model":"rayleigh","lambda":0.04,"net":0,"slot":50,"backlog":2,"cum_arrivals":23,"cum_departures":21}"#,
+        r#"{"seq":4,"kind":"dyn_net","policy":"max_weight","model":"rayleigh","lambda":0.04,"net":0,"throughput_per_link":0.0405,"offered_per_link":0.0405,"final_backlog_per_link":0.1,"mean_delay":1.71,"p95_delay":4}"#,
+    ]
+    .join("\n")
+        + "\n"
+}
+
+#[test]
+fn byte_identical_pair_reports_identical() {
+    let journal = golden_journal();
+    let (a, b) = write_pair(&journal, &journal);
+    let report = diff_files(&a, &b).unwrap();
+    assert!(report.byte_identical);
+    assert!(report.identical());
+    assert_eq!(report.lines_compared, 5);
+    assert!(report.to_console("a", "b").contains("byte-identical"));
+    fs::remove_file(a).unwrap();
+    fs::remove_file(b).unwrap();
+}
+
+#[test]
+fn single_field_golden_divergence_is_fully_attributed() {
+    let left = golden_journal();
+    // One field of one record changed: seq=3's backlog 2 -> 3.
+    let right = left.replace(r#""slot":50,"backlog":2"#, r#""slot":50,"backlog":3"#);
+    assert_ne!(left, right, "replacement must hit");
+    let (a, b) = write_pair(&left, &right);
+    let report = diff_files(&a, &b).unwrap();
+    assert!(!report.byte_identical);
+    let d: Divergence = report.divergence.clone().expect("must diverge");
+    assert_eq!(d.line, 4);
+    assert_eq!(d.seq, Some(3), "exact seq of the corrupted record");
+    assert_eq!(d.kind.as_deref(), Some("dyn_slot"));
+    assert_eq!(
+        d.fields.len(),
+        1,
+        "exactly one field differs: {:?}",
+        d.fields
+    );
+    assert_eq!(d.fields[0].path, "dyn_slot.backlog");
+    assert_eq!(d.fields[0].left.as_deref(), Some("2"));
+    assert_eq!(d.fields[0].right.as_deref(), Some("3"));
+    assert_eq!(d.context.len(), 3, "full context window before line 4");
+    let console = report.to_console("a", "b");
+    assert!(
+        console.contains("seq=3 dyn_slot.backlog: 2 \u{2260} 3"),
+        "{console}"
+    );
+    fs::remove_file(a).unwrap();
+    fs::remove_file(b).unwrap();
+}
+
+#[test]
+fn divergence_in_the_header_has_an_empty_context_window() {
+    let left = golden_journal();
+    let right = left.replace(r#""schema_version":2"#, r#""schema_version":3"#);
+    let (a, b) = write_pair(&left, &right);
+    let d = diff_files(&a, &b).unwrap().divergence.unwrap();
+    assert_eq!(d.line, 1);
+    assert_eq!(d.seq, Some(0));
+    assert_eq!(d.kind.as_deref(), Some("schema"));
+    assert_eq!(d.fields[0].path, "schema.schema_version");
+    assert!(d.context.is_empty());
+    fs::remove_file(a).unwrap();
+    fs::remove_file(b).unwrap();
+}

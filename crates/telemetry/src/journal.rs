@@ -176,25 +176,81 @@ impl Event<'_> {
     }
 }
 
+/// A constant-memory streaming reader over a JSONL journal.
+///
+/// Iterates one parsed [`Json`] event per line without ever holding the
+/// whole file in memory — the committed full-run journals are tens of
+/// thousands of lines, and consumers like `telemetry_lint` or the
+/// `rayfade-inspect` query engine only need one event at a time. Blank
+/// lines are skipped; a malformed line yields an `InvalidData` error
+/// naming the 1-based line number (iteration can continue past it, but
+/// journal writers never emit such lines).
+///
+/// ```
+/// let dir = std::env::temp_dir().join("rayfade-telemetry-doc-reader");
+/// std::fs::create_dir_all(&dir).unwrap();
+/// let path = dir.join("stream.jsonl");
+/// std::fs::write(&path, "{\"seq\":0,\"kind\":\"schema\"}\n\n{\"seq\":1,\"kind\":\"x\"}\n").unwrap();
+///
+/// let mut kinds = Vec::new();
+/// for event in rayfade_telemetry::JournalReader::open(&path).unwrap() {
+///     let event = event.unwrap();
+///     kinds.push(event.get("kind").and_then(|k| k.as_str()).unwrap().to_string());
+/// }
+/// assert_eq!(kinds, ["schema", "x"]);
+/// ```
+#[derive(Debug)]
+pub struct JournalReader {
+    lines: io::Lines<BufReader<File>>,
+    lineno: usize,
+}
+
+impl JournalReader {
+    /// Opens `path` for streaming.
+    pub fn open<P: AsRef<Path>>(path: P) -> io::Result<JournalReader> {
+        Ok(JournalReader {
+            lines: BufReader::new(File::open(path)?).lines(),
+            lineno: 0,
+        })
+    }
+
+    /// The 1-based line number of the most recently yielded line
+    /// (0 before the first call to `next`).
+    pub fn lineno(&self) -> usize {
+        self.lineno
+    }
+}
+
+impl Iterator for JournalReader {
+    type Item = io::Result<Json>;
+
+    fn next(&mut self) -> Option<io::Result<Json>> {
+        loop {
+            let line = match self.lines.next()? {
+                Ok(line) => line,
+                Err(e) => return Some(Err(e)),
+            };
+            self.lineno += 1;
+            if line.trim().is_empty() {
+                continue;
+            }
+            return Some(Json::parse(&line).map_err(|e| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("line {}: {e}", self.lineno),
+                )
+            }));
+        }
+    }
+}
+
 /// Reads every line of a JSONL file as a [`Json`] value (blank lines
 /// skipped; a malformed line is an `InvalidData` error naming the line).
+///
+/// Convenience eager form of [`JournalReader`] for small journals and
+/// tests; prefer the streaming reader when the journal may be large.
 pub fn read_jsonl<P: AsRef<Path>>(path: P) -> io::Result<Vec<Json>> {
-    let reader = BufReader::new(File::open(path)?);
-    let mut events = Vec::new();
-    for (lineno, line) in reader.lines().enumerate() {
-        let line = line?;
-        if line.trim().is_empty() {
-            continue;
-        }
-        let value = Json::parse(&line).map_err(|e| {
-            io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("line {}: {e}", lineno + 1),
-            )
-        })?;
-        events.push(value);
-    }
-    Ok(events)
+    JournalReader::open(path)?.collect()
 }
 
 #[cfg(test)]
@@ -271,6 +327,60 @@ mod tests {
         let err = read_jsonl(&path).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
         assert!(err.to_string().contains("line 2"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn streaming_reader_matches_eager_load_and_tracks_lines() {
+        let path = temp_path("streaming");
+        let journal = Journal::create(&path).unwrap();
+        for slot in 0..32 {
+            journal.event("slot").int("slot", slot).write();
+        }
+        drop(journal);
+
+        let eager = read_jsonl(&path).unwrap();
+        let mut reader = JournalReader::open(&path).unwrap();
+        assert_eq!(reader.lineno(), 0);
+        let mut streamed = Vec::new();
+        for ev in reader.by_ref() {
+            streamed.push(ev.unwrap());
+        }
+        assert_eq!(streamed, eager);
+        assert_eq!(reader.lineno(), 33, "schema header plus 32 events");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn streaming_reader_skips_blank_lines_and_can_continue_past_errors() {
+        let path = temp_path("streaming-blank");
+        std::fs::write(
+            &path,
+            "{\"seq\":0,\"kind\":\"a\"}\n\n   \nbroken\n{\"seq\":1,\"kind\":\"b\"}\n",
+        )
+        .unwrap();
+        let mut reader = JournalReader::open(&path).unwrap();
+        assert_eq!(
+            reader
+                .next()
+                .unwrap()
+                .unwrap()
+                .get("kind")
+                .and_then(Json::as_str),
+            Some("a")
+        );
+        let err = reader.next().unwrap().unwrap_err();
+        assert!(err.to_string().contains("line 4"), "{err}");
+        assert_eq!(
+            reader
+                .next()
+                .unwrap()
+                .unwrap()
+                .get("kind")
+                .and_then(Json::as_str),
+            Some("b")
+        );
+        assert!(reader.next().is_none());
         std::fs::remove_file(&path).ok();
     }
 }

@@ -4,10 +4,26 @@
 //! lean on `serde_json`; this module is the homegrown replacement. It
 //! supports exactly the JSON the [`crate::Journal`] emits — objects,
 //! arrays, strings, finite numbers, booleans, null — and parses any
-//! RFC 8259 document (with `\uXXXX` escapes, surrogate pairs excluded)
-//! so journals round-trip through [`Json::parse`] bit-faithfully.
+//! RFC 8259 document (including `\uXXXX` escapes and UTF-16 surrogate
+//! pairs) so journals round-trip through [`Json::parse`] bit-faithfully.
+//!
+//! Hardening choices, since the parser also consumes artifacts that may
+//! not have been written by this crate:
+//!
+//! * Nesting deeper than [`MAX_DEPTH`] is rejected with a parse error
+//!   instead of overflowing the stack on adversarial input like
+//!   `[[[[…`.
+//! * Duplicate object keys are retained in document order by the value
+//!   type (so serialization is bit-faithful), but lookup via
+//!   [`Json::get`] is **last-wins** — the same rule as `serde_json` and
+//!   most RFC 8259 consumers.
 
 use std::fmt;
+
+/// Maximum array/object nesting depth the parser accepts. Journal events
+/// nest two or three levels; 128 is far beyond anything legitimate while
+/// keeping adversarial `[[[[…` inputs from overflowing the call stack.
+pub const MAX_DEPTH: usize = 128;
 
 /// A JSON value.
 #[derive(Debug, Clone, PartialEq)]
@@ -23,15 +39,18 @@ pub enum Json {
     /// An array.
     Arr(Vec<Json>),
     /// An object, in insertion order (order is preserved so serialized
-    /// journals are deterministic).
+    /// journals are deterministic). Duplicate keys are kept as parsed;
+    /// [`Json::get`] resolves them last-wins.
     Obj(Vec<(String, Json)>),
 }
 
 impl Json {
-    /// Looks up `key` in an object (`None` for other variants).
+    /// Looks up `key` in an object (`None` for other variants). When the
+    /// object carries duplicate keys the **last** occurrence wins, per
+    /// the de-facto RFC 8259 consumer convention.
     pub fn get(&self, key: &str) -> Option<&Json> {
         match self {
-            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            Json::Obj(fields) => fields.iter().rev().find(|(k, _)| k == key).map(|(_, v)| v),
             _ => None,
         }
     }
@@ -74,7 +93,11 @@ impl Json {
     /// garbage rejected).
     pub fn parse(text: &str) -> Result<Json, JsonError> {
         let bytes = text.as_bytes();
-        let mut p = Parser { bytes, pos: 0 };
+        let mut p = Parser {
+            bytes,
+            pos: 0,
+            depth: 0,
+        };
         p.skip_ws();
         let value = p.value()?;
         p.skip_ws();
@@ -173,6 +196,8 @@ impl std::error::Error for JsonError {}
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    /// Current array/object nesting depth (guarded by [`MAX_DEPTH`]).
+    depth: usize,
 }
 
 impl Parser<'_> {
@@ -225,12 +250,24 @@ impl Parser<'_> {
         }
     }
 
+    /// Bumps the nesting depth (failing past [`MAX_DEPTH`]); callers
+    /// decrement on the way out.
+    fn descend(&mut self) -> Result<(), JsonError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(self.err(&format!("nesting deeper than {MAX_DEPTH} levels")));
+        }
+        Ok(())
+    }
+
     fn array(&mut self) -> Result<Json, JsonError> {
         self.expect(b'[')?;
+        self.descend()?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Arr(items));
         }
         loop {
@@ -241,6 +278,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Arr(items));
                 }
                 _ => return Err(self.err("expected ',' or ']'")),
@@ -250,10 +288,12 @@ impl Parser<'_> {
 
     fn object(&mut self) -> Result<Json, JsonError> {
         self.expect(b'{')?;
+        self.descend()?;
         let mut fields = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Obj(fields));
         }
         loop {
@@ -269,6 +309,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Obj(fields));
                 }
                 _ => return Err(self.err("expected ',' or '}'")),
@@ -311,18 +352,41 @@ impl Parser<'_> {
                         b'r' => out.push('\r'),
                         b't' => out.push('\t'),
                         b'u' => {
-                            let hex = self
-                                .bytes
-                                .get(self.pos..self.pos + 4)
-                                .and_then(|h| std::str::from_utf8(h).ok())
-                                .ok_or_else(|| self.err("truncated \\u escape"))?;
-                            let code = u32::from_str_radix(hex, 16)
-                                .map_err(|_| self.err("invalid \\u escape"))?;
-                            self.pos += 4;
-                            out.push(
-                                char::from_u32(code)
-                                    .ok_or_else(|| self.err("\\u escape is not a scalar value"))?,
-                            );
+                            let unit = self.hex_unit()?;
+                            match unit {
+                                // High surrogate: a low surrogate escape
+                                // must follow; the pair combines into one
+                                // supplementary-plane scalar (RFC 8259
+                                // §7 / UTF-16 decoding).
+                                0xD800..=0xDBFF => {
+                                    if self.peek() != Some(b'\\') {
+                                        return Err(self.err("high surrogate not followed by \\u"));
+                                    }
+                                    self.pos += 1;
+                                    if self.peek() != Some(b'u') {
+                                        return Err(self.err("high surrogate not followed by \\u"));
+                                    }
+                                    self.pos += 1;
+                                    let low = self.hex_unit()?;
+                                    if !(0xDC00..=0xDFFF).contains(&low) {
+                                        return Err(
+                                            self.err("high surrogate followed by a non-low unit")
+                                        );
+                                    }
+                                    let code = 0x10000 + ((unit - 0xD800) << 10) + (low - 0xDC00);
+                                    out.push(
+                                        char::from_u32(code).expect(
+                                            "combined surrogate pair is a valid scalar value",
+                                        ),
+                                    );
+                                }
+                                0xDC00..=0xDFFF => {
+                                    return Err(self.err("lone low surrogate"));
+                                }
+                                _ => out.push(
+                                    char::from_u32(unit).expect("BMP non-surrogate is a scalar"),
+                                ),
+                            }
                         }
                         _ => return Err(self.err("unknown escape")),
                     }
@@ -331,6 +395,19 @@ impl Parser<'_> {
                 None => return Err(self.err("unterminated string")),
             }
         }
+    }
+
+    /// Parses the four hex digits of a `\uXXXX` escape (the `\u` itself
+    /// already consumed) into a UTF-16 code unit.
+    fn hex_unit(&mut self) -> Result<u32, JsonError> {
+        let hex = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .and_then(|h| std::str::from_utf8(h).ok())
+            .ok_or_else(|| self.err("truncated \\u escape"))?;
+        let unit = u32::from_str_radix(hex, 16).map_err(|_| self.err("invalid \\u escape"))?;
+        self.pos += 4;
+        Ok(unit)
     }
 
     fn number(&mut self) -> Result<Json, JsonError> {
@@ -416,5 +493,61 @@ mod tests {
         assert!(Json::parse("[1,2,]").is_err());
         assert!(Json::parse("1 2").is_err(), "trailing garbage rejected");
         assert!(Json::parse("").is_err());
+    }
+
+    #[test]
+    fn surrogate_pairs_decode_and_lone_surrogates_fail() {
+        assert_eq!(
+            Json::parse("\"\\ud83d\\ude00\"").unwrap().as_str(),
+            Some("\u{1F600}")
+        );
+        assert_eq!(
+            Json::parse("\"\\uD834\\uDD1E\"").unwrap().as_str(),
+            Some("\u{1D11E}"),
+            "musical G clef (upper-case hex), the RFC 8259 example"
+        );
+        // A decoded pair re-serializes as the literal character and
+        // round-trips.
+        let v = Json::parse("\"x\\ud83d\\ude00y\"").unwrap();
+        assert_eq!(v.as_str(), Some("x\u{1F600}y"));
+        assert_eq!(Json::parse(&v.to_string()).unwrap(), v);
+        for bad in [
+            r#""\ud83d""#,       // lone high at end of string
+            r#""\ud83dxx""#,     // high followed by plain chars
+            r#""\ud83d\n""#,     // high followed by a non-\u escape
+            r#""\ud83d\ud83d""#, // high followed by another high
+            r#""\ude00""#,       // lone low
+            r#""\ud83dA""#,      // high followed by a BMP unit
+        ] {
+            assert!(Json::parse(bad).is_err(), "{bad} should be rejected");
+        }
+    }
+
+    #[test]
+    fn nesting_past_max_depth_is_rejected_not_overflowed() {
+        let ok = format!("{}1{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        assert!(Json::parse(&ok).is_ok(), "exactly MAX_DEPTH levels parse");
+        let too_deep = format!(
+            "{}1{}",
+            "[".repeat(MAX_DEPTH + 1),
+            "]".repeat(MAX_DEPTH + 1)
+        );
+        let err = Json::parse(&too_deep).unwrap_err();
+        assert!(err.message.contains("nesting"), "{err}");
+        // Unclosed deep nesting must also fail via the guard, not the
+        // stack: this is the actual adversarial shape (no closers).
+        let adversarial = "[".repeat(100_000);
+        assert!(Json::parse(&adversarial).is_err());
+        let mixed = "{\"a\":[".repeat(MAX_DEPTH);
+        assert!(Json::parse(&mixed).is_err(), "objects count toward depth");
+    }
+
+    #[test]
+    fn duplicate_keys_parse_and_resolve_last_wins() {
+        let v = Json::parse(r#"{"a":1,"b":2,"a":3}"#).unwrap();
+        assert_eq!(v.get("a").and_then(Json::as_i64), Some(3), "last wins");
+        assert_eq!(v.get("b").and_then(Json::as_i64), Some(2));
+        // Serialization keeps the document order bit-faithfully.
+        assert_eq!(v.to_string(), r#"{"a":1,"b":2,"a":3}"#);
     }
 }

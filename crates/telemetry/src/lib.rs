@@ -12,7 +12,8 @@
 //!   histograms ([`timer`]).
 //! - [`Journal`] — append-only JSONL event logs with monotone sequence
 //!   numbers instead of wall-clock timestamps, so deterministic runs
-//!   produce byte-identical journals ([`journal`]).
+//!   produce byte-identical journals — and [`JournalReader`], the
+//!   constant-memory streaming consumer ([`journal`]).
 //! - [`Json`] — the minimal JSON value/parser backing the journal
 //!   ([`json`]).
 //! - [`Tracer`] — hierarchical RAII spans in per-thread ring buffers,
@@ -52,8 +53,8 @@ pub mod trace;
 use std::io;
 use std::path::Path;
 
-pub use journal::{read_jsonl, Event, Journal, SCHEMA_VERSION};
-pub use json::{Json, JsonError};
+pub use journal::{read_jsonl, Event, Journal, JournalReader, SCHEMA_VERSION};
+pub use json::{Json, JsonError, MAX_DEPTH};
 pub use metrics::{Counter, Gauge, Histogram, HISTOGRAM_BUCKETS};
 pub use monitor::{
     DelaySloTracker, HealthMonitor, HealthReport, HealthVerdict, MonitorConfig, QueueDriftDetector,

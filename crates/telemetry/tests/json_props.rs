@@ -1,0 +1,166 @@
+//! Property and adversarial-input tests for the homegrown JSON parser:
+//! arbitrary documents round-trip bit-faithfully through
+//! serialize→parse, and hostile inputs (deep nesting, lone surrogates,
+//! truncated escapes) fail cleanly with an error instead of panicking
+//! or overflowing the stack.
+
+use proptest::prelude::*;
+use rayfade_telemetry::{Json, MAX_DEPTH};
+
+/// SplitMix64 step — a tiny local PRNG so the generator below can derive
+/// a whole document from one seed drawn by the proptest strategy.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A random string mixing plain ASCII, characters the serializer must
+/// escape, and non-BMP scalars (which exercise the surrogate-pair path
+/// when a parsed document is re-parsed from its serialized form).
+fn arb_string(state: &mut u64) -> String {
+    let len = (splitmix(state) % 8) as usize;
+    (0..len)
+        .map(|_| {
+            const POOL: &[char] = &[
+                'a',
+                'Z',
+                '0',
+                ' ',
+                '"',
+                '\\',
+                '\n',
+                '\r',
+                '\t',
+                '\u{1}',
+                '\u{1f}',
+                '√',
+                'é',
+                '\u{1F600}',
+                '\u{1D11E}',
+                '\u{10FFFF}',
+            ];
+            POOL[(splitmix(state) % POOL.len() as u64) as usize]
+        })
+        .collect()
+}
+
+/// A random finite number: mixed integers (exact up to 2^53) and
+/// shortest-round-trip floats.
+fn arb_num(state: &mut u64) -> f64 {
+    match splitmix(state) % 3 {
+        0 => (splitmix(state) as i64 % 1_000_000) as f64,
+        1 => f64::from_bits(0x3FF0_0000_0000_0000 | (splitmix(state) >> 12)),
+        _ => {
+            let mantissa = (splitmix(state) % 1_000_000) as f64 / 1_000.0;
+            let exp = (splitmix(state) % 40) as i32 - 20;
+            mantissa * 10f64.powi(exp)
+        }
+    }
+}
+
+/// Builds a random JSON document of bounded depth/width from one seed.
+fn arb_json(state: &mut u64, depth: usize) -> Json {
+    let variants = if depth == 0 { 4 } else { 6 };
+    match splitmix(state) % variants {
+        0 => Json::Null,
+        1 => Json::Bool(splitmix(state) % 2 == 0),
+        2 => Json::Num(arb_num(state)),
+        3 => Json::Str(arb_string(state)),
+        4 => {
+            let len = (splitmix(state) % 4) as usize;
+            Json::Arr((0..len).map(|_| arb_json(state, depth - 1)).collect())
+        }
+        _ => {
+            let len = (splitmix(state) % 4) as usize;
+            Json::Obj(
+                (0..len)
+                    .map(|_| (arb_string(state), arb_json(state, depth - 1)))
+                    .collect(),
+            )
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn serialized_documents_reparse_to_the_same_value(seed in any::<u64>()) {
+        let mut state = seed;
+        let doc = arb_json(&mut state, 4);
+        let text = doc.to_string();
+        let back = Json::parse(&text).unwrap_or_else(|e| panic!("reparse of {text:?}: {e}"));
+        prop_assert_eq!(&back, &doc, "{}", text);
+        // Serialization is a fixed point: parse∘serialize is idempotent.
+        prop_assert_eq!(back.to_string(), text);
+    }
+
+    #[test]
+    fn random_byte_soup_never_panics(seed in any::<u64>()) {
+        let mut state = seed;
+        let len = (splitmix(&mut state) % 64) as usize;
+        let soup: String = (0..len)
+            .map(|_| {
+                // Printable-ish ASCII plus JSON structural characters,
+                // heavily weighted toward the latter.
+                const POOL: &[u8] = b"{}[]\",:\\ud0123456789.eE+-truefalsn ";
+                POOL[(splitmix(&mut state) % POOL.len() as u64) as usize] as char
+            })
+            .collect();
+        // Must return Ok or Err; never panic, never overflow.
+        let _ = Json::parse(&soup);
+    }
+}
+
+#[test]
+fn escaped_and_literal_forms_parse_identically() {
+    // The same scalar written as a literal char and as \uXXXX escapes
+    // (including a surrogate pair) must produce the same value.
+    assert_eq!(
+        Json::parse("\"\u{1F600}\"").unwrap(),
+        Json::parse("\"\\ud83d\\ude00\"").unwrap(),
+        "literal emoji vs surrogate-pair escape"
+    );
+    assert_eq!(
+        Json::parse("\"\u{e9}\"").unwrap(),
+        Json::parse("\"\\u00e9\"").unwrap(),
+        "literal BMP char vs \\u escape"
+    );
+    assert_eq!(
+        Json::parse("\"\u{1D11E}\"").unwrap(),
+        Json::parse("\"\\uD834\\uDD1E\"").unwrap(),
+        "the RFC 8259 G-clef example, upper-case hex"
+    );
+}
+
+#[test]
+fn adversarial_inputs_fail_cleanly() {
+    let cases: Vec<String> = vec![
+        "[".repeat(1_000_000),            // unclosed mega-nesting
+        "{\"k\":[".repeat(MAX_DEPTH * 2), // alternating nesting
+        format!(
+            "{}0{}",
+            "[".repeat(MAX_DEPTH + 1),
+            "]".repeat(MAX_DEPTH + 1)
+        ),
+        r#""\u""#.to_string(),                 // truncated escape
+        r#""\u12""#.to_string(),               // short escape
+        r#""\uzzzz""#.to_string(),             // non-hex escape
+        r#""\ud800""#.to_string(),             // lone high surrogate
+        r#""\udfff""#.to_string(),             // lone low surrogate
+        r#""\ud800A""#.to_string(),            // high + non-low unit
+        "\"\u{7}\"".replace('\u{7}', "\u{1}"), // raw control character
+        "{\"a\"}".to_string(),
+        "[1 2]".to_string(),
+    ];
+    for text in &cases {
+        assert!(
+            Json::parse(text).is_err(),
+            "{:?} should be rejected",
+            &text[..text.len().min(40)]
+        );
+    }
+}
