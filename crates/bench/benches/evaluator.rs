@@ -4,11 +4,17 @@
 //! from-scratch equivalents at n ∈ {50, 200, 800}: a single-link update
 //! (`set_prob`, O(n)) vs recomputing all success probabilities (O(n²)),
 //! and a greedy candidate score (`activation_gain`, O(n)) vs the naive
-//! `expected_successes_of_set(S ∪ {j})` re-score (O(|S|²)).
+//! `expected_successes_of_set(S ∪ {j})` re-score (O(|S|²)). The
+//! quantized-log `AmortizedAccumulator` rows measure the analytic slot
+//! resolver's per-slot primitives: the contiguous-row mask flip
+//! (`amortized_flip`, the blocked i64 accumulation rustc autovectorizes)
+//! and the from-scratch `set_probs` rebuild the conformance check holds
+//! it bit-equal to.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rayfade_bench::figure1_instance;
 use rayfade_core::{expected_successes_of_set, success_probabilities, SuccessEvaluator};
+use rayfade_sinr::AmortizedAccumulator;
 use std::hint::black_box;
 
 fn bench_evaluator(c: &mut Criterion) {
@@ -56,6 +62,27 @@ fn bench_evaluator(c: &mut Criterion) {
                 let v = expected_successes_of_set(black_box(&gm), black_box(&params), &set);
                 set.pop();
                 black_box(v)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("amortized_flip", n), &n, |b, _| {
+            let (ratios, mut acc) = AmortizedAccumulator::from_gain(&gm, &params);
+            acc.set_probs(&ratios, &probs);
+            let mut on = false;
+            b.iter(|| {
+                on = !on;
+                if on {
+                    acc.insert(black_box(&ratios), black_box(n / 2));
+                } else {
+                    acc.remove(black_box(&ratios), black_box(n / 2));
+                }
+                black_box(acc.conditional_success_probability(&ratios, n / 2))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("amortized_rebuild", n), &n, |b, _| {
+            let (ratios, mut acc) = AmortizedAccumulator::from_gain(&gm, &params);
+            b.iter(|| {
+                acc.set_probs(black_box(&ratios), black_box(&probs));
+                black_box(acc.conditional_success_probability(&ratios, n / 2))
             })
         });
     }

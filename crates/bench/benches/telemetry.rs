@@ -9,7 +9,9 @@
 //! dynamic engine (the committed `results/telemetry_overhead.csv` claim).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rayfade_dynamic::{ArrivalProcess, DynamicConfig, DynamicEngine, PolicyKind, SuccessModelKind};
+use rayfade_dynamic::{
+    ArrivalProcess, DynamicConfig, DynamicEngine, PolicyKind, SlotModelKind, SuccessModelKind,
+};
 use rayfade_geometry::PaperTopology;
 use rayfade_sinr::SinrParams;
 use rayfade_telemetry::{Registry, Telemetry};
@@ -75,6 +77,7 @@ fn slot_loop_config() -> DynamicConfig {
         arrival: ArrivalProcess::Bernoulli { rate: 0.05 },
         policy: PolicyKind::MaxWeight,
         model: SuccessModelKind::Rayleigh,
+        slot_model: SlotModelKind::MonteCarlo,
         topology: PaperTopology {
             links: 12,
             ..PaperTopology::figure1()

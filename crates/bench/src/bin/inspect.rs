@@ -9,7 +9,7 @@
 //!         [--slot-range A..B] [--fields f,g,...] [--csv PATH] [--limit N]
 //! inspect timeline <journal> [--cell P,M,L] [--csv PATH]
 //! inspect diff <left> <right>
-//! inspect perf-diff <base> <current> [--tolerance F] [--csv PATH] [--json PATH]
+//! inspect perf-diff <base> <current> [--tolerance F] [--span NAME] [--csv PATH] [--json PATH]
 //! inspect flamegraph <trace> [--out PATH]
 //! inspect correlate <trace> <journal> [--top K] [--csv-prefix PATH]
 //! ```
@@ -44,7 +44,7 @@ fn usage() -> ! {
          \x20        [--slot-range A..B] [--fields f,g,...] [--csv PATH] [--limit N]\n\
          inspect timeline <journal> [--cell P,M,L] [--csv PATH]\n\
          inspect diff <left> <right>\n\
-         inspect perf-diff <base> <current> [--tolerance F] [--csv PATH] [--json PATH]\n\
+         inspect perf-diff <base> <current> [--tolerance F] [--span NAME] [--csv PATH] [--json PATH]\n\
          inspect flamegraph <trace> [--out PATH]\n\
          inspect correlate <trace> <journal> [--top K] [--csv-prefix PATH]\n\
          \n\
@@ -240,7 +240,7 @@ fn cmd_diff(args: &[String]) -> i32 {
 }
 
 fn cmd_perf_diff(args: &[String]) -> i32 {
-    let args = Args::parse(args, &["tolerance", "csv", "json"], &[]);
+    let args = Args::parse(args, &["tolerance", "csv", "json", "span"], &[]);
     let (base_path, cur_path) = (
         args.positional(0, "base perf file"),
         args.positional(1, "current perf file"),
@@ -252,12 +252,25 @@ fn cmd_perf_diff(args: &[String]) -> i32 {
     let base = parse_perf(&read(base_path)).unwrap_or_else(|e| fail(&format!("{base_path}: {e}")));
     let cur = parse_perf(&read(cur_path)).unwrap_or_else(|e| fail(&format!("{cur_path}: {e}")));
     let diff: PerfDiff = perf_diff(&base, &cur, tolerance).unwrap_or_else(|e| fail(&e));
-    print!("{}", diff.to_console());
+    // --span narrows the *report* to matching span rows (e.g.
+    // `--span dynamic/replication` isolates the slot-loop delta); the
+    // exit code still reflects every workload, filtered or not.
+    let shown = match args.value("span") {
+        Some(pattern) => {
+            let filtered = diff.filter_span(pattern);
+            if filtered.deltas.is_empty() {
+                fail(&format!("no span matches {pattern:?} in either baseline"));
+            }
+            filtered
+        }
+        None => diff.clone(),
+    };
+    print!("{}", shown.to_console());
     if let Some(path) = args.value("csv") {
-        write_out(path, &diff.to_csv());
+        write_out(path, &shown.to_csv());
     }
     if let Some(path) = args.value("json") {
-        write_out(path, &format!("{}\n", diff.to_json()));
+        write_out(path, &format!("{}\n", shown.to_json()));
     }
     i32::from(!diff.clean())
 }

@@ -28,7 +28,8 @@
 
 use rayfade_bench::{telemetry_ref, Cli};
 use rayfade_dynamic::{
-    ArrivalProcess, DynamicConfig, LambdaSweep, MonitorSpec, PolicyKind, SuccessModelKind,
+    ArrivalProcess, DynamicConfig, LambdaSweep, MonitorSpec, PolicyKind, SlotModelKind,
+    SuccessModelKind,
 };
 use rayfade_geometry::PaperTopology;
 use rayfade_sim::{fmt_f, Table};
@@ -56,6 +57,7 @@ fn main() {
         arrival: ArrivalProcess::Bernoulli { rate: 0.0 },
         policy: PolicyKind::MaxWeight,
         model: SuccessModelKind::NonFading,
+        slot_model: SlotModelKind::MonteCarlo,
         topology: PaperTopology {
             links,
             side: 150.0,

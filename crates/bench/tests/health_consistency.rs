@@ -16,7 +16,8 @@
 //!   it never steers.
 
 use rayfade_dynamic::{
-    ArrivalProcess, DynamicConfig, LambdaSweep, MonitorSpec, PolicyKind, SuccessModelKind,
+    ArrivalProcess, DynamicConfig, LambdaSweep, MonitorSpec, PolicyKind, SlotModelKind,
+    SuccessModelKind,
 };
 use rayfade_geometry::PaperTopology;
 use rayfade_sinr::SinrParams;
@@ -140,6 +141,7 @@ fn quick_sweep() -> LambdaSweep {
         arrival: ArrivalProcess::Bernoulli { rate: 0.05 },
         policy: PolicyKind::MaxWeight,
         model: SuccessModelKind::Rayleigh,
+        slot_model: SlotModelKind::MonteCarlo,
         topology: PaperTopology {
             links: 10,
             ..PaperTopology::figure1()

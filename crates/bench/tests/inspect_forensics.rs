@@ -14,7 +14,9 @@
 //!   `dynamic/replication` span joins its `dyn_net` record and every
 //!   sampled-slot phase group its `dyn_slot` record.
 
-use rayfade_dynamic::{ArrivalProcess, DynamicConfig, LambdaSweep, PolicyKind, SuccessModelKind};
+use rayfade_dynamic::{
+    ArrivalProcess, DynamicConfig, LambdaSweep, PolicyKind, SlotModelKind, SuccessModelKind,
+};
 use rayfade_geometry::PaperTopology;
 use rayfade_inspect::{
     correlate, derive_timeline, diff_files, flamegraph_from_chrome, parse_perf, perf_diff, Query,
@@ -42,6 +44,7 @@ fn quick_sweep() -> LambdaSweep {
         arrival: ArrivalProcess::Bernoulli { rate: 0.05 },
         policy: PolicyKind::MaxWeight,
         model: SuccessModelKind::Rayleigh,
+        slot_model: SlotModelKind::MonteCarlo,
         topology: PaperTopology {
             links: 10,
             ..PaperTopology::figure1()

@@ -11,7 +11,7 @@
 
 use rayfade_dynamic::{
     ArrivalProcess, DynamicConfig, LambdaSweep, MonitorSpec, MonitoredStabilityReport, PolicyKind,
-    StabilityReport, SuccessModelKind,
+    SlotModelKind, StabilityReport, SuccessModelKind,
 };
 use rayfade_geometry::PaperTopology;
 use rayfade_sinr::{PowerAssignment, SinrParams};
@@ -43,6 +43,7 @@ fn sweep() -> LambdaSweep {
         arrival: ArrivalProcess::Bernoulli { rate: 0.05 },
         policy: PolicyKind::MaxWeight,
         model: SuccessModelKind::Rayleigh,
+        slot_model: SlotModelKind::MonteCarlo,
         topology: PaperTopology {
             links: 12,
             ..PaperTopology::figure1()

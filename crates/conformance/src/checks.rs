@@ -32,8 +32,8 @@ use rayfade_sched::{
     RayleighLocalSearch,
 };
 use rayfade_sinr::{
-    spectral_report, AccumMode, Affectance, GainMatrix, SinrParams, SparseInterferenceRatios,
-    SparseSuccessAccumulator,
+    spectral_report, AccumMode, Affectance, AmortizedAccumulator, GainMatrix, SinrParams,
+    SparseInterferenceRatios, SparseSuccessAccumulator,
 };
 
 /// Absolute tolerance floor of every comparison (see module docs).
@@ -150,6 +150,12 @@ pub enum Check {
     /// must contain both, and at `δ = 0` the sparse value must agree
     /// outright.
     SparseTruncation,
+    /// The churn-amortized quantized-log accumulator: a persistent
+    /// instance driven through a random `set_prob`/`insert`/`remove`
+    /// script must be *bit-equal* to a from-scratch `set_probs` rebuild
+    /// at every step, and its Theorem 1 probabilities must match the
+    /// oracle at the catalogue tolerance.
+    AmortizedRatios,
     /// Metamorphic: relabeling links permutes success probabilities.
     Permutation,
     /// Metamorphic: removing a transmitter never hurts the others.
@@ -176,6 +182,7 @@ impl Check {
         Check::TransferLogstar,
         Check::SpectralRadius,
         Check::SparseTruncation,
+        Check::AmortizedRatios,
         Check::Permutation,
         Check::RemovalMonotonicity,
         Check::PowerScaling,
@@ -196,6 +203,7 @@ impl Check {
             Check::TransferLogstar => "transfer-logstar",
             Check::SpectralRadius => "spectral-radius",
             Check::SparseTruncation => "sparse-truncation",
+            Check::AmortizedRatios => "amortized-ratios",
             Check::Permutation => "permutation",
             Check::RemovalMonotonicity => "removal-monotonicity",
             Check::PowerScaling => "power-scaling",
@@ -222,6 +230,7 @@ impl Check {
             Check::TransferLogstar => transfer_logstar(inst),
             Check::SpectralRadius => spectral_radius(inst),
             Check::SparseTruncation => sparse_truncation(inst),
+            Check::AmortizedRatios => amortized_ratios(inst),
             Check::Permutation => permutation(inst),
             Check::RemovalMonotonicity => removal_monotonicity(inst),
             Check::PowerScaling => power_scaling(inst),
@@ -722,6 +731,73 @@ fn sparse_truncation(inst: &Instance) -> Result<(), String> {
             "delta {delta}: expected_successes {:e} disagrees with its own \
              interval top {hi:e}",
             acc.expected_successes(&sparse)
+        );
+    }
+    Ok(())
+}
+
+fn amortized_ratios(inst: &Instance) -> Result<(), String> {
+    let n = inst.gain.len();
+    if n == 0 {
+        return Ok(());
+    }
+    let (ratios, mut churned) = AmortizedAccumulator::from_gain(&inst.gain, &inst.params);
+    let mut shadow = vec![0.0; n];
+    let mut rng = inst.rng(21);
+    for step in 0..(3 * n + 8) {
+        let j = rng.gen_range(0..n);
+        match rng.gen_range(0u32..4) {
+            0 => {
+                churned.insert(&ratios, j);
+                shadow[j] = 1.0;
+            }
+            1 => {
+                churned.remove(&ratios, j);
+                shadow[j] = 0.0;
+            }
+            2 => {
+                let q = [0.0, 1.0, 1e-12, 1.0 - 1e-12][rng.gen_range(0usize..4)];
+                churned.set_prob(&ratios, j, q);
+                shadow[j] = q;
+            }
+            _ => {
+                let q = rng.gen_range(0.0..=1.0);
+                churned.set_prob(&ratios, j, q);
+                shadow[j] = q;
+            }
+        }
+        // The exactness contract: any churn history landing on `shadow`
+        // occupies the same bits as a from-scratch rebuild. `==` compares
+        // the full semantic state (probabilities, integer log sums, zero
+        // counts), so this is bitwise, not tolerance-based.
+        let mut rebuilt = AmortizedAccumulator::new(&ratios);
+        rebuilt.set_probs(&ratios, &shadow);
+        ensure!(
+            churned == rebuilt,
+            "step {step}: churned accumulator diverged bitwise from a from-scratch \
+             rebuild (probs {shadow:?})"
+        );
+    }
+    // Differential leg against the oracle at the final vector — this is
+    // what turns the check red when the shared ratio cache is corrupted
+    // (churn and rebuild both read the same cache, so bit-equality alone
+    // cannot see an `inject-bug` style fault).
+    for i in 0..n {
+        let want = oracle::success_probability(&inst.gain, &inst.params, &shadow, i);
+        let got = churned.success_probability(&ratios, i);
+        ensure!(
+            close(got, want, 1e-9),
+            "amortized Q[{i}] fast {got:e} vs oracle {want:e} (probs {shadow:?})"
+        );
+        // Conditional (q_i read as 1): the analytic slot resolver's
+        // Bernoulli parameter, for idle links included.
+        let mut conditioned = shadow.clone();
+        conditioned[i] = 1.0;
+        let want = oracle::success_probability(&inst.gain, &inst.params, &conditioned, i);
+        let got = churned.conditional_success_probability(&ratios, i);
+        ensure!(
+            close(got, want, 1e-9),
+            "amortized conditional Q[{i}] fast {got:e} vs oracle {want:e} (probs {shadow:?})"
         );
     }
     Ok(())

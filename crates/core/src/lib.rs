@@ -99,7 +99,8 @@ pub use simulation::{
     SimulationRun, SimulationStep, PAPER_ATTEMPTS_PER_ROUND,
 };
 pub use sparse_evaluator::{
-    NetworkEvaluator, SparseSuccessEvaluator, DEFAULT_SPARSE_DELTA, SPARSE_CROSSOVER,
+    AmortizedEvaluator, NetworkEvaluator, SparseSuccessEvaluator, DEFAULT_SPARSE_DELTA,
+    SPARSE_CROSSOVER,
 };
 pub use success::{
     expected_successes, expected_successes_of_set, success_probabilities, success_probability,

@@ -17,7 +17,8 @@
 use crate::evaluator::SuccessEvaluator;
 use rayfade_geometry::Network;
 use rayfade_sinr::{
-    GainMatrix, PowerAssignment, SinrParams, SparseInterferenceRatios, SparseSuccessAccumulator,
+    AmortizedAccumulator, GainMatrix, InterferenceRatios, PowerAssignment, SinrParams,
+    SparseInterferenceRatios, SparseSuccessAccumulator,
 };
 use rayfade_telemetry::Telemetry;
 
@@ -183,6 +184,120 @@ impl SparseSuccessEvaluator {
     }
 }
 
+/// Churn-amortized dense Theorem 1 evaluator: the
+/// [`rayfade_sinr::AmortizedAccumulator`] (integer-quantized logs, state
+/// bit-equal to a from-scratch rebuild regardless of churn order) bundled
+/// with its ratio cache, mirroring [`SuccessEvaluator`]'s shape. This is
+/// the persistent per-replication cache of the dynamic engine's analytic
+/// slot resolver: the transmit mask flips few links per slot, so slots
+/// cost O(flips · n) contiguous row adds instead of an O(n²) rebuild.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AmortizedEvaluator {
+    ratios: InterferenceRatios,
+    acc: AmortizedAccumulator,
+}
+
+impl AmortizedEvaluator {
+    /// Builds the evaluator (O(n²) ratio + log-row precomputation); all
+    /// probabilities start at 0.
+    pub fn new(gain: &GainMatrix, params: &SinrParams) -> Self {
+        Self::from_ratios(InterferenceRatios::new(gain, params))
+    }
+
+    /// Wraps an existing ratio cache.
+    pub fn from_ratios(ratios: InterferenceRatios) -> Self {
+        let acc = AmortizedAccumulator::new(&ratios);
+        AmortizedEvaluator { ratios, acc }
+    }
+
+    /// Number of links.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.ratios.len()
+    }
+
+    /// Whether the instance has no links.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.ratios.is_empty()
+    }
+
+    /// The underlying ratio cache.
+    #[inline]
+    pub fn ratios(&self) -> &InterferenceRatios {
+        &self.ratios
+    }
+
+    /// Current transmission probabilities.
+    #[inline]
+    pub fn probs(&self) -> &[f64] {
+        self.acc.probs()
+    }
+
+    /// Current transmission probability of link `j`.
+    #[inline]
+    pub fn prob(&self, j: usize) -> f64 {
+        self.acc.prob(j)
+    }
+
+    /// Resets every probability to 0 — O(n).
+    pub fn reset(&mut self) {
+        self.acc.reset();
+    }
+
+    /// Replaces the whole probability vector — blocked O(n²) rebuild.
+    pub fn set_probs(&mut self, probs: &[f64]) {
+        self.acc.set_probs(&self.ratios, probs);
+    }
+
+    /// Changes one probability — O(n).
+    pub fn set_prob(&mut self, j: usize, q: f64) {
+        self.acc.set_prob(&self.ratios, j, q);
+    }
+
+    /// Sets `q_j = 1` (link joins the transmit set) — one contiguous row
+    /// add.
+    pub fn insert(&mut self, j: usize) {
+        self.acc.insert(&self.ratios, j);
+    }
+
+    /// Sets `q_j = 0` (link leaves the transmit set) — one contiguous row
+    /// subtract.
+    pub fn remove(&mut self, j: usize) {
+        self.acc.remove(&self.ratios, j);
+    }
+
+    /// Theorem 1 success probability of link `i` (up to the 2⁻³⁸
+    /// log-quantization of the accumulator).
+    #[inline]
+    pub fn success_probability(&self, i: usize) -> f64 {
+        self.acc.success_probability(&self.ratios, i)
+    }
+
+    /// Success probability of link `i` conditioned on transmitting — the
+    /// analytic resolver's Bernoulli parameter.
+    #[inline]
+    pub fn conditional_success_probability(&self, i: usize) -> f64 {
+        self.acc.conditional_success_probability(&self.ratios, i)
+    }
+
+    /// All success probabilities — O(n).
+    pub fn success_probabilities(&self) -> Vec<f64> {
+        self.acc.success_probabilities(&self.ratios)
+    }
+
+    /// Sets every probability to the same value — blocked O(n²) rebuild.
+    pub fn set_uniform(&mut self, q: f64) {
+        let probs = vec![q; self.len()];
+        self.set_probs(&probs);
+    }
+
+    /// Expected number of successes — O(n), compensated summation.
+    pub fn expected_successes(&self) -> f64 {
+        rayfade_sinr::kahan_sum(self.success_probabilities())
+    }
+}
+
 /// Size-routing facade over the dense and sparse Theorem 1 evaluators
 /// (see the [module docs](self) for the crossover policy).
 #[derive(Debug, Clone, PartialEq)]
@@ -191,6 +306,9 @@ pub enum NetworkEvaluator {
     Dense(SuccessEvaluator),
     /// Certified ε-truncated sparse evaluation (large instances).
     Sparse(SparseSuccessEvaluator),
+    /// Churn-amortized dense evaluation (small instances on the analytic
+    /// slot path).
+    Amortized(AmortizedEvaluator),
 }
 
 impl NetworkEvaluator {
@@ -232,10 +350,33 @@ impl NetworkEvaluator {
         }
     }
 
+    /// Builds the *churn-amortized* routing variant: the amortized dense
+    /// evaluator below [`SPARSE_CROSSOVER`] (bit-equal incremental state,
+    /// contiguous mask-flip row adds), the certified sparse one (already
+    /// O(deg) per flip) at or above it. This is the cache the dynamic
+    /// engine's analytic slot resolver persists across slots.
+    pub fn amortized_from_gain(gain: &GainMatrix, params: &SinrParams) -> Self {
+        if gain.len() < SPARSE_CROSSOVER {
+            NetworkEvaluator::Amortized(AmortizedEvaluator::new(gain, params))
+        } else {
+            NetworkEvaluator::Sparse(SparseSuccessEvaluator::new(
+                gain,
+                params,
+                DEFAULT_SPARSE_DELTA,
+            ))
+        }
+    }
+
     /// Whether the sparse path was selected.
     #[inline]
     pub fn is_sparse(&self) -> bool {
         matches!(self, NetworkEvaluator::Sparse(_))
+    }
+
+    /// Whether the churn-amortized dense path was selected.
+    #[inline]
+    pub fn is_amortized(&self) -> bool {
+        matches!(self, NetworkEvaluator::Amortized(_))
     }
 
     /// Number of links.
@@ -243,6 +384,7 @@ impl NetworkEvaluator {
         match self {
             NetworkEvaluator::Dense(ev) => ev.len(),
             NetworkEvaluator::Sparse(ev) => ev.len(),
+            NetworkEvaluator::Amortized(ev) => ev.len(),
         }
     }
 
@@ -256,6 +398,7 @@ impl NetworkEvaluator {
         match self {
             NetworkEvaluator::Dense(ev) => ev.reset(),
             NetworkEvaluator::Sparse(ev) => ev.reset(),
+            NetworkEvaluator::Amortized(ev) => ev.reset(),
         }
     }
 
@@ -264,6 +407,7 @@ impl NetworkEvaluator {
         match self {
             NetworkEvaluator::Dense(ev) => ev.set_probs(probs),
             NetworkEvaluator::Sparse(ev) => ev.set_probs(probs),
+            NetworkEvaluator::Amortized(ev) => ev.set_probs(probs),
         }
     }
 
@@ -272,6 +416,7 @@ impl NetworkEvaluator {
         match self {
             NetworkEvaluator::Dense(ev) => ev.set_uniform(q),
             NetworkEvaluator::Sparse(ev) => ev.set_uniform(q),
+            NetworkEvaluator::Amortized(ev) => ev.set_uniform(q),
         }
     }
 
@@ -280,6 +425,27 @@ impl NetworkEvaluator {
         match self {
             NetworkEvaluator::Dense(ev) => ev.set_prob(j, q),
             NetworkEvaluator::Sparse(ev) => ev.set_prob(j, q),
+            NetworkEvaluator::Amortized(ev) => ev.set_prob(j, q),
+        }
+    }
+
+    /// Sets `q_j = 1` (link joins the transmit set) — the slot-churn fast
+    /// path on every variant (amortized: contiguous row add; sparse:
+    /// O(deg j)).
+    pub fn insert(&mut self, j: usize) {
+        match self {
+            NetworkEvaluator::Dense(ev) => ev.insert(j),
+            NetworkEvaluator::Sparse(ev) => ev.insert(j),
+            NetworkEvaluator::Amortized(ev) => ev.insert(j),
+        }
+    }
+
+    /// Sets `q_j = 0` (link leaves the transmit set).
+    pub fn remove(&mut self, j: usize) {
+        match self {
+            NetworkEvaluator::Dense(ev) => ev.remove(j),
+            NetworkEvaluator::Sparse(ev) => ev.remove(j),
+            NetworkEvaluator::Amortized(ev) => ev.remove(j),
         }
     }
 
@@ -289,6 +455,18 @@ impl NetworkEvaluator {
         match self {
             NetworkEvaluator::Dense(ev) => ev.success_probability(i),
             NetworkEvaluator::Sparse(ev) => ev.success_probability(i),
+            NetworkEvaluator::Amortized(ev) => ev.success_probability(i),
+        }
+    }
+
+    /// Success probability of link `i` conditioned on transmitting —
+    /// the analytic slot resolver's Bernoulli parameter (counterfactual
+    /// for idle links, realized for active ones).
+    pub fn conditional_success_probability(&self, i: usize) -> f64 {
+        match self {
+            NetworkEvaluator::Dense(ev) => ev.conditional_success_probability(i),
+            NetworkEvaluator::Sparse(ev) => ev.conditional_success_probability(i),
+            NetworkEvaluator::Amortized(ev) => ev.conditional_success_probability(i),
         }
     }
 
@@ -297,6 +475,7 @@ impl NetworkEvaluator {
         match self {
             NetworkEvaluator::Dense(ev) => ev.success_probabilities(),
             NetworkEvaluator::Sparse(ev) => ev.success_probabilities(),
+            NetworkEvaluator::Amortized(ev) => ev.success_probabilities(),
         }
     }
 
@@ -305,11 +484,13 @@ impl NetworkEvaluator {
         match self {
             NetworkEvaluator::Dense(ev) => ev.expected_successes(),
             NetworkEvaluator::Sparse(ev) => ev.expected_successes(),
+            NetworkEvaluator::Amortized(ev) => ev.expected_successes(),
         }
     }
 
     /// Certified interval containing the exact expected number of
-    /// successes (degenerate `[v, v]` on the dense path).
+    /// successes (degenerate `[v, v]` on the dense paths, which are exact
+    /// up to accumulator rounding).
     pub fn expected_successes_interval(&self) -> (f64, f64) {
         match self {
             NetworkEvaluator::Dense(ev) => {
@@ -317,6 +498,10 @@ impl NetworkEvaluator {
                 (v, v)
             }
             NetworkEvaluator::Sparse(ev) => ev.expected_successes_interval(),
+            NetworkEvaluator::Amortized(ev) => {
+                let v = ev.expected_successes();
+                (v, v)
+            }
         }
     }
 }
@@ -423,6 +608,63 @@ mod tests {
         assert!(lo <= want + 1e-9 && want <= hi + 1e-9, "{lo} {want} {hi}");
         ev.reset();
         assert_eq!(ev.expected_successes(), 0.0);
+    }
+
+    #[test]
+    fn amortized_route_matches_dense_within_quantization() {
+        let gm = gain3();
+        let params = SinrParams::new(2.0, 1.5, 0.2);
+        let mut ev = NetworkEvaluator::amortized_from_gain(&gm, &params);
+        assert!(ev.is_amortized() && !ev.is_sparse());
+        let mut dense = SuccessEvaluator::new(&gm, &params);
+        // Slot-style churn through the shared facade surface.
+        for op in [0usize, 2, 1, 0, 2] {
+            ev.insert(op);
+            dense.insert(op);
+        }
+        ev.remove(2);
+        dense.remove(2);
+        ev.set_prob(1, 0.4);
+        dense.set_prob(1, 0.4);
+        for i in 0..3 {
+            let a = ev.success_probability(i);
+            let d = dense.success_probability(i);
+            assert!(
+                (a - d).abs() <= 1e-10 * d.max(1e-12),
+                "link {i}: {a} vs {d}"
+            );
+            let ac = ev.conditional_success_probability(i);
+            let dc = dense.conditional_success_probability(i);
+            assert!((ac - dc).abs() <= 1e-10 * dc.max(1e-12), "link {i}");
+        }
+        let (lo, hi) = ev.expected_successes_interval();
+        assert_eq!(lo, hi, "amortized interval is degenerate");
+        // Churned facade state equals a fresh rebuild bit-for-bit.
+        let mut rebuilt = NetworkEvaluator::amortized_from_gain(&gm, &params);
+        rebuilt.set_probs(&[1.0, 0.4, 0.0]);
+        assert_eq!(ev, rebuilt);
+    }
+
+    #[test]
+    fn amortized_route_goes_sparse_above_crossover() {
+        let n = SPARSE_CROSSOVER;
+        let mut g = vec![0.0; n * n];
+        for i in 0..n {
+            g[i * n + i] = 10.0;
+            g[i * n + (i ^ 1)] = 2.0;
+        }
+        let gm = GainMatrix::from_raw(n, g);
+        let params = SinrParams::new(2.0, 1.5, 0.1);
+        let mut ev = NetworkEvaluator::amortized_from_gain(&gm, &params);
+        assert!(ev.is_sparse() && !ev.is_amortized());
+        ev.insert(0);
+        ev.insert(1);
+        let p = ev.conditional_success_probability(0);
+        // Paired links at q = 1: conditional Q = e^{−βν/s}·(1 − ρ).
+        let want = (-1.5f64 * 0.1 / 10.0).exp() * (10.0 / 13.0);
+        assert!((p - want).abs() < 1e-6, "{p} vs {want}");
+        ev.remove(1);
+        assert!(ev.conditional_success_probability(0) > p);
     }
 
     #[test]

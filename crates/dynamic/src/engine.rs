@@ -21,12 +21,13 @@
 
 use crate::arrivals::{ArrivalProcess, ArrivalSample};
 use crate::policy::{
-    OnlinePolicy, PolicyKind, QueueAloha, QueueMaxWeight, RayleighMaxWeight, RegretPolicy,
+    ObservedSlot, OnlinePolicy, PolicyKind, QueueAloha, QueueMaxWeight, RayleighMaxWeight,
+    RegretPolicy,
 };
 use crate::queue::QueueBank;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
-use rayfade_core::{mix_seed, mix_seed2, RayleighModel};
+use rand::{Rng, SeedableRng};
+use rayfade_core::{mix_seed, mix_seed2, NetworkEvaluator, RayleighModel};
 use rayfade_geometry::PaperTopology;
 use rayfade_sinr::{GainMatrix, NonFadingModel, PowerAssignment, SinrParams, SuccessModel};
 use rayfade_telemetry::trace::{self, SpanId};
@@ -67,6 +68,175 @@ impl SuccessModelKind {
     }
 }
 
+/// How a slot's outcomes are resolved from the chosen transmit mask.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum SlotModelKind {
+    /// Realize the channel: sample fading coefficients, compute SINRs,
+    /// threshold against β ([`MonteCarloResolver`]). Works for every
+    /// [`SuccessModelKind`] and is the historical (bit-pinned) path.
+    #[default]
+    MonteCarlo,
+    /// Skip the channel realization: draw each link's threshold
+    /// indicator directly as Bernoulli(p_i) from the cached Theorem-1
+    /// probability ([`AnalyticResolver`]). Distributionally exact for
+    /// [`SuccessModelKind::Rayleigh`] — fading is independent per
+    /// (sender, receiver) pair, so the per-link indicators are
+    /// independent given the mask — and rejected for non-fading runs.
+    Analytic,
+}
+
+impl SlotModelKind {
+    /// Stable label used in journals and CSV output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SlotModelKind::MonteCarlo => "monte_carlo",
+            SlotModelKind::Analytic => "analytic",
+        }
+    }
+
+    /// Both resolvers, Monte Carlo first.
+    pub fn all() -> [SlotModelKind; 2] {
+        [SlotModelKind::MonteCarlo, SlotModelKind::Analytic]
+    }
+}
+
+/// Resolves one slot: given the transmit mask, fills `would_succeed[i]`
+/// with the per-link threshold indicator `SINR_i ≥ β` — counterfactual
+/// for idle links, exactly the [`ObservedSlot`] contract. Implementations
+/// persist whatever channel state they need across slots.
+pub trait SlotResolver {
+    /// Number of links.
+    fn len(&self) -> usize;
+
+    /// Whether the instance has no links.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Resolves one slot into `would_succeed` (length must equal
+    /// [`len`](Self::len)).
+    fn resolve(&mut self, active: &[bool], would_succeed: &mut [bool]);
+
+    /// Like [`resolve`](Self::resolve), but the caller promises to read
+    /// `would_succeed[i]` only where `active[i]` — the engine calls this
+    /// when the policy's
+    /// [`observes_counterfactuals`](crate::OnlinePolicy::observes_counterfactuals)
+    /// is `false`. Implementations may skip resolving idle links, but
+    /// must still leave their entries `false` (never stale). The default
+    /// simply resolves everything; the Monte Carlo resolver keeps it so
+    /// its realized-fading stream stays bit-pinned to committed
+    /// artifacts.
+    fn resolve_active_only(&mut self, active: &[bool], would_succeed: &mut [bool]) {
+        self.resolve(active, would_succeed);
+    }
+}
+
+/// The realized-fading resolver: samples the channel through a
+/// [`SuccessModel`] and thresholds the resulting SINRs — bit-identical
+/// to the historical engine loop.
+pub struct MonteCarloResolver {
+    model: Box<dyn SuccessModel>,
+    beta: f64,
+}
+
+impl MonteCarloResolver {
+    /// Wraps a success model and the threshold β it resolves against.
+    pub fn new(model: Box<dyn SuccessModel>, beta: f64) -> Self {
+        MonteCarloResolver { model, beta }
+    }
+}
+
+impl SlotResolver for MonteCarloResolver {
+    fn len(&self) -> usize {
+        self.model.len()
+    }
+
+    fn resolve(&mut self, active: &[bool], would_succeed: &mut [bool]) {
+        let sinrs = self.model.resolve_sinrs(active);
+        for (w, &s) in would_succeed.iter_mut().zip(&sinrs) {
+            *w = s >= self.beta;
+        }
+    }
+}
+
+/// The analytic fast-slot resolver: persists a churn-amortized Theorem-1
+/// evaluator across slots, applies O(k·n) incremental updates for the k
+/// links whose activity flipped since the previous slot (instead of an
+/// O(n²) rebuild or n fading draws + n² interference terms), and draws
+/// each link's indicator as Bernoulli(p_i) with
+/// `p_i = P[SINR_i ≥ β | mask]` — the conditional Theorem-1 probability,
+/// counterfactual for idle links.
+pub struct AnalyticResolver {
+    evaluator: NetworkEvaluator,
+    /// Activity mask currently reflected in the evaluator.
+    current: Vec<bool>,
+    rng: StdRng,
+}
+
+impl AnalyticResolver {
+    /// Builds the persistent evaluator (churn-amortized below the sparse
+    /// crossover, certified ε-truncated sparse above) with all links
+    /// idle, and seeds the Bernoulli stream.
+    pub fn new(gain: &GainMatrix, params: &SinrParams, seed: u64) -> Self {
+        AnalyticResolver {
+            evaluator: NetworkEvaluator::amortized_from_gain(gain, params),
+            current: vec![false; gain.len()],
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Brings the persistent evaluator in line with `active`: queue
+    /// churn flips few links per slot, so diff the mask and apply O(n)
+    /// incremental updates per flip.
+    fn apply_mask(&mut self, active: &[bool]) {
+        debug_assert_eq!(active.len(), self.current.len());
+        for (j, &on) in active.iter().enumerate() {
+            if on != self.current[j] {
+                if on {
+                    self.evaluator.insert(j);
+                } else {
+                    self.evaluator.remove(j);
+                }
+                self.current[j] = on;
+            }
+        }
+    }
+}
+
+impl SlotResolver for AnalyticResolver {
+    fn len(&self) -> usize {
+        self.evaluator.len()
+    }
+
+    fn resolve(&mut self, active: &[bool], would_succeed: &mut [bool]) {
+        debug_assert_eq!(would_succeed.len(), self.current.len());
+        self.apply_mask(active);
+        // One Bernoulli per link, in fixed link order (determinism).
+        for (i, w) in would_succeed.iter_mut().enumerate() {
+            let p = self.evaluator.conditional_success_probability(i);
+            *w = self.rng.gen::<f64>() < p;
+        }
+    }
+
+    fn resolve_active_only(&mut self, active: &[bool], would_succeed: &mut [bool]) {
+        self.apply_mask(active);
+        // Only transmitting links draw: skips the probability evaluation
+        // and the Bernoulli draw for every idle link, which dominates the
+        // per-slot cost under sparse contention. Idle entries are cleared
+        // so no slot ever observes a stale indicator. The draw order
+        // stays fixed (ascending active links), so the stream is still
+        // deterministic in the config seed.
+        for (i, w) in would_succeed.iter_mut().enumerate() {
+            if !active[i] {
+                *w = false;
+                continue;
+            }
+            let p = self.evaluator.conditional_success_probability(i);
+            *w = self.rng.gen::<f64>() < p;
+        }
+    }
+}
+
 /// Configuration of one dynamic run (a cell, possibly replicated over
 /// several random networks).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -83,6 +253,10 @@ pub struct DynamicConfig {
     pub policy: PolicyKind,
     /// The success model.
     pub model: SuccessModelKind,
+    /// How slots are resolved from the chosen mask — the realized-fading
+    /// Monte Carlo path (default, bit-pinned) or the Theorem-1 analytic
+    /// Bernoulli path.
+    pub slot_model: SlotModelKind,
     /// Topology template (densities control interference pressure).
     pub topology: PaperTopology,
     /// SINR parameters.
@@ -103,6 +277,7 @@ impl DynamicConfig {
             arrival: ArrivalProcess::Bernoulli { rate: 0.05 },
             policy: PolicyKind::MaxWeight,
             model: SuccessModelKind::NonFading,
+            slot_model: SlotModelKind::MonteCarlo,
             topology: PaperTopology {
                 links: 12,
                 ..PaperTopology::figure1()
@@ -159,6 +334,12 @@ impl DynamicEngine {
         assert!(config.networks > 0, "need at least one network");
         assert!(config.slots > 0, "need at least one slot");
         assert!(config.sample_every > 0, "sample_every must be positive");
+        assert!(
+            config.slot_model == SlotModelKind::MonteCarlo
+                || config.model == SuccessModelKind::Rayleigh,
+            "analytic slot resolution draws from Theorem-1 Rayleigh probabilities; \
+             non-fading runs must use SlotModelKind::MonteCarlo"
+        );
         DynamicEngine { config }
     }
 
@@ -289,9 +470,13 @@ impl DynamicEngine {
         let mut policy_rng = StdRng::seed_from_u64(policy_seed);
         let mut policy = build_policy(cfg, &gain);
 
-        let mut model = build_model(cfg, &gain, net);
+        let mut resolver = build_resolver(cfg, &gain, net);
+        // Queried once per replication: when the policy never reads idle
+        // links' counterfactual indicators, the resolver may scope its
+        // work to the transmitting links (the analytic path skips their
+        // probability evaluations and Bernoulli draws entirely).
+        let counterfactuals = policy.observes_counterfactuals();
 
-        let beta = cfg.params.beta;
         let mut bank = QueueBank::new(n);
         let mut trace = SlotTrace {
             slots: Vec::new(),
@@ -300,6 +485,7 @@ impl DynamicEngine {
             cum_departures: Vec::new(),
         };
         let mut active = vec![false; n];
+        let mut would_succeed = vec![false; n];
         let mut successes = vec![false; n];
         // Metric handles resolved once per replication; the per-slot hot
         // path only touches atomics (and `Instant` when instrumented).
@@ -362,16 +548,20 @@ impl DynamicEngine {
                 active[i] = mask[i] && backlogs[i] > 0;
                 transmissions += u64::from(active[i]);
             }
-            // 3. One physical slot: realized SINRs (counterfactual for
-            //    idle links), successes, departures.
-            let sinrs = {
+            // 3. One physical slot: per-link threshold indicators
+            //    (counterfactual for idle links), successes, departures.
+            {
                 let _g = phase(span_transmission);
-                model.resolve_sinrs(&active)
-            };
+                if counterfactuals {
+                    resolver.resolve(&active, &mut would_succeed);
+                } else {
+                    resolver.resolve_active_only(&active, &mut would_succeed);
+                }
+            }
             {
                 let _g = phase(span_departures);
                 for i in 0..n {
-                    successes[i] = active[i] && sinrs[i] >= beta;
+                    successes[i] = active[i] && would_succeed[i];
                     if successes[i] {
                         let delivered = bank.queue_mut(i).dequeue(slot);
                         debug_assert!(delivered.is_some());
@@ -381,8 +571,12 @@ impl DynamicEngine {
                         deliveries += 1;
                     }
                 }
-                // 4. Feedback.
-                policy.observe(&active, &sinrs, &successes);
+                // 4. Feedback — magnitude-free by construction.
+                policy.observe(&ObservedSlot {
+                    active: &active,
+                    would_succeed: &would_succeed,
+                    successes: &successes,
+                });
             }
             // 5. Sampled backlog trace.
             if sampled {
@@ -478,6 +672,7 @@ impl DynamicEngine {
             .event("dyn_run")
             .str("policy", policy)
             .str("model", model)
+            .str("slot_model", cfg.slot_model.label())
             .num("lambda", lambda)
             .int("links", cfg.links as i64)
             .int("networks", cfg.networks as i64)
@@ -549,7 +744,7 @@ fn build_policy(cfg: &DynamicConfig, gain: &GainMatrix) -> Box<dyn OnlinePolicy>
     match cfg.policy {
         PolicyKind::MaxWeight => Box::new(QueueMaxWeight::new(gain.clone(), cfg.params)),
         PolicyKind::Aloha => Box::new(QueueAloha::default_inverse(cfg.links)),
-        PolicyKind::Regret => Box::new(RegretPolicy::new(cfg.links, cfg.params.beta)),
+        PolicyKind::Regret => Box::new(RegretPolicy::new(cfg.links)),
         PolicyKind::RayleighMaxWeight => Box::new(RayleighMaxWeight::new(gain.clone(), cfg.params)),
     }
 }
@@ -560,6 +755,24 @@ fn build_model(cfg: &DynamicConfig, gain: &GainMatrix, net: u64) -> Box<dyn Succ
         SuccessModelKind::Rayleigh => Box::new(RayleighModel::new(
             gain.clone(),
             cfg.params,
+            mix_seed2(cfg.seed, stream::FADING, net),
+        )),
+    }
+}
+
+/// Both resolvers draw their channel randomness from the same
+/// `(seed, FADING, net)` stream root, so a mode switch changes only *how*
+/// the stream is consumed, never which stream it is.
+fn build_resolver(cfg: &DynamicConfig, gain: &GainMatrix, net: u64) -> Box<dyn SlotResolver> {
+    match cfg.slot_model {
+        SlotModelKind::MonteCarlo => Box::new(MonteCarloResolver::new(
+            build_model(cfg, gain, net),
+            cfg.params.beta,
+        )),
+        // `DynamicEngine::new` already rejected non-Rayleigh configs.
+        SlotModelKind::Analytic => Box::new(AnalyticResolver::new(
+            gain,
+            &cfg.params,
             mix_seed2(cfg.seed, stream::FADING, net),
         )),
     }
@@ -837,6 +1050,107 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn analytic_mode_runs_deterministically_for_all_policies() {
+        for policy in PolicyKind::all() {
+            let cfg = DynamicConfig {
+                policy,
+                model: SuccessModelKind::Rayleigh,
+                slot_model: SlotModelKind::Analytic,
+                slots: 600,
+                networks: 2,
+                ..DynamicConfig::smoke()
+            };
+            let engine = DynamicEngine::new(cfg);
+            let a = engine.run();
+            let b = engine.run();
+            assert_eq!(a, b, "{}: bitwise determinism", policy.label());
+            for out in &a {
+                assert!(out.offered_per_link > 0.0);
+                assert!(out.throughput_per_link > 0.0, "{}", policy.label());
+                assert!(out.throughput_per_link <= out.offered_per_link + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn analytic_and_monte_carlo_share_arrival_streams() {
+        // Same seed, same λ: offered load must be bit-identical across
+        // slot models — only the channel resolution differs.
+        let base = DynamicConfig {
+            model: SuccessModelKind::Rayleigh,
+            ..DynamicConfig::smoke()
+        };
+        let mc = DynamicEngine::new(base.clone()).run();
+        let analytic = DynamicEngine::new(DynamicConfig {
+            slot_model: SlotModelKind::Analytic,
+            ..base
+        })
+        .run();
+        for (a, b) in mc.iter().zip(&analytic) {
+            assert_eq!(a.offered_per_link.to_bits(), b.offered_per_link.to_bits());
+        }
+    }
+
+    #[test]
+    fn analytic_mode_journals_deterministically() {
+        let cfg = DynamicConfig {
+            model: SuccessModelKind::Rayleigh,
+            slot_model: SlotModelKind::Analytic,
+            slots: 400,
+            networks: 2,
+            ..DynamicConfig::smoke()
+        };
+        let engine = DynamicEngine::new(cfg);
+        let dir = std::env::temp_dir().join("rayfade-dynamic-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let run_once = |name: &str| {
+            let path = dir.join(format!("{name}-{}.jsonl", std::process::id()));
+            let tele = Telemetry::with_journal(&path).unwrap();
+            let outs = engine.run_with_telemetry(Some(&tele));
+            tele.flush();
+            let bytes = std::fs::read(&path).unwrap();
+            std::fs::remove_file(&path).ok();
+            (outs, bytes)
+        };
+        let (outs_a, bytes_a) = run_once("analytic-a");
+        let (outs_b, bytes_b) = run_once("analytic-b");
+        assert_eq!(outs_a, outs_b);
+        assert_eq!(bytes_a, bytes_b, "journal must be byte-reproducible");
+        assert_eq!(outs_a, engine.run(), "journaling must not perturb outcomes");
+        let text = String::from_utf8(bytes_a).unwrap();
+        assert!(
+            text.contains("\"slot_model\":\"analytic\""),
+            "dyn_run must record the slot model"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "analytic slot resolution")]
+    fn analytic_without_rayleigh_rejected() {
+        let cfg = DynamicConfig {
+            model: SuccessModelKind::NonFading,
+            slot_model: SlotModelKind::Analytic,
+            ..DynamicConfig::smoke()
+        };
+        let _ = DynamicEngine::new(cfg);
+    }
+
+    #[test]
+    fn slot_model_default_and_labels_are_stable() {
+        // The bit-pinned Monte Carlo path must stay the default so
+        // configs that never mention slot_model keep their historical
+        // behaviour, and the journal labels are load-bearing for the
+        // inspect tooling.
+        assert_eq!(SlotModelKind::default(), SlotModelKind::MonteCarlo);
+        assert_eq!(SlotModelKind::MonteCarlo.label(), "monte_carlo");
+        assert_eq!(SlotModelKind::Analytic.label(), "analytic");
+        assert_eq!(
+            SlotModelKind::all(),
+            [SlotModelKind::MonteCarlo, SlotModelKind::Analytic]
+        );
     }
 
     #[test]

@@ -24,9 +24,13 @@ pub mod queue;
 pub mod stability;
 
 pub use arrivals::{ArrivalProcess, ArrivalSample};
-pub use engine::{DynamicConfig, DynamicEngine, DynamicOutcome, SlotTrace, SuccessModelKind};
+pub use engine::{
+    AnalyticResolver, DynamicConfig, DynamicEngine, DynamicOutcome, MonteCarloResolver,
+    SlotModelKind, SlotResolver, SlotTrace, SuccessModelKind,
+};
 pub use policy::{
-    OnlinePolicy, PolicyKind, QueueAloha, QueueMaxWeight, RayleighMaxWeight, RegretPolicy,
+    ObservedSlot, OnlinePolicy, PolicyKind, QueueAloha, QueueMaxWeight, RayleighMaxWeight,
+    RegretPolicy,
 };
 pub use queue::{LinkQueue, QueueBank};
 pub use stability::{

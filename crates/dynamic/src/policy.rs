@@ -1,8 +1,9 @@
 //! Online transmission policies for the dynamic setting.
 //!
 //! A policy sees only per-link backlogs (plus its own internal state) and
-//! picks the transmitting set for one slot; after the slot it receives the
-//! realized SINRs for learning. Four families:
+//! picks the transmitting set for one slot; after the slot it receives an
+//! [`ObservedSlot`] — threshold booleans only, never raw SINR magnitudes —
+//! for learning. Four families:
 //!
 //! * [`QueueMaxWeight`] — the classic max-weight rule: solve a weighted
 //!   capacity problem with weights = backlogs (via the non-fading
@@ -29,8 +30,35 @@ use rayfade_learning::{loss, Action, NoRegretLearner, Rwm};
 use rayfade_sched::{
     AlohaPolicy, CapacityInstance, GreedyCapacity, RayleighGreedy, SelectionStats,
 };
-use rayfade_sinr::{GainMatrix, InterferenceRatios, SinrParams, SparseInterferenceRatios};
+use rayfade_sinr::{
+    Affectance, GainMatrix, InterferenceRatios, SinrParams, SparseInterferenceRatios,
+};
 use serde::{Deserialize, Serialize};
+
+/// Post-slot feedback handed to [`OnlinePolicy::observe`].
+///
+/// The contract is deliberately *magnitude-free*: a policy learns which
+/// links transmitted, which links' SINR cleared the threshold `β` this
+/// slot (counterfactually for idle links — see
+/// [`rayfade_sinr::SuccessModel::resolve_sinrs`]), and which links the
+/// engine credited with a delivery (`active ∧ would_succeed`). No realized
+/// SINR magnitude crosses this boundary, so the analytic slot resolver —
+/// which draws Theorem-1 Bernoulli indicators and never materializes an
+/// SINR — satisfies the same contract by construction. A future policy
+/// that needed raw magnitudes would have to widen this type (and thereby
+/// fail to compile against the analytic path) rather than silently read
+/// garbage.
+#[derive(Debug, Clone, Copy)]
+pub struct ObservedSlot<'a> {
+    /// Links that transmitted this slot.
+    pub active: &'a [bool],
+    /// Per-link threshold indicator `SINR_i ≥ β`, counterfactual for
+    /// idle links.
+    pub would_succeed: &'a [bool],
+    /// Links credited with a successful delivery
+    /// (`active[i] && would_succeed[i]`).
+    pub successes: &'a [bool],
+}
 
 /// Which policy a [`crate::DynamicConfig`] runs — the sweepable label.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -89,11 +117,21 @@ pub trait OnlinePolicy {
         self.choose(backlogs, rng)
     }
 
-    /// Post-slot feedback: the chosen mask, every link's realized SINR
-    /// (counterfactual for idle links — see
-    /// [`rayfade_sinr::SuccessModel::resolve_sinrs`]), and which links the
-    /// engine credited with a successful delivery.
-    fn observe(&mut self, active: &[bool], sinrs: &[f64], successes: &[bool]);
+    /// Post-slot feedback — see [`ObservedSlot`] for the (magnitude-free)
+    /// contract.
+    fn observe(&mut self, slot: &ObservedSlot<'_>);
+
+    /// Whether [`observe`](Self::observe) reads the counterfactual
+    /// `would_succeed` indicators of *idle* links. Policies that return
+    /// `false` (the max-weight family ignores feedback entirely; gated
+    /// ALOHA reads only `active`/`successes`) license the slot resolver
+    /// to leave idle links' indicators `false` without resolving them —
+    /// the analytic resolver then skips their Bernoulli draws and
+    /// product evaluations. Per-link learners that update every arm from
+    /// its counterfactual (the regret policy) must return `true`.
+    fn observes_counterfactuals(&self) -> bool {
+        true
+    }
 
     /// Cumulative capacity-selection work tally over every
     /// [`choose`](Self::choose) call so far, for policies backed by a
@@ -110,6 +148,11 @@ pub trait OnlinePolicy {
 pub struct QueueMaxWeight {
     gain: GainMatrix,
     params: SinrParams,
+    /// Affectance cache, a pure function of `(gain, params)`: built once
+    /// here instead of on every [`OnlinePolicy::choose`] call, where the
+    /// O(n²) rebuild used to dominate the per-slot selection itself.
+    /// Selections are bit-identical to the per-call path.
+    affectance: Affectance,
     selector: GreedyCapacity,
     stats: SelectionStats,
 }
@@ -118,9 +161,11 @@ impl QueueMaxWeight {
     /// Max-weight over the given (non-fading) instance, selecting with
     /// the weight-descending greedy.
     pub fn new(gain: GainMatrix, params: SinrParams) -> Self {
+        let affectance = Affectance::new(&gain, &params);
         QueueMaxWeight {
             gain,
             params,
+            affectance,
             selector: GreedyCapacity::weighted(),
             stats: SelectionStats::default(),
         }
@@ -138,7 +183,8 @@ impl QueueMaxWeight {
         let weights: Vec<f64> = backlogs.iter().map(|&b| b as f64).collect();
         // GreedyCapacity skips weight-0 links, so empty queues are never
         // selected.
-        let (set, stats) = self.selector.select_with_stats_traced(
+        let (set, stats) = self.selector.select_with_affectance_stats_traced(
+            &self.affectance,
             &CapacityInstance::weighted(&self.gain, &self.params, &weights),
             tracer,
         );
@@ -169,7 +215,11 @@ impl OnlinePolicy for QueueMaxWeight {
         self.choose_inner(backlogs, tracer)
     }
 
-    fn observe(&mut self, _active: &[bool], _sinrs: &[f64], _successes: &[bool]) {}
+    fn observe(&mut self, _slot: &ObservedSlot<'_>) {}
+
+    fn observes_counterfactuals(&self) -> bool {
+        false
+    }
 
     fn selection_stats(&self) -> Option<SelectionStats> {
         Some(self.stats)
@@ -290,7 +340,11 @@ impl OnlinePolicy for RayleighMaxWeight {
         self.choose_inner(backlogs, tracer)
     }
 
-    fn observe(&mut self, _active: &[bool], _sinrs: &[f64], _successes: &[bool]) {}
+    fn observe(&mut self, _slot: &ObservedSlot<'_>) {}
+
+    fn observes_counterfactuals(&self) -> bool {
+        false
+    }
 
     fn selection_stats(&self) -> Option<SelectionStats> {
         Some(self.stats)
@@ -361,7 +415,7 @@ impl OnlinePolicy for QueueAloha {
         mask
     }
 
-    fn observe(&mut self, active: &[bool], _sinrs: &[f64], successes: &[bool]) {
+    fn observe(&mut self, slot: &ObservedSlot<'_>) {
         if let AlohaPolicy::Backoff {
             init,
             factor,
@@ -372,14 +426,20 @@ impl OnlinePolicy for QueueAloha {
             // initial probability — each delivered packet starts the next
             // head-of-line packet's attempt sequence afresh, mirroring the
             // per-packet restarts of the latency layer.
-            for i in 0..active.len() {
-                if successes[i] {
+            for i in 0..slot.active.len() {
+                if slot.successes[i] {
                     self.backoff_prob[i] = *init;
-                } else if active[i] {
+                } else if slot.active[i] {
                     self.backoff_prob[i] = (self.backoff_prob[i] * factor).max(*floor);
                 }
             }
         }
+    }
+
+    fn observes_counterfactuals(&self) -> bool {
+        // Backoff reads `active`/`successes` only; the stateless variants
+        // read nothing at all.
+        false
     }
 }
 
@@ -387,19 +447,19 @@ impl OnlinePolicy for QueueAloha {
 #[derive(Debug, Clone)]
 pub struct RegretPolicy {
     learners: Vec<Rwm>,
-    beta: f64,
     /// Links gated out this slot (empty queue) must not receive an update:
     /// they had no packet, so "send" was not an available action.
     gated: Vec<bool>,
 }
 
 impl RegretPolicy {
-    /// One binary RWM learner per link; `beta` is the success threshold
-    /// used to turn SINR feedback into losses.
-    pub fn new(n: usize, beta: f64) -> Self {
+    /// One binary RWM learner per link. The SINR-vs-β thresholding that
+    /// turns channel feedback into losses happens in the engine's slot
+    /// resolver; the policy only consumes the
+    /// [`would_succeed`](ObservedSlot::would_succeed) booleans.
+    pub fn new(n: usize) -> Self {
         RegretPolicy {
             learners: (0..n).map(|_| Rwm::binary()).collect(),
-            beta,
             gated: vec![false; n],
         }
     }
@@ -422,16 +482,17 @@ impl OnlinePolicy for RegretPolicy {
             .collect()
     }
 
-    fn observe(&mut self, _active: &[bool], sinrs: &[f64], _successes: &[bool]) {
+    fn observe(&mut self, slot: &ObservedSlot<'_>) {
         // Same full-information update as the capacity game: one slot
         // yields the realized loss of the taken action and the exact
         // counterfactual loss of the other (interference is identical
-        // whether or not link i itself transmits).
+        // whether or not link i itself transmits), delivered as the
+        // counterfactual threshold indicator.
         for (i, learner) in self.learners.iter_mut().enumerate() {
             if self.gated[i] {
                 continue;
             }
-            let would_succeed = sinrs[i] >= self.beta;
+            let would_succeed = slot.would_succeed[i];
             let losses = [
                 loss(Action::Idle, would_succeed),
                 loss(Action::Send, would_succeed),
@@ -513,16 +574,20 @@ mod tests {
 
     #[test]
     fn regret_policy_gates_and_learns() {
-        let mut policy = RegretPolicy::new(2, 1.0);
+        let mut policy = RegretPolicy::new(2);
         let mut rng = StdRng::seed_from_u64(5);
         // Empty queues: nobody transmits, regardless of learner state.
         assert_eq!(policy.choose(&[0, 0], &mut rng), vec![false, false]);
-        // Teach link 0 that sending always succeeds (SINR above beta):
-        // its send probability must grow.
+        // Teach link 0 that sending always succeeds (its threshold
+        // indicator is always true): its send probability must grow.
         for _ in 0..200 {
             let mask = policy.choose(&[5, 0], &mut rng);
             let succ = vec![mask[0], false];
-            policy.observe(&mask, &[10.0, 0.0], &succ);
+            policy.observe(&ObservedSlot {
+                active: &mask,
+                would_succeed: &[true, false],
+                successes: &succ,
+            });
         }
         let sends = (0..500)
             .filter(|_| policy.choose(&[5, 0], &mut rng)[0])
@@ -535,14 +600,89 @@ mod tests {
 
     #[test]
     fn regret_policy_does_not_update_gated_links() {
-        let mut policy = RegretPolicy::new(2, 1.0);
+        let mut policy = RegretPolicy::new(2);
         let mut rng = StdRng::seed_from_u64(6);
         let before = policy.learners[1].clone();
         let mask = policy.choose(&[3, 0], &mut rng);
         let succ = vec![mask[0], false];
-        policy.observe(&mask, &[10.0, 10.0], &succ);
+        policy.observe(&ObservedSlot {
+            active: &mask,
+            would_succeed: &[true, true],
+            successes: &succ,
+        });
         assert_eq!(policy.learners[1], before, "gated learner must not move");
         assert_ne!(policy.learners[0], before, "active learner must update");
+    }
+
+    /// The `ObservedSlot` contract carries only threshold booleans: two
+    /// slots whose realized SINRs differ wildly in magnitude but agree on
+    /// `sinr >= beta` must leave every sweep policy in an identical state.
+    /// (This is the contract that makes the analytic resolver — which has
+    /// no realized SINRs at all — a drop-in replacement.)
+    #[test]
+    fn sweep_policies_are_magnitude_blind() {
+        let beta = 1.5;
+        // Two SINR realizations with very different magnitudes but the
+        // same threshold pattern: [pass, fail].
+        let sinrs_a = [1.5000001, 1.4999999];
+        let sinrs_b = [1e9, 0.0];
+        let thresholded =
+            |sinrs: &[f64]| -> Vec<bool> { sinrs.iter().map(|&s| s >= beta).collect() };
+        assert_eq!(thresholded(&sinrs_a), thresholded(&sinrs_b));
+
+        let (gm, params) = paper_instance(2, 2);
+        let mut aloha_a = QueueAloha::new(
+            AlohaPolicy::Backoff {
+                init: 0.5,
+                factor: 0.5,
+                floor: 0.01,
+            },
+            2,
+        );
+        let mut aloha_b = aloha_a.clone();
+        let mut regret_a = RegretPolicy::new(2);
+        let mut regret_b = regret_a.clone();
+        let mut mw_a = QueueMaxWeight::new(gm.clone(), params);
+        let mut mw_b = mw_a.clone();
+
+        let mut rng_a = StdRng::seed_from_u64(9);
+        let mut rng_b = StdRng::seed_from_u64(9);
+        for _ in 0..50 {
+            let backlogs = [4u64, 4];
+            let mask_a = aloha_a.choose(&backlogs, &mut rng_a);
+            let mask_b = aloha_b.choose(&backlogs, &mut rng_b);
+            assert_eq!(mask_a, mask_b);
+            assert_eq!(
+                mw_a.choose(&backlogs, &mut rng_a),
+                mw_b.choose(&backlogs, &mut rng_b)
+            );
+            assert_eq!(
+                regret_a.choose(&backlogs, &mut rng_a),
+                regret_b.choose(&backlogs, &mut rng_b)
+            );
+            let ws_a = thresholded(&sinrs_a);
+            let ws_b = thresholded(&sinrs_b);
+            let succ_a: Vec<bool> = (0..2).map(|i| mask_a[i] && ws_a[i]).collect();
+            let succ_b: Vec<bool> = (0..2).map(|i| mask_b[i] && ws_b[i]).collect();
+            let slot_a = ObservedSlot {
+                active: &mask_a,
+                would_succeed: &ws_a,
+                successes: &succ_a,
+            };
+            let slot_b = ObservedSlot {
+                active: &mask_b,
+                would_succeed: &ws_b,
+                successes: &succ_b,
+            };
+            aloha_a.observe(&slot_a);
+            aloha_b.observe(&slot_b);
+            regret_a.observe(&slot_a);
+            regret_b.observe(&slot_b);
+            mw_a.observe(&slot_a);
+            mw_b.observe(&slot_b);
+        }
+        assert_eq!(aloha_a.backoff_prob, aloha_b.backoff_prob);
+        assert_eq!(regret_a.learners, regret_b.learners);
     }
 
     #[test]

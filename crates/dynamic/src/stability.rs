@@ -16,7 +16,9 @@
 //! frontier from below": a single unstable cell caps λ* even if a larger
 //! λ happened to pass the drift test by chance).
 
-use crate::engine::{DynamicConfig, DynamicEngine, DynamicOutcome, SuccessModelKind};
+use crate::engine::{
+    DynamicConfig, DynamicEngine, DynamicOutcome, SlotModelKind, SuccessModelKind,
+};
 use crate::policy::PolicyKind;
 use rayfade_telemetry::{HealthReport, Journal, MonitorConfig, SloConfig, Telemetry};
 use rayon::prelude::*;
@@ -219,6 +221,14 @@ impl LambdaSweep {
                         policy,
                         model,
                         arrival: self.base.arrival.with_rate(lambda),
+                        // The analytic resolver draws from Theorem-1
+                        // Rayleigh probabilities, so it only applies to
+                        // the Rayleigh half of the grid; non-fading cells
+                        // always run their (deterministic) realized path.
+                        slot_model: match model {
+                            SuccessModelKind::NonFading => SlotModelKind::MonteCarlo,
+                            SuccessModelKind::Rayleigh => self.base.slot_model,
+                        },
                         ..self.base.clone()
                     });
                 }
@@ -630,6 +640,7 @@ mod tests {
             arrival: ArrivalProcess::Bernoulli { rate: 0.1 },
             policy: PolicyKind::MaxWeight,
             model: SuccessModelKind::NonFading,
+            slot_model: crate::SlotModelKind::MonteCarlo,
             topology: PaperTopology {
                 links: 6,
                 ..PaperTopology::figure1()

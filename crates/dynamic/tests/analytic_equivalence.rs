@@ -1,0 +1,278 @@
+//! Certifies the analytic fast-slot resolver against Theorem 1 and the
+//! realized-fading Monte Carlo path.
+//!
+//! Two legs:
+//!
+//! 1. **Bernoulli exactness** — for every [`PolicyKind`], the analytic
+//!    success-indicator stream, conditioned on the chosen transmit mask,
+//!    is Bernoulli(p_i) with p_i the closed-form Theorem 1 conditional
+//!    probability. Checked with per-cell z-bounds and an aggregate χ²
+//!    statistic over ≥10⁵ slots on a small fixed instance; the Monte
+//!    Carlo resolver is held to the *same* closed form, which is what
+//!    makes the two resolvers distributionally equivalent.
+//! 2. **Paired sweep** — a small λ sweep run once per slot model at
+//!    matched seeds must produce identical stability verdicts and λ* in
+//!    every (policy, model) cell.
+//!
+//! The expected probabilities are computed by a local, definition-level
+//! Theorem 1 evaluation — not by the production evaluator the resolver
+//! itself uses — so a corrupted cached ratio cannot certify itself.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rayfade_core::RayleighModel;
+use rayfade_dynamic::{
+    AnalyticResolver, ArrivalProcess, DynamicConfig, LambdaSweep, MonteCarloResolver, ObservedSlot,
+    OnlinePolicy, PolicyKind, QueueAloha, QueueMaxWeight, RayleighMaxWeight, RegretPolicy,
+    SlotModelKind, SlotResolver, SuccessModelKind,
+};
+use rayfade_geometry::PaperTopology;
+use rayfade_sinr::{GainMatrix, PowerAssignment, SinrParams};
+use std::collections::HashMap;
+
+/// The small fixed instance every statistical leg runs on: a dense
+/// 6-link figure-1 deployment where concurrent transmissions interfere
+/// enough that the conditional probabilities spread over (0, 1).
+fn instance() -> (GainMatrix, SinrParams) {
+    let params = SinrParams::figure1();
+    let net = PaperTopology {
+        links: 6,
+        side: 120.0,
+        ..PaperTopology::figure1()
+    }
+    .generate(11);
+    let gain = GainMatrix::from_geometry(&net, &PowerAssignment::figure1_uniform(), params.alpha);
+    (gain, params)
+}
+
+/// Definition-level Theorem 1 conditional success probability
+/// `P[SINR_i ≥ β | mask]`: the direct product formula, independent of
+/// every cached fast path under test.
+fn theorem1_conditional(gain: &GainMatrix, params: &SinrParams, active: &[bool], i: usize) -> f64 {
+    let s_ii = gain.signal(i);
+    if s_ii == 0.0 {
+        return 0.0;
+    }
+    let beta = params.beta;
+    let mut q = (-beta * params.noise / s_ii).exp();
+    for (j, &on) in active.iter().enumerate() {
+        if j == i || !on {
+            continue;
+        }
+        let s_ji = gain.gain(j, i);
+        if s_ji == 0.0 {
+            continue;
+        }
+        q *= 1.0 - beta / (beta + s_ii / s_ji);
+    }
+    q
+}
+
+fn build_policy(kind: PolicyKind, gain: &GainMatrix, params: SinrParams) -> Box<dyn OnlinePolicy> {
+    let n = gain.len();
+    match kind {
+        PolicyKind::MaxWeight => Box::new(QueueMaxWeight::new(gain.clone(), params)),
+        PolicyKind::Aloha => Box::new(QueueAloha::default_inverse(n)),
+        PolicyKind::Regret => Box::new(RegretPolicy::new(n)),
+        PolicyKind::RayleighMaxWeight => Box::new(RayleighMaxWeight::new(gain.clone(), params)),
+    }
+}
+
+/// Per-(mask, link) success tallies from driving `resolver` under
+/// `policy` for `slots` saturated slots (every queue always backlogged,
+/// so the mask is whatever the policy contends with).
+type Tally = HashMap<Vec<bool>, Vec<(u64, u64)>>;
+
+fn drive(
+    policy: &mut dyn OnlinePolicy,
+    resolver: &mut dyn SlotResolver,
+    n: usize,
+    slots: u64,
+    rng_seed: u64,
+) -> Tally {
+    let backlogs = vec![10_000u64; n];
+    let mut rng = StdRng::seed_from_u64(rng_seed);
+    let mut would_succeed = vec![false; n];
+    let mut successes = vec![false; n];
+    let mut tally: Tally = HashMap::new();
+    for _ in 0..slots {
+        let active = policy.choose(&backlogs, &mut rng);
+        assert_eq!(active.len(), n);
+        resolver.resolve(&active, &mut would_succeed);
+        let cells = tally
+            .entry(active.clone())
+            .or_insert_with(|| vec![(0, 0); n]);
+        for i in 0..n {
+            cells[i].1 += 1;
+            cells[i].0 += u64::from(would_succeed[i]);
+            successes[i] = active[i] && would_succeed[i];
+        }
+        policy.observe(&ObservedSlot {
+            active: &active,
+            would_succeed: &would_succeed,
+            successes: &successes,
+        });
+    }
+    tally
+}
+
+/// Asserts every well-populated (mask, link) cell of `tally` matches its
+/// Theorem 1 probability: per-cell z-bound at 4.75σ plus a two-sided χ²
+/// band on the aggregate (which would also catch a degenerate stream,
+/// e.g. the same random draw reused across links).
+fn assert_bernoulli(tag: &str, gain: &GainMatrix, params: &SinrParams, tally: &Tally) {
+    let n = gain.len();
+    let mut chi2 = 0.0;
+    let mut df = 0usize;
+    let mut populated = 0usize;
+    for (mask, cells) in tally {
+        let m = cells[0].1;
+        if m < 2_000 {
+            continue;
+        }
+        populated += 1;
+        for (i, cell) in cells.iter().enumerate().take(n) {
+            let p = theorem1_conditional(gain, params, mask, i);
+            let phat = cell.0 as f64 / m as f64;
+            let var = (p * (1.0 - p)).max(1e-12) / m as f64;
+            let z = (phat - p) / var.sqrt();
+            assert!(
+                z.abs() <= 4.75,
+                "{tag}: mask {mask:?} link {i}: empirical {phat:.6} vs Theorem 1 {p:.6} \
+                 over {m} slots (z = {z:.2})"
+            );
+            if p > 1e-6 && p < 1.0 - 1e-6 {
+                chi2 += z * z;
+                df += 1;
+            }
+        }
+    }
+    assert!(
+        populated > 0,
+        "{tag}: no mask group reached the sample-size floor"
+    );
+    if df >= 8 {
+        let (lo, hi) = (
+            df as f64 - 5.0 * (2.0 * df as f64).sqrt(),
+            df as f64 + 5.0 * (2.0 * df as f64).sqrt(),
+        );
+        assert!(
+            chi2 >= lo && chi2 <= hi,
+            "{tag}: aggregate χ² = {chi2:.1} outside [{lo:.1}, {hi:.1}] at {df} df"
+        );
+    }
+}
+
+#[test]
+fn analytic_stream_is_bernoulli_theorem1_for_every_policy() {
+    let (gain, params) = instance();
+    let n = gain.len();
+    for kind in PolicyKind::all() {
+        let mut policy = build_policy(kind, &gain, params);
+        let mut resolver = AnalyticResolver::new(&gain, &params, 0xfade ^ kind as u64);
+        let tally = drive(
+            policy.as_mut(),
+            &mut resolver,
+            n,
+            120_000,
+            0x5eed ^ kind as u64,
+        );
+        assert_bernoulli(
+            &format!("analytic/{}", kind.label()),
+            &gain,
+            &params,
+            &tally,
+        );
+    }
+}
+
+#[test]
+fn monte_carlo_stream_matches_the_same_theorem1_probabilities() {
+    // The MC resolver realizes the fading channel; Theorem 1 says the
+    // resulting indicator stream has exactly the analytic Bernoulli
+    // parameters — this is the other half of the distributional
+    // equivalence between the two resolvers.
+    let (gain, params) = instance();
+    let n = gain.len();
+    for kind in PolicyKind::all() {
+        let mut policy = build_policy(kind, &gain, params);
+        let model = RayleighModel::new(gain.clone(), params, 0xfade ^ kind as u64);
+        let mut resolver = MonteCarloResolver::new(Box::new(model), params.beta);
+        let tally = drive(
+            policy.as_mut(),
+            &mut resolver,
+            n,
+            120_000,
+            0x5eed ^ kind as u64,
+        );
+        assert_bernoulli(
+            &format!("monte_carlo/{}", kind.label()),
+            &gain,
+            &params,
+            &tally,
+        );
+    }
+}
+
+#[test]
+fn paired_sweep_verdicts_and_lambda_star_are_identical() {
+    // Matched seeds: arrivals and policy streams are independent of the
+    // slot model, so the analytic sweep faces the same traffic and
+    // contention as the Monte Carlo one; the drift verdicts and λ* of
+    // every (policy, model) cell must agree. Non-fading cells are pinned
+    // to Monte Carlo by the sweep itself and are bit-identical runs.
+    let base = DynamicConfig {
+        links: 8,
+        networks: 2,
+        slots: 3_000,
+        arrival: ArrivalProcess::Bernoulli { rate: 0.0 },
+        policy: PolicyKind::MaxWeight,
+        model: SuccessModelKind::Rayleigh,
+        slot_model: SlotModelKind::MonteCarlo,
+        topology: PaperTopology {
+            links: 8,
+            side: 150.0,
+            ..PaperTopology::figure1()
+        },
+        params: SinrParams::figure1(),
+        sample_every: 50,
+        seed: 0xab5_0123,
+    };
+    let analytic_base = DynamicConfig {
+        slot_model: SlotModelKind::Analytic,
+        ..base.clone()
+    };
+    let mc = LambdaSweep::linear(base, 0.12, 3).run();
+    let analytic = LambdaSweep::linear(analytic_base, 0.12, 3).run();
+    assert_eq!(mc.cells.len(), analytic.cells.len());
+    for (a, b) in mc.cells.iter().zip(&analytic.cells) {
+        assert_eq!(
+            (a.policy, a.model, a.lambda.to_bits()),
+            (b.policy, b.model, b.lambda.to_bits()),
+            "paired sweeps enumerate different cells"
+        );
+        assert_eq!(
+            a.verdict,
+            b.verdict,
+            "verdict diverged at policy {} model {} λ {}",
+            a.policy.label(),
+            a.model.label(),
+            a.lambda
+        );
+        if a.model == SuccessModelKind::NonFading {
+            // Same resolver, same seeds: the whole cell is bit-equal.
+            assert_eq!(a.drift, b.drift, "non-fading cell drifted between sweeps");
+        }
+    }
+    for policy in PolicyKind::all() {
+        for model in SuccessModelKind::all() {
+            assert_eq!(
+                mc.lambda_star(policy, model),
+                analytic.lambda_star(policy, model),
+                "λ* diverged for policy {} model {}",
+                policy.label(),
+                model.label()
+            );
+        }
+    }
+}

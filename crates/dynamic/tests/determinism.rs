@@ -3,8 +3,8 @@
 //! rendering the `stability_exp` binary writes — run after run.
 
 use rayfade_dynamic::{
-    ArrivalProcess, DynamicConfig, DynamicEngine, LambdaSweep, PolicyKind, StabilityReport,
-    SuccessModelKind,
+    ArrivalProcess, DynamicConfig, DynamicEngine, LambdaSweep, PolicyKind, SlotModelKind,
+    StabilityReport, SuccessModelKind,
 };
 use rayfade_geometry::PaperTopology;
 use rayfade_sinr::SinrParams;
@@ -20,6 +20,7 @@ fn base_config() -> DynamicConfig {
         },
         policy: PolicyKind::MaxWeight,
         model: SuccessModelKind::Rayleigh,
+        slot_model: SlotModelKind::MonteCarlo,
         topology: PaperTopology {
             links: 8,
             side: 200.0,

@@ -3,7 +3,8 @@
 
 use proptest::prelude::*;
 use rayfade_dynamic::{
-    judge_cell, ArrivalProcess, DynamicConfig, DynamicEngine, PolicyKind, SuccessModelKind,
+    judge_cell, ArrivalProcess, DynamicConfig, DynamicEngine, PolicyKind, SlotModelKind,
+    SuccessModelKind,
 };
 use rayfade_geometry::PaperTopology;
 use rayfade_sinr::SinrParams;
@@ -16,6 +17,7 @@ fn config(links: usize, slots: u64, rate: f64, side: f64, seed: u64) -> DynamicC
         arrival: ArrivalProcess::Bernoulli { rate },
         policy: PolicyKind::MaxWeight,
         model: SuccessModelKind::NonFading,
+        slot_model: SlotModelKind::MonteCarlo,
         topology: PaperTopology {
             links,
             side,

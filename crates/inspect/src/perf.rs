@@ -232,6 +232,38 @@ impl PerfDiff {
         self.regressions() == 0
     }
 
+    /// Narrows the diff to span rows whose name contains `pattern`
+    /// (substring match, so `--span replication` reaches
+    /// `dynamic/replication`): workloads keep only their matching spans,
+    /// and workloads with no matching span are dropped entirely. The
+    /// remaining workload rows keep their original verdicts, but the
+    /// aggregate counters then reflect the retained subset — callers
+    /// gating on regressions should consult the unfiltered diff and use
+    /// the filtered one for display.
+    pub fn filter_span(&self, pattern: &str) -> PerfDiff {
+        let deltas = self
+            .deltas
+            .iter()
+            .filter_map(|d| {
+                let spans: Vec<SpanDelta> = d
+                    .spans
+                    .iter()
+                    .filter(|s| s.name.contains(pattern))
+                    .cloned()
+                    .collect();
+                if spans.is_empty() {
+                    return None;
+                }
+                Some(WorkloadDelta { spans, ..d.clone() })
+            })
+            .collect();
+        PerfDiff {
+            tolerance: self.tolerance,
+            config_hash: self.config_hash.clone(),
+            deltas,
+        }
+    }
+
     /// Human-readable delta table.
     pub fn to_console(&self) -> String {
         let mut out = String::new();
@@ -596,6 +628,29 @@ mod tests {
             ]
         );
         assert!(diff.clean());
+    }
+
+    #[test]
+    fn span_filter_keeps_matching_rows_and_drops_empty_workloads() {
+        let mut base = baseline(1000.0, &[("dyn", 500.0), ("other", 500.0)]);
+        base.workloads[0].spans.push(SpanPerf {
+            name: "dynamic/replication".to_string(),
+            count: 2,
+            total_ns: 400.0,
+            cpu_ns: 800.0,
+        });
+        let diff = perf_diff(&base, &base, 0.25).unwrap();
+        let filtered = diff.filter_span("dynamic/replication");
+        assert_eq!(filtered.deltas.len(), 1, "{filtered:?}");
+        assert_eq!(filtered.deltas[0].name, "dyn");
+        assert_eq!(filtered.deltas[0].spans.len(), 1);
+        assert_eq!(filtered.deltas[0].spans[0].name, "dynamic/replication");
+        // Substring match reaches the same row.
+        assert_eq!(diff.filter_span("replication"), filtered);
+        // The workload row itself survives with its original verdict.
+        assert_eq!(filtered.deltas[0].verdict, Verdict::Ok);
+        // No match: everything is dropped, nothing panics.
+        assert!(diff.filter_span("no/such/span").deltas.is_empty());
     }
 
     #[test]

@@ -1,0 +1,63 @@
+//! Golden test for `perf-diff --span`: a synthetic baseline pair with a
+//! known `dynamic/replication` regression must render, after span
+//! filtering, exactly the expected console report — only the workloads
+//! carrying the span, only that span's rows, ratios intact.
+
+use rayfade_inspect::{parse_perf, perf_diff};
+
+/// Schema-2 perf baseline with two workloads; only `stability_slots`
+/// carries a `dynamic/replication` span.
+fn baseline(stability_median: f64, replication_total: f64) -> String {
+    format!(
+        r#"{{"schema_version":2,"config_hash":"feedc0de","threads":4,"repeats":15,
+            "calibration_ns":1000000,
+            "workloads":{{
+              "stability_slots":{{"median_ns":{stability_median},"traced_wall_ns":{tw},
+                "spans":{{
+                  "dynamic/replication":{{"count":4,"total_ns":{replication_total},"cpu_ns":{replication_total}}},
+                  "dynamic/policy":{{"count":64,"total_ns":90000,"cpu_ns":90000}}}}}},
+              "fig1_point":{{"median_ns":300000,"traced_wall_ns":450000,
+                "spans":{{"fig1/network":{{"count":2,"total_ns":200000,"cpu_ns":200000}}}}}}}}}}"#,
+        tw = stability_median * 1.5,
+    )
+}
+
+#[test]
+fn span_filtered_report_matches_golden() {
+    let base = parse_perf(&baseline(2_000_000.0, 1_000_000.0)).unwrap();
+    // Replication doubled, overall median up 50%: both regress at 25%.
+    let cur = parse_perf(&baseline(3_000_000.0, 2_000_000.0)).unwrap();
+    let diff = perf_diff(&base, &cur, 0.25).unwrap();
+    assert_eq!(diff.regressions(), 1, "stability_slots regresses");
+
+    let filtered = diff.filter_span("dynamic/replication");
+    let golden = "\
+perf-diff (config feedc0de, tolerance \u{00b1}25%)
+  workload/span                        base      current    ratio  verdict
+  stability_slots                   2.00000      3.00000    1.500  REGRESSED
+    dynamic/replication             1.00000      2.00000    2.000  REGRESSED
+  1 workloads: 1 regressed, 0 improved -> REGRESSION
+";
+    assert_eq!(filtered.to_console(), golden);
+
+    // fig1_point has no matching span and is gone; the unfiltered diff
+    // still reports it.
+    assert!(filtered.deltas.iter().all(|d| d.name == "stability_slots"));
+    assert_eq!(diff.deltas.len(), 2);
+
+    // CSV keeps only the filtered rows too.
+    let csv = filtered.to_csv();
+    assert!(csv.contains("stability_slots,dynamic/replication,"));
+    assert!(!csv.contains("dynamic/policy"));
+    assert!(!csv.contains("fig1_point"));
+}
+
+#[test]
+fn span_filter_on_identical_baselines_is_clean() {
+    let base = parse_perf(&baseline(2_000_000.0, 1_000_000.0)).unwrap();
+    let diff = perf_diff(&base, &base, 0.25).unwrap();
+    let filtered = diff.filter_span("replication");
+    assert!(filtered.clean());
+    assert_eq!(filtered.deltas.len(), 1);
+    assert_eq!(filtered.deltas[0].spans[0].ratio, Some(1.0));
+}

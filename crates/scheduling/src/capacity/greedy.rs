@@ -96,7 +96,17 @@ impl GreedyCapacity {
                 idx
             }
             GreedyOrder::WeightDescending => {
-                let mut idx: Vec<usize> = (0..n).collect();
+                // Non-positive (and NaN) weights are skipped by the
+                // select() guard no matter where they sort, so drop them
+                // before sorting: queue-weighted slot loops call this
+                // every slot with mostly-empty queues, and sorting the
+                // handful of backlogged links instead of all n is the
+                // difference between O(k log k) and O(n log n) per slot.
+                // The surviving order — and hence the selection and its
+                // stats — is bit-identical to sorting the full range.
+                let mut idx: Vec<usize> = (0..n)
+                    .filter(|&i| crate::capacity::strictly_positive(inst.weight(i)))
+                    .collect();
                 idx.sort_by(|&a, &b| {
                     inst.weight(b)
                         .total_cmp(&inst.weight(a))
@@ -313,8 +323,27 @@ impl GreedyCapacity {
     /// scored, and scored − accepted as rejected (`rederivations` is
     /// always 0 — this selector keeps no incremental evaluator).
     pub fn select_with_stats(&self, inst: &CapacityInstance<'_>) -> (Vec<usize>, SelectionStats) {
-        assert!(self.in_budget >= 0.0 && self.acceptance_cap <= 1.0 + 1e-12);
         let aff = Affectance::new(inst.gain, inst.params);
+        self.select_with_affectance_stats(&aff, inst)
+    }
+
+    /// [`select_with_stats`](Self::select_with_stats) against a prebuilt
+    /// [`Affectance`] cache — the entry point for callers re-solving many
+    /// weight vectors on one gain matrix (e.g. queue-weighted scheduling
+    /// slot loops), where rebuilding the O(n²) cache per call dominates
+    /// the selection itself. `Affectance` is a pure function of
+    /// `(gain, params)`, so the selection is bit-identical to the
+    /// per-call path.
+    ///
+    /// # Panics
+    /// If the cache size does not match the instance.
+    pub fn select_with_affectance_stats(
+        &self,
+        aff: &Affectance,
+        inst: &CapacityInstance<'_>,
+    ) -> (Vec<usize>, SelectionStats) {
+        assert!(self.in_budget >= 0.0 && self.acceptance_cap <= 1.0 + 1e-12);
+        assert_eq!(aff.len(), inst.len(), "affectance cache size mismatch");
         let order = self.ordering(inst);
         let mut accepted: Vec<usize> = Vec::new();
         let mut stats = SelectionStats::default();
@@ -363,6 +392,18 @@ impl GreedyCapacity {
     ) -> (Vec<usize>, SelectionStats) {
         let _g = trace::guard(tracer, tracer.map(|tr| tr.span_id("selector/greedy")));
         self.select_with_stats(inst)
+    }
+
+    /// [`select_with_affectance_stats`](Self::select_with_affectance_stats)
+    /// under the same optional `selector/greedy` span.
+    pub fn select_with_affectance_stats_traced(
+        &self,
+        aff: &Affectance,
+        inst: &CapacityInstance<'_>,
+        tracer: Option<&Tracer>,
+    ) -> (Vec<usize>, SelectionStats) {
+        let _g = trace::guard(tracer, tracer.map(|tr| tr.span_id("selector/greedy")));
+        self.select_with_affectance_stats(aff, inst)
     }
 }
 
@@ -527,6 +568,51 @@ mod tests {
         let count = |name: &str| trace.records.iter().filter(|r| r.name == name).count();
         assert_eq!(count("selector/greedy"), 1);
         assert_eq!(count("selector/rayleigh_greedy"), 1);
+    }
+
+    #[test]
+    fn prebuilt_affectance_path_is_bit_identical() {
+        let (gm, params) = paper_instance(17, 50);
+        let aff = Affectance::new(&gm, &params);
+        let greedy = GreedyCapacity::weighted();
+        for round in 0..4u64 {
+            // Fresh weights per round, same cache: the slot-loop shape.
+            let w: Vec<f64> = (0..50)
+                .map(|i| 1.0 + ((i as u64 * 7 + round) % 11) as f64)
+                .collect();
+            let inst = CapacityInstance::weighted(&gm, &params, &w);
+            assert_eq!(
+                greedy.select_with_affectance_stats(&aff, &inst),
+                greedy.select_with_stats(&inst),
+                "round {round}: cached affectance must not change the selection"
+            );
+        }
+        let tracer = Tracer::new();
+        let inst = CapacityInstance::unweighted(&gm, &params);
+        assert_eq!(
+            greedy.select_with_affectance_stats_traced(&aff, &inst, Some(&tracer)),
+            greedy.select_with_stats(&inst)
+        );
+        assert_eq!(
+            tracer
+                .snapshot()
+                .records
+                .iter()
+                .filter(|r| r.name == "selector/greedy")
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "affectance cache size mismatch")]
+    fn prebuilt_affectance_size_mismatch_rejected() {
+        let gm = GainMatrix::from_raw(2, vec![10.0, 0.0, 0.0, 10.0]);
+        let gm3 = GainMatrix::from_raw(3, vec![10.0, 0.0, 0.0, 0.0, 10.0, 0.0, 0.0, 0.0, 10.0]);
+        let params = SinrParams::new(2.0, 1.0, 0.0);
+        let aff = Affectance::new(&gm3, &params);
+        let _ = GreedyCapacity::new()
+            .select_with_affectance_stats(&aff, &CapacityInstance::unweighted(&gm, &params));
     }
 
     #[test]

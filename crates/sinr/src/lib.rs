@@ -16,6 +16,9 @@
 //!   machinery,
 //! * [`ratio`] — cached Theorem-1 interference ratios and the incremental
 //!   success-probability accumulator shared by the Rayleigh hot paths,
+//! * [`amortized`] — churn-amortized quantized-log mirror of the ratio
+//!   accumulator whose incremental state is bit-equal to a from-scratch
+//!   rebuild (the analytic slot resolver's persistent cache),
 //! * [`sparse`] — ε-truncated sparse mirror of the ratio cache with a
 //!   certified per-receiver error interval, for instances far beyond the
 //!   dense O(n²) limit,
@@ -29,6 +32,7 @@
 #![forbid(unsafe_code)]
 
 pub mod affectance;
+pub mod amortized;
 pub mod gain;
 pub mod model;
 pub mod nonfading;
@@ -41,6 +45,7 @@ pub mod spectral;
 pub mod utility;
 
 pub use affectance::Affectance;
+pub use amortized::AmortizedAccumulator;
 pub use gain::GainMatrix;
 pub use model::{NonFadingModel, SuccessModel};
 pub use nonfading::{

@@ -66,7 +66,7 @@ fn arb_json(state: &mut u64, depth: usize) -> Json {
     let variants = if depth == 0 { 4 } else { 6 };
     match splitmix(state) % variants {
         0 => Json::Null,
-        1 => Json::Bool(splitmix(state) % 2 == 0),
+        1 => Json::Bool(splitmix(state).is_multiple_of(2)),
         2 => Json::Num(arb_num(state)),
         3 => Json::Str(arb_string(state)),
         4 => {

@@ -16,6 +16,7 @@ fn main() {
         arrival: ArrivalProcess::Bernoulli { rate: 0.0 },
         policy: PolicyKind::MaxWeight,
         model: SuccessModelKind::NonFading,
+        slot_model: SlotModelKind::MonteCarlo,
         topology: PaperTopology {
             links: 10,
             side: 150.0,

@@ -61,8 +61,8 @@ pub mod prelude {
         rayleigh_capacity, success_probability, transfer_set, RayleighModel, SimulationPlan,
     };
     pub use rayfade_dynamic::{
-        ArrivalProcess, DynamicConfig, DynamicEngine, LambdaSweep, PolicyKind, StabilityReport,
-        StabilityVerdict, SuccessModelKind,
+        ArrivalProcess, DynamicConfig, DynamicEngine, LambdaSweep, PolicyKind, SlotModelKind,
+        StabilityReport, StabilityVerdict, SuccessModelKind,
     };
     pub use rayfade_geometry::{
         ClusteredTopology, ExponentialChain, GridTopology, Link, LinkGeometry, Network,
